@@ -1,0 +1,151 @@
+//! Subgraph reindexing: renumber sampled VIDs into a dense range.
+//!
+//! "Subgraph reindexing addresses this by mapping each original graph VID to
+//! a new VID in the sampled subgraph" (§II-B, Fig. 4b). The conventional
+//! implementation uses a (synchronized) hash map; §IV-A replaces it with
+//! set-counting over two SRAM-resident arrays — original VIDs and renumbered
+//! VIDs — which is what the SCR reindexer executes.
+
+use std::collections::HashMap;
+
+use agnn_graph::Vid;
+
+/// Result of reindexing a VID stream.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ReindexResult {
+    /// Per-input renumbered VID (`new_ids.len() == inputs.len()`).
+    pub new_ids: Vec<Vid>,
+    /// Mapping table: `new_to_old[new.index()] == old`, in first-appearance
+    /// order — exactly the row order of the new embedding table (Fig. 4b).
+    pub new_to_old: Vec<Vid>,
+}
+
+impl ReindexResult {
+    /// Number of distinct VIDs discovered.
+    pub fn num_unique(&self) -> usize {
+        self.new_to_old.len()
+    }
+}
+
+/// Hash-map reindexing — the conventional baseline (§IV-A notes resizing
+/// costs and mutual exclusion make it serialize on GPUs).
+///
+/// # Examples
+///
+/// ```
+/// use agnn_algo::reindex::reindex_hashmap;
+/// use agnn_graph::Vid;
+///
+/// let r = reindex_hashmap(&[Vid(40), Vid(7), Vid(40)]);
+/// assert_eq!(r.new_ids, vec![Vid(0), Vid(1), Vid(0)]);
+/// assert_eq!(r.new_to_old, vec![Vid(40), Vid(7)]);
+/// ```
+pub fn reindex_hashmap(inputs: &[Vid]) -> ReindexResult {
+    let mut map: HashMap<Vid, Vid> = HashMap::new();
+    let mut new_to_old = Vec::new();
+    let new_ids = inputs
+        .iter()
+        .map(|&old| {
+            *map.entry(old).or_insert_with(|| {
+                let fresh = Vid::from_index(new_to_old.len());
+                new_to_old.push(old);
+                fresh
+            })
+        })
+        .collect();
+    ReindexResult {
+        new_ids,
+        new_to_old,
+    }
+}
+
+/// Set-counting reindexing (§IV-A): two growing arrays — original VIDs and
+/// renumbered VIDs — searched by equality for every input ("by setting the
+/// VID from uni-random selection as the condition for set-counting, it can
+/// determine whether the VID has been reindexed without relying on a hash
+/// map"). A miss appends `(input, counter)` and increments the counter,
+/// mirroring the SCR reindexer's SRAM update (Fig. 13c).
+pub fn reindex_set_counting(inputs: &[Vid]) -> ReindexResult {
+    let mut originals: Vec<Vid> = Vec::new();
+    let mut renumbered: Vec<Vid> = Vec::new();
+    let new_ids = inputs
+        .iter()
+        .map(|&old| {
+            match originals.iter().position(|&o| o == old) {
+                Some(hit) => renumbered[hit],
+                None => {
+                    // Counter value becomes the new VID.
+                    let fresh = Vid::from_index(originals.len());
+                    originals.push(old);
+                    renumbered.push(fresh);
+                    fresh
+                }
+            }
+        })
+        .collect();
+    ReindexResult {
+        new_ids,
+        new_to_old: originals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn both_implementations_agree() {
+        let inputs: Vec<Vid> = [9, 4, 9, 1, 4, 9, 0].into_iter().map(Vid).collect();
+        assert_eq!(reindex_hashmap(&inputs), reindex_set_counting(&inputs));
+    }
+
+    #[test]
+    fn first_appearance_order_is_preserved() {
+        let r = reindex_set_counting(&[Vid(30), Vid(10), Vid(20), Vid(10)]);
+        assert_eq!(r.new_to_old, vec![Vid(30), Vid(10), Vid(20)]);
+        assert_eq!(r.new_ids, vec![Vid(0), Vid(1), Vid(2), Vid(1)]);
+        assert_eq!(r.num_unique(), 3);
+    }
+
+    #[test]
+    fn empty_input() {
+        let r = reindex_hashmap(&[]);
+        assert!(r.new_ids.is_empty());
+        assert_eq!(r.num_unique(), 0);
+    }
+
+    #[test]
+    fn repeated_vertex_from_loops_maps_once() {
+        // §II-B: "loops in the parent-child relationships may lead to
+        // repeated vertices in the final result" — they must share one new id.
+        let r = reindex_set_counting(&[Vid(5), Vid(5), Vid(5)]);
+        assert_eq!(r.new_ids, vec![Vid(0); 3]);
+        assert_eq!(r.num_unique(), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_implementations_agree(raw in proptest::collection::vec(0u32..50, 0..200)) {
+            let inputs: Vec<Vid> = raw.iter().map(|&v| Vid(v)).collect();
+            prop_assert_eq!(reindex_hashmap(&inputs), reindex_set_counting(&inputs));
+        }
+
+        #[test]
+        fn prop_mapping_is_a_bijection_on_uniques(
+            raw in proptest::collection::vec(0u32..50, 0..200),
+        ) {
+            let inputs: Vec<Vid> = raw.iter().map(|&v| Vid(v)).collect();
+            let r = reindex_hashmap(&inputs);
+            // new_to_old has no duplicates.
+            let mut uniq = r.new_to_old.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            prop_assert_eq!(uniq.len(), r.new_to_old.len());
+            // Round trip: new_ids map back to the original inputs.
+            for (i, &new) in r.new_ids.iter().enumerate() {
+                prop_assert_eq!(r.new_to_old[new.index()], inputs[i]);
+            }
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Data reshaping: CSC pointer-array construction from a sorted edge array.
+//!
+//! "Data reshaping repurposes the sorted COO array into an index array,
+//! creating range information for each group of edges that share the same
+//! destination VID" (§II-B, Fig. 3b). §IV-A reformulates it as set-counting:
+//! `pointer[v]` equals the number of sorted elements with destination `< v`,
+//! which removes the serial dependence of the classic scan.
+
+use agnn_graph::Vid;
+
+/// Classic sequential construction: scan the sorted destination array once,
+/// recording the start offset whenever a new destination appears (§II-B).
+///
+/// This is the baseline whose serial dependence motivates the SCR.
+///
+/// # Examples
+///
+/// ```
+/// use agnn_algo::reshape::pointer_array_sequential;
+/// use agnn_graph::Vid;
+///
+/// let dsts = [Vid(0), Vid(0), Vid(2)];
+/// assert_eq!(pointer_array_sequential(3, &dsts), vec![0, 2, 2, 3]);
+/// ```
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `sorted_dsts` is not non-decreasing or
+/// references a vertex `>= num_vertices`.
+pub fn pointer_array_sequential(num_vertices: usize, sorted_dsts: &[Vid]) -> Vec<u32> {
+    debug_assert!(sorted_dsts.windows(2).all(|w| w[0] <= w[1]));
+    let mut pointers = vec![0u32; num_vertices + 1];
+    for &d in sorted_dsts {
+        debug_assert!(d.index() < num_vertices);
+        pointers[d.index() + 1] += 1;
+    }
+    for v in 0..num_vertices {
+        pointers[v + 1] += pointers[v];
+    }
+    pointers
+}
+
+/// Set-counting construction (§IV-A): each pointer entry is computed
+/// *independently* as the count of destinations strictly below its index,
+/// "effectively enabling concurrent computation of each pointer array entry".
+///
+/// On sorted input the count is a binary search; this mirrors what each SCR
+/// computes with its comparator array + adder tree.
+pub fn pointer_array_set_counting(num_vertices: usize, sorted_dsts: &[Vid]) -> Vec<u32> {
+    debug_assert!(sorted_dsts.windows(2).all(|w| w[0] <= w[1]));
+    (0..=num_vertices)
+        .map(|v| sorted_dsts.partition_point(|&d| d.index() < v) as u32)
+        .collect()
+}
+
+/// Histogram-hashing construction — the GPU baseline of Table IV
+/// (`Reshaping`, after Juenger et al.): build a per-destination histogram
+/// with (simulated) atomic increments, then prefix-sum it.
+///
+/// Functionally identical to the sequential scan; kept separate because the
+/// GPU timing model charges its atomic-contention cost.
+pub fn pointer_array_histogram(num_vertices: usize, dsts: &[Vid]) -> Vec<u32> {
+    let mut histogram = vec![0u32; num_vertices];
+    for &d in dsts {
+        assert!(d.index() < num_vertices, "destination out of range");
+        histogram[d.index()] += 1;
+    }
+    let mut pointers = Vec::with_capacity(num_vertices + 1);
+    let mut acc = 0u32;
+    pointers.push(0);
+    for h in histogram {
+        acc += h;
+        pointers.push(acc);
+    }
+    pointers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agnn_graph::{generate, Csc};
+    use proptest::prelude::*;
+
+    fn sorted_dsts(n: usize, e: usize, seed: u64) -> (usize, Vec<Vid>) {
+        let g = generate::power_law(n, e, 0.8, seed);
+        let mut d: Vec<Vid> = g.edges().iter().map(|e| e.dst).collect();
+        d.sort_unstable();
+        (n, d)
+    }
+
+    #[test]
+    fn all_three_constructions_agree() {
+        let (n, dsts) = sorted_dsts(64, 1_000, 5);
+        let a = pointer_array_sequential(n, &dsts);
+        let b = pointer_array_set_counting(n, &dsts);
+        let c = pointer_array_histogram(n, &dsts);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn pointer_array_matches_csc_from_coo() {
+        let g = generate::power_law(50, 500, 1.0, 9);
+        let csc = Csc::from_coo(&g);
+        let mut dsts: Vec<Vid> = g.edges().iter().map(|e| e.dst).collect();
+        dsts.sort_unstable();
+        assert_eq!(
+            pointer_array_sequential(g.num_vertices(), &dsts),
+            csc.pointers()
+        );
+    }
+
+    #[test]
+    fn empty_and_isolated_vertices() {
+        assert_eq!(pointer_array_sequential(3, &[]), vec![0, 0, 0, 0]);
+        let dsts = [Vid(1)];
+        assert_eq!(pointer_array_sequential(3, &dsts), vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn histogram_unsorted_input_allowed() {
+        // Histogram hashing does not require sorted input.
+        let dsts = [Vid(2), Vid(0), Vid(2)];
+        assert_eq!(pointer_array_histogram(3, &dsts), vec![0, 1, 1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn histogram_rejects_out_of_range() {
+        pointer_array_histogram(2, &[Vid(2)]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_set_counting_equals_sequential(
+            mut raw in proptest::collection::vec(0u32..40, 0..300),
+        ) {
+            raw.sort_unstable();
+            let dsts: Vec<Vid> = raw.iter().map(|&d| Vid(d)).collect();
+            prop_assert_eq!(
+                pointer_array_set_counting(40, &dsts),
+                pointer_array_sequential(40, &dsts)
+            );
+        }
+
+        #[test]
+        fn prop_pointers_are_monotonic_and_end_at_edge_count(
+            mut raw in proptest::collection::vec(0u32..40, 0..300),
+        ) {
+            raw.sort_unstable();
+            let dsts: Vec<Vid> = raw.iter().map(|&d| Vid(d)).collect();
+            let p = pointer_array_sequential(40, &dsts);
+            prop_assert_eq!(p.len(), 41);
+            prop_assert!(p.windows(2).all(|w| w[0] <= w[1]));
+            prop_assert_eq!(*p.last().unwrap() as usize, dsts.len());
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run -p agnn-bench --bin experiments
+//! ```
+
+fn main() {
+    agnn_bench::run_all();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 5.
+fn main() {
+    agnn_bench::motivation::fig05();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 6.
+fn main() {
+    agnn_bench::motivation::fig06();
+}

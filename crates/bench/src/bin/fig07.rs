@@ -1,0 +1,4 @@
+//! Regenerates Fig. 7.
+fn main() {
+    agnn_bench::motivation::fig07();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 10.
+fn main() {
+    agnn_bench::motivation::fig10();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 18.
+fn main() {
+    agnn_bench::headline::fig18();
+}

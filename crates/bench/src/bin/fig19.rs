@@ -1,0 +1,4 @@
+//! Regenerates Fig. 19.
+fn main() {
+    agnn_bench::headline::fig19();
+}

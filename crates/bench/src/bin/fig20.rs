@@ -1,0 +1,4 @@
+//! Regenerates Fig. 20.
+fn main() {
+    agnn_bench::headline::fig20();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 21.
+fn main() {
+    agnn_bench::headline::fig21();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 22.
+fn main() {
+    agnn_bench::reconfig::fig22();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 23.
+fn main() {
+    agnn_bench::reconfig::fig23();
+}

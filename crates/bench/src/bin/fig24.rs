@@ -1,0 +1,4 @@
+//! Regenerates Fig. 24.
+fn main() {
+    agnn_bench::reconfig::fig24();
+}

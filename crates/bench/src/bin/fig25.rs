@@ -1,0 +1,4 @@
+//! Regenerates Fig. 25.
+fn main() {
+    agnn_bench::sensitivity::fig25();
+}

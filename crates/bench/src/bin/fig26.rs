@@ -1,0 +1,4 @@
+//! Regenerates Fig. 26.
+fn main() {
+    agnn_bench::sensitivity::fig26();
+}

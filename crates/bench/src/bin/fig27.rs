@@ -1,0 +1,4 @@
+//! Regenerates Fig. 27.
+fn main() {
+    agnn_bench::sensitivity::fig27();
+}

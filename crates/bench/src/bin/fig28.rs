@@ -1,0 +1,4 @@
+//! Regenerates Fig. 28.
+fn main() {
+    agnn_bench::reconfig::fig28();
+}

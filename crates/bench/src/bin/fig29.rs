@@ -1,0 +1,4 @@
+//! Regenerates Fig. 29.
+fn main() {
+    agnn_bench::sensitivity::fig29();
+}

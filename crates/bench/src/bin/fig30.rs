@@ -1,0 +1,4 @@
+//! Regenerates Fig. 30.
+fn main() {
+    agnn_bench::reconfig::fig30();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 31.
+fn main() {
+    agnn_bench::reconfig::fig31();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table I.
+fn main() {
+    agnn_bench::tables::table1();
+}

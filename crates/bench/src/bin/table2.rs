@@ -1,0 +1,4 @@
+//! Regenerates Table II.
+fn main() {
+    agnn_bench::tables::table2();
+}

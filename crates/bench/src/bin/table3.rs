@@ -1,0 +1,4 @@
+//! Regenerates Table III.
+fn main() {
+    agnn_bench::tables::table3();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table IV.
+fn main() {
+    agnn_bench::tables::table4();
+}

@@ -1,0 +1,131 @@
+//! The headline comparison: Figs. 18–21.
+
+use agnn_core::systems::{
+    evaluate, lut_utilization, transfer_bytes, SystemContext, SystemKind,
+};
+use agnn_devices::power::PowerModel;
+use agnn_gnn::models::GnnSpec;
+use agnn_graph::datasets::Dataset;
+
+use crate::banner;
+
+fn contexts() -> Vec<(Dataset, SystemContext)> {
+    agnn_core::systems::dataset_contexts(GnnSpec::table_iii_default())
+}
+
+/// Fig. 18: end-to-end latency of the seven systems, normalized to GPU,
+/// plus DynPre's memory-bandwidth utilization. Paper speedups over CPU:
+/// GPU 3.4x, GSamp 4.5x, FPGA 4.1x, AutoPre 7.3x, StatPre 8.4x, DynPre 9.0x.
+pub fn fig18() {
+    banner("Fig. 18: end-to-end latency (normalized to GPU) + DynPre BW util");
+    print!("{:<4}", "id");
+    for kind in SystemKind::ALL {
+        print!(" {:>8}", kind.name());
+    }
+    println!(" {:>8}", "BW-util");
+
+    let mut logsum = [0.0f64; 7];
+    let mut rows = 0usize;
+    for (d, ctx) in contexts() {
+        let runs: Vec<_> = SystemKind::ALL.iter().map(|&k| evaluate(&ctx, k)).collect();
+        let gpu_total = runs[1].total_secs();
+        print!("{:<4}", d.abbrev());
+        for run in &runs {
+            if run.oom {
+                print!(" {:>8}", "OOM");
+            } else if gpu_total.is_finite() {
+                print!(" {:>8.2}", run.total_secs() / gpu_total);
+            } else {
+                print!(" {:>7.0}ms", run.total_secs() * 1e3);
+            }
+        }
+        let util = runs[6].bandwidth_utilization.unwrap_or(0.0);
+        println!(" {:>7.1}%", util * 100.0);
+        if runs.iter().all(|r| !r.oom) {
+            let cpu = runs[0].total_secs();
+            for (i, run) in runs.iter().enumerate() {
+                logsum[i] += (cpu / run.total_secs()).ln();
+            }
+            rows += 1;
+        }
+    }
+    println!("\ngeometric-mean speedup over CPU (paper in parentheses):");
+    let paper = [1.0, 3.4, 4.5, 4.1, 7.3, 8.4, 9.0];
+    for (i, kind) in SystemKind::ALL.iter().enumerate() {
+        let measured = (logsum[i] / rows as f64).exp();
+        println!("  {:<8} {:>6.2}x  ({}x)", kind.name(), measured, paper[i]);
+    }
+}
+
+/// Fig. 19: power and energy. Paper: 9.3 W vs 183 W preprocessing power
+/// (19.7x) and 3.3x lower end-to-end energy.
+pub fn fig19() {
+    banner("Fig. 19: power and energy (AM workload)");
+    let power = PowerModel::default();
+    let ctx = contexts()
+        .into_iter()
+        .find(|(d, _)| *d == Dataset::Amazon)
+        .expect("AM in catalog")
+        .1;
+    let gpu = evaluate(&ctx, SystemKind::Gpu);
+    let dynpre = evaluate(&ctx, SystemKind::DynPre);
+    println!(
+        "preprocessing power : FPGA {:.1} W vs GPU {:.0} W -> {:.1}x (paper 19.7x)",
+        power.fpga_preprocess_w,
+        power.gpu_preprocess_w,
+        power.preprocess_power_ratio()
+    );
+    let gpu_energy = power.end_to_end_energy(
+        power.gpu_preprocess_w,
+        gpu.preprocess.total() + gpu.transfer_secs,
+        gpu.inference_secs,
+    );
+    let dyn_energy = power.end_to_end_energy(
+        power.fpga_preprocess_w,
+        dynpre.preprocess.total() + dynpre.transfer_secs,
+        dynpre.inference_secs,
+    );
+    println!(
+        "end-to-end energy   : GPU {:.1} J vs DynPre {:.1} J -> {:.1}x lower (paper 3.3x)",
+        gpu_energy,
+        dyn_energy,
+        gpu_energy / dyn_energy
+    );
+}
+
+/// Fig. 20: per-pass transfer volume. Paper: AutoPre moves 13.6x less than
+/// GPU and 20x less than the external FPGA sampler.
+pub fn fig20() {
+    banner("Fig. 20: transfer overhead per pass");
+    println!("{:<4} {:>12} {:>12} {:>12}", "id", "GPU(MB)", "FPGA(MB)", "AutoPre(MB)");
+    let mut ratios = (Vec::new(), Vec::new());
+    for (d, ctx) in contexts() {
+        let gpu = transfer_bytes(&ctx, SystemKind::Gpu) as f64 / 1e6;
+        let fpga = transfer_bytes(&ctx, SystemKind::FpgaSampler) as f64 / 1e6;
+        let auto = transfer_bytes(&ctx, SystemKind::AutoPre) as f64 / 1e6;
+        ratios.0.push(gpu / auto);
+        ratios.1.push(fpga / auto);
+        println!("{:<4} {:>12.1} {:>12.1} {:>12.1}", d.abbrev(), gpu, fpga, auto);
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!(
+        "average reduction vs GPU {:.1}x (paper 13.6x), vs FPGA {:.1}x (paper 20x)",
+        avg(&ratios.0),
+        avg(&ratios.1)
+    );
+}
+
+/// Fig. 21: LUT utilization of AutoPre vs StatPre. Paper: 47 % vs 82.2 %
+/// (1.7x).
+pub fn fig21() {
+    banner("Fig. 21: LUT utilization");
+    let mut autos = Vec::new();
+    let mut stats = Vec::new();
+    for (_, ctx) in contexts() {
+        autos.push(lut_utilization(&ctx, SystemKind::AutoPre));
+        stats.push(lut_utilization(&ctx, SystemKind::StatPre));
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let (a, s) = (avg(&autos) * 100.0, avg(&stats) * 100.0);
+    println!("AutoPre {a:.1}% vs StatPre {s:.1}% -> {:.2}x (paper: 47% vs 82.2%, 1.7x)", s / a);
+}

@@ -1,0 +1,52 @@
+//! The AutoGNN experiment harness: one function per table and figure of the
+//! paper's evaluation (§III and §VI), each printing the same rows/series the
+//! paper reports together with the paper's reported values.
+//!
+//! Run everything:
+//!
+//! ```text
+//! cargo run -p agnn-bench --bin experiments
+//! ```
+//!
+//! or a single experiment, e.g. `cargo run -p agnn-bench --bin fig18`.
+//! Criterion micro-benchmarks of the underlying components live in
+//! `benches/`.
+
+pub mod headline;
+pub mod motivation;
+pub mod reconfig;
+pub mod sensitivity;
+pub mod tables;
+
+/// Runs every table and figure harness in paper order.
+pub fn run_all() {
+    tables::table1();
+    tables::table2();
+    tables::table3();
+    tables::table4();
+    motivation::fig05();
+    motivation::fig06();
+    motivation::fig07();
+    motivation::fig10();
+    headline::fig18();
+    headline::fig19();
+    headline::fig20();
+    headline::fig21();
+    reconfig::fig22();
+    reconfig::fig23();
+    reconfig::fig24();
+    sensitivity::fig25();
+    sensitivity::fig26();
+    sensitivity::fig27();
+    reconfig::fig28();
+    sensitivity::fig29();
+    reconfig::fig30();
+    reconfig::fig31();
+}
+
+/// Prints a section banner.
+pub(crate) fn banner(title: &str) {
+    println!("\n==========================================================");
+    println!("{title}");
+    println!("==========================================================");
+}

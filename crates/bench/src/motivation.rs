@@ -1,0 +1,150 @@
+//! The §III motivation studies: Figs. 5, 6, 7 and 10.
+
+use agnn_core::config::EvalSetup;
+use agnn_core::scenario::task_share_series;
+use agnn_core::systems::{evaluate, SystemContext, SystemKind};
+use agnn_devices::gpu::SerializedFractions;
+use agnn_gnn::models::GnnSpec;
+use agnn_graph::datasets::Dataset;
+
+use crate::banner;
+
+fn contexts() -> Vec<(Dataset, SystemContext)> {
+    agnn_core::systems::dataset_contexts(GnnSpec::table_iii_default())
+}
+
+/// Fig. 5: preprocessing share of end-to-end GNN service latency on the
+/// GPU/DGL system. Paper: 70 % average, growing with graph size; TB OOMs.
+pub fn fig05() {
+    banner("Fig. 5: GNN preprocessing overhead (GPU system)");
+    println!("{:<4} {:>14} {:>12} {:>12}", "id", "preprocess(%)", "inference(%)", "total(ms)");
+    let mut shares = Vec::new();
+    for (d, ctx) in contexts() {
+        let run = evaluate(&ctx, SystemKind::Gpu);
+        if run.oom {
+            println!("{:<4} {:>14} {:>12} {:>12}", d.abbrev(), "OOM", "-", "-");
+            continue;
+        }
+        let share = run.preprocess_share_pct();
+        shares.push(share);
+        println!(
+            "{:<4} {:>13.1}% {:>11.1}% {:>12.1}",
+            d.abbrev(),
+            share,
+            100.0 - share,
+            run.total_secs() * 1e3
+        );
+    }
+    let avg = shares.iter().sum::<f64>() / shares.len() as f64;
+    println!("measured average preprocessing share: {avg:.1}% (paper: ~70%, up to 90.8%)");
+}
+
+/// Fig. 6: the four-task breakdown of GPU preprocessing. Paper: sampling
+/// (Selecting+Reindexing) dominates small graphs; Reshaping (86.1 %)
+/// dominates large ones with Ordering at 1.8 %.
+pub fn fig06() {
+    banner("Fig. 6: breakdown of GNN preprocessing (GPU system)");
+    println!(
+        "{:<4} {:>10} {:>10} {:>10} {:>11}",
+        "id", "ordering", "reshaping", "selecting", "reindexing"
+    );
+    for (d, ctx) in contexts() {
+        match evaluate(&ctx, SystemKind::Gpu) {
+            run if run.oom => println!("{:<4} {:>10}", d.abbrev(), "OOM"),
+            run => {
+                let s = run.preprocess.shares_pct();
+                println!(
+                    "{:<4} {:>9.1}% {:>9.1}% {:>9.1}% {:>10.1}%",
+                    d.abbrev(),
+                    s[0],
+                    s[1],
+                    s[2],
+                    s[3]
+                );
+            }
+        }
+    }
+    println!("paper: small graphs Selecting 33.8% / Reindexing 22.1%; large graphs Reshaping 86.1% / Ordering 1.8%");
+}
+
+/// Fig. 7: task-share drift of the dynamic graphs SO and TB.
+pub fn fig07() {
+    banner("Fig. 7: latency breakdown of dynamic graphs over time (GPU system)");
+    let gnn = GnnSpec::table_iii_default();
+    for (dataset, days, step) in [(Dataset::StackOverflow, 2_000u32, 250u32), (Dataset::Taobao, 2_000, 250)] {
+        println!("\n{} ({}%/day edge growth):", dataset.abbrev(), dataset.spec().daily_growth_pct.unwrap());
+        println!(
+            "{:>6} {:>9} {:>10} {:>10} {:>11} {:>10}",
+            "day", "ordering", "reshaping", "selecting", "reindexing", "inference"
+        );
+        let series = task_share_series(dataset, days, step, gnn);
+        let mut crossover = None;
+        for p in &series {
+            println!(
+                "{:>6} {:>8.1}% {:>9.1}% {:>9.1}% {:>10.1}% {:>9.1}%",
+                p.day, p.shares[0], p.shares[1], p.shares[2], p.shares[3], p.shares[4]
+            );
+            // Conversion (ordering + reshaping) vs sampling (selecting +
+            // reindexing): the trend Fig. 7 illustrates.
+            if crossover.is_none() && p.shares[0] + p.shares[1] > p.shares[2] + p.shares[3] {
+                crossover = Some(p.day);
+            }
+        }
+        if let Some(day) = crossover {
+            println!(
+                "conversion overtakes sampling by day {day} (paper: Reshaping passes \
+                 Selecting around day 400 for SO, day 20 for TB)"
+            );
+        }
+    }
+}
+
+/// Fig. 10: serialized-computation analysis of the GPU implementation.
+/// Paper: 64.1 % of execution serialized on average; the serial time splits
+/// 27.9 % selection / 41 % reshaping / 31.1 % reindexing.
+pub fn fig10() {
+    banner("Fig. 10: serialized computation analysis (GPU)");
+    let fractions = SerializedFractions::default();
+    println!(
+        "{:<4} {:>12} | {:>10} {:>10} {:>10}",
+        "id", "serialized", "sel-share", "resh-share", "reidx-share"
+    );
+    let mut serialized_all = Vec::new();
+    let mut splits = (Vec::new(), Vec::new(), Vec::new());
+    for (d, ctx) in contexts() {
+        let Some(serialized) = ctx.gpu.serialized_fraction(&ctx.workload, &fractions) else {
+            println!("{:<4} {:>12}", d.abbrev(), "OOM");
+            continue;
+        };
+        let (sel, resh, reidx) = ctx
+            .gpu
+            .serial_task_shares(&ctx.workload, &fractions)
+            .expect("non-OOM");
+        serialized_all.push(serialized);
+        splits.0.push(sel);
+        splits.1.push(resh);
+        splits.2.push(reidx);
+        println!(
+            "{:<4} {:>11.1}% | {:>9.1}% {:>9.1}% {:>9.1}%",
+            d.abbrev(),
+            serialized * 100.0,
+            sel,
+            resh,
+            reidx
+        );
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!(
+        "measured averages: serialized {:.1}% (paper 64.1%); serial split sel {:.1}% / resh {:.1}% / reidx {:.1}% (paper 27.9/41/31.1)",
+        avg(&serialized_all) * 100.0,
+        avg(&splits.0),
+        avg(&splits.1),
+        avg(&splits.2)
+    );
+    let setup = EvalSetup::default();
+    let mid = setup.workload(233_000, 23_200_000);
+    let util = agnn_devices::gpu::GpuModel::default()
+        .bandwidth_utilization(&mid, &fractions)
+        .expect("RD fits");
+    println!("GPU memory-bandwidth utilization (RD): {:.1}% (paper average 30.3%)", util * 100.0);
+}

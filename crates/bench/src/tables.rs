@@ -1,0 +1,85 @@
+//! Tables I–IV.
+
+use agnn_core::config::EvalSetup;
+use agnn_cost::{CostModel, Workload};
+use agnn_graph::datasets::Dataset;
+use agnn_hw::{ScrConfig, UpeConfig};
+
+use crate::banner;
+
+/// Table I: the analytic cost functions, evaluated at the Table III
+/// operating point so the formulas can be eyeballed.
+pub fn table1() {
+    banner("Table I: cost functions of GNN preprocessing tasks");
+    println!("ordering : m = log2(e/w_upe) - 1 ; cycles = 2*m*e/(n_upe*w_upe)");
+    println!("selecting: s = b*(k^(l+1)-1)/(k-1) ; cycles = s/n_upe");
+    println!("reshaping: cycles = max(n/n_scr, e/w_scr)");
+    let model = CostModel;
+    let w = Workload::new(2_450_000, 123_000_000, 3_000, 10, 2); // AM
+    let upe = UpeConfig::new(64, 64);
+    let scr = ScrConfig::new(1, 8192);
+    println!("\nevaluated on AM with (n_upe=64, w_upe=64, n_scr=1, w_scr=8192):");
+    println!(
+        "  ordering  {:>12.0} cycles",
+        model.ordering_cycles(w.edges, upe)
+    );
+    println!(
+        "  selecting {:>12.0} cycles  (s = {})",
+        model.selecting_cycles(&w, upe),
+        w.selections()
+    );
+    println!(
+        "  reshaping {:>12.0} cycles",
+        model.reshaping_cycles(w.nodes, w.edges, scr)
+    );
+}
+
+/// Table II: the dataset catalog, plus verification that the synthetic
+/// generators hit the paper's structural parameters.
+pub fn table2() {
+    banner("Table II: dataset characteristics (paper) vs generated instance");
+    println!(
+        "{:<4} {:<12} {:>12} {:>10} {:>8} | {:>10} {:>8}",
+        "id", "category", "edges", "nodes", "deg", "gen-deg", "gen-max"
+    );
+    for d in Dataset::ALL {
+        let spec = d.spec();
+        let scale = d.scale_for_max_edges(200_000);
+        let g = d.generate_scaled(scale, 7);
+        let stats = g.degree_stats();
+        println!(
+            "{:<4} {:<12} {:>12} {:>10} {:>8.1} | {:>10.1} {:>8}",
+            spec.abbrev,
+            spec.category.to_string(),
+            spec.edges,
+            spec.nodes,
+            spec.degree,
+            g.average_degree(),
+            stats.max
+        );
+    }
+    println!("(generated at 1/scale size; `gen-deg` should track `deg`)");
+}
+
+/// Table III: the evaluation setup constants.
+pub fn table3() {
+    banner("Table III: evaluation setup");
+    let setup = EvalSetup::default();
+    let plan = agnn_hw::floorplan::Floorplan::vpk180();
+    println!("GNN model     : 2-layer GraphSAGE (spec {:?})", setup.gnn.model);
+    println!("selecting k   : {}", setup.k);
+    println!("inf. nodes    : {}", setup.batch);
+    println!("FPGA          : VPK180, {} LUTs", plan.total_luts());
+    println!("SCR resource  : 30% ({} LUTs)", plan.scr_region_luts());
+    println!("UPE width     : 64 (region capacity {} instances)", plan.max_upe_count(64));
+    println!("SCR slots     : 1 (width {})", plan.max_scr_width(1));
+}
+
+/// Table IV: the baseline software algorithms and where they live.
+pub fn table4() {
+    banner("Table IV: baseline algorithms");
+    println!("ordering   : radix sort          -> agnn_algo::ordering::order_edges_radix");
+    println!("reshaping  : histogram hashing   -> agnn_algo::reshape::pointer_array_histogram");
+    println!("selecting  : reservoir sampling  -> agnn_algo::select::reservoir_sample");
+    println!("reindexing : histogram hashing   -> agnn_algo::reindex::reindex_hashmap");
+}

@@ -1,0 +1,34 @@
+//! The AutoGNN runtime and evaluation systems.
+//!
+//! This crate is the paper's contribution assembled as a library:
+//!
+//! - [`runtime`] — the AGNN-lib analog: a functional [`runtime::AutoGnn`]
+//!   service that profiles incoming graphs, evaluates the Table I cost
+//!   model over the bitstream library, partially reconfigures the simulated
+//!   accelerator when the policy approves, orchestrates DMA transfers and
+//!   runs end-to-end preprocessing (§V-B "Software architecture");
+//! - [`systems`] — the seven compared systems of Fig. 18 (`CPU`, `GPU`,
+//!   `GSamp`, `FPGA`, `AutoPre`, `StatPre`, `DynPre`) evaluated analytically
+//!   at full Table II scale;
+//! - [`scenario`] — the dynamic-graph studies: task-share drift (Fig. 7),
+//!   consecutive diverse graphs (Fig. 28), long-horizon growth (Fig. 30)
+//!   and mixed edges (Fig. 31);
+//! - [`config`] — the Table III evaluation setup constants.
+//!
+//! # Examples
+//!
+//! ```
+//! use agnn_core::runtime::AutoGnn;
+//! use agnn_algo::pipeline::SampleParams;
+//! use agnn_graph::{generate, Vid};
+//!
+//! let mut service = AutoGnn::new(SampleParams::new(5, 2));
+//! let coo = generate::power_law(300, 3_000, 0.8, 1);
+//! let record = service.serve(&coo, &[Vid(0), Vid(1)], 42);
+//! assert!(record.stage_secs.total() > 0.0);
+//! ```
+
+pub mod config;
+pub mod runtime;
+pub mod scenario;
+pub mod systems;

@@ -1,0 +1,214 @@
+//! The AGNN-lib analog: a functional AutoGNN service.
+//!
+//! §V-B "Software architecture": AGNN-lib manages graph I/O, decides
+//! hardware reconfiguration from the cost model, and drives the accelerator
+//! through preprocessing. This runtime does all three against the
+//! *functional* simulator, so every served request returns a real sampled
+//! subgraph plus the timing a VPK180 deployment would exhibit.
+
+use agnn_algo::pipeline::{PreprocessOutput, SampleParams};
+use agnn_cost::{BitstreamLibrary, CostModel, ReconfigPolicy, Workload};
+use agnn_devices::fpga::FpgaModel;
+use agnn_devices::StageSecs;
+use agnn_graph::{Coo, Vid};
+use agnn_hw::engine::{AutoGnnEngine, ReconfigEvent};
+use agnn_hw::floorplan::Floorplan;
+use agnn_hw::kernel::Fidelity;
+use agnn_hw::HwConfig;
+
+/// One served preprocessing request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceRecord {
+    /// The sampled subgraph and workload counters.
+    pub output: PreprocessOutput,
+    /// Per-stage preprocessing seconds on the accelerator.
+    pub stage_secs: StageSecs,
+    /// Host→AutoGNN upload seconds (incremental: only the graph delta).
+    pub upload_secs: f64,
+    /// AutoGNN→GPU subgraph transfer seconds.
+    pub download_secs: f64,
+    /// Reconfiguration applied before this request, if any.
+    pub reconfig: Option<ReconfigEvent>,
+    /// Configuration that served the request.
+    pub config: HwConfig,
+}
+
+impl ServiceRecord {
+    /// Total service-side seconds for this request.
+    pub fn total_secs(&self) -> f64 {
+        self.stage_secs.total()
+            + self.upload_secs
+            + self.download_secs
+            + self.reconfig.map_or(0.0, |r| r.seconds)
+    }
+}
+
+/// The AutoGNN service: engine + bitstream library + cost model + policy.
+#[derive(Debug)]
+pub struct AutoGnn {
+    engine: AutoGnnEngine,
+    library: BitstreamLibrary,
+    policy: ReconfigPolicy,
+    fpga: FpgaModel,
+    params: SampleParams,
+}
+
+impl AutoGnn {
+    /// A service on the default VPK180 with Table III sampling parameters.
+    pub fn new(params: SampleParams) -> Self {
+        Self::with_fidelity(params, Fidelity::Fast)
+    }
+
+    /// A service with explicit simulation fidelity.
+    pub fn with_fidelity(params: SampleParams, fidelity: Fidelity) -> Self {
+        let plan = Floorplan::vpk180();
+        AutoGnn {
+            engine: AutoGnnEngine::with_fidelity(HwConfig::vpk180_default(), fidelity),
+            library: BitstreamLibrary::for_floorplan(&plan),
+            policy: ReconfigPolicy::default(),
+            fpga: FpgaModel::default(),
+            params,
+        }
+    }
+
+    /// Current hardware configuration.
+    pub fn config(&self) -> HwConfig {
+        self.engine.config()
+    }
+
+    /// The sampling parameters served.
+    pub fn params(&self) -> SampleParams {
+        self.params
+    }
+
+    /// Serves one preprocessing request: profiles the graph, reconfigures
+    /// if the cost model predicts a worthwhile gain, streams the graph
+    /// delta in, preprocesses, and ships the subgraph out.
+    pub fn serve(&mut self, coo: &Coo, batch: &[Vid], seed: u64) -> ServiceRecord {
+        // 1. Profile: lightweight metadata only (§V-B).
+        let workload = Workload::new(
+            coo.num_vertices() as u64,
+            coo.num_edges() as u64,
+            batch.len() as u64,
+            self.params.k as u64,
+            self.params.layers,
+        );
+
+        // 2. Cost evaluation + reconfiguration decision.
+        let best = CostModel.choose_config(&workload, &self.library);
+        let reconfig = if self
+            .policy
+            .should_reconfigure(&workload, self.engine.config(), best)
+        {
+            Some(self.engine.reconfigure(best))
+        } else {
+            None
+        };
+
+        // 3. DMA-main upload (delta only; the engine's shell tracks
+        // residency).
+        let (upload_secs, _moved) = self.engine.shell_mut().upload_graph(coo.byte_size());
+
+        // 4. Hardware preprocessing.
+        let run = self.engine.preprocess(coo, batch, &self.params, seed);
+        let stage_secs = self.fpga.stage_secs(&run.report);
+
+        // 5. DMA-bypass subgraph hand-off to the GPU.
+        let download_secs = self
+            .engine
+            .shell()
+            .download_subgraph(run.output.subgraph.byte_size());
+
+        ServiceRecord {
+            output: run.output,
+            stage_secs,
+            upload_secs,
+            download_secs,
+            reconfig,
+            config: self.engine.config(),
+        }
+    }
+
+    /// Forgets the resident graph (e.g. switching tenants).
+    pub fn evict_graph(&mut self) {
+        self.engine.shell_mut().evict_graph();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agnn_graph::generate;
+
+    fn batch(n: u32) -> Vec<Vid> {
+        (0..n).map(Vid).collect()
+    }
+
+    #[test]
+    fn serve_returns_software_identical_output() {
+        let coo = generate::power_law(400, 5_000, 0.9, 3);
+        let mut service = AutoGnn::new(SampleParams::new(5, 2));
+        let record = service.serve(&coo, &batch(8), 77);
+        let expected =
+            agnn_algo::pipeline::preprocess(&coo, &batch(8), &SampleParams::new(5, 2), 77);
+        assert_eq!(record.output, expected);
+        assert!(record.total_secs() > 0.0);
+    }
+
+    #[test]
+    fn second_pass_uploads_nothing_new() {
+        let coo = generate::power_law(300, 4_000, 0.8, 4);
+        let mut service = AutoGnn::new(SampleParams::new(4, 2));
+        let first = service.serve(&coo, &batch(4), 1);
+        assert!(first.upload_secs > 0.0, "cold start uploads the graph");
+        let second = service.serve(&coo, &batch(4), 2);
+        assert_eq!(second.upload_secs, 0.0, "resident graph needs no upload");
+    }
+
+    #[test]
+    fn growing_graph_uploads_only_the_delta() {
+        let mut coo = generate::power_law(300, 4_000, 0.8, 5);
+        let mut service = AutoGnn::new(SampleParams::new(4, 2));
+        let first = service.serve(&coo, &batch(4), 1);
+        let added = generate::incremental_edges(&coo, 400, 0.5, 9);
+        coo.extend_edges(added).unwrap();
+        let second = service.serve(&coo, &batch(4), 2);
+        assert!(second.upload_secs > 0.0);
+        assert!(
+            second.upload_secs < first.upload_secs,
+            "delta is smaller than the initial upload"
+        );
+    }
+
+    #[test]
+    fn eviction_forces_full_reupload() {
+        let coo = generate::power_law(300, 4_000, 0.8, 6);
+        let mut service = AutoGnn::new(SampleParams::new(4, 2));
+        let first = service.serve(&coo, &batch(4), 1);
+        service.evict_graph();
+        let again = service.serve(&coo, &batch(4), 2);
+        assert!((again.upload_secs - first.upload_secs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconfiguration_happens_at_most_once_for_a_stable_graph() {
+        let coo = generate::power_law(500, 20_000, 1.0, 7);
+        let mut service = AutoGnn::new(SampleParams::new(10, 2));
+        let first = service.serve(&coo, &batch(16), 1);
+        let second = service.serve(&coo, &batch(16), 2);
+        // Whatever the first decision was, the second pass sees an already
+        // optimal configuration.
+        assert!(second.reconfig.is_none());
+        assert_eq!(first.config, second.config);
+    }
+
+    #[test]
+    fn service_is_deterministic_in_the_seed() {
+        let coo = generate::power_law(300, 3_000, 0.8, 8);
+        let mk = || {
+            let mut s = AutoGnn::new(SampleParams::new(5, 2));
+            s.serve(&coo, &batch(6), 42).output
+        };
+        assert_eq!(mk(), mk());
+    }
+}

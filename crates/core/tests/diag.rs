@@ -1,0 +1,35 @@
+//! Diagnostic dump used while calibrating device constants.
+//! Run with: cargo test -p agnn-core --test diag -- --ignored --nocapture
+
+use agnn_core::config::EvalSetup;
+use agnn_core::systems::{evaluate, SystemContext, SystemKind};
+use agnn_gnn::models::GnnSpec;
+use agnn_graph::datasets::Dataset;
+
+#[test]
+#[ignore]
+fn dump_breakdowns() {
+    let gnn = GnnSpec::table_iii_default();
+    let setup = EvalSetup::default();
+    for d in Dataset::ALL {
+        let spec = d.spec();
+        let ctx = SystemContext::new(setup.workload(spec.nodes, spec.edges), gnn);
+        println!("=== {d} (n={} e={}) ===", spec.nodes, spec.edges);
+        for kind in SystemKind::ALL {
+            let r = evaluate(&ctx, kind);
+            println!(
+                "{:8} total={:9.4}s pre[o={:.4} r={:.4} s={:.4} x={:.4}] tx={:.4} inf={:.4} oom={} cfg={:?}",
+                kind.name(),
+                r.total_secs(),
+                r.preprocess.ordering,
+                r.preprocess.reshaping,
+                r.preprocess.selecting,
+                r.preprocess.reindexing,
+                r.transfer_secs,
+                r.inference_secs,
+                r.oom,
+                r.fpga_config.map(|c| (c.upe.count, c.upe.width, c.scr.slots, c.scr.width)),
+            );
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Cost model, bitstream library and configuration optimizer.
+//!
+//! Implements §V-B of the paper: the analytic cost functions of Table I,
+//! the pre-compiled bitstream ladder ("start from a bitstream consisting of
+//! a single large UPE (and SCR), and iteratively halve the width and double
+//! the instance count"), and the runtime configuration search the `DynPre`
+//! system uses (with the restricted `DynArea`/`DynSCR`/`DynUPE` search
+//! spaces of Fig. 22).
+//!
+//! # Examples
+//!
+//! ```
+//! use agnn_cost::{BitstreamLibrary, CostModel, Workload};
+//! use agnn_hw::floorplan::Floorplan;
+//!
+//! let library = BitstreamLibrary::for_floorplan(&Floorplan::vpk180());
+//! let workload = Workload::new(230_000, 400_000_000, 3_000, 10, 2);
+//! let best = CostModel.choose_config(&workload, &library);
+//! assert!(best.upe.count >= 1);
+//! ```
+
+mod bitstream;
+mod model;
+
+pub mod optimizer;
+
+pub use bitstream::BitstreamLibrary;
+pub use model::{CostEstimate, CostModel, Workload};
+pub use optimizer::{ReconfigPolicy, SearchSpace};

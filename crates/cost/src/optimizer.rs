@@ -1,0 +1,205 @@
+//! Configuration search and the reconfiguration policy.
+//!
+//! `DynPre` searches the full bitstream cross-product; the Fig. 22 ablations
+//! restrict the search: `DynArea` only rebalances the UPE/SCR area split,
+//! `DynSCR` additionally tunes the SCR ladder, `DynUPE` (= full `DynPre`)
+//! tunes everything. AGNN-lib then reconfigures "only when the model
+//! determines it is necessary" (§I) — when the predicted gain clears a
+//! threshold (§V-B "if the latency exceeds the threshold").
+
+use agnn_hw::floorplan::Floorplan;
+use agnn_hw::HwConfig;
+
+use crate::{BitstreamLibrary, CostModel, Workload};
+
+/// Which configuration dimensions the optimizer may change (Fig. 22).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchSpace {
+    /// Rebalance the UPE:SCR area split only, keeping each kernel at its
+    /// region-filling default shape (`DynArea`).
+    AreaOnly,
+    /// Fixed 70:30 split; tune the SCR ladder only (`DynSCR`).
+    ScrOnly,
+    /// Fixed 70:30 split; tune both ladders (`DynUPE`, the full `DynPre`).
+    Full,
+}
+
+/// Searches `space` for the best configuration under the Table I model.
+pub fn search(workload: &Workload, plan: &Floorplan, space: SearchSpace) -> HwConfig {
+    let model = CostModel;
+    match space {
+        SearchSpace::AreaOnly => {
+            // Candidate splits around the fixed 70:30 (§VI-B shows the
+            // balance brings "negligible performance benefits").
+            let mut best: Option<(f64, HwConfig)> = None;
+            for upe_fraction in [0.5, 0.6, 0.7, 0.8, 0.9] {
+                let candidate_plan = plan.with_upe_fraction(upe_fraction);
+                let config = region_filling_default(&candidate_plan);
+                let total = model.estimate(workload, config).total();
+                if best.is_none_or(|(cost, _)| total < cost) {
+                    best = Some((total, config));
+                }
+            }
+            best.expect("non-empty split candidates").1
+        }
+        SearchSpace::ScrOnly => {
+            let library = BitstreamLibrary::for_floorplan(plan);
+            let upe = region_filling_default(plan).upe;
+            let mut best: Option<(f64, HwConfig)> = None;
+            for &scr in library.scr_variants() {
+                let config = HwConfig { upe, scr };
+                let total = model.estimate(workload, config).total();
+                if best.is_none_or(|(cost, _)| total < cost) {
+                    best = Some((total, config));
+                }
+            }
+            best.expect("non-empty SCR ladder").1
+        }
+        SearchSpace::Full => {
+            let library = BitstreamLibrary::for_floorplan(plan);
+            model.choose_config(workload, &library)
+        }
+    }
+}
+
+/// The default bitstream shape used when a kernel is not being tuned: the
+/// width-64 rung of the UPE ladder (Table III's default width) and one
+/// region-filling SCR slot.
+fn region_filling_default(plan: &Floorplan) -> HwConfig {
+    let library = BitstreamLibrary::for_floorplan(plan);
+    let upe = library
+        .upe_variants()
+        .iter()
+        .copied()
+        .find(|u| u.width == 64)
+        .unwrap_or_else(|| {
+            let mid = library.upe_variants().len() / 2;
+            library.upe_variants()[mid]
+        });
+    HwConfig {
+        upe,
+        scr: agnn_hw::ScrConfig::new(1, plan.max_scr_width(1)),
+    }
+}
+
+/// Decides whether a reconfiguration is worth its ~230 ms cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReconfigPolicy {
+    /// Minimum predicted relative latency improvement (e.g. `0.1` = 10 %).
+    pub min_gain: f64,
+}
+
+impl Default for ReconfigPolicy {
+    fn default() -> Self {
+        ReconfigPolicy { min_gain: 0.10 }
+    }
+}
+
+impl ReconfigPolicy {
+    /// Returns whether to switch from `current` to `candidate` for
+    /// `workload`: the predicted cycle saving must exceed `min_gain` of the
+    /// current cost.
+    pub fn should_reconfigure(
+        &self,
+        workload: &Workload,
+        current: HwConfig,
+        candidate: HwConfig,
+    ) -> bool {
+        if current == candidate {
+            return false;
+        }
+        let model = CostModel;
+        let now = model.estimate(workload, current).total();
+        let then = model.estimate(workload, candidate).total();
+        now > 0.0 && (now - then) / now >= self.min_gain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> Floorplan {
+        Floorplan::vpk180()
+    }
+
+    /// AX-like: many nodes, modest degree — reshaping is target-bound, so
+    /// the optimizer should buy SCR slots (Fig. 23a: "for AX, which has a
+    /// small degree, it is more beneficial to increase the number of slots").
+    fn ax_like() -> Workload {
+        Workload::new(169_000, 1_160_000, 3_000, 10, 2)
+    }
+
+    /// TB-like: few nodes, enormous degree — reshaping is window-bound, so
+    /// wide SCRs win.
+    fn tb_like() -> Workload {
+        Workload::new(230_000, 400_000_000, 3_000, 10, 2)
+    }
+
+    #[test]
+    fn full_search_prefers_slots_for_low_degree_and_width_for_high_degree() {
+        let ax = search(&ax_like(), &plan(), SearchSpace::Full);
+        let tb = search(&tb_like(), &plan(), SearchSpace::Full);
+        assert!(
+            ax.scr.slots > tb.scr.slots,
+            "AX {ax:?} should use more slots than TB {tb:?}"
+        );
+        assert!(tb.scr.width > ax.scr.width);
+    }
+
+    #[test]
+    fn scr_only_keeps_the_default_upe() {
+        let cfg = search(&ax_like(), &plan(), SearchSpace::ScrOnly);
+        assert_eq!(cfg.upe.width, 64, "Table III default width");
+        assert_eq!(cfg.upe.count, 64, "the width-64 ladder rung");
+    }
+
+    #[test]
+    fn area_only_returns_region_filling_shapes() {
+        let cfg = search(&tb_like(), &plan(), SearchSpace::AreaOnly);
+        assert_eq!(cfg.upe.width, 64);
+        assert_eq!(cfg.scr.slots, 1);
+    }
+
+    #[test]
+    fn wider_search_never_loses() {
+        // Full search explores a superset of the SCR-only ladder (same
+        // 70:30 split), so it can only improve. Area-only explores a
+        // different axis (the split itself) and is compared in Fig. 22's
+        // harness rather than dominated analytically.
+        let model = CostModel;
+        for w in [ax_like(), tb_like()] {
+            let scr = model.estimate(&w, search(&w, &plan(), SearchSpace::ScrOnly)).total();
+            let full = model.estimate(&w, search(&w, &plan(), SearchSpace::Full)).total();
+            assert!(full <= scr + 1e-9, "full search beats SCR-only");
+        }
+    }
+
+    #[test]
+    fn policy_ignores_identical_configs_and_small_gains() {
+        let policy = ReconfigPolicy::default();
+        let w = ax_like();
+        let best = search(&w, &plan(), SearchSpace::Full);
+        assert!(!policy.should_reconfigure(&w, best, best));
+
+        // A config that is already near-optimal should not trigger a switch.
+        let near = HwConfig {
+            upe: best.upe,
+            scr: agnn_hw::ScrConfig::new(best.scr.slots, best.scr.width),
+        };
+        assert!(!policy.should_reconfigure(&w, near, best));
+    }
+
+    #[test]
+    fn policy_triggers_on_large_gains() {
+        let policy = ReconfigPolicy::default();
+        let w = tb_like();
+        let best = search(&w, &plan(), SearchSpace::Full);
+        // A deliberately bad configuration for TB: tiny SCR window.
+        let bad = HwConfig {
+            upe: best.upe,
+            scr: agnn_hw::ScrConfig::new(512, 16),
+        };
+        assert!(policy.should_reconfigure(&w, bad, best));
+    }
+}

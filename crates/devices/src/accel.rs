@@ -1,0 +1,153 @@
+//! External accelerator baselines (Figs. 18, 27).
+//!
+//! Each design accelerates a *single* preprocessing stage by a fixed factor
+//! over the GPU baseline while the remaining stages stay on the GPU — the
+//! paper's point being that "they devote most resources to a single
+//! function, thus unsuitable for end-to-end GNN preprocessing" (§VII).
+
+use crate::stage::StageSecs;
+
+/// Which preprocessing function an external accelerator speeds up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccelTarget {
+    /// Edge ordering (sorting accelerators).
+    Ordering,
+    /// Graph sampling: selection and reindexing together.
+    Sampling,
+}
+
+/// A single-function accelerator baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageAccelerator {
+    /// Short name used in the figures.
+    pub name: &'static str,
+    /// Accelerated function.
+    pub target: AccelTarget,
+    /// Speedup over the GPU baseline on that function.
+    pub speedup_vs_gpu: f64,
+}
+
+impl StageAccelerator {
+    /// Applies the accelerator to a GPU per-stage breakdown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the speedup is not positive.
+    pub fn apply(&self, gpu_secs: &StageSecs) -> StageSecs {
+        assert!(self.speedup_vs_gpu > 0.0, "speedup must be positive");
+        let mut out = *gpu_secs;
+        match self.target {
+            AccelTarget::Ordering => out.ordering /= self.speedup_vs_gpu,
+            AccelTarget::Sampling => {
+                out.selecting /= self.speedup_vs_gpu;
+                out.reindexing /= self.speedup_vs_gpu;
+            }
+        }
+        out
+    }
+}
+
+/// gSampler \[28\]: matrix-centric GPU sampling APIs with fusion and
+/// super-batching — "GSamp … accelerate\[s\] sampling by 7.5×" (§VI-A).
+pub fn gsamp() -> StageAccelerator {
+    StageAccelerator {
+        name: "GSamp",
+        target: AccelTarget::Sampling,
+        speedup_vs_gpu: 7.5,
+    }
+}
+
+/// The FPGA-HBM streaming sampler \[29\], \[30\]: "FPGA … accelerate\[s\]
+/// sampling by … 12×" but implements sampling only.
+pub fn fpga_sampler() -> StageAccelerator {
+    StageAccelerator {
+        name: "FPGA",
+        target: AccelTarget::Sampling,
+        speedup_vs_gpu: 12.0,
+    }
+}
+
+/// Parallel hardware merge sorter \[72\] (Fig. 27 "Merge").
+pub fn merge_sorter() -> StageAccelerator {
+    StageAccelerator {
+        name: "Merge",
+        target: AccelTarget::Ordering,
+        speedup_vs_gpu: 15.0,
+    }
+}
+
+/// The Xilinx insertion/database sorting appliance \[6\] (Fig. 27 "Xilinx").
+pub fn insertion_sorter() -> StageAccelerator {
+    StageAccelerator {
+        name: "Xilinx",
+        target: AccelTarget::Ordering,
+        speedup_vs_gpu: 6.0,
+    }
+}
+
+/// FLAG \[33\]: low-latency GNN inference service using precomputation and
+/// vector quantization (Fig. 27 "FLAG"), modeled as a selection accelerator.
+pub fn flag() -> StageAccelerator {
+    StageAccelerator {
+        name: "FLAG",
+        target: AccelTarget::Sampling,
+        speedup_vs_gpu: 10.0,
+    }
+}
+
+/// The four Fig. 27 designs, in figure order.
+pub fn fig27_designs() -> [StageAccelerator; 4] {
+    [merge_sorter(), insertion_sorter(), fpga_sampler(), flag()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpu_secs() -> StageSecs {
+        StageSecs {
+            ordering: 0.10,
+            reshaping: 0.50,
+            selecting: 0.20,
+            reindexing: 0.10,
+        }
+    }
+
+    #[test]
+    fn sampling_accelerators_leave_conversion_alone() {
+        let out = gsamp().apply(&gpu_secs());
+        assert_eq!(out.ordering, 0.10);
+        assert_eq!(out.reshaping, 0.50);
+        assert!((out.selecting - 0.20 / 7.5).abs() < 1e-12);
+        assert!((out.reindexing - 0.10 / 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordering_accelerators_leave_sampling_alone() {
+        let out = merge_sorter().apply(&gpu_secs());
+        assert!((out.ordering - 0.10 / 15.0).abs() < 1e-12);
+        assert_eq!(out.selecting, 0.20);
+    }
+
+    #[test]
+    fn single_function_designs_hit_amdahl_walls() {
+        // Even infinite-speedup-class designs stay bounded by the stages
+        // they do not touch (§VII).
+        let base = gpu_secs();
+        for accel in fig27_designs() {
+            let out = accel.apply(&base);
+            assert!(
+                out.total() > base.reshaping,
+                "{} cannot beat the untouched reshaping time",
+                accel.name
+            );
+        }
+    }
+
+    #[test]
+    fn fpga_sampler_is_faster_at_sampling_than_gsamp() {
+        let fpga = fpga_sampler().apply(&gpu_secs());
+        let gs = gsamp().apply(&gpu_secs());
+        assert!(fpga.selecting < gs.selecting);
+    }
+}

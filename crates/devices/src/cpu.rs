@@ -1,0 +1,100 @@
+//! The CPU preprocessing baseline (128-core Xeon + DGL).
+//!
+//! Calibrated so that the GPU baseline's end-to-end advantage averages the
+//! paper's 3.4× across the Table II mix (Fig. 18): the CPU path has no
+//! per-pass transfer cost but much lower sorting/scanning throughput and
+//! the same lock-bound sampling tasks.
+
+use agnn_cost::Workload;
+
+use crate::stage::StageSecs;
+
+/// Xeon host constants and calibrated per-element costs (DGL CPU path).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuModel {
+    /// Edge-ordering cost per edge, seconds (framework comparison sort,
+    /// partially parallel).
+    pub ordering_per_edge: f64,
+    /// Reshaping cost per edge, seconds (sequential pointer scan).
+    pub reshaping_per_edge: f64,
+    /// Selection cost per draw, seconds (dictionary checks).
+    pub selecting_per_draw: f64,
+    /// Selection cost per neighbor-pool element, seconds.
+    pub selecting_per_pool_elem: f64,
+    /// Reindexing cost per input, seconds (hash map with rehashing).
+    pub reindexing_per_input: f64,
+    /// Fixed per-pass framework overhead, seconds.
+    pub pass_overhead: f64,
+}
+
+impl Default for CpuModel {
+    fn default() -> Self {
+        CpuModel {
+            ordering_per_edge: 12.0e-9,
+            reshaping_per_edge: 10.0e-9,
+            selecting_per_draw: 40.0e-9,
+            selecting_per_pool_elem: 8.0e-9,
+            reindexing_per_input: 35.0e-9,
+            pass_overhead: 2.0e-3,
+        }
+    }
+}
+
+impl CpuModel {
+    /// Per-stage preprocessing seconds for a workload. The CPU never OOMs
+    /// on the Table II graphs (512 GB host DRAM).
+    pub fn preprocess_secs(&self, workload: &Workload) -> StageSecs {
+        let e = workload.edges as f64;
+        let s = workload.selections() as f64;
+        let pool = workload.pool_elements() as f64;
+        let r = workload.reindex_inputs() as f64;
+        let overhead = self.pass_overhead / 4.0;
+        StageSecs {
+            ordering: e * self.ordering_per_edge + overhead,
+            reshaping: e * self.reshaping_per_edge + overhead,
+            selecting: s * self.selecting_per_draw + pool * self.selecting_per_pool_elem + overhead,
+            reindexing: r * self.reindexing_per_input + overhead,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::GpuModel;
+
+    fn workload(nodes: u64, edges: u64) -> Workload {
+        Workload::new(nodes, edges, 3_000, 10, 2)
+    }
+
+    #[test]
+    fn cpu_is_slower_than_gpu_preprocessing() {
+        let cpu = CpuModel::default();
+        let gpu = GpuModel::default();
+        for (n, e) in [(34_500u64, 495_000u64), (2_450_000, 123_000_000)] {
+            let w = workload(n, e);
+            let cpu_total = cpu.preprocess_secs(&w).total();
+            let gpu_total = gpu.preprocess_secs(&w).unwrap().total() + gpu.upload_secs(&w);
+            let ratio = cpu_total / gpu_total;
+            assert!(
+                (1.5..12.0).contains(&ratio),
+                "CPU/GPU preprocessing ratio {ratio} out of the Fig. 18 regime at e={e}"
+            );
+        }
+    }
+
+    #[test]
+    fn cpu_handles_taobao_without_oom() {
+        let cpu = CpuModel::default();
+        let tb = workload(230_000, 400_000_000);
+        let secs = cpu.preprocess_secs(&tb);
+        assert!(secs.total() > 1.0, "TB takes seconds on the CPU path");
+    }
+
+    #[test]
+    fn large_graphs_are_conversion_bound_on_cpu_too() {
+        let cpu = CpuModel::default();
+        let secs = cpu.preprocess_secs(&workload(2_450_000, 123_000_000));
+        assert!(secs.ordering + secs.reshaping > 0.9 * secs.total());
+    }
+}

@@ -1,0 +1,73 @@
+//! Power and energy accounting (Fig. 19).
+
+/// Measured device power draws (§VI-A: "DynPre draws only 9.3 W on the FPGA,
+/// whereas GPU dissipates 183 W for the same workload").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    /// AutoGNN preprocessing power, watts.
+    pub fpga_preprocess_w: f64,
+    /// GPU preprocessing power, watts.
+    pub gpu_preprocess_w: f64,
+    /// GPU model-inference power, watts (both systems infer on the GPU).
+    pub gpu_inference_w: f64,
+    /// Host CPU preprocessing power, watts.
+    pub cpu_preprocess_w: f64,
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel {
+            fpga_preprocess_w: 9.3,
+            gpu_preprocess_w: 183.0,
+            gpu_inference_w: 280.0,
+            cpu_preprocess_w: 150.0,
+        }
+    }
+}
+
+impl PowerModel {
+    /// Preprocessing power ratio GPU / FPGA (the paper reports 19.7×).
+    pub fn preprocess_power_ratio(&self) -> f64 {
+        self.gpu_preprocess_w / self.fpga_preprocess_w
+    }
+
+    /// End-to-end energy in joules for a system that preprocesses at
+    /// `preprocess_w` for `preprocess_secs` and then infers on the GPU.
+    pub fn end_to_end_energy(
+        &self,
+        preprocess_w: f64,
+        preprocess_secs: f64,
+        inference_secs: f64,
+    ) -> f64 {
+        preprocess_w * preprocess_secs + self.gpu_inference_w * inference_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_ratio_matches_paper() {
+        let p = PowerModel::default();
+        assert!((p.preprocess_power_ratio() - 19.7).abs() < 0.1);
+    }
+
+    #[test]
+    fn faster_preprocessing_saves_energy() {
+        let p = PowerModel::default();
+        // GPU: 1 s preprocessing; AutoGNN: 0.4 s at 9.3 W. Same inference.
+        let gpu = p.end_to_end_energy(p.gpu_preprocess_w, 1.0, 0.2);
+        let fpga = p.end_to_end_energy(p.fpga_preprocess_w, 0.4, 0.2);
+        let ratio = gpu / fpga;
+        assert!(ratio > 3.0, "Fig. 19 energy gap ~3.3x, got {ratio}");
+    }
+
+    #[test]
+    fn energy_is_linear_in_time() {
+        let p = PowerModel::default();
+        let one = p.end_to_end_energy(10.0, 1.0, 0.0);
+        let two = p.end_to_end_energy(10.0, 2.0, 0.0);
+        assert!((two - 2.0 * one).abs() < 1e-12);
+    }
+}

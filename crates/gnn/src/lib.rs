@@ -1,0 +1,37 @@
+//! GNN models over sampled subgraphs.
+//!
+//! AutoGNN's product is a sampled CSC subgraph handed to "GPUs or other GNN
+//! accelerators" for inference (§I). This crate closes the loop: it executes
+//! real forward passes of the four evaluated models — GIN, GraphSAGE, GCN,
+//! GAT (§VI "Sensitivity on model parameters") — over
+//! [`agnn_algo::pipeline::SampledSubgraph`]s, counts their FLOPs, and maps
+//! those FLOPs to GPU inference latency.
+//!
+//! - [`tensor`] — a minimal dense `f32` matrix with the operations GNN
+//!   layers need;
+//! - [`features`] — seeded node-embedding tables and the gather step driven
+//!   by the subgraph's `new_to_old` list (Fig. 4b);
+//! - [`models`] — the aggregation/transformation passes (§II-A, Fig. 2);
+//! - [`timing`] — the GPU inference-latency model used by the end-to-end
+//!   figures.
+//!
+//! # Examples
+//!
+//! ```
+//! use agnn_algo::pipeline::{preprocess, SampleParams};
+//! use agnn_gnn::features::FeatureTable;
+//! use agnn_gnn::models::{forward, GnnModel, GnnSpec};
+//! use agnn_graph::{generate, Vid};
+//!
+//! let coo = generate::power_law(200, 2_000, 0.8, 1);
+//! let out = preprocess(&coo, &[Vid(0), Vid(1)], &SampleParams::new(5, 2), 3);
+//! let table = FeatureTable::random(200, 16, 7);
+//! let spec = GnnSpec::new(GnnModel::GraphSage, 2, 16, 16);
+//! let result = forward(&spec, &out.subgraph, &table, 11);
+//! assert_eq!(result.embeddings.rows(), 2);
+//! ```
+
+pub mod features;
+pub mod models;
+pub mod tensor;
+pub mod timing;

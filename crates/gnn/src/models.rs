@@ -1,0 +1,377 @@
+//! The four evaluated GNN models: GIN, GraphSAGE, GCN, GAT.
+//!
+//! Each model is the aggregation-transformation cycle of §II-A (Fig. 2):
+//! per layer, every node aggregates its in-neighbors' embeddings from the
+//! sampled CSC subgraph and transforms the result; after the last layer the
+//! batch nodes' rows are the inference output.
+
+use agnn_algo::pipeline::SampledSubgraph;
+use agnn_graph::Vid;
+
+use crate::features::FeatureTable;
+use crate::tensor::{leaky_relu, Matrix};
+
+/// The evaluated model families, in the paper's computational-intensity
+/// order (§VI "we analyzed four distinctive models – GIN, GraphSAGE, GCN,
+/// GAT – ordered by computational intensity").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GnnModel {
+    /// Graph isomorphism network: sum aggregation + MLP.
+    Gin,
+    /// GraphSAGE: mean aggregation + concatenated linear transform.
+    GraphSage,
+    /// Graph convolutional network: symmetric-normalized aggregation.
+    Gcn,
+    /// Graph attention network: attention-weighted aggregation.
+    Gat,
+}
+
+impl GnnModel {
+    /// All models in figure order.
+    pub const ALL: [GnnModel; 4] = [
+        GnnModel::Gin,
+        GnnModel::GraphSage,
+        GnnModel::Gcn,
+        GnnModel::Gat,
+    ];
+
+    /// Figure label.
+    pub fn name(self) -> &'static str {
+        match self {
+            GnnModel::Gin => "GIN",
+            GnnModel::GraphSage => "GSage",
+            GnnModel::Gcn => "GCN",
+            GnnModel::Gat => "GAT",
+        }
+    }
+
+    /// Relative GPU cost per FLOP-equivalent — the knob that reproduces the
+    /// paper's intensity ordering in the timing model (sparse attention and
+    /// normalization are much less efficient on GPUs than dense MLPs).
+    pub fn intensity(self) -> f64 {
+        match self {
+            GnnModel::Gin => 1.0,
+            GnnModel::GraphSage => 1.5,
+            GnnModel::Gcn => 2.5,
+            GnnModel::Gat => 6.0,
+        }
+    }
+}
+
+/// A model instantiation: family, depth and dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GnnSpec {
+    /// Model family.
+    pub model: GnnModel,
+    /// Number of layers (hops).
+    pub layers: u32,
+    /// Input feature dimension.
+    pub in_dim: usize,
+    /// Hidden/output dimension of every layer.
+    pub hidden_dim: usize,
+}
+
+impl GnnSpec {
+    /// Creates a spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(model: GnnModel, layers: u32, in_dim: usize, hidden_dim: usize) -> Self {
+        assert!(in_dim > 0 && hidden_dim > 0, "dimensions must be positive");
+        GnnSpec {
+            model,
+            layers,
+            in_dim,
+            hidden_dim,
+        }
+    }
+
+    /// The Table III default: 2-layer GraphSAGE.
+    pub fn table_iii_default() -> Self {
+        GnnSpec::new(GnnModel::GraphSage, 2, 128, 128)
+    }
+}
+
+/// Inference output: batch-node embeddings plus the FLOPs spent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Forward {
+    /// One row per batch node.
+    pub embeddings: Matrix,
+    /// Dense + per-edge floating-point operations performed.
+    pub flops: u64,
+}
+
+/// Runs inference over a sampled subgraph: gathers the subgraph feature
+/// table and applies `spec.layers` aggregation-transformation cycles, then
+/// returns the batch nodes' embeddings.
+///
+/// Weights are deterministic in `weight_seed`.
+///
+/// # Panics
+///
+/// Panics if the feature table does not cover the subgraph's original
+/// vertices.
+pub fn forward(
+    spec: &GnnSpec,
+    subgraph: &SampledSubgraph,
+    table: &FeatureTable,
+    weight_seed: u64,
+) -> Forward {
+    assert_eq!(
+        table.dim(),
+        spec.in_dim,
+        "feature table dimension must match the model input"
+    );
+    let mut h = table.gather(&subgraph.new_to_old);
+    let mut flops = 0u64;
+    for layer in 0..spec.layers {
+        let in_dim = if layer == 0 { spec.in_dim } else { spec.hidden_dim };
+        let seed = weight_seed ^ (u64::from(layer) + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        h = apply_layer(spec.model, &h, subgraph, in_dim, spec.hidden_dim, seed, &mut flops);
+    }
+    let batch_rows: Vec<usize> = subgraph.batch_new.iter().map(|v| v.index()).collect();
+    Forward {
+        embeddings: h.gather_rows(&batch_rows),
+        flops,
+    }
+}
+
+fn apply_layer(
+    model: GnnModel,
+    h: &Matrix,
+    subgraph: &SampledSubgraph,
+    in_dim: usize,
+    out_dim: usize,
+    seed: u64,
+    flops: &mut u64,
+) -> Matrix {
+    let csc = &subgraph.csc;
+    let n = csc.num_vertices();
+    match model {
+        GnnModel::Gin => {
+            // (1 + eps)·h_v + sum of neighbors, then a 2-layer MLP.
+            const EPS: f32 = 0.1;
+            let mut agg = Matrix::zeros(n, in_dim);
+            for v in 0..n {
+                let row: Vec<f32> = h.row(v).iter().map(|x| (1.0 + EPS) * x).collect();
+                agg.row_mut(v).copy_from_slice(&row);
+                for &u in csc.neighbors(Vid::from_index(v)) {
+                    for (a, b) in agg.row_mut(v).iter_mut().zip(h.row(u.index())) {
+                        *a += b;
+                    }
+                }
+                *flops += 2 * (csc.degree(Vid::from_index(v)) as u64 + 1) * in_dim as u64;
+            }
+            let w1 = Matrix::random(in_dim, out_dim, seed);
+            let w2 = Matrix::random(out_dim, out_dim, seed ^ 1);
+            *flops += agg.matmul_flops(&w1);
+            let mut hidden = agg.matmul(&w1);
+            hidden.relu();
+            *flops += hidden.matmul_flops(&w2);
+            let mut out = hidden.matmul(&w2);
+            out.relu();
+            out
+        }
+        GnnModel::GraphSage => {
+            // concat(h_v, mean of neighbors) · W.
+            let mut agg = Matrix::zeros(n, in_dim);
+            for v in 0..n {
+                let neighbors = csc.neighbors(Vid::from_index(v));
+                if neighbors.is_empty() {
+                    continue;
+                }
+                for &u in neighbors {
+                    for (a, b) in agg.row_mut(v).iter_mut().zip(h.row(u.index())) {
+                        *a += b;
+                    }
+                }
+                let inv = 1.0 / neighbors.len() as f32;
+                for a in agg.row_mut(v) {
+                    *a *= inv;
+                }
+                *flops += 2 * neighbors.len() as u64 * in_dim as u64;
+            }
+            let cat = h.concat_cols(&agg);
+            let w = Matrix::random(2 * in_dim, out_dim, seed);
+            *flops += cat.matmul_flops(&w);
+            let mut out = cat.matmul(&w);
+            out.relu();
+            out
+        }
+        GnnModel::Gcn => {
+            // Symmetric-normalized aggregation with self loops: each
+            // contribution is scaled by 1/sqrt((deg_v+1)(deg_u+1)).
+            let deg: Vec<f32> = (0..n)
+                .map(|v| csc.degree(Vid::from_index(v)) as f32 + 1.0)
+                .collect();
+            let mut agg = Matrix::zeros(n, in_dim);
+            for v in 0..n {
+                let self_scale = 1.0 / deg[v];
+                for (a, b) in agg.row_mut(v).iter_mut().zip(h.row(v)) {
+                    *a += self_scale * b;
+                }
+                for &u in csc.neighbors(Vid::from_index(v)) {
+                    let scale = 1.0 / (deg[v] * deg[u.index()]).sqrt();
+                    for (a, b) in agg.row_mut(v).iter_mut().zip(h.row(u.index())) {
+                        *a += scale * b;
+                    }
+                }
+                *flops += 3 * (csc.degree(Vid::from_index(v)) as u64 + 1) * in_dim as u64;
+            }
+            let w = Matrix::random(in_dim, out_dim, seed);
+            *flops += agg.matmul_flops(&w);
+            let mut out = agg.matmul(&w);
+            out.relu();
+            out
+        }
+        GnnModel::Gat => {
+            // Single-head attention: score(u, v) = LeakyReLU(a_l·Wh_u +
+            // a_r·Wh_v), softmax over N(v) ∪ {v}, weighted sum of Wh_u.
+            let w = Matrix::random(in_dim, out_dim, seed);
+            *flops += h.matmul_flops(&w);
+            let wh = h.matmul(&w);
+            let a_l = Matrix::random(out_dim, 1, seed ^ 2);
+            let a_r = Matrix::random(out_dim, 1, seed ^ 3);
+            let score_part = |row: &[f32], a: &Matrix| -> f32 {
+                row.iter()
+                    .zip(0..out_dim)
+                    .map(|(x, j)| x * a.get(j, 0))
+                    .sum()
+            };
+            let left: Vec<f32> = (0..n).map(|v| score_part(wh.row(v), &a_l)).collect();
+            let right: Vec<f32> = (0..n).map(|v| score_part(wh.row(v), &a_r)).collect();
+            *flops += 4 * n as u64 * out_dim as u64;
+            let mut out = Matrix::zeros(n, out_dim);
+            #[allow(clippy::needless_range_loop)] // v indexes three arrays
+            for v in 0..n {
+                let mut contributors: Vec<usize> = vec![v];
+                contributors.extend(csc.neighbors(Vid::from_index(v)).iter().map(|u| u.index()));
+                let scores: Vec<f32> = contributors
+                    .iter()
+                    .map(|&u| leaky_relu(left[u] + right[v]))
+                    .collect();
+                let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let exps: Vec<f32> = scores.iter().map(|s| (s - max).exp()).collect();
+                let denom: f32 = exps.iter().sum();
+                for (&u, &weight) in contributors.iter().zip(&exps) {
+                    let alpha = weight / denom;
+                    for (o, x) in out.row_mut(v).iter_mut().zip(wh.row(u)) {
+                        *o += alpha * x;
+                    }
+                }
+                *flops += contributors.len() as u64 * (2 * out_dim as u64 + 6);
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agnn_algo::pipeline::{preprocess, SampleParams};
+    use agnn_graph::generate;
+
+    fn subgraph() -> SampledSubgraph {
+        let coo = generate::power_law(100, 1_500, 0.8, 5);
+        preprocess(&coo, &[Vid(0), Vid(1), Vid(2)], &SampleParams::new(4, 2), 9).subgraph
+    }
+
+    fn table() -> FeatureTable {
+        FeatureTable::random(100, 8, 7)
+    }
+
+    #[test]
+    fn all_models_produce_batch_embeddings() {
+        let sub = subgraph();
+        let t = table();
+        for model in GnnModel::ALL {
+            let spec = GnnSpec::new(model, 2, 8, 8);
+            let fwd = forward(&spec, &sub, &t, 11);
+            assert_eq!(fwd.embeddings.rows(), 3, "{}", model.name());
+            assert_eq!(fwd.embeddings.cols(), 8);
+            assert!(fwd.flops > 0);
+            assert!(
+                fwd.embeddings.frobenius_norm().is_finite(),
+                "{} produced non-finite output",
+                model.name()
+            );
+        }
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let sub = subgraph();
+        let t = table();
+        let spec = GnnSpec::table_iii_default();
+        let spec = GnnSpec::new(spec.model, spec.layers, 8, 8);
+        assert_eq!(forward(&spec, &sub, &t, 4), forward(&spec, &sub, &t, 4));
+    }
+
+    #[test]
+    fn different_weights_change_output() {
+        let sub = subgraph();
+        let t = table();
+        let spec = GnnSpec::new(GnnModel::Gcn, 2, 8, 8);
+        assert_ne!(
+            forward(&spec, &sub, &t, 1).embeddings,
+            forward(&spec, &sub, &t, 2).embeddings
+        );
+    }
+
+    #[test]
+    fn deeper_models_cost_more_flops() {
+        let sub = subgraph();
+        let t = table();
+        let shallow = forward(&GnnSpec::new(GnnModel::GraphSage, 1, 8, 8), &sub, &t, 3);
+        let deep = forward(&GnnSpec::new(GnnModel::GraphSage, 4, 8, 8), &sub, &t, 3);
+        assert!(deep.flops > 2 * shallow.flops);
+    }
+
+    #[test]
+    fn gat_attention_weights_are_normalized() {
+        // Indirect check: with identical inputs everywhere, GAT output for a
+        // node equals Wh regardless of neighbor count.
+        let coo = agnn_graph::Coo::from_pairs(3, [(1, 0), (2, 0)]).unwrap();
+        let out = preprocess(&coo, &[Vid(0)], &SampleParams::new(2, 1), 1);
+        let row: &[f32] = &[1.0, 1.0];
+        let uniform = FeatureTable::from_matrix(Matrix::from_rows(&[row, row, row]));
+        let spec = GnnSpec::new(GnnModel::Gat, 1, 2, 4);
+        let fwd = forward(&spec, &out.subgraph, &uniform, 5);
+        // All contributors share one embedding, so the softmax must not
+        // change the aggregate.
+        let w = Matrix::random(2, 4, 5 ^ (1u64.wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+        let expected = Matrix::from_rows(&[&[1.0, 1.0]]).matmul(&w);
+        for j in 0..4 {
+            assert!((fwd.embeddings.get(0, j) - expected.get(0, j)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn isolated_batch_node_keeps_finite_embedding() {
+        let coo = agnn_graph::Coo::from_pairs(2, [(0, 1)]).unwrap();
+        let out = preprocess(&coo, &[Vid(0)], &SampleParams::new(2, 2), 1);
+        let t = FeatureTable::random(2, 4, 2);
+        for model in GnnModel::ALL {
+            let fwd = forward(&GnnSpec::new(model, 2, 4, 4), &out.subgraph, &t, 6);
+            assert!(fwd.embeddings.frobenius_norm().is_finite());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn dimension_mismatch_panics() {
+        let sub = subgraph();
+        let bad = FeatureTable::random(100, 5, 1);
+        forward(&GnnSpec::new(GnnModel::Gin, 1, 8, 8), &sub, &bad, 0);
+    }
+
+    #[test]
+    fn intensity_ordering_matches_paper() {
+        let intensities: Vec<f64> = GnnModel::ALL.iter().map(|m| m.intensity()).collect();
+        for pair in intensities.windows(2) {
+            assert!(pair[0] < pair[1], "GIN < GSage < GCN < GAT");
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! A minimal dense `f32` matrix for GNN layers.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A row-major dense matrix.
+///
+/// # Examples
+///
+/// ```
+/// use agnn_gnn::tensor::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let b = Matrix::identity(2);
+/// assert_eq!(a.matmul(&b), a);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// An all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// The identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        let cols = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            assert_eq!(row.len(), cols, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Xavier-style random initialization in `[-limit, limit]` with
+    /// `limit = sqrt(6 / (rows + cols))`, deterministic in the seed.
+    pub fn random(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let limit = (6.0 / (rows + cols).max(1) as f32).sqrt();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-limit..=limit))
+            .collect();
+        Matrix { rows, cols, data }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds indices.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Element assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds indices.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f32) {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// A row as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[f32] {
+        assert!(row < self.rows, "row out of bounds");
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Mutable row access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    #[inline]
+    pub fn row_mut(&mut self, row: usize) -> &mut [f32] {
+        assert!(row < self.rows, "row out of bounds");
+        &mut self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul dimension mismatch: {}x{} . {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out.data[i * other.cols + j] += a * other.get(k, j);
+                }
+            }
+        }
+        out
+    }
+
+    /// FLOPs of `self.matmul(other)` (two per multiply-accumulate).
+    pub fn matmul_flops(&self, other: &Matrix) -> u64 {
+        2 * self.rows as u64 * self.cols as u64 * other.cols as u64
+    }
+
+    /// In-place ReLU.
+    pub fn relu(&mut self) {
+        for v in &mut self.data {
+            *v = v.max(0.0);
+        }
+    }
+
+    /// Horizontal concatenation `[self | other]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts differ.
+    pub fn concat_cols(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "concat_cols row mismatch");
+        let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
+        for i in 0..self.rows {
+            out.row_mut(i)[..self.cols].copy_from_slice(self.row(i));
+            out.row_mut(i)[self.cols..].copy_from_slice(other.row(i));
+        }
+        out
+    }
+
+    /// Extracts the given rows into a new matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (i, &src) in indices.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(self.row(src));
+        }
+        out
+    }
+
+    /// Frobenius norm (for tests and sanity checks).
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+/// Leaky ReLU with the conventional 0.2 slope used by GAT.
+#[inline]
+pub fn leaky_relu(x: f32) -> f32 {
+    if x >= 0.0 {
+        x
+    } else {
+        0.2 * x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.row(0), &[19.0, 22.0]);
+        assert_eq!(c.row(1), &[43.0, 50.0]);
+        assert_eq!(a.matmul_flops(&b), 2 * 2 * 2 * 2);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Matrix::random(3, 3, 1);
+        assert_eq!(a.matmul(&Matrix::identity(3)), a);
+        assert_eq!(Matrix::identity(3).matmul(&a), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matmul_rejects_bad_shapes() {
+        Matrix::zeros(2, 3).matmul(&Matrix::zeros(2, 3));
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut m = Matrix::from_rows(&[&[-1.0, 2.0]]);
+        m.relu();
+        assert_eq!(m.row(0), &[0.0, 2.0]);
+    }
+
+    #[test]
+    fn leaky_relu_keeps_slope() {
+        assert_eq!(leaky_relu(5.0), 5.0);
+        assert_eq!(leaky_relu(-5.0), -1.0);
+    }
+
+    #[test]
+    fn concat_and_gather() {
+        let a = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        let b = Matrix::from_rows(&[&[3.0], &[4.0]]);
+        let cat = a.concat_cols(&b);
+        assert_eq!(cat.row(0), &[1.0, 3.0]);
+        let picked = cat.gather_rows(&[1, 0, 1]);
+        assert_eq!(picked.rows(), 3);
+        assert_eq!(picked.row(0), &[2.0, 4.0]);
+        assert_eq!(picked.row(2), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn random_is_seeded_and_bounded() {
+        let a = Matrix::random(4, 4, 9);
+        assert_eq!(a, Matrix::random(4, 4, 9));
+        assert_ne!(a, Matrix::random(4, 4, 10));
+        let limit = (6.0f32 / 8.0).sqrt();
+        for i in 0..4 {
+            for v in a.row(i) {
+                assert!(v.abs() <= limit);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_matrix_operations() {
+        let e = Matrix::zeros(0, 0);
+        assert_eq!(e.matmul(&e).rows(), 0);
+        assert_eq!(e.frobenius_norm(), 0.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! GPU inference-latency model.
+//!
+//! Both AutoGNN and every baseline execute the GNN model itself on the GPU
+//! (§VI "After preprocessing, all systems perform GNN inference on the
+//! GPU"), so one shared model maps work to seconds. Sparse aggregation makes
+//! GNN inference far less efficient than dense ML: the effective throughput
+//! is a small fraction of peak, scaled further by the model-family
+//! intensity factor.
+
+use crate::models::{GnnModel, GnnSpec};
+
+/// GPU inference timing constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuInferenceModel {
+    /// Effective FLOP/s on sparse GNN kernels (a few percent of the 3090's
+    /// dense peak).
+    pub effective_flops: f64,
+    /// Fixed per-batch overhead, seconds (kernel launches, gathers).
+    pub per_batch_overhead: f64,
+}
+
+impl Default for GpuInferenceModel {
+    fn default() -> Self {
+        GpuInferenceModel {
+            effective_flops: 1.5e12,
+            per_batch_overhead: 3.0e-3,
+        }
+    }
+}
+
+impl GpuInferenceModel {
+    /// Seconds for an inference pass of `flops` model work.
+    pub fn inference_secs(&self, model: GnnModel, flops: u64) -> f64 {
+        self.per_batch_overhead + flops as f64 * model.intensity() / self.effective_flops
+    }
+
+    /// Analytic FLOP estimate for full-scale workloads (where the subgraph
+    /// is not materialized): per layer, every subgraph node pays a dense
+    /// transform and every subgraph edge an aggregation.
+    pub fn analytic_flops(&self, spec: &GnnSpec, sub_nodes: u64, sub_edges: u64) -> u64 {
+        let d_in = spec.in_dim as u64;
+        let d_h = spec.hidden_dim as u64;
+        let mut flops = 0u64;
+        for layer in 0..spec.layers {
+            let d = if layer == 0 { d_in } else { d_h };
+            // Dense transform + edge aggregation.
+            flops += 2 * sub_nodes * d * d_h + 2 * sub_edges * d;
+        }
+        flops
+    }
+
+    /// Convenience: analytic inference seconds from subgraph sizes.
+    pub fn analytic_inference_secs(&self, spec: &GnnSpec, sub_nodes: u64, sub_edges: u64) -> f64 {
+        self.inference_secs(spec.model, self.analytic_flops(spec, sub_nodes, sub_edges))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intensity_ordering_carries_into_latency() {
+        let model = GpuInferenceModel::default();
+        let flops = 1_000_000_000;
+        let times: Vec<f64> = GnnModel::ALL
+            .iter()
+            .map(|&m| model.inference_secs(m, flops))
+            .collect();
+        for pair in times.windows(2) {
+            assert!(pair[0] < pair[1], "GIN fastest … GAT slowest");
+        }
+    }
+
+    #[test]
+    fn analytic_flops_scale_linearly_with_depth() {
+        let model = GpuInferenceModel::default();
+        let spec1 = GnnSpec::new(GnnModel::GraphSage, 1, 128, 128);
+        let spec6 = GnnSpec::new(GnnModel::GraphSage, 6, 128, 128);
+        let f1 = model.analytic_flops(&spec1, 300_000, 330_000);
+        let f6 = model.analytic_flops(&spec6, 300_000, 330_000);
+        assert_eq!(f6, 6 * f1);
+    }
+
+    #[test]
+    fn overhead_floors_small_batches() {
+        let model = GpuInferenceModel::default();
+        let t = model.inference_secs(GnnModel::Gin, 0);
+        assert_eq!(t, model.per_batch_overhead);
+    }
+
+    #[test]
+    fn table_iii_inference_is_milliseconds_scale() {
+        // 2-layer SAGE over a ~333K-node subgraph: tens of milliseconds —
+        // the stable "Inference" bar of Fig. 5.
+        let model = GpuInferenceModel::default();
+        let spec = GnnSpec::table_iii_default();
+        let secs = model.analytic_inference_secs(&spec, 333_000, 333_000);
+        assert!(
+            (0.005..0.5).contains(&secs),
+            "inference {secs}s out of the expected regime"
+        );
+    }
+}

@@ -1,0 +1,275 @@
+//! Compressed sparse column (CSC) format.
+
+use crate::{Coo, Edge, GraphError, Vid};
+
+/// A graph in compressed sparse column format.
+///
+/// CSC is the vertex-centric structure GNN traversal prefers (§II-A): a
+/// *pointer array* indexed by destination VID whose value is the start offset
+/// into an *index array* of source VIDs. Retrieving every source connected to
+/// destination `d` is the slice `indices[pointers[d] .. pointers[d + 1]]`.
+///
+/// # Examples
+///
+/// ```
+/// use agnn_graph::{Coo, Csc, Vid};
+///
+/// let coo = Coo::from_pairs(3, [(0, 1), (2, 1), (1, 0)])?;
+/// let csc = Csc::from_coo(&coo);
+/// assert_eq!(csc.neighbors(Vid(1)), &[Vid(0), Vid(2)]);
+/// assert_eq!(csc.neighbors(Vid(2)), &[]);
+/// # Ok::<(), agnn_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Csc {
+    /// `pointers.len() == num_vertices + 1`; `pointers[d]` is the first index
+    /// of destination `d`'s sources in `indices`.
+    pointers: Vec<u32>,
+    /// Source VIDs grouped by destination, sorted within each group.
+    indices: Vec<Vid>,
+}
+
+impl Csc {
+    /// Builds a CSC from raw pointer and index arrays, validating the
+    /// invariants the hardware relies on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::MalformedPointers`] if the pointer array is
+    /// empty, non-monotonic, or its last entry differs from `indices.len()`,
+    /// and [`GraphError::VertexOutOfRange`] if an index references a vertex
+    /// outside the pointer range.
+    pub fn new(pointers: Vec<u32>, indices: Vec<Vid>) -> Result<Self, GraphError> {
+        if pointers.is_empty() {
+            return Err(GraphError::MalformedPointers {
+                detail: "pointer array is empty".into(),
+            });
+        }
+        if pointers[0] != 0 {
+            return Err(GraphError::MalformedPointers {
+                detail: format!("first pointer is {}, expected 0", pointers[0]),
+            });
+        }
+        if pointers.windows(2).any(|w| w[0] > w[1]) {
+            return Err(GraphError::MalformedPointers {
+                detail: "pointer array is not monotonically non-decreasing".into(),
+            });
+        }
+        let last = *pointers.last().expect("non-empty") as usize;
+        if last != indices.len() {
+            return Err(GraphError::MalformedPointers {
+                detail: format!("last pointer {last} != {} index entries", indices.len()),
+            });
+        }
+        let num_vertices = pointers.len() - 1;
+        for &vid in &indices {
+            if vid.index() >= num_vertices {
+                return Err(GraphError::VertexOutOfRange {
+                    vid: vid.0,
+                    num_vertices,
+                });
+            }
+        }
+        Ok(Csc { pointers, indices })
+    }
+
+    /// Converts a COO graph to CSC using a straightforward counting sort.
+    ///
+    /// This is the *functional specification* of graph conversion — the
+    /// accelerated pipelines (software radix sort in `agnn-algo`, hardware
+    /// UPE/SCR in `agnn-hw`) are tested for equality against it.
+    pub fn from_coo(coo: &Coo) -> Self {
+        let n = coo.num_vertices();
+        let mut pointers = vec![0u32; n + 1];
+        for e in coo.edges() {
+            pointers[e.dst.index() + 1] += 1;
+        }
+        for d in 0..n {
+            pointers[d + 1] += pointers[d];
+        }
+        let mut cursor = pointers.clone();
+        let mut indices = vec![Vid(0); coo.num_edges()];
+        for e in coo.edges() {
+            let slot = cursor[e.dst.index()];
+            indices[slot as usize] = e.src;
+            cursor[e.dst.index()] += 1;
+        }
+        // Secondary sort by source VID within each destination group, giving
+        // the canonical (dst, src) order edge ordering produces.
+        for d in 0..n {
+            let (lo, hi) = (pointers[d] as usize, pointers[d + 1] as usize);
+            indices[lo..hi].sort_unstable();
+        }
+        Csc { pointers, indices }
+    }
+
+    /// Builds a CSC directly from an edge array already sorted by
+    /// `(dst, src)` — the hand-off point between edge ordering and data
+    /// reshaping (§II-B).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnsortedEdges`] if the input violates the sort
+    /// order and [`GraphError::VertexOutOfRange`] on bad endpoints.
+    pub fn from_sorted_edges(num_vertices: usize, edges: &[Edge]) -> Result<Self, GraphError> {
+        if let Some(pos) = edges
+            .windows(2)
+            .position(|w| w[0].sort_key() > w[1].sort_key())
+        {
+            return Err(GraphError::UnsortedEdges { position: pos + 1 });
+        }
+        let mut pointers = vec![0u32; num_vertices + 1];
+        let mut indices = Vec::with_capacity(edges.len());
+        for e in edges {
+            if e.dst.index() >= num_vertices || e.src.index() >= num_vertices {
+                return Err(GraphError::VertexOutOfRange {
+                    vid: e.dst.0.max(e.src.0),
+                    num_vertices,
+                });
+            }
+            pointers[e.dst.index() + 1] += 1;
+            indices.push(e.src);
+        }
+        for d in 0..num_vertices {
+            pointers[d + 1] += pointers[d];
+        }
+        Ok(Csc { pointers, indices })
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.pointers.len() - 1
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// The pointer array (`num_vertices + 1` entries).
+    #[inline]
+    pub fn pointers(&self) -> &[u32] {
+        &self.pointers
+    }
+
+    /// The index array of source VIDs.
+    #[inline]
+    pub fn indices(&self) -> &[Vid] {
+        &self.indices
+    }
+
+    /// All source VIDs with an edge into `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is out of range.
+    #[inline]
+    pub fn neighbors(&self, dst: Vid) -> &[Vid] {
+        let lo = self.pointers[dst.index()] as usize;
+        let hi = self.pointers[dst.index() + 1] as usize;
+        &self.indices[lo..hi]
+    }
+
+    /// In-degree of `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is out of range.
+    #[inline]
+    pub fn degree(&self, dst: Vid) -> usize {
+        self.neighbors(dst).len()
+    }
+
+    /// Reconstructs the (sorted) COO edge array.
+    pub fn to_coo(&self) -> Coo {
+        let mut edges = Vec::with_capacity(self.num_edges());
+        for d in 0..self.num_vertices() {
+            for &s in self.neighbors(Vid::from_index(d)) {
+                edges.push(Edge::new(s, Vid::from_index(d)));
+            }
+        }
+        Coo::new(self.num_vertices(), edges).expect("CSC invariants guarantee valid COO")
+    }
+
+    /// In-memory size in bytes: 4-byte pointers plus 4-byte indices.
+    #[inline]
+    pub fn byte_size(&self) -> u64 {
+        (self.pointers.len() as u64 + self.indices.len() as u64) * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Coo {
+        // Fig. 1-style small graph.
+        Coo::from_pairs(4, [(1, 0), (3, 0), (0, 2), (2, 2), (3, 2), (0, 3)]).unwrap()
+    }
+
+    #[test]
+    fn from_coo_builds_expected_arrays() {
+        let csc = Csc::from_coo(&sample());
+        assert_eq!(csc.pointers(), &[0, 2, 2, 5, 6]);
+        assert_eq!(
+            csc.indices(),
+            &[Vid(1), Vid(3), Vid(0), Vid(2), Vid(3), Vid(0)]
+        );
+        assert_eq!(csc.degree(Vid(2)), 3);
+        assert_eq!(csc.neighbors(Vid(1)), &[]);
+    }
+
+    #[test]
+    fn round_trip_coo_csc_coo() {
+        let csc = Csc::from_coo(&sample());
+        let back = csc.to_coo();
+        assert!(back.is_sorted_by_dst_src());
+        assert_eq!(Csc::from_coo(&back), csc);
+    }
+
+    #[test]
+    fn from_sorted_edges_matches_from_coo() {
+        let coo = sample();
+        let mut edges = coo.edges().to_vec();
+        edges.sort_unstable_by_key(|e| e.sort_key());
+        let a = Csc::from_sorted_edges(coo.num_vertices(), &edges).unwrap();
+        let b = Csc::from_coo(&coo);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_sorted_edges_rejects_unsorted() {
+        let edges = [Edge::new(Vid(0), Vid(2)), Edge::new(Vid(0), Vid(1))];
+        assert_eq!(
+            Csc::from_sorted_edges(3, &edges),
+            Err(GraphError::UnsortedEdges { position: 1 })
+        );
+    }
+
+    #[test]
+    fn new_validates_pointers() {
+        assert!(Csc::new(vec![], vec![]).is_err());
+        assert!(Csc::new(vec![1, 2], vec![Vid(0)]).is_err(), "first != 0");
+        assert!(Csc::new(vec![0, 2, 1], vec![Vid(0), Vid(0)]).is_err());
+        assert!(Csc::new(vec![0, 1], vec![]).is_err(), "last != len");
+        assert!(Csc::new(vec![0, 1], vec![Vid(7)]).is_err(), "vid range");
+        assert!(Csc::new(vec![0, 1], vec![Vid(0)]).is_ok());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let coo = Coo::from_pairs(0, []).unwrap();
+        let csc = Csc::from_coo(&coo);
+        assert_eq!(csc.num_vertices(), 0);
+        assert_eq!(csc.num_edges(), 0);
+        assert_eq!(csc.byte_size(), 4);
+    }
+
+    #[test]
+    fn byte_size_counts_both_arrays() {
+        let csc = Csc::from_coo(&sample());
+        assert_eq!(csc.byte_size(), (5 + 6) * 4);
+    }
+}

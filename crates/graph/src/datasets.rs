@@ -1,0 +1,282 @@
+//! The eleven-workload catalog of Table II.
+//!
+//! Each [`Dataset`] records the paper's full-scale parameters (#edges,
+//! #nodes, average degree, network category and — for the dynamic graphs —
+//! daily edge growth) and can instantiate a deterministic synthetic stand-in
+//! at any down-scaling factor via [`Dataset::generate_scaled`].
+
+use crate::generate;
+use crate::Coo;
+
+/// Network domain categories from Table II / §VI "Tested model and workloads".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Papers and citations: small sizes and degrees.
+    Citation,
+    /// Movies/restaurants and reviews: high connectivity.
+    Interaction,
+    /// Individuals/organisations: large, medium connectivity.
+    Social,
+    /// Customers/products and purchases: large.
+    Ecommerce,
+}
+
+impl Category {
+    /// Power-law exponent used by the generator for this category, chosen so
+    /// scaled instances reproduce the degree skew Table II implies (citation
+    /// graphs are near-uniform; interaction/e-commerce graphs are
+    /// hub-dominated).
+    pub fn alpha(self) -> f64 {
+        match self {
+            Category::Citation => 0.6,
+            Category::Interaction => 1.1,
+            Category::Social => 0.8,
+            Category::Ecommerce => 1.0,
+        }
+    }
+}
+
+impl std::fmt::Display for Category {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Category::Citation => "citation",
+            Category::Interaction => "interaction",
+            Category::Social => "social",
+            Category::Ecommerce => "e-commerce",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One of the eleven evaluation datasets (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Physics (PH): 495 K edges, 34.5 K nodes, deg 14.4 — citation.
+    Physics,
+    /// ogbn-arxiv (AX): 1.16 M edges, 169 K nodes, deg 6.84 — citation.
+    Arxiv,
+    /// ogbl-collab (CL): 2.36 M edges, 236 K nodes, deg 10.0 — citation.
+    Collab,
+    /// Yelp (YL): 6.81 M edges, 46.0 K nodes, deg 148 — interaction.
+    Yelp,
+    /// Fraud (FR): 7.13 M edges, 11.9 K nodes, deg 597 — interaction.
+    Fraud,
+    /// Movie (MV): 11.3 M edges, 3.71 K nodes, deg 3052 — interaction.
+    Movie,
+    /// Reddit2 (RD): 23.2 M edges, 233 K nodes, deg 99.6 — social.
+    Reddit,
+    /// StackOverflow (SO): 63.5 M edges, 6.02 M nodes, deg 10.5 — social.
+    StackOverflow,
+    /// LiveJournal (JR): 69.0 M edges, 4.85 M nodes, deg 14.2 — social.
+    Journal,
+    /// Amazon (AM): 123 M edges, 2.45 M nodes, deg 50.5 — e-commerce.
+    Amazon,
+    /// Taobao (TB): 400 M edges, 230 K nodes, deg 1744 — e-commerce.
+    Taobao,
+}
+
+/// Full-scale parameters of a dataset as Table II reports them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetSpec {
+    /// Two-letter abbreviation used throughout the paper's figures.
+    pub abbrev: &'static str,
+    /// Full-scale edge count.
+    pub edges: u64,
+    /// Full-scale node count.
+    pub nodes: u64,
+    /// Average degree (`edges / nodes`, as printed in Table II).
+    pub degree: f64,
+    /// Network category.
+    pub category: Category,
+    /// Daily edge growth in percent, where the paper reports one
+    /// (§III-A: SO 0.52 %/day, TB 0.95 %/day).
+    pub daily_growth_pct: Option<f64>,
+}
+
+impl Dataset {
+    /// Every dataset, in the left-to-right order of the paper's figures
+    /// (grouped by domain, ascending edge count).
+    pub const ALL: [Dataset; 11] = [
+        Dataset::Physics,
+        Dataset::Arxiv,
+        Dataset::Collab,
+        Dataset::Yelp,
+        Dataset::Fraud,
+        Dataset::Movie,
+        Dataset::Reddit,
+        Dataset::StackOverflow,
+        Dataset::Journal,
+        Dataset::Amazon,
+        Dataset::Taobao,
+    ];
+
+    /// The Table II parameters for this dataset.
+    pub fn spec(self) -> DatasetSpec {
+        use Category::*;
+        use Dataset::*;
+        let (abbrev, edges, nodes, degree, category, growth) = match self {
+            Physics => ("PH", 495_000, 34_500, 14.4, Citation, None),
+            Arxiv => ("AX", 1_160_000, 169_000, 6.84, Citation, None),
+            Collab => ("CL", 2_360_000, 236_000, 10.0, Citation, None),
+            Yelp => ("YL", 6_810_000, 46_000, 148.0, Interaction, None),
+            Fraud => ("FR", 7_130_000, 11_900, 597.0, Interaction, None),
+            Movie => ("MV", 11_300_000, 3_710, 3052.0, Interaction, None),
+            Reddit => ("RD", 23_200_000, 233_000, 99.6, Social, None),
+            StackOverflow => ("SO", 63_500_000, 6_020_000, 10.5, Social, Some(0.52)),
+            Journal => ("JR", 69_000_000, 4_850_000, 14.2, Social, None),
+            Amazon => ("AM", 123_000_000, 2_450_000, 50.5, Ecommerce, None),
+            Taobao => ("TB", 400_000_000, 230_000, 1744.0, Ecommerce, Some(0.95)),
+        };
+        DatasetSpec {
+            abbrev,
+            edges,
+            nodes,
+            degree,
+            category,
+            daily_growth_pct: growth,
+        }
+    }
+
+    /// Two-letter figure abbreviation ("PH", "AX", …).
+    pub fn abbrev(self) -> &'static str {
+        self.spec().abbrev
+    }
+
+    /// Looks a dataset up by its abbreviation.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use agnn_graph::datasets::Dataset;
+    ///
+    /// assert_eq!(Dataset::from_abbrev("TB"), Some(Dataset::Taobao));
+    /// assert_eq!(Dataset::from_abbrev("??"), None);
+    /// ```
+    pub fn from_abbrev(abbrev: &str) -> Option<Dataset> {
+        Dataset::ALL.into_iter().find(|d| d.abbrev() == abbrev)
+    }
+
+    /// Generates a deterministic synthetic instance scaled down by `scale`
+    /// (`scale = 1` is full Table II size; `scale = 64` divides nodes and
+    /// edges by 64, preserving the average degree and category skew).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale == 0`.
+    pub fn generate_scaled(self, scale: u64, seed: u64) -> Coo {
+        assert!(scale > 0, "scale must be positive");
+        let spec = self.spec();
+        let nodes = (spec.nodes / scale).max(16) as usize;
+        let edges = (spec.edges / scale).max(64) as usize;
+        generate::power_law(nodes, edges, spec.category.alpha(), seed ^ self.seed_salt())
+    }
+
+    /// Scale factor that keeps the functional instance at or below
+    /// `max_edges` edges, for running the real simulator on every dataset.
+    pub fn scale_for_max_edges(self, max_edges: u64) -> u64 {
+        let e = self.spec().edges;
+        e.div_ceil(max_edges).max(1)
+    }
+
+    fn seed_salt(self) -> u64 {
+        // Distinct generator streams per dataset.
+        Dataset::ALL.iter().position(|&d| d == self).unwrap() as u64 * 0x9e37_79b9
+    }
+}
+
+impl std::fmt::Display for Dataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_matches_table_ii_key_entries() {
+        let tb = Dataset::Taobao.spec();
+        assert_eq!(tb.edges, 400_000_000);
+        assert_eq!(tb.nodes, 230_000);
+        assert_eq!(tb.category, Category::Ecommerce);
+        assert_eq!(tb.daily_growth_pct, Some(0.95));
+
+        let ph = Dataset::Physics.spec();
+        assert_eq!(ph.edges, 495_000);
+        assert_eq!(ph.category, Category::Citation);
+        assert_eq!(ph.daily_growth_pct, None);
+    }
+
+    #[test]
+    fn degree_column_is_consistent_with_counts() {
+        for d in Dataset::ALL {
+            let s = d.spec();
+            let computed = s.edges as f64 / s.nodes as f64;
+            let rel = (computed - s.degree).abs() / s.degree;
+            assert!(
+                rel < 0.05,
+                "{}: Table II degree {} vs e/n {computed}",
+                s.abbrev,
+                s.degree
+            );
+        }
+    }
+
+    #[test]
+    fn figure_order_is_ascending_edges_within_category() {
+        for pair in Dataset::ALL.windows(2) {
+            let (a, b) = (pair[0].spec(), pair[1].spec());
+            if a.category == b.category {
+                assert!(a.edges <= b.edges, "{} before {}", a.abbrev, b.abbrev);
+            }
+        }
+    }
+
+    #[test]
+    fn abbrev_round_trip() {
+        for d in Dataset::ALL {
+            assert_eq!(Dataset::from_abbrev(d.abbrev()), Some(d));
+            assert_eq!(d.to_string(), d.abbrev());
+        }
+    }
+
+    #[test]
+    fn scaled_generation_preserves_average_degree() {
+        for d in [Dataset::Physics, Dataset::Movie, Dataset::Taobao] {
+            let spec = d.spec();
+            let scale = d.scale_for_max_edges(100_000);
+            let g = d.generate_scaled(scale, 42);
+            let rel = (g.average_degree() - spec.degree).abs() / spec.degree;
+            assert!(
+                rel < 0.25,
+                "{}: degree {} vs target {}",
+                spec.abbrev,
+                g.average_degree(),
+                spec.degree
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Dataset::Arxiv.generate_scaled(128, 1);
+        let b = Dataset::Arxiv.generate_scaled(128, 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scale_for_max_edges_bounds_edge_count() {
+        for d in Dataset::ALL {
+            let scale = d.scale_for_max_edges(500_000);
+            assert!(d.spec().edges / scale <= 500_000);
+        }
+    }
+
+    #[test]
+    fn interaction_graphs_have_hubbier_scaled_instances_than_citation() {
+        let cit = Dataset::Arxiv.generate_scaled(Dataset::Arxiv.scale_for_max_edges(50_000), 3);
+        let mov = Dataset::Movie.generate_scaled(Dataset::Movie.scale_for_max_edges(50_000), 3);
+        assert!(mov.degree_stats().mean > cit.degree_stats().mean * 10.0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Error types for graph construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or validating graph structures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge references a vertex at or beyond `num_vertices`.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vid: u32,
+        /// The number of vertices the graph declares.
+        num_vertices: usize,
+    },
+    /// A CSC pointer array is malformed (wrong length, non-monotonic, or the
+    /// final pointer disagrees with the index-array length).
+    MalformedPointers {
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// The edges handed to a sorted-input constructor were not sorted by
+    /// (dst, src).
+    UnsortedEdges {
+        /// Index of the first out-of-order edge.
+        position: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vid, num_vertices } => write!(
+                f,
+                "vertex v{vid} out of range for graph with {num_vertices} vertices"
+            ),
+            GraphError::MalformedPointers { detail } => {
+                write!(f, "malformed CSC pointer array: {detail}")
+            }
+            GraphError::UnsortedEdges { position } => {
+                write!(f, "edge array not sorted by (dst, src) at position {position}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = GraphError::VertexOutOfRange {
+            vid: 9,
+            num_vertices: 4,
+        };
+        assert!(e.to_string().contains("v9"));
+        assert!(e.to_string().contains('4'));
+
+        let e = GraphError::UnsortedEdges { position: 3 };
+        assert!(e.to_string().contains('3'));
+
+        let e = GraphError::MalformedPointers {
+            detail: "last pointer 5 != 4 edges".into(),
+        };
+        assert!(e.to_string().contains("last pointer"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

@@ -1,0 +1,160 @@
+//! Vertex identifiers and edges.
+
+use std::fmt;
+
+/// A vertex identification (VID).
+///
+/// The paper's hardware assumes VIDs are "integers drawn from a small,
+/// contiguous range" (§IV-A) and sizes its comparators at 32 bits (§IV-C),
+/// so the newtype wraps a `u32`.
+///
+/// # Examples
+///
+/// ```
+/// use agnn_graph::Vid;
+///
+/// let v = Vid(7);
+/// assert_eq!(v.index(), 7usize);
+/// assert_eq!(Vid::from_index(7), v);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Vid(pub u32);
+
+impl Vid {
+    /// Returns the VID as a `usize` index into vertex-indexed arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a VID from a `usize` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        Vid(u32::try_from(index).expect("vertex index exceeds u32 range"))
+    }
+}
+
+impl fmt::Display for Vid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for Vid {
+    fn from(raw: u32) -> Self {
+        Vid(raw)
+    }
+}
+
+impl From<Vid> for u32 {
+    fn from(vid: Vid) -> Self {
+        vid.0
+    }
+}
+
+/// A directed edge as stored in COO format: a (source, destination) VID pair.
+///
+/// Edge ordering sorts primarily by [`dst`](Edge::dst) and secondarily by
+/// [`src`](Edge::src) (§II-B), which corresponds to comparing the
+/// [`sort_key`](Edge::sort_key) — the two VIDs concatenated into 64 bits,
+/// exactly the word the UPE relocation datapath is sized for (§IV-C).
+///
+/// # Examples
+///
+/// ```
+/// use agnn_graph::{Edge, Vid};
+///
+/// let e = Edge::new(Vid(3), Vid(9));
+/// assert_eq!(e.sort_key(), (9u64 << 32) | 3);
+/// assert_eq!(Edge::from_sort_key(e.sort_key()), e);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Edge {
+    /// Source vertex.
+    pub src: Vid,
+    /// Destination vertex.
+    pub dst: Vid,
+}
+
+impl Edge {
+    /// Creates an edge from `src` to `dst`.
+    #[inline]
+    pub fn new(src: Vid, dst: Vid) -> Self {
+        Edge { src, dst }
+    }
+
+    /// The concatenated 64-bit key `(dst << 32) | src` used by edge ordering.
+    #[inline]
+    pub fn sort_key(self) -> u64 {
+        (u64::from(self.dst.0) << 32) | u64::from(self.src.0)
+    }
+
+    /// Deconcatenates a 64-bit sort key back into an edge.
+    #[inline]
+    pub fn from_sort_key(key: u64) -> Self {
+        Edge {
+            src: Vid((key & 0xffff_ffff) as u32),
+            dst: Vid((key >> 32) as u32),
+        }
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}->{}", self.src, self.dst)
+    }
+}
+
+impl From<(u32, u32)> for Edge {
+    fn from((src, dst): (u32, u32)) -> Self {
+        Edge::new(Vid(src), Vid(dst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vid_index_round_trip() {
+        assert_eq!(Vid::from_index(42).index(), 42);
+        assert_eq!(u32::from(Vid(5)), 5);
+        assert_eq!(Vid::from(5u32), Vid(5));
+    }
+
+    #[test]
+    fn vid_display_is_nonempty() {
+        assert_eq!(Vid(3).to_string(), "v3");
+    }
+
+    #[test]
+    fn edge_sort_key_orders_by_dst_then_src() {
+        let a = Edge::new(Vid(9), Vid(1));
+        let b = Edge::new(Vid(0), Vid(2));
+        let c = Edge::new(Vid(1), Vid(2));
+        assert!(a.sort_key() < b.sort_key());
+        assert!(b.sort_key() < c.sort_key());
+    }
+
+    #[test]
+    fn edge_key_round_trip_extremes() {
+        for e in [
+            Edge::new(Vid(0), Vid(0)),
+            Edge::new(Vid(u32::MAX), Vid(0)),
+            Edge::new(Vid(0), Vid(u32::MAX)),
+            Edge::new(Vid(u32::MAX), Vid(u32::MAX)),
+        ] {
+            assert_eq!(Edge::from_sort_key(e.sort_key()), e);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32 range")]
+    fn vid_from_oversized_index_panics() {
+        let _ = Vid::from_index(usize::MAX);
+    }
+}

@@ -1,0 +1,164 @@
+//! LUT accounting and the two-region floorplan.
+//!
+//! §V-B: "AutoGNN partitions the device into two reconfigurable regions with
+//! a fixed area split of 70:30"; Fig. 17 shows the resulting floorplan on
+//! the 4.1 M-LUT VPK180 (Table III).
+
+/// LUTs one UPE of the given width occupies.
+///
+/// The UPE datapath is a `log2(w)`-layer hierarchical adder network whose
+/// adders are `log2(w)` bits wide ("because the inputs are booleans, each
+/// adder only needs a width of log n bits", §IV-C) plus a `log2(w)`-layer
+/// relocation router of 64-bit 2:1 muxes ("the input/output width matches
+/// the bit width of the array elements … 64 bits in AutoGNN"). Both scale as
+/// `w · log2(w)` lanes with per-lane cost `log2(w) + 64`; the constant is
+/// fitted so that 240 width-64 UPEs fill the VPK180's 70 % region, matching
+/// §V-A.
+pub fn upe_luts(width: usize) -> u64 {
+    assert!(width.is_power_of_two() && width >= 2);
+    let lg = width.trailing_zeros() as u64;
+    let lanes = width as u64 * lg;
+    // 0.4448 LUTs per lane-bit, fitted to the §V-A operating point.
+    (lanes * (lg + 64) * 4448).div_ceil(10000)
+}
+
+/// LUTs one SCR slot of the given width occupies: `w` 32-bit comparators
+/// ("the comparator must match the bit width of the comparison target —
+/// 32 bits for a VID", §IV-C) plus an adder/filter tree of `w − 1` nodes up
+/// to 33 bits wide. ≈ 150 LUTs per comparator lane, fitted so one
+/// 8192-wide slot fills the VPK180's 30 % region.
+pub fn scr_luts(width: usize) -> u64 {
+    assert!(width.is_power_of_two() && width >= 2);
+    width as u64 * 150
+}
+
+/// A device floorplan: total LUTs and the UPE/SCR area split.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Floorplan {
+    total_luts: u64,
+    upe_fraction: f64,
+}
+
+impl Floorplan {
+    /// Creates a floorplan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `upe_fraction` is outside `(0, 1)`.
+    pub fn new(total_luts: u64, upe_fraction: f64) -> Self {
+        assert!(
+            upe_fraction > 0.0 && upe_fraction < 1.0,
+            "UPE fraction must be in (0, 1)"
+        );
+        Floorplan {
+            total_luts,
+            upe_fraction,
+        }
+    }
+
+    /// The VPK180 evaluation board: 4.1 M LUTs, 70:30 UPE:SCR split
+    /// (Table III, §V-B).
+    pub fn vpk180() -> Self {
+        Floorplan::new(4_100_000, 0.70)
+    }
+
+    /// Total device LUTs.
+    pub fn total_luts(&self) -> u64 {
+        self.total_luts
+    }
+
+    /// LUTs available to the UPE region.
+    pub fn upe_region_luts(&self) -> u64 {
+        (self.total_luts as f64 * self.upe_fraction) as u64
+    }
+
+    /// LUTs available to the SCR region.
+    pub fn scr_region_luts(&self) -> u64 {
+        self.total_luts - self.upe_region_luts()
+    }
+
+    /// Maximum UPE instances of `width` that fit the UPE region.
+    pub fn max_upe_count(&self, width: usize) -> usize {
+        (self.upe_region_luts() / upe_luts(width)) as usize
+    }
+
+    /// Largest power-of-two SCR width such that `slots` slots fit the SCR
+    /// region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if even width 2 does not fit.
+    pub fn max_scr_width(&self, slots: usize) -> usize {
+        let budget = self.scr_region_luts() / slots as u64;
+        let mut width = 2;
+        while scr_luts(width * 2) <= budget {
+            width *= 2;
+        }
+        assert!(scr_luts(width) <= budget, "SCR region too small");
+        width
+    }
+
+    /// Returns a floorplan with a different UPE fraction (DynArea search,
+    /// Fig. 22).
+    pub fn with_upe_fraction(&self, upe_fraction: f64) -> Self {
+        Floorplan::new(self.total_luts, upe_fraction)
+    }
+
+    /// Returns a floorplan scaled to a different total LUT count
+    /// (Fig. 26a LUT sweep).
+    pub fn with_total_luts(&self, total_luts: u64) -> Self {
+        Floorplan::new(total_luts, self.upe_fraction)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vpk180_fits_240_width64_upes() {
+        assert_eq!(Floorplan::vpk180().max_upe_count(64), 240);
+    }
+
+    #[test]
+    fn vpk180_single_scr_slot_is_8192_wide() {
+        // 30% of 4.1M = 1.23M LUTs; 8192 * 150 = 1.2288M fits, 16384 doesn't.
+        assert_eq!(Floorplan::vpk180().max_scr_width(1), 8192);
+        assert_eq!(Floorplan::vpk180().max_scr_width(8), 1024);
+    }
+
+    #[test]
+    fn upe_luts_grow_superlinearly() {
+        assert!(upe_luts(128) > 2 * upe_luts(64));
+        assert!(upe_luts(4096) <= Floorplan::vpk180().upe_region_luts());
+    }
+
+    #[test]
+    fn regions_partition_the_device() {
+        let plan = Floorplan::vpk180();
+        assert_eq!(
+            plan.upe_region_luts() + plan.scr_region_luts(),
+            plan.total_luts()
+        );
+    }
+
+    #[test]
+    fn area_rebalancing_trades_regions() {
+        let plan = Floorplan::vpk180();
+        let upe_heavy = plan.with_upe_fraction(0.9);
+        assert!(upe_heavy.max_upe_count(64) > plan.max_upe_count(64));
+        assert!(upe_heavy.max_scr_width(1) < plan.max_scr_width(1));
+    }
+
+    #[test]
+    fn lut_sweep_scales_capacity() {
+        let small = Floorplan::vpk180().with_total_luts(400_000);
+        assert!(small.max_upe_count(64) < 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "in (0, 1)")]
+    fn rejects_degenerate_fraction() {
+        Floorplan::new(1_000, 1.0);
+    }
+}

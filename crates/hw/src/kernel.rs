@@ -1,0 +1,708 @@
+//! The UPE and SCR kernels: controllers, scheduling and cycle accounting.
+//!
+//! The UPE kernel (Fig. 12a) couples a controller, a scoreboard scheduler
+//! and a scratchpad around `n` identical UPEs; the SCR kernel (Fig. 13a)
+//! couples the *reshaper* and *reindexer* controllers around `n` SCR slots
+//! and an SRAM mapping bank.
+//!
+//! # Fidelity
+//!
+//! Each kernel runs in one of two fidelities with **identical cycle
+//! accounting and identical functional output**:
+//!
+//! - [`Fidelity::Structural`] evaluates every prefix-sum/relocation network
+//!   layer and every comparator/reducer tree explicitly (and asserts the
+//!   result against the software model) — used by the verification tests;
+//! - [`Fidelity::Fast`] computes the same result with plain software
+//!   operations — used for large experiment sweeps.
+
+use agnn_algo::pipeline::PoolRecord;
+use agnn_algo::reindex::ReindexResult;
+use agnn_graph::{Edge, Vid};
+
+use crate::config::{ScrConfig, UpeConfig};
+use crate::scr::Scr;
+use crate::upe::Upe;
+
+/// Simulation fidelity; see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Fidelity {
+    /// Gate-level network evaluation with golden-model assertions.
+    Structural,
+    /// Software-equivalent computation, identical outputs and cycles.
+    #[default]
+    Fast,
+}
+
+/// Cascaded set-partition stages the radix datapath evaluates per cycle.
+///
+/// A width-64 partition network is shallow enough at the 300 MHz kernel
+/// clock to chain several stages per cycle; 16 binary-radix stages per cycle
+/// makes in-chunk sorting a small fraction of merge time, matching the cost
+/// model's decision to account only merge rounds (Table I).
+pub const RADIX_STAGES_PER_CYCLE: u32 = 16;
+
+/// Outcome of an edge-ordering run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SortRun {
+    /// Edges sorted by (dst, src).
+    pub sorted: Vec<Edge>,
+    /// Kernel cycles consumed.
+    pub cycles: u64,
+    /// Set-partition network passes issued.
+    pub upe_passes: u64,
+}
+
+/// Outcome of a selection run over one layer of pools.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectRun {
+    /// Kernel cycles consumed (makespan across UPEs).
+    pub cycles: u64,
+    /// One-hot extraction passes issued.
+    pub upe_passes: u64,
+}
+
+/// Greedy list scheduling: assign jobs in order to the earliest-free worker
+/// and return the makespan — the scoreboard scheduler's behaviour ("using a
+/// scoreboard to track the status of each UPE (busy or idle) and assign
+/// input data accordingly", §IV-C).
+pub fn schedule_makespan(job_cycles: impl IntoIterator<Item = u64>, workers: usize) -> u64 {
+    assert!(workers > 0, "scheduler needs at least one worker");
+    let mut free_at = vec![0u64; workers];
+    for job in job_cycles {
+        let worker = (0..workers)
+            .min_by_key(|&w| free_at[w])
+            .expect("non-empty worker set");
+        free_at[worker] += job;
+    }
+    free_at.into_iter().max().unwrap_or(0)
+}
+
+/// The UPE kernel: `config.count` UPEs of `config.width` behind a scoreboard
+/// scheduler.
+#[derive(Debug, Clone)]
+pub struct UpeKernel {
+    config: UpeConfig,
+    upe: Upe,
+    fidelity: Fidelity,
+}
+
+impl UpeKernel {
+    /// Creates a kernel in [`Fidelity::Fast`].
+    pub fn new(config: UpeConfig) -> Self {
+        Self::with_fidelity(config, Fidelity::Fast)
+    }
+
+    /// Creates a kernel with an explicit fidelity.
+    pub fn with_fidelity(config: UpeConfig, fidelity: Fidelity) -> Self {
+        UpeKernel {
+            config,
+            upe: Upe::new(config.width),
+            fidelity,
+        }
+    }
+
+    /// The kernel configuration.
+    pub fn config(&self) -> UpeConfig {
+        self.config
+    }
+
+    /// Edge ordering (Fig. 15): concatenate VID pairs into 64-bit keys,
+    /// split into width-sized chunks, radix-sort each chunk on a UPE, then
+    /// merge chunk runs round by round (Algorithm 1) and deconcatenate.
+    ///
+    /// Cycle accounting:
+    /// - chunk sort: `ceil(significant_bits / RADIX_STAGES_PER_CYCLE)`
+    ///   cycles per chunk, scheduled across UPEs;
+    /// - each merge round: jobs emit `width/2` elements per cycle per UPE
+    ///   (Table I's merge rate), scheduled across UPEs with a barrier
+    ///   between rounds (the controller synchronizes rounds).
+    pub fn sort_edges(&self, edges: &[Edge]) -> SortRun {
+        let width = self.config.width;
+        let keys: Vec<u64> = edges.iter().map(|e| e.sort_key()).collect();
+        let significant_bits = keys
+            .iter()
+            .copied()
+            .max()
+            .map_or(0, |max| 64 - max.leading_zeros());
+        let chunk_sort_cycles = u64::from(significant_bits.div_ceil(RADIX_STAGES_PER_CYCLE));
+
+        // Phase 1: split + per-chunk radix sort.
+        let mut runs: Vec<Vec<u64>> = Vec::with_capacity(keys.len().div_ceil(width).max(1));
+        let mut upe_passes = 0u64;
+        for chunk in keys.chunks(width.max(1)) {
+            let sorted = match self.fidelity {
+                Fidelity::Structural => {
+                    let (sorted, passes) = self.upe.radix_sort_chunk(chunk);
+                    upe_passes += passes * 2; // zero-pass + one-pass per bit
+                    let mut expected = chunk.to_vec();
+                    expected.sort_unstable();
+                    assert_eq!(sorted, expected, "UPE chunk sort diverged");
+                    sorted
+                }
+                Fidelity::Fast => {
+                    // Mirror the structural pass count: one zero-pass and one
+                    // one-pass per significant bit of the chunk's max key.
+                    if chunk.len() > 1 {
+                        let chunk_bits = chunk
+                            .iter()
+                            .copied()
+                            .max()
+                            .map_or(0, |max| 64 - max.leading_zeros());
+                        upe_passes += 2 * u64::from(chunk_bits);
+                    }
+                    let mut sorted = chunk.to_vec();
+                    sorted.sort_unstable();
+                    sorted
+                }
+            };
+            runs.push(sorted);
+        }
+        let mut cycles = schedule_makespan(
+            runs.iter().map(|_| chunk_sort_cycles),
+            self.config.count,
+        );
+
+        // Phase 2: merge rounds (Fig. 15 "merging"; Algorithm 1 rate w/2
+        // elements per cycle per UPE). While a round has at least as many
+        // merge jobs as UPEs, rounds execute back to back with full
+        // parallelism; once jobs drop below the UPE count, the controller
+        // chains the remaining merge tree as a pipelined cascade whose
+        // throughput is the root merger's w/2 elements per cycle.
+        let half = (width / 2).max(1) as u64;
+        let total_elements = keys.len() as u64;
+        let mut cascade_charged = false;
+        while runs.len() > 1 {
+            let job_count = runs.len() / 2;
+            let mut next = Vec::with_capacity(runs.len().div_ceil(2));
+            let mut job_cycles = Vec::new();
+            let mut iter = runs.into_iter();
+            while let Some(a) = iter.next() {
+                match iter.next() {
+                    Some(b) => {
+                        job_cycles.push(((a.len() + b.len()) as u64).div_ceil(half));
+                        next.push(agnn_algo::sort::merge_sorted(&a, &b));
+                    }
+                    None => next.push(a),
+                }
+            }
+            if job_count >= self.config.count {
+                cycles += schedule_makespan(job_cycles, self.config.count);
+            } else if !cascade_charged {
+                cycles += total_elements.div_ceil(half);
+                cascade_charged = true;
+            }
+            runs = next;
+        }
+
+        let sorted = runs
+            .pop()
+            .unwrap_or_default()
+            .into_iter()
+            .map(Edge::from_sort_key)
+            .collect();
+        SortRun {
+            sorted,
+            cycles,
+            upe_passes,
+        }
+    }
+
+    /// Uni-random selection for one layer: each pool record is one UPE job
+    /// costing one cycle per draw (one-hot extraction, Fig. 16) plus
+    /// `ceil(pool_len / width)` cycles for the final bitmap partition that
+    /// extracts the sampled neighborhood; jobs are scheduled across UPEs.
+    ///
+    /// In [`Fidelity::Structural`] every recorded draw is replayed through
+    /// the one-hot extraction network against the actual pool contents.
+    pub fn select_layer(&self, pools: &[PoolRecord], pool_values: &[Vec<u64>]) -> SelectRun {
+        let width = self.config.width as u64;
+        let mut upe_passes = 0u64;
+        let mut job_cycles = Vec::with_capacity(pools.len());
+        for (record, values) in pools.iter().zip(pool_values) {
+            debug_assert_eq!(record.pool_len as usize, values.len());
+            let draws = record.positions.len() as u64;
+            let final_extract = u64::from(record.pool_len).div_ceil(width).max(1);
+            job_cycles.push(draws + final_extract);
+            upe_passes += draws + final_extract;
+            if self.fidelity == Fidelity::Structural {
+                for &position in &record.positions {
+                    // Chunk the pool to the UPE width and extract within the
+                    // chunk holding the drawn position.
+                    let chunk_index = position as usize / self.config.width;
+                    let chunk_start = chunk_index * self.config.width;
+                    let chunk_end = (chunk_start + self.config.width).min(values.len());
+                    let extracted = self
+                        .upe
+                        .extract_one_hot(&values[chunk_start..chunk_end], position as usize - chunk_start);
+                    assert_eq!(
+                        extracted, values[position as usize],
+                        "one-hot extraction diverged"
+                    );
+                }
+            }
+        }
+        SelectRun {
+            cycles: schedule_makespan(job_cycles, self.config.count),
+            upe_passes,
+        }
+    }
+}
+
+/// Outcome of a reshaping run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReshapeRun {
+    /// The CSC pointer array (`num_vertices + 1` entries).
+    pub pointers: Vec<u32>,
+    /// Kernel cycles consumed.
+    pub cycles: u64,
+    /// Comparator-window evaluations issued.
+    pub scr_passes: u64,
+}
+
+/// The SCR reshaper: builds the CSC pointer array from the sorted
+/// destination array with the dual-counter window algorithm of §IV-C.
+#[derive(Debug, Clone)]
+pub struct Reshaper {
+    config: ScrConfig,
+    scr: Scr,
+    fidelity: Fidelity,
+}
+
+impl Reshaper {
+    /// Creates a reshaper in [`Fidelity::Fast`].
+    pub fn new(config: ScrConfig) -> Self {
+        Self::with_fidelity(config, Fidelity::Fast)
+    }
+
+    /// Creates a reshaper with an explicit fidelity.
+    pub fn with_fidelity(config: ScrConfig, fidelity: Fidelity) -> Self {
+        Reshaper {
+            config,
+            scr: Scr::new(config.width),
+            fidelity,
+        }
+    }
+
+    /// The kernel configuration.
+    pub fn config(&self) -> ScrConfig {
+        self.config
+    }
+
+    /// Builds the pointer array. Per cycle, every SCR slot evaluates one
+    /// target VID against the current window of `width` sorted destinations;
+    /// a target completes when the window proves its count ("whenever a
+    /// target VID meets a COO element with a value strictly larger than
+    /// itself"), and window elements below the current target are consumed,
+    /// fetching the next COO segment (§IV-C).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `sorted_dsts` is not sorted.
+    pub fn build_pointers(&self, num_vertices: usize, sorted_dsts: &[Vid]) -> ReshapeRun {
+        debug_assert!(sorted_dsts.windows(2).all(|w| w[0] <= w[1]));
+        let width = self.config.width;
+        let slots = self.config.slots;
+        let total = sorted_dsts.len();
+        let mut pointers = vec![0u32; num_vertices + 1];
+        let mut cycles = 0u64;
+        let mut scr_passes = 0u64;
+        let mut consumed = 0usize; // COO elements already consumed
+        let mut target = 0usize; // next pointer entry to finalize
+
+        while target <= num_vertices {
+            cycles += 1;
+            let window_end = (consumed + width).min(total);
+            let window = &sorted_dsts[consumed..window_end];
+            let window_is_last = window_end == total;
+
+            // Each slot evaluates one consecutive target this cycle.
+            let mut finished = 0usize;
+            for slot in 0..slots {
+                let t = target + slot;
+                if t > num_vertices {
+                    break;
+                }
+                scr_passes += 1;
+                let in_window = self.count_below(window, t as u32);
+                // The count is final once the window shows an element >= t
+                // or the COO is exhausted.
+                let proven = window_is_last
+                    || window.last().is_some_and(|&d| d.index() >= t);
+                if proven {
+                    pointers[t] = consumed as u32 + in_window;
+                    finished += 1;
+                } else {
+                    break;
+                }
+            }
+            target += finished;
+            // Consume window elements strictly below the current target —
+            // they "can no longer contribute to the remaining targets".
+            let consumable = window.partition_point(|&d| d.index() < target);
+            if finished == 0 {
+                // Whole window below the pending target: consume it all.
+                consumed = window_end;
+            } else {
+                consumed += consumable;
+            }
+        }
+
+        ReshapeRun {
+            pointers,
+            cycles,
+            scr_passes,
+        }
+    }
+
+    fn count_below(&self, window: &[Vid], target: u32) -> u32 {
+        match self.fidelity {
+            Fidelity::Structural => {
+                let raw: Vec<u32> = window.iter().map(|v| v.0).collect();
+                let counted = self.scr.count_less_than(&raw, target);
+                let expected = window.partition_point(|&d| d.0 < target) as u32;
+                assert_eq!(counted, expected, "SCR adder tree diverged");
+                counted
+            }
+            Fidelity::Fast => window.partition_point(|&d| d.0 < target) as u32,
+        }
+    }
+}
+
+/// Outcome of a reindexing run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReindexRun {
+    /// The first-appearance renumbering.
+    pub result: ReindexResult,
+    /// Kernel cycles consumed.
+    pub cycles: u64,
+    /// Comparator-window evaluations issued.
+    pub scr_passes: u64,
+    /// Peak SRAM mapping entries used.
+    pub peak_mappings: usize,
+}
+
+/// The SCR reindexer: first-appearance renumbering backed by an SRAM mapping
+/// bank searched by the filter tree (Fig. 13c).
+#[derive(Debug, Clone)]
+pub struct Reindexer {
+    config: ScrConfig,
+    scr: Scr,
+    fidelity: Fidelity,
+    sram_capacity: usize,
+}
+
+impl Reindexer {
+    /// Default SRAM mapping capacity (entries). Generous for sampled
+    /// subgraphs: a 2-layer, k = 10, b = 3000 workload touches ≈ 333 K
+    /// uniques at most.
+    pub const DEFAULT_SRAM_CAPACITY: usize = 1 << 20;
+
+    /// Creates a reindexer in [`Fidelity::Fast`].
+    pub fn new(config: ScrConfig) -> Self {
+        Self::with_fidelity(config, Fidelity::Fast)
+    }
+
+    /// Creates a reindexer with an explicit fidelity.
+    pub fn with_fidelity(config: ScrConfig, fidelity: Fidelity) -> Self {
+        Reindexer {
+            config,
+            scr: Scr::new(config.width),
+            fidelity,
+            sram_capacity: Self::DEFAULT_SRAM_CAPACITY,
+        }
+    }
+
+    /// The kernel configuration.
+    pub fn config(&self) -> ScrConfig {
+        self.config
+    }
+
+    /// Processes a VID stream. The SRAM mapping store is organized as
+    /// parallel banks, each fronted by one comparator window; every bank is
+    /// searched concurrently and the filter trees' results OR together, so
+    /// a lookup completes in one cycle for any map that fits the SRAM
+    /// (§IV-C's single-cycle claim, realized with banked comparators). A
+    /// miss additionally costs one insert cycle ("the reindexer increments
+    /// the counter, assigns it as the new VID, and stores the input target
+    /// and the counter value as a new mapping pair").
+    ///
+    /// [`Fidelity::Structural`] still evaluates the filter tree window by
+    /// window to verify the datapath.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mapping bank exceeds the SRAM capacity.
+    pub fn reindex(&self, stream: &[Vid]) -> ReindexRun {
+        let window = self.config.width * self.config.slots;
+        let mut mappings: Vec<(u32, u32)> = Vec::new();
+        let mut new_ids = Vec::with_capacity(stream.len());
+        let mut new_to_old = Vec::new();
+        let mut cycles = 0u64;
+        let mut scr_passes = 0u64;
+
+        for &old in stream {
+            let banks = mappings.len().div_ceil(window).max(1) as u64;
+            cycles += 1; // banked search: one cycle per lookup
+            scr_passes += banks * self.config.slots as u64;
+            let hit = match self.fidelity {
+                Fidelity::Structural => {
+                    let mut found = None;
+                    for chunk in mappings.chunks(self.config.width) {
+                        if let Some(renumbered) = self.scr.filter_lookup(chunk, old.0) {
+                            found = Some(renumbered);
+                            break;
+                        }
+                    }
+                    let expected = mappings
+                        .iter()
+                        .find(|&&(o, _)| o == old.0)
+                        .map(|&(_, r)| r);
+                    assert_eq!(found, expected, "SCR filter tree diverged");
+                    found
+                }
+                Fidelity::Fast => mappings
+                    .iter()
+                    .position(|&(o, _)| o == old.0)
+                    .map(|hit| mappings[hit].1),
+            };
+            match hit {
+                Some(renumbered) => new_ids.push(Vid(renumbered)),
+                None => {
+                    let fresh = new_to_old.len() as u32;
+                    assert!(
+                        mappings.len() < self.sram_capacity,
+                        "reindexer SRAM bank overflow at {} mappings",
+                        mappings.len()
+                    );
+                    mappings.push((old.0, fresh));
+                    new_to_old.push(old);
+                    new_ids.push(Vid(fresh));
+                    cycles += 1; // insert
+                }
+            }
+        }
+
+        ReindexRun {
+            result: ReindexResult {
+                new_ids,
+                new_to_old,
+            },
+            cycles,
+            scr_passes,
+            peak_mappings: mappings.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agnn_algo::ordering::order_edges_std;
+    use agnn_algo::reindex::reindex_hashmap;
+    use agnn_algo::reshape::pointer_array_sequential;
+    use agnn_graph::generate;
+
+    fn upe_kernel(count: usize, width: usize, fidelity: Fidelity) -> UpeKernel {
+        UpeKernel::with_fidelity(UpeConfig::new(count, width), fidelity)
+    }
+
+    #[test]
+    fn scheduler_balances_jobs() {
+        assert_eq!(schedule_makespan([4, 4, 4, 4], 2), 8);
+        assert_eq!(schedule_makespan([8, 1, 1, 1], 2), 8);
+        assert_eq!(schedule_makespan(std::iter::empty(), 3), 0);
+        assert_eq!(schedule_makespan([5], 10), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn scheduler_rejects_zero_workers() {
+        schedule_makespan([1], 0);
+    }
+
+    #[test]
+    fn sort_edges_matches_golden_model_both_fidelities() {
+        let g = generate::power_law(80, 600, 0.9, 7);
+        let expected = order_edges_std(g.edges());
+        for fidelity in [Fidelity::Fast, Fidelity::Structural] {
+            let kernel = upe_kernel(4, 16, fidelity);
+            let run = kernel.sort_edges(g.edges());
+            assert_eq!(run.sorted, expected, "{fidelity:?}");
+            assert!(run.cycles > 0);
+        }
+    }
+
+    #[test]
+    fn fidelities_agree_on_cycles() {
+        let g = generate::power_law(60, 400, 0.8, 3);
+        let fast = upe_kernel(4, 16, Fidelity::Fast).sort_edges(g.edges());
+        let structural = upe_kernel(4, 16, Fidelity::Structural).sort_edges(g.edges());
+        assert_eq!(fast.cycles, structural.cycles);
+        assert_eq!(fast.sorted, structural.sorted);
+    }
+
+    #[test]
+    fn sort_empty_and_single() {
+        let kernel = upe_kernel(2, 8, Fidelity::Structural);
+        assert!(kernel.sort_edges(&[]).sorted.is_empty());
+        let one = [Edge::new(Vid(3), Vid(1))];
+        assert_eq!(kernel.sort_edges(&one).sorted, one.to_vec());
+    }
+
+    #[test]
+    fn more_upes_reduce_sort_cycles() {
+        let g = generate::power_law(200, 4_000, 0.8, 5);
+        let few = upe_kernel(2, 64, Fidelity::Fast).sort_edges(g.edges());
+        let many = upe_kernel(32, 64, Fidelity::Fast).sort_edges(g.edges());
+        assert!(many.cycles < few.cycles);
+    }
+
+    #[test]
+    fn wider_upes_reduce_sort_cycles() {
+        let g = generate::power_law(200, 4_000, 0.8, 5);
+        let narrow = upe_kernel(8, 16, Fidelity::Fast).sort_edges(g.edges());
+        let wide = upe_kernel(8, 256, Fidelity::Fast).sort_edges(g.edges());
+        assert!(wide.cycles < narrow.cycles);
+    }
+
+    #[test]
+    fn select_layer_counts_draws_and_replays_extractions() {
+        let pools = vec![
+            PoolRecord {
+                parents: vec![Vid(0)],
+                pool_len: 5,
+                positions: vec![4, 0, 2],
+            },
+            PoolRecord {
+                parents: vec![Vid(1)],
+                pool_len: 3,
+                positions: vec![1],
+            },
+        ];
+        let values = vec![vec![10, 11, 12, 13, 14], vec![20, 21, 22]];
+        let kernel = upe_kernel(1, 8, Fidelity::Structural);
+        let run = kernel.select_layer(&pools, &values);
+        // Pool 1: 3 draws + 1 extraction; pool 2: 1 draw + 1 extraction.
+        assert_eq!(run.cycles, 6);
+        assert_eq!(run.upe_passes, 6);
+    }
+
+    #[test]
+    fn select_layer_parallelizes_across_upes() {
+        let pools: Vec<PoolRecord> = (0..8)
+            .map(|i| PoolRecord {
+                parents: vec![Vid(i)],
+                pool_len: 4,
+                positions: vec![0, 1],
+            })
+            .collect();
+        let values: Vec<Vec<u64>> = (0..8).map(|_| vec![1, 2, 3, 4]).collect();
+        let serial = upe_kernel(1, 8, Fidelity::Fast).select_layer(&pools, &values);
+        let parallel = upe_kernel(8, 8, Fidelity::Fast).select_layer(&pools, &values);
+        assert_eq!(serial.cycles, 8 * 3);
+        assert_eq!(parallel.cycles, 3);
+    }
+
+    #[test]
+    fn reshaper_matches_golden_pointer_array() {
+        let g = generate::power_law(64, 800, 1.0, 9);
+        let mut dsts: Vec<Vid> = g.edges().iter().map(|e| e.dst).collect();
+        dsts.sort_unstable();
+        let expected = pointer_array_sequential(64, &dsts);
+        for fidelity in [Fidelity::Fast, Fidelity::Structural] {
+            let reshaper = Reshaper::with_fidelity(ScrConfig::new(2, 16), fidelity);
+            let run = reshaper.build_pointers(64, &dsts);
+            assert_eq!(run.pointers, expected, "{fidelity:?}");
+        }
+    }
+
+    #[test]
+    fn reshaper_cycle_count_tracks_table_i_bound() {
+        // cycles ~ max(n / slots, e / width) for uniform data (Table I).
+        let g = generate::uniform(256, 4_096, 2);
+        let mut dsts: Vec<Vid> = g.edges().iter().map(|e| e.dst).collect();
+        dsts.sort_unstable();
+        let reshaper = Reshaper::new(ScrConfig::new(4, 64));
+        let run = reshaper.build_pointers(256, &dsts);
+        let bound = 4_096u64 / 64; // the edge-side term binds here
+        assert!(
+            run.cycles >= bound && run.cycles < bound * 3,
+            "cycles {} vs bound {bound}",
+            run.cycles
+        );
+    }
+
+    #[test]
+    fn reshaper_handles_empty_graph() {
+        let reshaper = Reshaper::new(ScrConfig::new(1, 8));
+        let run = reshaper.build_pointers(5, &[]);
+        assert_eq!(run.pointers, vec![0; 6]);
+    }
+
+    #[test]
+    fn reshaper_handles_hub_vertex() {
+        // One destination owning every edge exercises the consume-window
+        // path where no target finishes for many cycles.
+        let dsts = vec![Vid(3); 100];
+        let reshaper = Reshaper::with_fidelity(ScrConfig::new(1, 8), Fidelity::Structural);
+        let run = reshaper.build_pointers(5, &dsts);
+        assert_eq!(run.pointers, vec![0, 0, 0, 0, 100, 100]);
+    }
+
+    #[test]
+    fn more_slots_help_pointer_heavy_graphs() {
+        // Low-degree graph: many vertices, few edges per vertex — the AX
+        // pattern of Fig. 23a where slot count matters.
+        let g = generate::uniform(2_048, 4_096, 3);
+        let mut dsts: Vec<Vid> = g.edges().iter().map(|e| e.dst).collect();
+        dsts.sort_unstable();
+        let one = Reshaper::new(ScrConfig::new(1, 256)).build_pointers(2_048, &dsts);
+        let eight = Reshaper::new(ScrConfig::new(8, 256)).build_pointers(2_048, &dsts);
+        assert!(eight.cycles * 2 < one.cycles);
+    }
+
+    #[test]
+    fn reindexer_matches_golden_model_both_fidelities() {
+        let stream: Vec<Vid> = [5u32, 9, 5, 1, 9, 9, 2, 5].into_iter().map(Vid).collect();
+        let expected = reindex_hashmap(&stream);
+        for fidelity in [Fidelity::Fast, Fidelity::Structural] {
+            let reindexer = Reindexer::with_fidelity(ScrConfig::new(2, 4), fidelity);
+            let run = reindexer.reindex(&stream);
+            assert_eq!(run.result, expected, "{fidelity:?}");
+            assert_eq!(run.peak_mappings, 4);
+        }
+    }
+
+    #[test]
+    fn reindexer_charges_insert_cycles() {
+        let reindexer = Reindexer::new(ScrConfig::new(1, 8));
+        // All distinct: each input costs 1 lookup + 1 insert.
+        let stream: Vec<Vid> = (0..5).map(Vid).collect();
+        let run = reindexer.reindex(&stream);
+        assert_eq!(run.cycles, 10);
+        // All duplicates after the first: 1 lookup each, single insert.
+        let dup = vec![Vid(7); 5];
+        let run = reindexer.reindex(&dup);
+        assert_eq!(run.cycles, 5 + 1);
+    }
+
+    #[test]
+    fn reindexer_bank_count_grows_with_mapping_size() {
+        // Lookups stay single-cycle (banked search), but the comparator
+        // work — scr_passes — grows with the number of occupied banks.
+        let narrow = Reindexer::new(ScrConfig::new(1, 2));
+        let stream: Vec<Vid> = (0..64).map(Vid).collect();
+        let run = narrow.reindex(&stream);
+        assert_eq!(run.cycles, 64 + 64, "one lookup + one insert per input");
+        let expected_bank_exams: u64 = (0..64u64).map(|i| i.div_ceil(2).max(1)).sum();
+        assert_eq!(run.scr_passes, expected_bank_exams);
+    }
+
+    #[test]
+    fn reindexer_empty_stream() {
+        let run = Reindexer::new(ScrConfig::new(1, 8)).reindex(&[]);
+        assert_eq!(run.cycles, 0);
+        assert_eq!(run.result.num_unique(), 0);
+    }
+}

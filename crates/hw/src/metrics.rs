@@ -1,0 +1,130 @@
+//! Cycle and byte accounting for the simulator.
+
+/// Per-stage counters, one per preprocessing task (the Fig. 6 breakdown).
+///
+/// Used for both cycles and DRAM bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageCycles {
+    /// Edge ordering (UPE kernel).
+    pub ordering: u64,
+    /// Data reshaping (SCR reshaper).
+    pub reshaping: u64,
+    /// Unique random selection (UPE kernel).
+    pub selecting: u64,
+    /// Subgraph reindexing (SCR reindexer).
+    pub reindexing: u64,
+}
+
+impl StageCycles {
+    /// Sum over all stages.
+    pub fn total(&self) -> u64 {
+        self.ordering + self.reshaping + self.selecting + self.reindexing
+    }
+
+    /// Element-wise addition.
+    pub fn add(&self, other: &StageCycles) -> StageCycles {
+        StageCycles {
+            ordering: self.ordering + other.ordering,
+            reshaping: self.reshaping + other.reshaping,
+            selecting: self.selecting + other.selecting,
+            reindexing: self.reindexing + other.reindexing,
+        }
+    }
+
+    /// The four stages as `(name, value)` pairs, in pipeline order.
+    pub fn as_pairs(&self) -> [(&'static str, u64); 4] {
+        [
+            ("ordering", self.ordering),
+            ("reshaping", self.reshaping),
+            ("selecting", self.selecting),
+            ("reindexing", self.reindexing),
+        ]
+    }
+}
+
+/// A full run report: per-stage cycles, per-stage DRAM traffic and
+/// network-invocation counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HwReport {
+    /// Per-stage kernel cycles.
+    pub cycles: StageCycles,
+    /// Per-stage DRAM bytes moved (reads + writes).
+    pub dram_bytes: StageCycles,
+    /// Prefix-sum/relocation network invocations (UPE passes).
+    pub upe_passes: u64,
+    /// Comparator-window evaluations (SCR passes).
+    pub scr_passes: u64,
+}
+
+impl HwReport {
+    /// Total kernel cycles across all stages.
+    pub fn total_cycles(&self) -> u64 {
+        self.cycles.total()
+    }
+
+    /// Total DRAM traffic in bytes.
+    pub fn total_dram_bytes(&self) -> u64 {
+        self.dram_bytes.total()
+    }
+
+    /// Element-wise accumulation.
+    pub fn add(&self, other: &HwReport) -> HwReport {
+        HwReport {
+            cycles: self.cycles.add(&other.cycles),
+            dram_bytes: self.dram_bytes.add(&other.dram_bytes),
+            upe_passes: self.upe_passes + other.upe_passes,
+            scr_passes: self.scr_passes + other.scr_passes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> HwReport {
+        HwReport {
+            cycles: StageCycles {
+                ordering: 100,
+                reshaping: 50,
+                selecting: 30,
+                reindexing: 20,
+            },
+            dram_bytes: StageCycles {
+                ordering: 4_000,
+                reshaping: 500,
+                selecting: 300,
+                reindexing: 200,
+            },
+            upe_passes: 10,
+            scr_passes: 5,
+        }
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let r = sample();
+        assert_eq!(r.total_cycles(), 200);
+        assert_eq!(r.total_dram_bytes(), 5_000);
+        let doubled = r.add(&r);
+        assert_eq!(doubled.total_cycles(), 400);
+        assert_eq!(doubled.upe_passes, 20);
+        assert_eq!(doubled.dram_bytes.ordering, 8_000);
+    }
+
+    #[test]
+    fn stage_pairs_cover_all_stages() {
+        let pairs = sample().cycles.as_pairs();
+        assert_eq!(pairs.len(), 4);
+        let sum: u64 = pairs.iter().map(|(_, v)| v).sum();
+        assert_eq!(sum, 200);
+        assert_eq!(pairs[0].0, "ordering");
+    }
+
+    #[test]
+    fn zero_report_is_quiet() {
+        let r = HwReport::default();
+        assert_eq!(r.total_cycles(), 0);
+        assert_eq!(r.total_dram_bytes(), 0);
+    }
+}

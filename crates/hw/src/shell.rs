@@ -1,0 +1,218 @@
+//! The fixed HW-shell: PCIe DMA models, the FPP/ICAP reconfiguration model
+//! and device-DRAM graph residency (§IV-B, Fig. 11, §V-B).
+
+/// PCIe link model shared by DMA-main (descriptor-driven scatter-gather
+/// bulk transfers) and DMA-bypass (BAR/MMIO-style small transfers).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PcieModel {
+    /// Effective link bandwidth in bytes/second (PCIe 4.0 ×16 ≈ 25 GB/s
+    /// after protocol overhead).
+    pub bandwidth: f64,
+    /// Fixed per-transfer latency in seconds (descriptor fetch / doorbell).
+    pub base_latency: f64,
+}
+
+impl Default for PcieModel {
+    fn default() -> Self {
+        PcieModel {
+            bandwidth: 25.0e9,
+            base_latency: 10.0e-6,
+        }
+    }
+}
+
+impl PcieModel {
+    /// Seconds to move `bytes` across the link.
+    pub fn transfer_secs(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.base_latency + bytes as f64 / self.bandwidth
+    }
+}
+
+/// Which reconfigurable region(s) a bitstream update touches.
+///
+/// "Because UPE and SCR reside in separate reconfigurable regions, only the
+/// region that needs to change could be reprogrammed, roughly halving the
+/// reconfiguration overhead" (§V-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReconfigScope {
+    /// Nothing changed; no reconfiguration issued.
+    None,
+    /// Only the UPE region.
+    UpeOnly,
+    /// Only the SCR region.
+    ScrOnly,
+    /// Both regions.
+    Both,
+}
+
+/// FPP/ICAP partial-reconfiguration timing (§V-B): "the reconfiguration
+/// process takes ∼230 ms, including 3 ms to load the bitstream from DRAM and
+/// 225 ms for FPGA reconfiguration through the Xilinx ICAP IP operating at
+/// 100 MHz".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IcapModel {
+    /// Bitstream load from device DRAM, seconds (per region).
+    pub load_secs: f64,
+    /// Full-device ICAP reprogram time, seconds (both regions).
+    pub reprogram_secs: f64,
+}
+
+impl Default for IcapModel {
+    fn default() -> Self {
+        IcapModel {
+            load_secs: 0.003,
+            reprogram_secs: 0.225,
+        }
+    }
+}
+
+impl IcapModel {
+    /// Seconds to apply a reconfiguration of the given scope.
+    pub fn reconfig_secs(&self, scope: ReconfigScope) -> f64 {
+        match scope {
+            ReconfigScope::None => 0.0,
+            // One region is roughly half the reprogram plus its load.
+            ReconfigScope::UpeOnly | ReconfigScope::ScrOnly => {
+                self.load_secs + self.reprogram_secs / 2.0
+            }
+            ReconfigScope::Both => 2.0 * self.load_secs + self.reprogram_secs,
+        }
+    }
+}
+
+/// Device DRAM properties and graph residency.
+///
+/// "Unlike the GPU, which must deallocate the graph datasets during the
+/// model inference process, AutoGNN can store the previous graph data within
+/// device memory. This enables AutoGNN to only read the updated portions of
+/// the graph from the host" (§V-B).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramModel {
+    /// Peak device-DRAM bandwidth in bytes/second (LPDDR4 class on the
+    /// Versal evaluation board).
+    pub bandwidth: f64,
+    /// Capacity in bytes; bitstream staging (≈ 1 GB for the twenty 50 MB
+    /// bitstreams, §V-B) is already carved out.
+    pub capacity: u64,
+}
+
+impl Default for DramModel {
+    fn default() -> Self {
+        DramModel {
+            bandwidth: 102.4e9,
+            capacity: 15 << 30,
+        }
+    }
+}
+
+/// The HW-shell: PCIe + ICAP + DRAM state.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HwShell {
+    /// PCIe link model.
+    pub pcie: PcieModel,
+    /// Reconfiguration timing model.
+    pub icap: IcapModel,
+    /// Device DRAM model.
+    pub dram: DramModel,
+    resident_graph_bytes: u64,
+}
+
+impl HwShell {
+    /// Creates a shell with default models and no resident graph.
+    pub fn new() -> Self {
+        HwShell::default()
+    }
+
+    /// Bytes of graph currently resident in device DRAM.
+    pub fn resident_graph_bytes(&self) -> u64 {
+        self.resident_graph_bytes
+    }
+
+    /// Uploads a graph via DMA-main, transferring only the delta beyond what
+    /// is already resident. Returns the transfer time in seconds and the
+    /// bytes actually moved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph exceeds DRAM capacity.
+    pub fn upload_graph(&mut self, total_bytes: u64) -> (f64, u64) {
+        assert!(
+            total_bytes <= self.dram.capacity,
+            "graph of {total_bytes} bytes exceeds device DRAM capacity"
+        );
+        let delta = total_bytes.saturating_sub(self.resident_graph_bytes);
+        self.resident_graph_bytes = self.resident_graph_bytes.max(total_bytes);
+        (self.pcie.transfer_secs(delta), delta)
+    }
+
+    /// Drops residency (e.g. switching to an unrelated graph).
+    pub fn evict_graph(&mut self) {
+        self.resident_graph_bytes = 0;
+    }
+
+    /// Sends the preprocessed subgraph to the GPU via DMA-bypass.
+    pub fn download_subgraph(&self, bytes: u64) -> f64 {
+        self.pcie.transfer_secs(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pcie_zero_bytes_is_free() {
+        assert_eq!(PcieModel::default().transfer_secs(0), 0.0);
+    }
+
+    #[test]
+    fn pcie_time_scales_with_bytes() {
+        let pcie = PcieModel::default();
+        let one_gb = pcie.transfer_secs(1 << 30);
+        // ~43 ms for 1 GiB at 25 GB/s.
+        assert!(one_gb > 0.04 && one_gb < 0.05, "got {one_gb}");
+    }
+
+    #[test]
+    fn icap_matches_paper_230ms() {
+        let icap = IcapModel::default();
+        let both = icap.reconfig_secs(ReconfigScope::Both);
+        assert!((both - 0.231).abs() < 1e-9, "~230 ms total, got {both}");
+        let single = icap.reconfig_secs(ReconfigScope::UpeOnly);
+        assert!(single < both / 1.9, "single region roughly halves cost");
+        assert_eq!(icap.reconfig_secs(ReconfigScope::None), 0.0);
+    }
+
+    #[test]
+    fn shell_uploads_only_deltas() {
+        let mut shell = HwShell::new();
+        let (t1, moved1) = shell.upload_graph(1_000_000);
+        assert_eq!(moved1, 1_000_000);
+        assert!(t1 > 0.0);
+        // Growing graph: only the new edges cross PCIe.
+        let (_, moved2) = shell.upload_graph(1_100_000);
+        assert_eq!(moved2, 100_000);
+        // Same size again: nothing to move.
+        let (t3, moved3) = shell.upload_graph(1_100_000);
+        assert_eq!(moved3, 0);
+        assert_eq!(t3, 0.0);
+    }
+
+    #[test]
+    fn eviction_forces_full_upload() {
+        let mut shell = HwShell::new();
+        shell.upload_graph(500_000);
+        shell.evict_graph();
+        let (_, moved) = shell.upload_graph(500_000);
+        assert_eq!(moved, 500_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds device DRAM capacity")]
+    fn oversized_graph_panics() {
+        HwShell::new().upload_graph(u64::MAX);
+    }
+}

@@ -1,0 +1,57 @@
+//! An e-commerce recommendation service (the Fig. 28/30 scenario): a
+//! Taobao-like graph receives a continuous stream of purchase edges while
+//! the service answers inference batches. AutoGNN keeps the graph resident
+//! in device DRAM, uploads only the deltas, and reconfigures when the cost
+//! model says the drifted graph deserves a different bitstream.
+//!
+//! ```text
+//! cargo run --example ecommerce_service
+//! ```
+
+use autognn::prelude::*;
+use agnn_graph::dynamic::{GrowthModel, UpdateStream};
+
+fn main() {
+    // Scaled-down Taobao-like graph: few nodes, huge degree.
+    let base = Dataset::Taobao.generate_scaled(4_000, 3);
+    println!(
+        "day 0: {} nodes, {} edges (TB-like, deg {:.0})",
+        base.num_vertices(),
+        base.num_edges(),
+        base.average_degree()
+    );
+
+    // 0.95%/day growth (Table II), strongly preferential.
+    let growth = GrowthModel::new(base.num_edges() as u64, 0.0095);
+    let mut stream = UpdateStream::new(base, growth, 0.8, 11);
+
+    let params = SampleParams::new(10, 2);
+    let mut service = AutoGnn::new(params);
+    let batch: Vec<Vid> = (0..32).map(Vid).collect();
+
+    println!("\n{:>5} {:>10} {:>12} {:>12} {:>11} {:>9}", "day", "edges", "upload(us)", "preproc(us)", "subgraph", "reconfig");
+    for day in 0..10u32 {
+        // A burst of new purchases arrives...
+        let added = stream.advance();
+        // ...and the service answers an inference batch.
+        let record = service.serve(stream.graph(), &batch, u64::from(day));
+        println!(
+            "{:>5} {:>10} {:>12.1} {:>12.1} {:>11} {:>9}",
+            day + 1,
+            stream.graph().num_edges(),
+            record.upload_secs * 1e6,
+            record.stage_secs.total() * 1e6,
+            record.output.subgraph.csc.num_vertices(),
+            match record.reconfig {
+                Some(event) => format!("{:.0}ms", event.seconds * 1e3),
+                None => "-".to_string(),
+            }
+        );
+        let _ = added;
+    }
+
+    println!(
+        "\nOnly the update deltas cross PCIe after day 1 — the paper reports \
+         AutoGNN cutting transfer volume 13.6x vs the GPU baseline (Fig. 20)."
+    );
+}

@@ -1,0 +1,67 @@
+//! Quickstart: preprocess a graph on the simulated AutoGNN accelerator and
+//! run GNN inference on the result.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use autognn::prelude::*;
+
+fn main() {
+    // 1. A synthetic interaction-network graph (Table II-style skew).
+    let coo = agnn_graph::generate::power_law(5_000, 60_000, 1.0, 7);
+    println!(
+        "graph: {} nodes, {} edges, avg degree {:.1}",
+        coo.num_vertices(),
+        coo.num_edges(),
+        coo.average_degree()
+    );
+
+    // 2. An AutoGNN service with the Table III sampling parameters
+    //    (k = 10 neighbors over 2 layers).
+    let params = SampleParams::new(10, 2);
+    let mut service = AutoGnn::new(params);
+    let batch: Vec<Vid> = (0..64).map(Vid).collect();
+    let record = service.serve(&coo, &batch, 42);
+
+    let sub = &record.output.subgraph;
+    println!(
+        "subgraph: {} nodes, {} edges ({}x smaller than the input COO)",
+        sub.csc.num_vertices(),
+        sub.csc.num_edges(),
+        coo.byte_size() / sub.byte_size().max(1)
+    );
+    println!(
+        "accelerator config: {} UPEs x {} wide, {} SCR slots x {} wide",
+        record.config.upe.count,
+        record.config.upe.width,
+        record.config.scr.slots,
+        record.config.scr.width
+    );
+    println!("preprocessing breakdown (simulated VPK180):");
+    for (stage, secs) in record.stage_secs.as_pairs() {
+        println!("  {stage:<11} {:8.3} ms", secs * 1e3);
+    }
+    println!(
+        "  transfers   {:8.3} ms (upload {:.3} + subgraph {:.3})",
+        (record.upload_secs + record.download_secs) * 1e3,
+        record.upload_secs * 1e3,
+        record.download_secs * 1e3
+    );
+
+    // 3. GNN inference over the sampled subgraph (2-layer GraphSAGE).
+    let features = FeatureTable::random(coo.num_vertices(), 32, 9);
+    let spec = GnnSpec::new(GnnModel::GraphSage, 2, 32, 32);
+    let result = forward(&spec, sub, &features, 11);
+    println!(
+        "inference: {} batch embeddings of dim {}, {:.1} MFLOPs",
+        result.embeddings.rows(),
+        result.embeddings.cols(),
+        result.flops as f64 / 1e6
+    );
+
+    // 4. The hardware output is bit-identical to the software pipeline.
+    let golden = preprocess(&coo, &batch, &params, 42);
+    assert_eq!(record.output, golden);
+    println!("hardware output verified against the software golden model ✓");
+}

@@ -1,0 +1,85 @@
+//! # AutoGNN
+//!
+//! A faithful, fully simulated reproduction of **"AutoGNN: End-to-End
+//! Hardware-Driven Graph Preprocessing for Enhanced GNN Performance"**
+//! (HPCA 2026). GNN inference pipelines spend most of their time *before*
+//! the model runs — converting edge lists to CSC and sampling neighborhoods.
+//! AutoGNN moves that entire preprocessing workflow into reconfigurable
+//! hardware built from two blocks: **Unified Processing Elements** (UPEs,
+//! prefix-sum + relocation networks executing set-partitioning) and
+//! **Single-Cycle Reducers** (SCRs, comparator arrays + adder/filter trees
+//! executing set-counting), steered by a cost-model-driven software runtime
+//! that partially reprograms the FPGA as workloads drift.
+//!
+//! This crate re-exports the whole workspace:
+//!
+//! - [`graph`] — COO/CSC formats, synthetic Table II datasets, dynamic
+//!   update streams ([`agnn_graph`]);
+//! - [`algo`] — software golden models of every preprocessing task
+//!   ([`agnn_algo`]);
+//! - [`hw`] — the bit-level accelerator simulator ([`agnn_hw`]);
+//! - [`cost`] — the Table I cost model, bitstream ladder and optimizer
+//!   ([`agnn_cost`]);
+//! - [`devices`] — calibrated CPU/GPU/FPGA/power/board models
+//!   ([`agnn_devices`]);
+//! - [`gnn`] — GIN/GraphSAGE/GCN/GAT forward passes and inference timing
+//!   ([`agnn_gnn`]);
+//! - [`runtime`] — the AGNN-lib service, the seven compared systems and the
+//!   dynamic-graph scenario engine ([`agnn_core`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use autognn::prelude::*;
+//!
+//! // A synthetic interaction graph and a batch of inference nodes.
+//! let coo = agnn_graph::generate::power_law(1_000, 10_000, 1.0, 7);
+//! let batch: Vec<Vid> = (0..16).map(Vid).collect();
+//!
+//! // Serve one preprocessing request on the simulated accelerator.
+//! let mut service = AutoGnn::new(SampleParams::new(10, 2));
+//! let record = service.serve(&coo, &batch, 42);
+//!
+//! // The sampled subgraph is bit-identical to the software pipeline...
+//! let golden = agnn_algo::pipeline::preprocess(&coo, &batch, &SampleParams::new(10, 2), 42);
+//! assert_eq!(record.output, golden);
+//!
+//! // ...and carries the timing a VPK180 deployment would exhibit.
+//! assert!(record.stage_secs.total() > 0.0);
+//! ```
+
+pub use agnn_algo as algo;
+pub use agnn_core as runtime;
+pub use agnn_cost as cost;
+pub use agnn_devices as devices;
+pub use agnn_gnn as gnn;
+pub use agnn_graph as graph;
+pub use agnn_hw as hw;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use agnn_algo::pipeline::{preprocess, SampleParams, SampledSubgraph};
+    pub use agnn_core::config::EvalSetup;
+    pub use agnn_core::runtime::{AutoGnn, ServiceRecord};
+    pub use agnn_core::systems::{evaluate, SystemContext, SystemKind};
+    pub use agnn_cost::{BitstreamLibrary, CostModel, Workload};
+    pub use agnn_devices::StageSecs;
+    pub use agnn_gnn::features::FeatureTable;
+    pub use agnn_gnn::models::{forward, GnnModel, GnnSpec};
+    pub use agnn_graph::datasets::Dataset;
+    pub use agnn_graph::{Coo, Csc, Edge, Vid};
+    pub use agnn_hw::engine::AutoGnnEngine;
+    pub use agnn_hw::{HwConfig, ScrConfig, UpeConfig};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_exposes_the_core_types() {
+        use crate::prelude::*;
+        let _ = SampleParams::new(10, 2);
+        let _ = HwConfig::vpk180_default();
+        let _ = Dataset::ALL;
+        let _ = SystemKind::ALL;
+    }
+}

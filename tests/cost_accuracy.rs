@@ -1,0 +1,97 @@
+//! The Fig. 24 claim, verified end to end: the analytic cost model tracks
+//! the cycle-level simulator across hardware configurations.
+
+use autognn::prelude::*;
+use agnn_cost::CostModel;
+use agnn_devices::fpga::FpgaModel;
+
+fn workload_and_graph() -> (Workload, Coo, Vec<Vid>) {
+    let coo = agnn_graph::generate::power_law(4_000, 80_000, 0.8, 31);
+    let batch: Vec<Vid> = (0..100).map(Vid).collect();
+    let w = Workload::new(4_000, 80_000, 100, 10, 2);
+    (w, coo, batch)
+}
+
+#[test]
+fn analytic_report_tracks_simulator_across_upe_widths() {
+    let (w, coo, batch) = workload_and_graph();
+    let params = SampleParams::new(10, 2);
+    let fpga = FpgaModel::default();
+    // Fig. 24b: sweep UPE width at constant aggregate throughput.
+    for (count, width) in [(32usize, 8usize), (16, 16), (8, 32), (4, 64), (2, 128)] {
+        let cfg = HwConfig {
+            upe: UpeConfig::new(count, width),
+            scr: ScrConfig::new(2, 512),
+        };
+        let mut engine = AutoGnnEngine::new(cfg);
+        let sim = engine.preprocess(&coo, &batch, &params, 17).report;
+        let est = fpga.analytic_report(&w, cfg);
+        let ratio = est.total_cycles() as f64 / sim.total_cycles() as f64;
+        assert!(
+            (0.4..2.5).contains(&ratio),
+            "width {width}: analytic {} vs simulated {} (ratio {ratio:.2})",
+            est.total_cycles(),
+            sim.total_cycles()
+        );
+    }
+}
+
+#[test]
+fn table_i_model_tracks_simulated_reshaping_across_scr_widths() {
+    // Fig. 24a: SCR cycles vs width, fixed slot count.
+    let (_, coo, _) = workload_and_graph();
+    let model = CostModel;
+    let sorted = agnn_algo::ordering::order_edges_radix(coo.edges());
+    let dsts: Vec<Vid> = sorted.iter().map(|e| e.dst).collect();
+    for width in [64usize, 256, 1024, 4096] {
+        let cfg = ScrConfig::new(2, width);
+        let run = agnn_hw::kernel::Reshaper::new(cfg).build_pointers(coo.num_vertices(), &dsts);
+        let est = model.reshaping_cycles(coo.num_vertices() as u64, coo.num_edges() as u64, cfg);
+        let ratio = est / run.cycles as f64;
+        assert!(
+            (0.4..2.0).contains(&ratio),
+            "width {width}: model {est:.0} vs simulated {} (ratio {ratio:.2})",
+            run.cycles
+        );
+    }
+}
+
+#[test]
+fn table_i_model_captures_saturation() {
+    // Fig. 24a's "saturation": beyond the width where the node-side term
+    // binds, wider SCRs stop helping — in both model and simulator.
+    let model = CostModel;
+    let n = 100_000u64;
+    let e = 1_600_000u64;
+    let narrow = model.reshaping_cycles(n, e, ScrConfig::new(4, 16));
+    let mid = model.reshaping_cycles(n, e, ScrConfig::new(4, 64));
+    let wide = model.reshaping_cycles(n, e, ScrConfig::new(4, 4096));
+    let wider = model.reshaping_cycles(n, e, ScrConfig::new(4, 8192));
+    assert!(narrow > mid, "widening helps while edge-bound");
+    assert_eq!(wide, wider, "saturates once node-bound");
+}
+
+#[test]
+fn cost_model_ranks_configurations_consistently_with_simulation() {
+    // The model's purpose is picking configurations: its *ranking* of two
+    // clearly different SCR shapes must match the simulator's.
+    let coo = agnn_graph::generate::uniform(50_000, 100_000, 5);
+    let sorted = agnn_algo::ordering::order_edges_radix(coo.edges());
+    let dsts: Vec<Vid> = sorted.iter().map(|e| e.dst).collect();
+    let slot_heavy = ScrConfig::new(32, 64);
+    let width_heavy = ScrConfig::new(1, 2048);
+    let sim_slot = agnn_hw::kernel::Reshaper::new(slot_heavy)
+        .build_pointers(coo.num_vertices(), &dsts)
+        .cycles;
+    let sim_width = agnn_hw::kernel::Reshaper::new(width_heavy)
+        .build_pointers(coo.num_vertices(), &dsts)
+        .cycles;
+    let model = CostModel;
+    let est_slot = model.reshaping_cycles(50_000, 100_000, slot_heavy);
+    let est_width = model.reshaping_cycles(50_000, 100_000, width_heavy);
+    assert_eq!(
+        sim_slot < sim_width,
+        est_slot < est_width,
+        "model and simulator must agree on the better config"
+    );
+}

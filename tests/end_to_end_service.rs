@@ -1,0 +1,92 @@
+//! End-to-end service behaviour across crates: residency, reconfiguration,
+//! drift handling and determinism of the full AGNN-lib analog.
+
+use autognn::prelude::*;
+use agnn_graph::dynamic::{GrowthModel, UpdateStream};
+
+#[test]
+fn service_survives_a_growth_stream_with_consistent_outputs() {
+    let base = Dataset::StackOverflow
+        .generate_scaled(Dataset::StackOverflow.scale_for_max_edges(30_000), 2);
+    let growth = GrowthModel::new(base.num_edges() as u64, 0.02);
+    let mut stream = UpdateStream::new(base, growth, 0.6, 5);
+    let params = SampleParams::new(8, 2);
+    let mut service = AutoGnn::new(params);
+    let batch: Vec<Vid> = (0..16).map(Vid).collect();
+
+    let mut cold_start_upload = 0.0f64;
+    for day in 0..6u32 {
+        stream.advance();
+        let record = service.serve(stream.graph(), &batch, u64::from(day));
+        // Output always matches the golden pipeline on the live graph.
+        let golden =
+            agnn_algo::pipeline::preprocess(stream.graph(), &batch, &params, u64::from(day));
+        assert_eq!(record.output, golden, "day {day}");
+        if day == 0 {
+            cold_start_upload = record.upload_secs;
+            assert!(cold_start_upload > 0.0);
+        } else {
+            // Incremental uploads only: each daily delta (2% growth) stays
+            // below the full-graph cold start. (At this test scale the
+            // fixed PCIe doorbell latency dominates both, so compare the
+            // totals rather than a large ratio.)
+            assert!(
+                record.upload_secs < cold_start_upload,
+                "day {day}: delta {} vs cold start {cold_start_upload}",
+                record.upload_secs
+            );
+        }
+    }
+}
+
+#[test]
+fn switching_tenants_pays_full_upload_and_may_reconfigure() {
+    let params = SampleParams::new(10, 2);
+    let mut service = AutoGnn::new(params);
+    let batch: Vec<Vid> = (0..8).map(Vid).collect();
+
+    let citation = Dataset::Arxiv.generate_scaled(Dataset::Arxiv.scale_for_max_edges(20_000), 1);
+    let first = service.serve(&citation, &batch, 1);
+    assert!(first.upload_secs > 0.0);
+
+    // New tenant with a very different graph shape.
+    service.evict_graph();
+    let interaction = Dataset::Movie.generate_scaled(Dataset::Movie.scale_for_max_edges(20_000), 1);
+    let second = service.serve(&interaction, &batch, 2);
+    assert!(second.upload_secs > 0.0, "fresh tenant uploads its graph");
+    assert_eq!(
+        second.output,
+        agnn_algo::pipeline::preprocess(&interaction, &batch, &params, 2)
+    );
+}
+
+#[test]
+fn repeated_serves_are_stable_and_cheap() {
+    let coo = agnn_graph::generate::power_law(2_000, 20_000, 0.9, 7);
+    let params = SampleParams::new(10, 2);
+    let mut service = AutoGnn::new(params);
+    let batch: Vec<Vid> = (0..8).map(Vid).collect();
+    let first = service.serve(&coo, &batch, 0);
+    for seed in 1..5u64 {
+        let record = service.serve(&coo, &batch, seed);
+        assert_eq!(record.upload_secs, 0.0, "graph stays resident");
+        assert!(record.reconfig.is_none(), "configuration has converged");
+        assert_eq!(record.config, first.config);
+    }
+}
+
+#[test]
+fn full_stack_quickstart_contract() {
+    // The README quickstart, as a test: service -> subgraph -> inference.
+    let coo = agnn_graph::generate::power_law(1_000, 10_000, 1.0, 7);
+    let batch: Vec<Vid> = (0..16).map(Vid).collect();
+    let mut service = AutoGnn::new(SampleParams::new(10, 2));
+    let record = service.serve(&coo, &batch, 42);
+
+    let features = FeatureTable::random(coo.num_vertices(), 32, 1);
+    let spec = GnnSpec::new(GnnModel::GraphSage, 2, 32, 32);
+    let out = forward(&spec, &record.output.subgraph, &features, 2);
+    assert_eq!(out.embeddings.rows(), 16);
+    assert!(record.stage_secs.total() > 0.0);
+    assert!(record.output.subgraph.byte_size() < coo.byte_size());
+}

@@ -1,0 +1,136 @@
+//! Cross-crate property tests: invariants that must hold for *any* graph,
+//! batch, seed and hardware configuration.
+
+use agnn_algo::pipeline::{self, SampleParams};
+use agnn_graph::{generate, Coo, Vid};
+use agnn_hw::engine::AutoGnnEngine;
+use agnn_hw::{HwConfig, ScrConfig, UpeConfig};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Coo> {
+    (2usize..200, 1usize..1_000, 0u64..1_000)
+        .prop_map(|(n, e, seed)| generate::power_law(n, e, 0.8, seed))
+}
+
+fn arb_config() -> impl Strategy<Value = HwConfig> {
+    (0u32..4, 1usize..8, 0u32..4, 1usize..4).prop_map(|(wi, count, si, slots)| HwConfig {
+        upe: UpeConfig::new(count, 8 << wi),
+        scr: ScrConfig::new(slots, 16 << si),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The hardware engine's output equals the software pipeline's for any
+    /// workload and any configuration.
+    #[test]
+    fn prop_engine_equals_software(
+        coo in arb_graph(),
+        config in arb_config(),
+        batch_len in 1usize..8,
+        k in 1usize..6,
+        layers in 0u32..3,
+        seed in any::<u64>(),
+    ) {
+        let batch: Vec<Vid> = (0..batch_len.min(coo.num_vertices()))
+            .map(Vid::from_index)
+            .collect();
+        let params = SampleParams::new(k, layers);
+        let golden = pipeline::preprocess(&coo, &batch, &params, seed);
+        let run = AutoGnnEngine::new(config).preprocess(&coo, &batch, &params, seed);
+        prop_assert_eq!(run.output, golden);
+    }
+
+    /// Structural invariants of any preprocessing output: the subgraph is a
+    /// valid CSC over a dense VID space, the gather list is a bijection,
+    /// batch nodes are present, and every sampled edge exists upstream.
+    #[test]
+    fn prop_subgraph_invariants(
+        coo in arb_graph(),
+        k in 1usize..8,
+        layers in 1u32..4,
+        seed in any::<u64>(),
+    ) {
+        let batch = vec![Vid(0), Vid(1.min(coo.num_vertices() as u32 - 1))];
+        let params = SampleParams::new(k, layers);
+        let out = pipeline::preprocess(&coo, &batch, &params, seed);
+        let sub = &out.subgraph;
+
+        // Dense VID space, bijective gather list.
+        prop_assert_eq!(sub.csc.num_vertices(), sub.new_to_old.len());
+        let mut uniq = sub.new_to_old.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        prop_assert_eq!(uniq.len(), sub.new_to_old.len());
+
+        // Batch nodes map into the subgraph.
+        for (i, &b) in batch.iter().enumerate() {
+            let new = sub.batch_new[i];
+            prop_assert!(new.index() < sub.csc.num_vertices());
+            prop_assert_eq!(sub.new_to_old[new.index()], b);
+        }
+
+        // Every subgraph edge is an original-graph edge.
+        let full = pipeline::convert(&coo);
+        for d in 0..sub.csc.num_vertices() {
+            for &s in sub.csc.neighbors(Vid::from_index(d)) {
+                let old_d = sub.new_to_old[d];
+                let old_s = sub.new_to_old[s.index()];
+                prop_assert!(full.neighbors(old_d).contains(&old_s));
+            }
+        }
+
+        // Stats bound the structure.
+        prop_assert!(sub.csc.num_edges() <= out.stats.selections);
+        prop_assert_eq!(out.stats.subgraph_nodes, sub.csc.num_vertices());
+    }
+
+    /// Cycle counts are monotone in graph size for a fixed configuration.
+    #[test]
+    fn prop_cycles_grow_with_edges(
+        n in 50usize..150,
+        e in 100usize..500,
+        seed in 0u64..100,
+    ) {
+        let small = generate::power_law(n, e, 0.8, seed);
+        let large = generate::power_law(n, e * 8, 0.8, seed);
+        let params = SampleParams::new(4, 1);
+        let cfg = HwConfig {
+            upe: UpeConfig::new(4, 16),
+            scr: ScrConfig::new(2, 32),
+        };
+        let batch = vec![Vid(0)];
+        let a = AutoGnnEngine::new(cfg).preprocess(&small, &batch, &params, 1);
+        let b = AutoGnnEngine::new(cfg).preprocess(&large, &batch, &params, 1);
+        prop_assert!(b.report.cycles.ordering >= a.report.cycles.ordering);
+        prop_assert!(b.report.dram_bytes.ordering > a.report.dram_bytes.ordering);
+    }
+
+    /// The CSC round-trip is lossless for any graph.
+    #[test]
+    fn prop_csc_round_trip(coo in arb_graph()) {
+        let csc = agnn_graph::Csc::from_coo(&coo);
+        prop_assert_eq!(csc.num_edges(), coo.num_edges());
+        let back = csc.to_coo();
+        prop_assert_eq!(agnn_graph::Csc::from_coo(&back), csc);
+    }
+
+    /// Cost-model estimates are positive and monotone in workload size.
+    #[test]
+    fn prop_cost_monotone(
+        nodes in 1_000u64..1_000_000,
+        edges in 10_000u64..10_000_000,
+    ) {
+        use agnn_cost::{CostModel, Workload};
+        let cfg = HwConfig::vpk180_default();
+        let small = Workload::new(nodes, edges, 100, 10, 2);
+        let large = Workload::new(nodes * 2, edges * 4, 100, 10, 2);
+        let model = CostModel;
+        let a = model.estimate(&small, cfg);
+        let b = model.estimate(&large, cfg);
+        prop_assert!(a.total() > 0.0);
+        prop_assert!(b.ordering >= a.ordering);
+        prop_assert!(b.reshaping >= a.reshaping);
+    }
+}
