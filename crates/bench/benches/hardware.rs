@@ -47,7 +47,9 @@ fn bench_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("kernels");
     let g = generate::power_law(2_000, 20_000, 0.9, 7);
     let kernel = UpeKernel::new(UpeConfig::new(16, 64));
-    group.bench_function("sort_edges_fast", |b| b.iter(|| kernel.sort_edges(g.edges())));
+    group.bench_function("sort_edges_fast", |b| {
+        b.iter(|| kernel.sort_edges(g.edges()))
+    });
     let sorted = agnn_algo::ordering::order_edges_radix(g.edges());
     let dsts: Vec<Vid> = sorted.iter().map(|e| e.dst).collect();
     let reshaper = Reshaper::new(ScrConfig::new(4, 256));

@@ -64,5 +64,10 @@ fn bench_cost_and_search(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_preprocess, bench_gnn_models, bench_cost_and_search);
+criterion_group!(
+    benches,
+    bench_preprocess,
+    bench_gnn_models,
+    bench_cost_and_search
+);
 criterion_main!(benches);

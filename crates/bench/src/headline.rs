@@ -1,8 +1,6 @@
 //! The headline comparison: Figs. 18–21.
 
-use agnn_core::systems::{
-    evaluate, lut_utilization, transfer_bytes, SystemContext, SystemKind,
-};
+use agnn_core::systems::{evaluate, lut_utilization, transfer_bytes, SystemContext, SystemKind};
 use agnn_devices::power::PowerModel;
 use agnn_gnn::models::GnnSpec;
 use agnn_graph::datasets::Dataset;
@@ -97,7 +95,10 @@ pub fn fig19() {
 /// GPU and 20x less than the external FPGA sampler.
 pub fn fig20() {
     banner("Fig. 20: transfer overhead per pass");
-    println!("{:<4} {:>12} {:>12} {:>12}", "id", "GPU(MB)", "FPGA(MB)", "AutoPre(MB)");
+    println!(
+        "{:<4} {:>12} {:>12} {:>12}",
+        "id", "GPU(MB)", "FPGA(MB)", "AutoPre(MB)"
+    );
     let mut ratios = (Vec::new(), Vec::new());
     for (d, ctx) in contexts() {
         let gpu = transfer_bytes(&ctx, SystemKind::Gpu) as f64 / 1e6;
@@ -105,7 +106,13 @@ pub fn fig20() {
         let auto = transfer_bytes(&ctx, SystemKind::AutoPre) as f64 / 1e6;
         ratios.0.push(gpu / auto);
         ratios.1.push(fpga / auto);
-        println!("{:<4} {:>12.1} {:>12.1} {:>12.1}", d.abbrev(), gpu, fpga, auto);
+        println!(
+            "{:<4} {:>12.1} {:>12.1} {:>12.1}",
+            d.abbrev(),
+            gpu,
+            fpga,
+            auto
+        );
     }
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     println!(
@@ -127,5 +134,8 @@ pub fn fig21() {
     }
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     let (a, s) = (avg(&autos) * 100.0, avg(&stats) * 100.0);
-    println!("AutoPre {a:.1}% vs StatPre {s:.1}% -> {:.2}x (paper: 47% vs 82.2%, 1.7x)", s / a);
+    println!(
+        "AutoPre {a:.1}% vs StatPre {s:.1}% -> {:.2}x (paper: 47% vs 82.2%, 1.7x)",
+        s / a
+    );
 }

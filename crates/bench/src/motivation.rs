@@ -17,7 +17,10 @@ fn contexts() -> Vec<(Dataset, SystemContext)> {
 /// GPU/DGL system. Paper: 70 % average, growing with graph size; TB OOMs.
 pub fn fig05() {
     banner("Fig. 5: GNN preprocessing overhead (GPU system)");
-    println!("{:<4} {:>14} {:>12} {:>12}", "id", "preprocess(%)", "inference(%)", "total(ms)");
+    println!(
+        "{:<4} {:>14} {:>12} {:>12}",
+        "id", "preprocess(%)", "inference(%)", "total(ms)"
+    );
     let mut shares = Vec::new();
     for (d, ctx) in contexts() {
         let run = evaluate(&ctx, SystemKind::Gpu);
@@ -71,8 +74,15 @@ pub fn fig06() {
 pub fn fig07() {
     banner("Fig. 7: latency breakdown of dynamic graphs over time (GPU system)");
     let gnn = GnnSpec::table_iii_default();
-    for (dataset, days, step) in [(Dataset::StackOverflow, 2_000u32, 250u32), (Dataset::Taobao, 2_000, 250)] {
-        println!("\n{} ({}%/day edge growth):", dataset.abbrev(), dataset.spec().daily_growth_pct.unwrap());
+    for (dataset, days, step) in [
+        (Dataset::StackOverflow, 2_000u32, 250u32),
+        (Dataset::Taobao, 2_000, 250),
+    ] {
+        println!(
+            "\n{} ({}%/day edge growth):",
+            dataset.abbrev(),
+            dataset.spec().daily_growth_pct.unwrap()
+        );
         println!(
             "{:>6} {:>9} {:>10} {:>10} {:>11} {:>10}",
             "day", "ordering", "reshaping", "selecting", "reindexing", "inference"
@@ -146,5 +156,8 @@ pub fn fig10() {
     let util = agnn_devices::gpu::GpuModel::default()
         .bandwidth_utilization(&mid, &fractions)
         .expect("RD fits");
-    println!("GPU memory-bandwidth utilization (RD): {:.1}% (paper average 30.3%)", util * 100.0);
+    println!(
+        "GPU memory-bandwidth utilization (RD): {:.1}% (paper average 30.3%)",
+        util * 100.0
+    );
 }

@@ -61,7 +61,10 @@ pub fn fig23() {
     let fpga = FpgaModel::default();
     let ax = Dataset::Arxiv.spec();
     let w_ax = setup.workload(ax.nodes, ax.edges);
-    println!("{:>6} {:>7} {:>15} {:>12}", "slots", "width", "reshaping(ms)", "slot-util");
+    println!(
+        "{:>6} {:>7} {:>15} {:>12}",
+        "slots", "width", "reshaping(ms)", "slot-util"
+    );
     for slots in [1usize, 2, 4, 8] {
         for width in [64usize, 256, 1024, 4096] {
             let cfg = HwConfig {
@@ -87,7 +90,10 @@ pub fn fig23() {
     banner("Fig. 23b: UPE width sweep on AM (constant aggregate throughput)");
     let am = Dataset::Amazon.spec();
     let w_am = setup.workload(am.nodes, am.edges);
-    println!("{:>6} {:>7} {:>13} {:>14} {:>11}", "count", "width", "ordering(ms)", "selecting(ms)", "total(ms)");
+    println!(
+        "{:>6} {:>7} {:>13} {:>14} {:>11}",
+        "count", "width", "ordering(ms)", "selecting(ms)", "total(ms)"
+    );
     let library = agnn_cost::BitstreamLibrary::for_floorplan(&Floorplan::vpk180());
     for &upe in library.upe_variants() {
         let cfg = HwConfig {
@@ -104,7 +110,9 @@ pub fn fig23() {
             secs.total() * 1e3
         );
     }
-    println!("paper: ordering and selecting pull in opposite directions, giving an interior optimum");
+    println!(
+        "paper: ordering and selecting pull in opposite directions, giving an interior optimum"
+    );
 }
 
 /// Fig. 24: cost-model accuracy — Table I estimates vs cycle-level
@@ -125,7 +133,8 @@ pub fn fig24() {
         let sim = agnn_hw::kernel::Reshaper::new(cfg)
             .build_pointers(graph.num_vertices(), &dsts)
             .cycles;
-        let est = model.reshaping_cycles(graph.num_vertices() as u64, graph.num_edges() as u64, cfg);
+        let est =
+            model.reshaping_cycles(graph.num_vertices() as u64, graph.num_edges() as u64, cfg);
         let acc = 100.0 * (1.0 - (est - sim as f64).abs() / sim as f64);
         accs.push(acc);
         println!("  {width:>5} {sim:>10} {est:>10.0} {acc:>7.1}%");
@@ -176,9 +185,26 @@ pub fn fig24() {
 /// throughput time-series, (b) similar vs different dataset pairs.
 pub fn fig28() {
     banner("Fig. 28a: consecutive inference MV -> SO (throughput over time)");
-    let stat = consecutive_inference(Dataset::Movie, Dataset::StackOverflow, 10.0, 30.0, false, gnn());
-    let dynp = consecutive_inference(Dataset::Movie, Dataset::StackOverflow, 10.0, 30.0, true, gnn());
-    println!("{:>8} {:>14} {:>14}", "t(s)", "StatPre(inf/s)", "DynPre(inf/s)");
+    let stat = consecutive_inference(
+        Dataset::Movie,
+        Dataset::StackOverflow,
+        10.0,
+        30.0,
+        false,
+        gnn(),
+    );
+    let dynp = consecutive_inference(
+        Dataset::Movie,
+        Dataset::StackOverflow,
+        10.0,
+        30.0,
+        true,
+        gnn(),
+    );
+    println!(
+        "{:>8} {:>14} {:>14}",
+        "t(s)", "StatPre(inf/s)", "DynPre(inf/s)"
+    );
     for i in (0..stat.series.len()).step_by(30) {
         println!(
             "{:>8.1} {:>14.1} {:>14.1}",
@@ -197,7 +223,10 @@ pub fn fig28() {
     );
 
     banner("Fig. 28b: graph pairs (preprocessing latency, FixedPre vs DynPre)");
-    println!("{:<6} {:>10} {:>12} {:>11} {:>9}", "pair", "category", "Fixed(ms)", "Dyn(ms)", "saved");
+    println!(
+        "{:<6} {:>10} {:>12} {:>11} {:>9}",
+        "pair", "category", "Fixed(ms)", "Dyn(ms)", "saved"
+    );
     let mut sim_saved = Vec::new();
     let mut diff_saved = Vec::new();
     for (label, a, b, same) in evaluation_pairs() {
@@ -230,7 +259,10 @@ pub fn fig28() {
 pub fn fig30() {
     banner("Fig. 30: dynamic graph growth (TB, 5000 hours)");
     let series = growth_study(Dataset::Taobao, 5_000, 11, gnn());
-    println!("{:>6} {:>10} {:>12} {:>12}", "hour", "GPU(ms)", "StatPre(ms)", "DynPre(ms)");
+    println!(
+        "{:>6} {:>10} {:>12} {:>12}",
+        "hour", "GPU(ms)", "StatPre(ms)", "DynPre(ms)"
+    );
     for p in &series {
         let gpu = p
             .gpu_secs
@@ -254,7 +286,10 @@ pub fn fig30() {
 /// DynPre preprocessing latency.
 pub fn fig31() {
     banner("Fig. 31: mixed edges (StatPre vs DynPre preprocessing)");
-    println!("{:<6} {:>10} {:>12} {:>11} {:>9}", "mix", "category", "Stat(ms)", "Dyn(ms)", "saved");
+    println!(
+        "{:<6} {:>10} {:>12} {:>11} {:>9}",
+        "mix", "category", "Stat(ms)", "Dyn(ms)", "saved"
+    );
     let mut sim_saved = Vec::new();
     let mut diff_saved = Vec::new();
     for (label, a, b, same) in evaluation_pairs() {

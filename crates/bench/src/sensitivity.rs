@@ -19,7 +19,10 @@ pub fn fig25() {
     banner("Fig. 25a: GNN model sweep on AM (GPU vs DynPre, end-to-end ms)");
     let setup = EvalSetup::default();
     let am = Dataset::Amazon.spec();
-    println!("{:<8} {:>10} {:>12} {:>10} {:>14}", "model", "GPU(ms)", "DynPre(ms)", "speedup", "pre-share(Dyn)");
+    println!(
+        "{:<8} {:>10} {:>12} {:>10} {:>14}",
+        "model", "GPU(ms)", "DynPre(ms)", "speedup", "pre-share(Dyn)"
+    );
     for model in GnnModel::ALL {
         let gnn = GnnSpec::new(model, 2, 128, 128);
         let ctx = SystemContext::new(setup.workload(am.nodes, am.edges), gnn);
@@ -36,7 +39,10 @@ pub fn fig25() {
     }
 
     banner("Fig. 25b: layer-count sweep on AM (DynPre breakdown, ms)");
-    println!("{:>7} {:>12} {:>13} {:>12} {:>10}", "layers", "convert(ms)", "sampling(ms)", "infer(ms)", "total(ms)");
+    println!(
+        "{:>7} {:>12} {:>13} {:>12} {:>10}",
+        "layers", "convert(ms)", "sampling(ms)", "infer(ms)", "total(ms)"
+    );
     let mut first: Option<(f64, f64)> = None;
     for layers in [1u32, 2, 4, 6] {
         let gnn = GnnSpec::new(GnnModel::GraphSage, layers, 128, 128);
@@ -71,7 +77,10 @@ pub fn fig25() {
     }
 
     banner("Fig. 25c: sampling-k sweep on AM (GPU vs DynPre, ms)");
-    println!("{:>5} {:>10} {:>12} {:>9}", "k", "GPU(ms)", "DynPre(ms)", "speedup");
+    println!(
+        "{:>5} {:>10} {:>12} {:>9}",
+        "k", "GPU(ms)", "DynPre(ms)", "speedup"
+    );
     for k in [5usize, 10, 20, 40] {
         let gnn = GnnSpec::table_iii_default();
         let setup_k = EvalSetup {
@@ -116,7 +125,8 @@ pub fn fig26() {
             let gpu = evaluate(&ctx, SystemKind::Gpu);
             let cfg = fpga.search(&w, &plan, agnn_cost::SearchSpace::Full);
             let pre = fpga.stage_secs(&fpga.analytic_report(&w, cfg)).total();
-            let dynp_total = pre + evaluate(&ctx, SystemKind::DynPre).transfer_secs
+            let dynp_total = pre
+                + evaluate(&ctx, SystemKind::DynPre).transfer_secs
                 + evaluate(&ctx, SystemKind::DynPre).inference_secs;
             speeds.push(gpu.total_secs() / dynp_total);
         }
@@ -149,7 +159,10 @@ pub fn fig27() {
     let fpga_pre = evaluate(&ctx, SystemKind::AutoPre);
     let dynp = evaluate(&ctx, SystemKind::DynPre);
 
-    println!("{:<8} {:>9} {:>9} {:>9} {:>9}", "design", "Pure", "+SCR", "+Auto", "DynPre");
+    println!(
+        "{:<8} {:>9} {:>9} {:>9} {:>9}",
+        "design", "Pure", "+SCR", "+Auto", "DynPre"
+    );
     let mut ratios = (Vec::new(), Vec::new(), Vec::new());
     for design in accel::fig27_designs() {
         // Pure: the accelerator handles its one stage; everything else and
@@ -194,7 +207,10 @@ pub fn fig27() {
 /// perturbs GNN outputs vs layer count, (b) per-hour update-ratio series.
 pub fn fig29() {
     banner("Fig. 29a: critical update ratio vs layers");
-    println!("{:<4} {:>9} {:>9} {:>9} {:>9}", "id", "1-layer", "2-layer", "3-layer", "4-layer");
+    println!(
+        "{:<4} {:>9} {:>9} {:>9} {:>9}",
+        "id", "1-layer", "2-layer", "3-layer", "4-layer"
+    );
     for d in [
         Dataset::StackOverflow,
         Dataset::Taobao,

@@ -66,12 +66,18 @@ pub fn table3() {
     banner("Table III: evaluation setup");
     let setup = EvalSetup::default();
     let plan = agnn_hw::floorplan::Floorplan::vpk180();
-    println!("GNN model     : 2-layer GraphSAGE (spec {:?})", setup.gnn.model);
+    println!(
+        "GNN model     : 2-layer GraphSAGE (spec {:?})",
+        setup.gnn.model
+    );
     println!("selecting k   : {}", setup.k);
     println!("inf. nodes    : {}", setup.batch);
     println!("FPGA          : VPK180, {} LUTs", plan.total_luts());
     println!("SCR resource  : 30% ({} LUTs)", plan.scr_region_luts());
-    println!("UPE width     : 64 (region capacity {} instances)", plan.max_upe_count(64));
+    println!(
+        "UPE width     : 64 (region capacity {} instances)",
+        plan.max_upe_count(64)
+    );
     println!("SCR slots     : 1 (width {})", plan.max_scr_width(1));
 }
 

@@ -43,6 +43,21 @@ impl ServiceRecord {
     }
 }
 
+/// What the cost model would do with a workload before it is served: the
+/// current configuration, the library optimum, and whether the policy
+/// clears the reconfiguration threshold. Serving layers (`agnn-serve`) use
+/// this to schedule requests *around* reconfigurations instead of paying
+/// them blindly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReconfigPreview {
+    /// Configuration currently programmed on the accelerator.
+    pub current: HwConfig,
+    /// Best configuration in the bitstream library for the workload.
+    pub best: HwConfig,
+    /// Whether [`ReconfigPolicy`] would approve switching to `best`.
+    pub would_reconfigure: bool,
+}
+
 /// The AutoGNN service: engine + bitstream library + cost model + policy.
 #[derive(Debug)]
 pub struct AutoGnn {
@@ -81,6 +96,51 @@ impl AutoGnn {
         self.params
     }
 
+    /// The reconfiguration policy in force.
+    pub fn policy(&self) -> ReconfigPolicy {
+        self.policy
+    }
+
+    /// Replaces the reconfiguration policy (serving layers tune the
+    /// threshold per deployment).
+    pub fn set_policy(&mut self, policy: ReconfigPolicy) {
+        self.policy = policy;
+    }
+
+    /// The pre-compiled bitstream library the cost model searches.
+    pub fn library(&self) -> &BitstreamLibrary {
+        &self.library
+    }
+
+    /// Previews the reconfiguration decision for `workload` without
+    /// touching the hardware: what the cost model would pick and whether
+    /// the policy would approve the switch.
+    pub fn preview(&self, workload: &Workload) -> ReconfigPreview {
+        let current = self.engine.config();
+        let best = CostModel.choose_config(workload, &self.library);
+        ReconfigPreview {
+            current,
+            best,
+            would_reconfigure: self.policy.should_reconfigure(workload, current, best),
+        }
+    }
+
+    /// Reprograms the accelerator to `config` unconditionally, returning
+    /// the event. Scheduling layers that batch same-bitstream requests use
+    /// this to reconfigure once per batch instead of once per request.
+    pub fn force_reconfigure(&mut self, config: HwConfig) -> ReconfigEvent {
+        self.engine.reconfigure(config)
+    }
+
+    /// Analytic per-stage preprocessing seconds for `workload` under the
+    /// *current* configuration — the price of one request without running
+    /// functional preprocessing, so serving simulators can replay hundreds
+    /// of thousands of requests cheaply.
+    pub fn analytic_stage_secs(&self, workload: &Workload) -> StageSecs {
+        let report = self.fpga.analytic_report(workload, self.engine.config());
+        self.fpga.stage_secs(&report)
+    }
+
     /// Serves one preprocessing request: profiles the graph, reconfigures
     /// if the cost model predicts a worthwhile gain, streams the graph
     /// delta in, preprocesses, and ships the subgraph out.
@@ -95,15 +155,10 @@ impl AutoGnn {
         );
 
         // 2. Cost evaluation + reconfiguration decision.
-        let best = CostModel.choose_config(&workload, &self.library);
-        let reconfig = if self
-            .policy
-            .should_reconfigure(&workload, self.engine.config(), best)
-        {
-            Some(self.engine.reconfigure(best))
-        } else {
-            None
-        };
+        let preview = self.preview(&workload);
+        let reconfig = preview
+            .would_reconfigure
+            .then(|| self.engine.reconfigure(preview.best));
 
         // 3. DMA-main upload (delta only; the engine's shell tracks
         // residency).

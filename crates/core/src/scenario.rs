@@ -294,10 +294,7 @@ pub fn mixed_edges_secs(a: Dataset, b: Dataset, gnn: GnnSpec) -> (f64, f64) {
 /// used by the Fig. 6 harness.
 pub fn gpu_stage_secs(dataset: Dataset, gnn: GnnSpec) -> Option<StageSecs> {
     let spec = dataset.spec();
-    let ctx = SystemContext::new(
-        EvalSetup::default().workload(spec.nodes, spec.edges),
-        gnn,
-    );
+    let ctx = SystemContext::new(EvalSetup::default().workload(spec.nodes, spec.edges), gnn);
     let run = evaluate(&ctx, SystemKind::Gpu);
     (!run.oom).then_some(run.preprocess)
 }
@@ -319,14 +316,21 @@ mod tests {
         let last = series.last().unwrap().shares;
         assert!(last[1] > first[1], "reshaping share grows");
         assert!(last[2] < first[2], "selecting share shrinks");
-        assert!(last[1] > last[2], "reshaping eventually dominates selecting");
+        assert!(
+            last[1] > last[2],
+            "reshaping eventually dominates selecting"
+        );
     }
 
     #[test]
     fn task_shares_sum_to_hundred() {
         for point in task_share_series(Dataset::Taobao, 100, 50, gnn()) {
             let sum: f64 = point.shares.iter().sum();
-            assert!(sum == 0.0 || (sum - 100.0).abs() < 1e-6, "day {}", point.day);
+            assert!(
+                sum == 0.0 || (sum - 100.0).abs() < 1e-6,
+                "day {}",
+                point.day
+            );
         }
     }
 
@@ -334,10 +338,22 @@ mod tests {
     fn reconfiguration_wins_after_the_switch() {
         // Fig. 28a: MV then SO; DynPre dips during the 0.23 s stall but
         // runs faster afterwards.
-        let static_run =
-            consecutive_inference(Dataset::Movie, Dataset::StackOverflow, 10.0, 30.0, false, gnn());
-        let dynamic_run =
-            consecutive_inference(Dataset::Movie, Dataset::StackOverflow, 10.0, 30.0, true, gnn());
+        let static_run = consecutive_inference(
+            Dataset::Movie,
+            Dataset::StackOverflow,
+            10.0,
+            30.0,
+            false,
+            gnn(),
+        );
+        let dynamic_run = consecutive_inference(
+            Dataset::Movie,
+            Dataset::StackOverflow,
+            10.0,
+            30.0,
+            true,
+            gnn(),
+        );
         // Both equal during phase A.
         assert_eq!(
             static_run.series[0].inferences_per_sec,
@@ -385,7 +401,10 @@ mod tests {
     fn growth_study_ooms_the_gpu_eventually() {
         let series = growth_study(Dataset::Taobao, 5_000, 11, gnn());
         assert!(series.first().unwrap().gpu_secs.is_some(), "fits initially");
-        assert!(series.last().unwrap().gpu_secs.is_none(), "OOM at full size");
+        assert!(
+            series.last().unwrap().gpu_secs.is_none(),
+            "OOM at full size"
+        );
         // DynPre tracks or beats StatPre throughout (the timing-aware
         // search space includes the hour-0 configuration).
         for p in &series {
@@ -399,9 +418,7 @@ mod tests {
         }
         // Somewhere along the trajectory reconfiguration visibly pays.
         assert!(
-            series
-                .iter()
-                .any(|p| p.statpre_secs / p.dynpre_secs > 1.03),
+            series.iter().any(|p| p.statpre_secs / p.dynpre_secs > 1.03),
             "DynPre should beat StatPre somewhere on the growth path"
         );
     }

@@ -164,11 +164,9 @@ pub fn mv_tuned_config(plan: &Floorplan) -> HwConfig {
 /// Evaluates one system on the context's workload.
 pub fn evaluate(ctx: &SystemContext, kind: SystemKind) -> EndToEndBreakdown {
     let w = &ctx.workload;
-    let inference_secs = ctx.inference.analytic_inference_secs(
-        &ctx.gnn,
-        w.subgraph_nodes(),
-        w.subgraph_edges(),
-    );
+    let inference_secs =
+        ctx.inference
+            .analytic_inference_secs(&ctx.gnn, w.subgraph_nodes(), w.subgraph_edges());
     let pcie = ctx.gpu.pcie_bandwidth;
     let subgraph_upload = w.subgraph_bytes() as f64 / pcie;
 
@@ -267,7 +265,10 @@ pub fn transfer_bytes(ctx: &SystemContext, kind: SystemKind) -> u64 {
 /// LUT utilization of an AutoGNN variant (Fig. 21): the time-weighted
 /// fraction of device LUTs busy during preprocessing.
 pub fn lut_utilization(ctx: &SystemContext, kind: SystemKind) -> f64 {
-    assert!(kind.is_autognn(), "LUT utilization applies to AutoGNN systems");
+    assert!(
+        kind.is_autognn(),
+        "LUT utilization applies to AutoGNN systems"
+    );
     let breakdown = evaluate(ctx, kind);
     let secs = breakdown.preprocess;
     let total = secs.total();
@@ -307,7 +308,10 @@ mod tests {
     fn ctx_for(dataset: Dataset) -> SystemContext {
         let spec = dataset.spec();
         let setup = crate::config::EvalSetup::default();
-        SystemContext::new(setup.workload(spec.nodes, spec.edges), GnnSpec::table_iii_default())
+        SystemContext::new(
+            setup.workload(spec.nodes, spec.edges),
+            GnnSpec::table_iii_default(),
+        )
     }
 
     #[test]
@@ -412,7 +416,10 @@ mod tests {
         };
         let mv_gain = gain(Dataset::Movie);
         let ax_gain = gain(Dataset::Arxiv);
-        assert!(mv_gain <= ax_gain + 1e-9, "MV is already tuned: {mv_gain} vs {ax_gain}");
+        assert!(
+            mv_gain <= ax_gain + 1e-9,
+            "MV is already tuned: {mv_gain} vs {ax_gain}"
+        );
         assert!((1.0..1.05).contains(&mv_gain), "MV gain ≈ 1, got {mv_gain}");
     }
 
@@ -429,7 +436,9 @@ mod tests {
     #[test]
     fn bandwidth_utilization_reported_only_for_autognn() {
         let ctx = ctx_for(Dataset::Taobao);
-        assert!(evaluate(&ctx, SystemKind::Gpu).bandwidth_utilization.is_none());
+        assert!(evaluate(&ctx, SystemKind::Gpu)
+            .bandwidth_utilization
+            .is_none());
         let util = evaluate(&ctx, SystemKind::DynPre)
             .bandwidth_utilization
             .expect("AutoGNN reports utilization");

@@ -112,7 +112,9 @@ impl Workload {
     /// Unique nodes of the sampled subgraph: the covered vertex set of the
     /// expansion (bounded by draws and by `n`).
     pub fn subgraph_nodes(&self) -> u64 {
-        self.expansion().2.clamp(self.batch.min(self.nodes), self.nodes)
+        self.expansion()
+            .2
+            .clamp(self.batch.min(self.nodes), self.nodes)
     }
 
     /// COO bytes of the full graph (two 32-bit VIDs per edge).

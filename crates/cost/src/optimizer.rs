@@ -169,8 +169,12 @@ mod tests {
         // harness rather than dominated analytically.
         let model = CostModel;
         for w in [ax_like(), tb_like()] {
-            let scr = model.estimate(&w, search(&w, &plan(), SearchSpace::ScrOnly)).total();
-            let full = model.estimate(&w, search(&w, &plan(), SearchSpace::Full)).total();
+            let scr = model
+                .estimate(&w, search(&w, &plan(), SearchSpace::ScrOnly))
+                .total();
+            let full = model
+                .estimate(&w, search(&w, &plan(), SearchSpace::Full))
+                .total();
             assert!(full <= scr + 1e-9, "full search beats SCR-only");
         }
     }

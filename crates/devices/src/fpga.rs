@@ -73,7 +73,9 @@ impl FpgaModel {
         // spread over the UPEs.
         let s = workload.selections();
         let pools = workload.expanded_parents();
-        let extract = (workload.degree() / config.upe.width as f64).ceil().max(1.0);
+        let extract = (workload.degree() / config.upe.width as f64)
+            .ceil()
+            .max(1.0);
         let selecting =
             ((s as f64 + pools as f64 * extract) / config.upe.count as f64).ceil() as u64;
 
@@ -118,8 +120,10 @@ impl FpgaModel {
         space: agnn_cost::SearchSpace,
     ) -> HwConfig {
         use agnn_cost::SearchSpace;
-        let score =
-            |config: HwConfig| -> f64 { self.stage_secs(&self.analytic_report(workload, config)).total() };
+        let score = |config: HwConfig| -> f64 {
+            self.stage_secs(&self.analytic_report(workload, config))
+                .total()
+        };
         match space {
             SearchSpace::AreaOnly => {
                 let mut best: Option<(f64, HwConfig)> = None;
@@ -139,7 +143,8 @@ impl FpgaModel {
             }
             SearchSpace::ScrOnly => {
                 let library = agnn_cost::BitstreamLibrary::for_floorplan(plan);
-                let default_upe = agnn_cost::optimizer::search(workload, plan, SearchSpace::ScrOnly).upe;
+                let default_upe =
+                    agnn_cost::optimizer::search(workload, plan, SearchSpace::ScrOnly).upe;
                 let mut best: Option<(f64, HwConfig)> = None;
                 for &scr in library.scr_variants() {
                     let config = HwConfig {
@@ -283,8 +288,10 @@ mod tests {
     #[test]
     fn analytic_cycles_scale_with_edges() {
         let model = FpgaModel::default();
-        let small = model.analytic_report(&Workload::new(100_000, 1_000_000, 3_000, 10, 2), config());
-        let large = model.analytic_report(&Workload::new(100_000, 64_000_000, 3_000, 10, 2), config());
+        let small =
+            model.analytic_report(&Workload::new(100_000, 1_000_000, 3_000, 10, 2), config());
+        let large =
+            model.analytic_report(&Workload::new(100_000, 64_000_000, 3_000, 10, 2), config());
         assert!(large.cycles.ordering > 10 * small.cycles.ordering);
         assert!(large.cycles.reshaping >= small.cycles.reshaping);
     }

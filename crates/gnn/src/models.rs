@@ -126,9 +126,21 @@ pub fn forward(
     let mut h = table.gather(&subgraph.new_to_old);
     let mut flops = 0u64;
     for layer in 0..spec.layers {
-        let in_dim = if layer == 0 { spec.in_dim } else { spec.hidden_dim };
+        let in_dim = if layer == 0 {
+            spec.in_dim
+        } else {
+            spec.hidden_dim
+        };
         let seed = weight_seed ^ (u64::from(layer) + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-        h = apply_layer(spec.model, &h, subgraph, in_dim, spec.hidden_dim, seed, &mut flops);
+        h = apply_layer(
+            spec.model,
+            &h,
+            subgraph,
+            in_dim,
+            spec.hidden_dim,
+            seed,
+            &mut flops,
+        );
     }
     let batch_rows: Vec<usize> = subgraph.batch_new.iter().map(|v| v.index()).collect();
     Forward {

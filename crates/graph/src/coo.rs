@@ -120,7 +120,9 @@ impl Coo {
 
     /// Returns whether the edge array is sorted by `(dst, src)`.
     pub fn is_sorted_by_dst_src(&self) -> bool {
-        self.edges.windows(2).all(|w| w[0].sort_key() <= w[1].sort_key())
+        self.edges
+            .windows(2)
+            .all(|w| w[0].sort_key() <= w[1].sort_key())
     }
 
     /// In-memory size of the edge array in bytes (two 32-bit VIDs per edge),

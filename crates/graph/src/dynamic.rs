@@ -184,7 +184,10 @@ pub fn influence_ratio(graph: &Coo, updated: &[Vid], layers: u32) -> f64 {
     for _ in 0..layers {
         let mut next = Vec::new();
         for &v in &frontier {
-            let (lo, hi) = (offsets[v as usize] as usize, offsets[v as usize + 1] as usize);
+            let (lo, hi) = (
+                offsets[v as usize] as usize,
+                offsets[v as usize + 1] as usize,
+            );
             for &t in &targets[lo..hi] {
                 if !influenced[t as usize] {
                     influenced[t as usize] = true;
@@ -213,9 +216,7 @@ pub fn critical_update_ratio(graph: &Coo, layers: u32, target_influence: f64, se
     let mut rng = StdRng::seed_from_u64(seed);
     let mut size = 1usize;
     loop {
-        let updated: Vec<Vid> = (0..size)
-            .map(|_| Vid(rng.gen_range(0..n as u32)))
-            .collect();
+        let updated: Vec<Vid> = (0..size).map(|_| Vid(rng.gen_range(0..n as u32))).collect();
         if influence_ratio(graph, &updated, layers) >= target_influence || size >= n {
             return size as f64 / n as f64;
         }

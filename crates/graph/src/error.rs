@@ -39,7 +39,10 @@ impl fmt::Display for GraphError {
                 write!(f, "malformed CSC pointer array: {detail}")
             }
             GraphError::UnsortedEdges { position } => {
-                write!(f, "edge array not sorted by (dst, src) at position {position}")
+                write!(
+                    f,
+                    "edge array not sorted by (dst, src) at position {position}"
+                )
             }
         }
     }

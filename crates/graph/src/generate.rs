@@ -229,9 +229,7 @@ mod tests {
         let a = incremental_edges(&base, 200, 0.8, 4);
         let b = incremental_edges(&base, 200, 0.8, 4);
         assert_eq!(a, b);
-        assert!(a
-            .iter()
-            .all(|e| e.src.index() < 128 && e.dst.index() < 128));
+        assert!(a.iter().all(|e| e.src.index() < 128 && e.dst.index() < 128));
     }
 
     #[test]

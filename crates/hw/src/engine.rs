@@ -142,7 +142,10 @@ impl AutoGnnEngine {
         seed: u64,
     ) -> EngineRun {
         for b in batch {
-            assert!(b.index() < coo.num_vertices(), "batch node {b} out of range");
+            assert!(
+                b.index() < coo.num_vertices(),
+                "batch node {b} out of range"
+            );
         }
         let mut cycles = StageCycles::default();
         let mut dram = StageCycles::default();
@@ -152,13 +155,19 @@ impl AutoGnnEngine {
         // 1. Edge ordering on the full graph (UPE kernel, Fig. 15).
         let sort_run = self.upe_kernel.sort_edges(coo.edges());
         cycles.ordering += sort_run.cycles;
-        dram.ordering += ordering_dram_bytes(coo.num_edges(), self.config.upe.width, self.config.upe.count);
+        dram.ordering += ordering_dram_bytes(
+            coo.num_edges(),
+            self.config.upe.width,
+            self.config.upe.count,
+        );
         upe_passes += sort_run.upe_passes;
 
         // 2. Data reshaping (SCR reshaper): pointer array over sorted dsts.
         let sorted_dsts: Vec<Vid> = sort_run.sorted.iter().map(|e| e.dst).collect();
         let indices: Vec<Vid> = sort_run.sorted.iter().map(|e| e.src).collect();
-        let reshape_run = self.reshaper.build_pointers(coo.num_vertices(), &sorted_dsts);
+        let reshape_run = self
+            .reshaper
+            .build_pointers(coo.num_vertices(), &sorted_dsts);
         cycles.reshaping += reshape_run.cycles;
         dram.reshaping += reshaping_dram_bytes(coo.num_edges(), coo.num_vertices());
         scr_passes += reshape_run.scr_passes;
@@ -206,7 +215,11 @@ impl AutoGnnEngine {
         let sub_nodes = reindex_run.result.num_unique();
         let sub_sort = self.upe_kernel.sort_edges(&sub_edges);
         cycles.ordering += sub_sort.cycles;
-        dram.ordering += ordering_dram_bytes(sub_edges.len(), self.config.upe.width, self.config.upe.count);
+        dram.ordering += ordering_dram_bytes(
+            sub_edges.len(),
+            self.config.upe.width,
+            self.config.upe.count,
+        );
         upe_passes += sub_sort.upe_passes;
 
         let sub_dsts: Vec<Vid> = sub_sort.sorted.iter().map(|e| e.dst).collect();
@@ -258,9 +271,9 @@ pub fn ordering_dram_bytes(num_edges: usize, upe_width: usize, upe_count: usize)
         return 0;
     }
     let pass_bytes = 16 * e; // 8-byte keys, read + write
-    // At the end of the parallel phase each of the `count` runs holds
-    // ~8e/count bytes; only the portion that does not fit the scratchpad
-    // spills (one extra read + write of the overflow).
+                             // At the end of the parallel phase each of the `count` runs holds
+                             // ~8e/count bytes; only the portion that does not fit the scratchpad
+                             // spills (one extra read + write of the overflow).
     let spill_bytes = 2 * (8 * e).saturating_sub(upe_count.max(1) as u64 * SCRATCHPAD_BYTES);
     pass_bytes + spill_bytes
 }

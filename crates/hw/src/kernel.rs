@@ -158,10 +158,8 @@ impl UpeKernel {
             };
             runs.push(sorted);
         }
-        let mut cycles = schedule_makespan(
-            runs.iter().map(|_| chunk_sort_cycles),
-            self.config.count,
-        );
+        let mut cycles =
+            schedule_makespan(runs.iter().map(|_| chunk_sort_cycles), self.config.count);
 
         // Phase 2: merge rounds (Fig. 15 "merging"; Algorithm 1 rate w/2
         // elements per cycle per UPE). While a round has at least as many
@@ -232,9 +230,10 @@ impl UpeKernel {
                     let chunk_index = position as usize / self.config.width;
                     let chunk_start = chunk_index * self.config.width;
                     let chunk_end = (chunk_start + self.config.width).min(values.len());
-                    let extracted = self
-                        .upe
-                        .extract_one_hot(&values[chunk_start..chunk_end], position as usize - chunk_start);
+                    let extracted = self.upe.extract_one_hot(
+                        &values[chunk_start..chunk_end],
+                        position as usize - chunk_start,
+                    );
                     assert_eq!(
                         extracted, values[position as usize],
                         "one-hot extraction diverged"
@@ -327,8 +326,7 @@ impl Reshaper {
                 let in_window = self.count_below(window, t as u32);
                 // The count is final once the window shows an element >= t
                 // or the COO is exhausted.
-                let proven = window_is_last
-                    || window.last().is_some_and(|&d| d.index() >= t);
+                let proven = window_is_last || window.last().is_some_and(|&d| d.index() >= t);
                 if proven {
                     pointers[t] = consumed as u32 + in_window;
                     finished += 1;
@@ -454,10 +452,7 @@ impl Reindexer {
                             break;
                         }
                     }
-                    let expected = mappings
-                        .iter()
-                        .find(|&&(o, _)| o == old.0)
-                        .map(|&(_, r)| r);
+                    let expected = mappings.iter().find(|&&(o, _)| o == old.0).map(|&(_, r)| r);
                     assert_eq!(found, expected, "SCR filter tree diverged");
                     found
                 }

@@ -62,10 +62,7 @@ impl Scr {
         let mut level: Vec<u32> = window.iter().map(|&e| u32::from(e < target)).collect();
         // Adder tree: log2 layers of pairwise sums (width up to log n bits).
         while level.len() > 1 {
-            level = level
-                .chunks(2)
-                .map(|pair| pair.iter().sum())
-                .collect();
+            level = level.chunks(2).map(|pair| pair.iter().sum()).collect();
         }
         level.first().copied().unwrap_or(0)
     }

@@ -198,10 +198,7 @@ mod tests {
     fn partition_all_and_none() {
         let upe = Upe::new(4);
         let values = [7, 8, 9, 10];
-        assert_eq!(
-            upe.set_partition(&values, &[true; 4]),
-            vec![7, 8, 9, 10]
-        );
+        assert_eq!(upe.set_partition(&values, &[true; 4]), vec![7, 8, 9, 10]);
         assert!(upe.set_partition(&values, &[false; 4]).is_empty());
     }
 

@@ -1,0 +1,444 @@
+//! Deterministic serving metrics: latency histograms, throughput, queue
+//! depth, drop and reconfiguration accounting.
+//!
+//! Percentiles come from a fixed geometric bucket ladder, so two runs with
+//! the same seed report byte-identical numbers — no sampling, no clocks.
+
+use std::fmt;
+
+/// Smallest representable latency bucket (1 µs).
+const HIST_FLOOR_SECS: f64 = 1e-6;
+/// Buckets per factor-of-two of latency.
+const BUCKETS_PER_OCTAVE: f64 = 8.0;
+/// Total buckets: covers 1 µs to 2^36 µs ≈ 6.9e4 s (~19 hours) at
+/// 8/octave; anything beyond lands in the exact-max overflow bucket.
+const NUM_BUCKETS: usize = 288;
+
+/// A fixed-ladder geometric latency histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    max_secs: f64,
+    sum_secs: f64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: vec![0; NUM_BUCKETS + 1],
+            total: 0,
+            max_secs: 0.0,
+            sum_secs: 0.0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    fn bucket_of(secs: f64) -> usize {
+        if secs <= HIST_FLOOR_SECS {
+            return 0;
+        }
+        let octaves = (secs / HIST_FLOOR_SECS).log2();
+        ((octaves * BUCKETS_PER_OCTAVE) as usize).min(NUM_BUCKETS)
+    }
+
+    /// Upper bound of bucket `i` in seconds.
+    fn bucket_upper(i: usize) -> f64 {
+        HIST_FLOOR_SECS * 2f64.powf((i + 1) as f64 / BUCKETS_PER_OCTAVE)
+    }
+
+    /// Records one latency observation.
+    pub fn record(&mut self, secs: f64) {
+        self.counts[Self::bucket_of(secs)] += 1;
+        self.total += 1;
+        self.sum_secs += secs;
+        if secs > self.max_secs {
+            self.max_secs = secs;
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean latency in seconds (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum_secs / self.total as f64
+        }
+    }
+
+    /// Exact maximum observed latency in seconds.
+    pub fn max(&self) -> f64 {
+        self.max_secs
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) as the upper bound of the bucket
+    /// holding the `⌈q·total⌉`-th observation — deterministic, within one
+    /// bucket ratio (~9 %) of the exact order statistic. Returns 0 when
+    /// empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "q={q} out of range");
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // The overflow bucket reports the exact max instead of an
+                // unbounded upper edge.
+                return if i == NUM_BUCKETS {
+                    self.max_secs
+                } else {
+                    Self::bucket_upper(i).min(self.max_secs)
+                };
+            }
+        }
+        self.max_secs
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_secs += other.sum_secs;
+        self.max_secs = self.max_secs.max(other.max_secs);
+    }
+}
+
+/// Latency components of one served request, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RequestLatency {
+    /// Simulated seconds spent queued before dispatch.
+    pub queue_secs: f64,
+    /// Reconfiguration stall charged to this request, if any.
+    pub reconfig_secs: f64,
+    /// Host→device graph (delta) upload.
+    pub upload_secs: f64,
+    /// Accelerator preprocessing.
+    pub preprocess_secs: f64,
+    /// Device→GPU subgraph download.
+    pub download_secs: f64,
+    /// GPU inference tail (off the accelerator's critical path).
+    pub inference_secs: f64,
+}
+
+impl RequestLatency {
+    /// End-to-end seconds from arrival to inference completion.
+    pub fn total(&self) -> f64 {
+        self.queue_secs
+            + self.reconfig_secs
+            + self.upload_secs
+            + self.preprocess_secs
+            + self.download_secs
+            + self.inference_secs
+    }
+
+    /// Seconds the request occupies the accelerator (excludes queueing and
+    /// the GPU inference tail).
+    pub fn board_secs(&self) -> f64 {
+        self.reconfig_secs + self.upload_secs + self.preprocess_secs + self.download_secs
+    }
+}
+
+/// Per-tenant serving statistics.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TenantStats {
+    /// Tenant display name.
+    pub name: String,
+    /// Requests admitted and completed.
+    pub completed: u64,
+    /// Requests refused at admission (queue full).
+    pub dropped: u64,
+    /// End-to-end latency distribution.
+    pub latency: LatencyHistogram,
+    /// Total accelerator-busy seconds consumed.
+    pub board_secs: f64,
+    /// Reconfigurations performed to serve this tenant's requests.
+    pub reconfigs: u64,
+}
+
+impl TenantStats {
+    /// Drop rate in `[0, 1]`.
+    pub fn drop_rate(&self) -> f64 {
+        let offered = self.completed + self.dropped;
+        if offered == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / offered as f64
+        }
+    }
+}
+
+/// One sample of the queue-depth timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DepthSample {
+    /// Simulated seconds.
+    pub time_secs: f64,
+    /// Admission-queue depth after the transition.
+    pub depth: usize,
+}
+
+/// Bounded, deterministic queue-depth recorder: keeps every `stride`-th
+/// transition plus the running maximum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DepthTimeline {
+    samples: Vec<DepthSample>,
+    stride: u64,
+    transitions: u64,
+    max_depth: usize,
+    area: f64,
+    last_time: f64,
+    last_depth: usize,
+}
+
+impl DepthTimeline {
+    /// A timeline keeping roughly one sample per `stride` transitions.
+    pub fn with_stride(stride: u64) -> Self {
+        DepthTimeline {
+            samples: Vec::new(),
+            stride: stride.max(1),
+            transitions: 0,
+            max_depth: 0,
+            area: 0.0,
+            last_time: 0.0,
+            last_depth: 0,
+        }
+    }
+
+    /// Records a depth transition at `time_secs`.
+    pub fn record(&mut self, time_secs: f64, depth: usize) {
+        self.area += self.last_depth as f64 * (time_secs - self.last_time).max(0.0);
+        self.last_time = time_secs;
+        self.last_depth = depth;
+        self.max_depth = self.max_depth.max(depth);
+        if self.transitions.is_multiple_of(self.stride) {
+            self.samples.push(DepthSample { time_secs, depth });
+        }
+        self.transitions += 1;
+    }
+
+    /// The retained samples, in time order.
+    pub fn samples(&self) -> &[DepthSample] {
+        &self.samples
+    }
+
+    /// Maximum observed depth.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Time-weighted mean depth over `[0, horizon_secs]`.
+    pub fn mean_depth(&self, horizon_secs: f64) -> f64 {
+        if horizon_secs <= 0.0 {
+            return 0.0;
+        }
+        let tail = self.last_depth as f64 * (horizon_secs - self.last_time).max(0.0);
+        (self.area + tail) / horizon_secs
+    }
+}
+
+impl Default for DepthTimeline {
+    fn default() -> Self {
+        DepthTimeline::with_stride(64)
+    }
+}
+
+/// The full report of one traffic simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficReport {
+    /// Per-tenant statistics, in tenant declaration order.
+    pub tenants: Vec<TenantStats>,
+    /// Simulated seconds from start to the last completion.
+    pub duration_secs: f64,
+    /// Total reconfigurations performed.
+    pub reconfigs: u64,
+    /// Total seconds the accelerator spent reprogramming.
+    pub reconfig_secs: f64,
+    /// Queue-depth timeline.
+    pub queue_depth: DepthTimeline,
+    /// Order-sensitive digest of the full event trace; equal digests mean
+    /// identical schedules, completions and latencies.
+    pub trace_digest: u64,
+}
+
+impl TrafficReport {
+    /// Total completed requests across tenants.
+    pub fn completed(&self) -> u64 {
+        self.tenants.iter().map(|t| t.completed).sum()
+    }
+
+    /// Total dropped requests across tenants.
+    pub fn dropped(&self) -> u64 {
+        self.tenants.iter().map(|t| t.dropped).sum()
+    }
+
+    /// Completed requests per simulated second.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.duration_secs <= 0.0 {
+            0.0
+        } else {
+            self.completed() as f64 / self.duration_secs
+        }
+    }
+
+    /// The merged latency distribution across tenants.
+    pub fn overall_latency(&self) -> LatencyHistogram {
+        let mut merged = LatencyHistogram::default();
+        for t in &self.tenants {
+            merged.merge(&t.latency);
+        }
+        merged
+    }
+}
+
+impl fmt::Display for TrafficReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<14} {:>9} {:>8} {:>8} {:>10} {:>10} {:>10} {:>9}",
+            "tenant", "completed", "dropped", "drop%", "p50(ms)", "p99(ms)", "max(ms)", "reconfig"
+        )?;
+        for t in &self.tenants {
+            writeln!(
+                f,
+                "{:<14} {:>9} {:>8} {:>7.2}% {:>10.2} {:>10.2} {:>10.2} {:>9}",
+                t.name,
+                t.completed,
+                t.dropped,
+                t.drop_rate() * 100.0,
+                t.latency.quantile(0.50) * 1e3,
+                t.latency.quantile(0.99) * 1e3,
+                t.latency.max() * 1e3,
+                t.reconfigs,
+            )?;
+        }
+        let overall = self.overall_latency();
+        writeln!(
+            f,
+            "{:<14} {:>9} {:>8} {:>7.2}% {:>10.2} {:>10.2} {:>10.2} {:>9}",
+            "TOTAL",
+            self.completed(),
+            self.dropped(),
+            if self.completed() + self.dropped() == 0 {
+                0.0
+            } else {
+                self.dropped() as f64 / (self.completed() + self.dropped()) as f64 * 100.0
+            },
+            overall.quantile(0.50) * 1e3,
+            overall.quantile(0.99) * 1e3,
+            overall.max() * 1e3,
+            self.reconfigs,
+        )?;
+        writeln!(
+            f,
+            "throughput {:.1} req/s over {:.1} sim-s | queue depth max {} mean {:.1} | reconfig stall {:.2} s",
+            self.throughput_rps(),
+            self.duration_secs,
+            self.queue_depth.max_depth(),
+            self.queue_depth.mean_depth(self.duration_secs),
+            self.reconfig_secs,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_bracket_the_data() {
+        let mut h = LatencyHistogram::default();
+        for i in 1..=1_000 {
+            h.record(i as f64 * 1e-3); // 1 ms .. 1 s
+        }
+        let p50 = h.quantile(0.50);
+        let p99 = h.quantile(0.99);
+        assert!((0.45..0.60).contains(&p50), "p50 {p50}");
+        assert!((0.9..1.05).contains(&p99), "p99 {p99}");
+        assert!(h.quantile(1.0) <= h.max());
+        assert_eq!(h.count(), 1_000);
+        assert!((h.mean() - 0.5005).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q() {
+        let mut h = LatencyHistogram::default();
+        for i in 0..500 {
+            h.record(1e-5 * (1 + i % 97) as f64);
+        }
+        let mut last = 0.0;
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!(v >= last, "quantile({q}) = {v} < {last}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn overflow_latencies_report_the_exact_max() {
+        let mut h = LatencyHistogram::default();
+        h.record(1e9); // far beyond the ladder
+        assert_eq!(h.quantile(0.99), 1e9);
+        assert_eq!(h.max(), 1e9);
+    }
+
+    #[test]
+    fn merge_combines_counts_and_max() {
+        let mut a = LatencyHistogram::default();
+        let mut b = LatencyHistogram::default();
+        a.record(0.010);
+        b.record(0.500);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 0.500);
+    }
+
+    #[test]
+    fn depth_timeline_tracks_max_and_mean() {
+        let mut d = DepthTimeline::with_stride(1);
+        d.record(0.0, 1);
+        d.record(10.0, 3);
+        d.record(20.0, 0);
+        assert_eq!(d.max_depth(), 3);
+        // depth 1 over [0,10), 3 over [10,20), 0 after => (10+30)/40.
+        assert!((d.mean_depth(40.0) - 1.0).abs() < 1e-9);
+        assert_eq!(d.samples().len(), 3);
+    }
+
+    #[test]
+    fn depth_timeline_stride_bounds_samples() {
+        let mut d = DepthTimeline::with_stride(100);
+        for i in 0..1_000 {
+            d.record(i as f64, i % 7);
+        }
+        assert_eq!(d.samples().len(), 10);
+        assert_eq!(d.max_depth(), 6);
+    }
+
+    #[test]
+    fn request_latency_totals_are_consistent() {
+        let lat = RequestLatency {
+            queue_secs: 1.0,
+            reconfig_secs: 0.23,
+            upload_secs: 0.1,
+            preprocess_secs: 0.5,
+            download_secs: 0.05,
+            inference_secs: 0.2,
+        };
+        assert!((lat.total() - 2.08).abs() < 1e-12);
+        assert!((lat.board_secs() - 0.88).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,436 @@
+//! The discrete-event traffic simulator.
+//!
+//! A binary-heap event queue advances simulated time (`now: f64` seconds)
+//! through tenant arrivals and service completions. Requests pass a bounded
+//! admission queue (overflow is dropped and counted, never silently lost),
+//! then a [`DispatchPolicy`] picks the next request and decides when the
+//! accelerator reprograms. Every per-request price — upload delta,
+//! preprocessing, download, reconfiguration stall, inference tail — comes
+//! from the same models `AutoGnn::serve` uses, via the analytic path, so
+//! the simulator replays hundreds of thousands of requests in milliseconds.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+use agnn_core::runtime::AutoGnn;
+use agnn_cost::{CostModel, ReconfigPolicy};
+use agnn_gnn::timing::GpuInferenceModel;
+use agnn_hw::shell::PcieModel;
+use agnn_hw::HwConfig;
+
+use crate::metrics::{DepthTimeline, LatencyHistogram, RequestLatency, TenantStats, TrafficReport};
+use crate::tenant::TenantSpec;
+
+/// How the scheduler picks the next request and pays reconfigurations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DispatchPolicy {
+    /// Strict arrival order; the runtime's per-request threshold policy
+    /// decides reconfigurations — interleaved tenants with different
+    /// optimal bitstreams thrash the ICAP.
+    Fifo,
+    /// Serves queued requests whose optimal bitstream matches the one
+    /// currently programmed first (in arrival order), switching only when
+    /// none match — amortizing each `ReconfigEvent` over a whole batch. A
+    /// starvation guard dispatches the front request once it has waited
+    /// `max_queue_delay_secs`.
+    ReconfigAware {
+        /// Longest a request may be overtaken before it is served anyway.
+        max_queue_delay_secs: f64,
+    },
+}
+
+impl DispatchPolicy {
+    /// The reconfig-aware policy with a 30-second starvation guard.
+    pub fn reconfig_aware() -> Self {
+        DispatchPolicy::ReconfigAware {
+            max_queue_delay_secs: 30.0,
+        }
+    }
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Deployment seed: drives every arrival stream.
+    pub seed: u64,
+    /// Admission-queue capacity; arrivals beyond it are dropped.
+    pub queue_capacity: usize,
+    /// Dispatch policy.
+    pub policy: DispatchPolicy,
+    /// Offered load: total arrivals generated before the queue drains.
+    pub total_requests: u64,
+    /// Drift quantization step in simulated seconds (bitstream choices are
+    /// re-evaluated once per step per tenant).
+    pub drift_step_secs: f64,
+    /// Minimum predicted relative gain before a reconfiguration is paid.
+    pub min_gain: f64,
+    /// Queue-depth timeline decimation stride.
+    pub depth_stride: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            seed: 0,
+            queue_capacity: 256,
+            policy: DispatchPolicy::Fifo,
+            total_requests: 10_000,
+            drift_step_secs: 3_600.0,
+            min_gain: 0.10,
+            depth_stride: 64,
+        }
+    }
+}
+
+/// One admitted request waiting for dispatch.
+#[derive(Debug, Clone, Copy)]
+struct Request {
+    tenant: usize,
+    arrival_secs: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EventKind {
+    /// A request of `tenant` arrives.
+    Arrival { tenant: usize },
+    /// The accelerator finishes the in-flight request.
+    ServiceDone {
+        tenant: usize,
+        queue_secs: f64,
+        reconfig_secs: f64,
+        upload_secs: f64,
+        preprocess_secs: f64,
+        download_secs: f64,
+        inference_secs: f64,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we pop the earliest event;
+        // the sequence number breaks time ties deterministically.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// FNV-1a accumulator for the order-sensitive event-trace digest.
+#[derive(Debug, Clone, Copy)]
+struct TraceDigest(u64);
+
+impl TraceDigest {
+    fn new() -> Self {
+        TraceDigest(0xCBF2_9CE4_8422_2325)
+    }
+
+    fn push(&mut self, word: u64) {
+        let mut h = self.0;
+        for byte in word.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        self.0 = h;
+    }
+}
+
+/// The multi-tenant traffic simulator.
+#[derive(Debug)]
+pub struct TrafficSim {
+    tenants: Vec<TenantSpec>,
+    config: ServeConfig,
+}
+
+impl TrafficSim {
+    /// A simulator over `tenants` with `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenants` is empty or the queue capacity is zero.
+    pub fn new(tenants: Vec<TenantSpec>, config: ServeConfig) -> Self {
+        assert!(!tenants.is_empty(), "need at least one tenant");
+        assert!(config.queue_capacity > 0, "queue capacity must be positive");
+        TrafficSim { tenants, config }
+    }
+
+    /// Runs the simulation to completion and reports.
+    pub fn run(&self) -> TrafficReport {
+        let cfg = self.config;
+        let first = self.tenants[0].params;
+        let mut board = AutoGnn::new(first);
+        board.set_policy(ReconfigPolicy {
+            min_gain: cfg.min_gain,
+        });
+        let pcie = PcieModel::default();
+        let inference_model = GpuInferenceModel::default();
+
+        let mut heap: BinaryHeap<Event> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut push = |heap: &mut BinaryHeap<Event>, time: f64, kind: EventKind| {
+            heap.push(Event { time, seq, kind });
+            seq += 1;
+        };
+
+        // Independent seeded arrival streams; the first arrival of every
+        // tenant primes the heap.
+        let mut rngs: Vec<_> = self
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(i, t)| t.arrival_rng(cfg.seed, i))
+            .collect();
+        let mut offered = 0u64;
+        for (i, t) in self.tenants.iter().enumerate() {
+            if offered < cfg.total_requests {
+                let at = t.arrival.next_after(0.0, &mut rngs[i]);
+                push(&mut heap, at, EventKind::Arrival { tenant: i });
+                offered += 1;
+            }
+        }
+
+        let mut queue: VecDeque<Request> = VecDeque::new();
+        let mut busy = false;
+        let mut resident_bytes: Vec<u64> = vec![0; self.tenants.len()];
+        // (drift bucket, best config) per tenant.
+        let mut best_cache: Vec<Option<(u64, HwConfig)>> = vec![None; self.tenants.len()];
+
+        let mut stats: Vec<TenantStats> = self
+            .tenants
+            .iter()
+            .map(|t| TenantStats {
+                name: t.name.clone(),
+                latency: LatencyHistogram::default(),
+                ..TenantStats::default()
+            })
+            .collect();
+        let mut depth = DepthTimeline::with_stride(cfg.depth_stride);
+        let mut digest = TraceDigest::new();
+        let mut reconfigs = 0u64;
+        let mut reconfig_secs = 0.0f64;
+        let mut last_board_free = 0.0f64;
+
+        while let Some(event) = heap.pop() {
+            let now = event.time;
+            match event.kind {
+                EventKind::Arrival { tenant } => {
+                    digest.push(0xA1);
+                    digest.push(tenant as u64);
+                    digest.push(now.to_bits());
+                    // Keep the tenant's stream flowing while load remains.
+                    if offered < cfg.total_requests {
+                        let at = self.tenants[tenant]
+                            .arrival
+                            .next_after(now, &mut rngs[tenant]);
+                        push(&mut heap, at, EventKind::Arrival { tenant });
+                        offered += 1;
+                    }
+                    // Bounded admission: overflow is dropped and counted.
+                    if queue.len() >= cfg.queue_capacity {
+                        stats[tenant].dropped += 1;
+                        digest.push(0xD0);
+                        continue;
+                    }
+                    queue.push_back(Request {
+                        tenant,
+                        arrival_secs: now,
+                    });
+                    depth.record(now, queue.len());
+                }
+                EventKind::ServiceDone {
+                    tenant,
+                    queue_secs,
+                    reconfig_secs: stall,
+                    upload_secs,
+                    preprocess_secs,
+                    download_secs,
+                    inference_secs,
+                } => {
+                    let latency = RequestLatency {
+                        queue_secs,
+                        reconfig_secs: stall,
+                        upload_secs,
+                        preprocess_secs,
+                        download_secs,
+                        inference_secs,
+                    };
+                    let t = &mut stats[tenant];
+                    t.completed += 1;
+                    t.latency.record(latency.total());
+                    t.board_secs += latency.board_secs();
+                    digest.push(0x5D);
+                    digest.push(tenant as u64);
+                    digest.push(latency.total().to_bits());
+                    busy = false;
+                    last_board_free = now;
+                }
+            }
+
+            // Dispatch whenever the accelerator is free and work waits.
+            if !busy && !queue.is_empty() {
+                let position = self.pick(&queue, &mut best_cache, &board, now);
+                let request = queue
+                    .remove(position)
+                    .expect("pick returns an in-range queue position");
+                depth.record(now, queue.len());
+                let tenant = &self.tenants[request.tenant];
+                let workload = tenant.workload_at(now, cfg.drift_step_secs);
+                let best = cached_best(
+                    &mut best_cache,
+                    request.tenant,
+                    tenant,
+                    now,
+                    cfg.drift_step_secs,
+                    &board,
+                );
+
+                // Reconfiguration: both policies respect the runtime's
+                // min-gain threshold; they differ in how often the decision
+                // point sees a foreign bitstream.
+                let mut stall = 0.0;
+                if best != board.config()
+                    && board
+                        .policy()
+                        .should_reconfigure(&workload, board.config(), best)
+                {
+                    let event = board.force_reconfigure(best);
+                    stall = event.seconds;
+                    reconfigs += 1;
+                    reconfig_secs += stall;
+                    stats[request.tenant].reconfigs += 1;
+                    digest.push(0x2C);
+                }
+
+                // Price the request analytically under the (possibly new)
+                // configuration.
+                let coo_bytes = workload.coo_bytes();
+                let delta = coo_bytes.saturating_sub(resident_bytes[request.tenant]);
+                resident_bytes[request.tenant] = coo_bytes;
+                let upload_secs = if delta == 0 {
+                    0.0
+                } else {
+                    pcie.transfer_secs(delta)
+                };
+                let preprocess_secs = board.analytic_stage_secs(&workload).total();
+                let download_secs = pcie.transfer_secs(workload.subgraph_bytes());
+                let inference_secs = inference_model.analytic_inference_secs(
+                    &tenant.gnn,
+                    workload.subgraph_nodes(),
+                    workload.subgraph_edges(),
+                );
+
+                let done = now + stall + upload_secs + preprocess_secs + download_secs;
+                busy = true;
+                push(
+                    &mut heap,
+                    done,
+                    EventKind::ServiceDone {
+                        tenant: request.tenant,
+                        queue_secs: now - request.arrival_secs,
+                        reconfig_secs: stall,
+                        upload_secs,
+                        preprocess_secs,
+                        download_secs,
+                        inference_secs,
+                    },
+                );
+            }
+        }
+
+        TrafficReport {
+            tenants: stats,
+            duration_secs: last_board_free,
+            reconfigs,
+            reconfig_secs,
+            queue_depth: depth,
+            trace_digest: digest.0,
+        }
+    }
+
+    /// Picks the queue position to dispatch next under the configured
+    /// policy.
+    fn pick(
+        &self,
+        queue: &VecDeque<Request>,
+        best_cache: &mut [Option<(u64, HwConfig)>],
+        board: &AutoGnn,
+        now: f64,
+    ) -> usize {
+        match self.config.policy {
+            DispatchPolicy::Fifo => 0,
+            DispatchPolicy::ReconfigAware {
+                max_queue_delay_secs,
+            } => {
+                let front = &queue[0];
+                if now - front.arrival_secs >= max_queue_delay_secs {
+                    return 0;
+                }
+                let current = board.config();
+                queue
+                    .iter()
+                    .position(|r| {
+                        let best = cached_best(
+                            best_cache,
+                            r.tenant,
+                            &self.tenants[r.tenant],
+                            now,
+                            self.config.drift_step_secs,
+                            board,
+                        );
+                        best == current
+                    })
+                    .unwrap_or(0)
+            }
+        }
+    }
+}
+
+/// The library-optimal configuration for a tenant's current drift bucket,
+/// memoized per tenant. The workload (and its `powf` drift factors) is only
+/// built on a bucket miss — the dispatch scan hits the cache for every
+/// queued request inside a drift step.
+fn cached_best(
+    cache: &mut [Option<(u64, HwConfig)>],
+    index: usize,
+    tenant: &TenantSpec,
+    now: f64,
+    step_secs: f64,
+    board: &AutoGnn,
+) -> HwConfig {
+    let bucket = tenant.drift_bucket(now, step_secs);
+    if let Some((cached_bucket, config)) = cache[index] {
+        if cached_bucket == bucket {
+            return config;
+        }
+    }
+    let workload = tenant.workload_at(now, step_secs);
+    let best = CostModel.choose_config(&workload, board.library());
+    cache[index] = Some((bucket, best));
+    best
+}
+
+/// Runs one simulation over `tenants` with `config`.
+pub fn simulate(tenants: Vec<TenantSpec>, config: ServeConfig) -> TrafficReport {
+    TrafficSim::new(tenants, config).run()
+}

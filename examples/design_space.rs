@@ -6,8 +6,8 @@
 //! cargo run --example design_space
 //! ```
 
-use autognn::prelude::*;
 use agnn_devices::fpga::FpgaModel;
+use autognn::prelude::*;
 
 fn main() {
     let setup = EvalSetup::default();
@@ -35,7 +35,10 @@ fn main() {
     let am = Dataset::Amazon.spec();
     let am_workload = setup.workload(am.nodes, am.edges);
     println!("\nUPE ladder on AM (n = {}, e = {}):", am.nodes, am.edges);
-    println!("{:>6} {:>7} {:>14} {:>15} {:>12}", "count", "width", "ordering (ms)", "selecting (ms)", "total (ms)");
+    println!(
+        "{:>6} {:>7} {:>14} {:>15} {:>12}",
+        "count", "width", "ordering (ms)", "selecting (ms)", "total (ms)"
+    );
     let scr = library.scr_variants()[1];
     for &upe in library.upe_variants() {
         let report = fpga.analytic_report(&am_workload, HwConfig { upe, scr });

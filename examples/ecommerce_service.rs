@@ -8,8 +8,8 @@
 //! cargo run --example ecommerce_service
 //! ```
 
-use autognn::prelude::*;
 use agnn_graph::dynamic::{GrowthModel, UpdateStream};
+use autognn::prelude::*;
 
 fn main() {
     // Scaled-down Taobao-like graph: few nodes, huge degree.
@@ -29,7 +29,10 @@ fn main() {
     let mut service = AutoGnn::new(params);
     let batch: Vec<Vid> = (0..32).map(Vid).collect();
 
-    println!("\n{:>5} {:>10} {:>12} {:>12} {:>11} {:>9}", "day", "edges", "upload(us)", "preproc(us)", "subgraph", "reconfig");
+    println!(
+        "\n{:>5} {:>10} {:>12} {:>12} {:>11} {:>9}",
+        "day", "edges", "upload(us)", "preproc(us)", "subgraph", "reconfig"
+    );
     for day in 0..10u32 {
         // A burst of new purchases arrives...
         let added = stream.advance();

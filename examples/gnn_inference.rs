@@ -6,8 +6,8 @@
 //! cargo run --example gnn_inference
 //! ```
 
-use autognn::prelude::*;
 use agnn_gnn::timing::GpuInferenceModel;
+use autognn::prelude::*;
 
 fn main() {
     let coo = agnn_graph::generate::power_law(2_000, 30_000, 1.0, 5);
@@ -28,7 +28,10 @@ fn main() {
     let features = FeatureTable::random(coo.num_vertices(), dim, 21);
     let timing = GpuInferenceModel::default();
 
-    println!("\n{:>8} {:>12} {:>14} {:>16}", "model", "MFLOPs", "est. GPU (ms)", "embedding norm");
+    println!(
+        "\n{:>8} {:>12} {:>14} {:>16}",
+        "model", "MFLOPs", "est. GPU (ms)", "embedding norm"
+    );
     for model in GnnModel::ALL {
         let spec = GnnSpec::new(model, 2, dim, dim);
         let result = forward(&spec, sub, &features, 7);

@@ -15,12 +15,20 @@ fn main() {
     let series = task_share_series(Dataset::StackOverflow, 2_000, 200, gnn);
 
     println!("GPU-system latency shares for SO over 2000 days of growth:");
-    println!("{:>6} {:>9} {:>10} {:>10} {:>11} {:>10}", "day", "ordering", "reshaping", "selecting", "reindexing", "inference");
+    println!(
+        "{:>6} {:>9} {:>10} {:>10} {:>11} {:>10}",
+        "day", "ordering", "reshaping", "selecting", "reindexing", "inference"
+    );
     let mut crossover = None;
     for point in &series {
         println!(
             "{:>6} {:>8.1}% {:>9.1}% {:>9.1}% {:>10.1}% {:>9.1}%",
-            point.day, point.shares[0], point.shares[1], point.shares[2], point.shares[3], point.shares[4]
+            point.day,
+            point.shares[0],
+            point.shares[1],
+            point.shares[2],
+            point.shares[3],
+            point.shares[4]
         );
         if crossover.is_none() && point.shares[1] > point.shares[2] {
             crossover = Some(point.day);

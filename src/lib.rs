@@ -25,7 +25,14 @@
 //! - [`gnn`] — GIN/GraphSAGE/GCN/GAT forward passes and inference timing
 //!   ([`agnn_gnn`]);
 //! - [`runtime`] — the AGNN-lib service, the seven compared systems and the
-//!   dynamic-graph scenario engine ([`agnn_core`]).
+//!   dynamic-graph scenario engine ([`agnn_core`]);
+//! - [`serve`] — the production-load layer above the runtime: a
+//!   discrete-event, multi-tenant traffic scheduler with seeded
+//!   Poisson/diurnal arrival processes, a bounded admission queue with drop
+//!   accounting, FIFO vs *reconfig-aware* dispatch policies that amortize
+//!   partial-reconfiguration stalls across same-bitstream request batches,
+//!   and deterministic latency/throughput/queue-depth metrics
+//!   ([`agnn_serve`]).
 //!
 //! # Quickstart
 //!
@@ -55,6 +62,7 @@ pub use agnn_devices as devices;
 pub use agnn_gnn as gnn;
 pub use agnn_graph as graph;
 pub use agnn_hw as hw;
+pub use agnn_serve as serve;
 
 /// The most commonly used items in one import.
 pub mod prelude {
@@ -70,6 +78,9 @@ pub mod prelude {
     pub use agnn_graph::{Coo, Csc, Edge, Vid};
     pub use agnn_hw::engine::AutoGnnEngine;
     pub use agnn_hw::{HwConfig, ScrConfig, UpeConfig};
+    pub use agnn_serve::sim::{simulate, DispatchPolicy, ServeConfig};
+    pub use agnn_serve::tenant::{ArrivalProcess, TenantSpec};
+    pub use agnn_serve::TrafficReport;
 }
 
 #[cfg(test)]

@@ -1,9 +1,9 @@
 //! The Fig. 24 claim, verified end to end: the analytic cost model tracks
 //! the cycle-level simulator across hardware configurations.
 
-use autognn::prelude::*;
 use agnn_cost::CostModel;
 use agnn_devices::fpga::FpgaModel;
+use autognn::prelude::*;
 
 fn workload_and_graph() -> (Workload, Coo, Vec<Vid>) {
     let coo = agnn_graph::generate::power_law(4_000, 80_000, 0.8, 31);

@@ -1,8 +1,8 @@
 //! End-to-end service behaviour across crates: residency, reconfiguration,
 //! drift handling and determinism of the full AGNN-lib analog.
 
-use autognn::prelude::*;
 use agnn_graph::dynamic::{GrowthModel, UpdateStream};
+use autognn::prelude::*;
 
 #[test]
 fn service_survives_a_growth_stream_with_consistent_outputs() {

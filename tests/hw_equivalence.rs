@@ -2,9 +2,9 @@
 //! bit-identical to the software golden pipeline on every dataset class,
 //! in both fidelities and both selection strategies.
 
-use autognn::prelude::*;
 use agnn_algo::pipeline;
 use agnn_hw::kernel::Fidelity;
+use autognn::prelude::*;
 
 fn scaled(dataset: Dataset, max_edges: u64, seed: u64) -> Coo {
     dataset.generate_scaled(dataset.scale_for_max_edges(max_edges), seed)
@@ -31,7 +31,11 @@ fn engine_matches_software_on_every_dataset_class() {
         let mut uniq = run.output.subgraph.new_to_old.clone();
         uniq.sort_unstable();
         uniq.dedup();
-        assert_eq!(uniq.len(), run.output.subgraph.new_to_old.len(), "{dataset}");
+        assert_eq!(
+            uniq.len(),
+            run.output.subgraph.new_to_old.len(),
+            "{dataset}"
+        );
     }
 }
 
@@ -77,7 +81,10 @@ fn equivalence_holds_across_reconfigurations() {
             scr: ScrConfig::new(slots, scr_width),
         });
         let run = engine.preprocess(&coo, &batch, &params, 13);
-        assert_eq!(run.output, golden, "config {count}x{width}/{slots}x{scr_width}");
+        assert_eq!(
+            run.output, golden,
+            "config {count}x{width}/{slots}x{scr_width}"
+        );
     }
 }
 

@@ -1,0 +1,124 @@
+//! Integration tests of the serving layer against the full runtime stack:
+//! determinism, backpressure accounting, and the FIFO vs reconfig-aware
+//! policy comparison on a drift-heavy multi-tenant trace.
+
+use agnn_graph::datasets::Dataset;
+use agnn_serve::sim::{simulate, DispatchPolicy, ServeConfig};
+use agnn_serve::tenant::{ArrivalProcess, TenantSpec};
+
+/// Tenants with offset diurnal peaks: the dominant tenant — and with it
+/// the cost-model-optimal bitstream — rotates through the cycle.
+fn drift_heavy_tenants() -> Vec<TenantSpec> {
+    let period = 600.0;
+    let diurnal = |mean_rps: f64, phase_frac: f64| ArrivalProcess::Diurnal {
+        mean_rps,
+        amplitude: 0.9,
+        period_secs: period,
+        phase_secs: period * phase_frac,
+    };
+    let mut movies = TenantSpec::new("movies", Dataset::Movie, 0.0);
+    movies.arrival = diurnal(12.0, 0.0);
+    let mut feed = TenantSpec::new("feed", Dataset::StackOverflow, 0.0);
+    feed.arrival = diurnal(12.0, 0.5);
+    let mut fraud = TenantSpec::new("fraud", Dataset::Fraud, 0.0);
+    fraud.arrival = diurnal(6.0, 0.25);
+    vec![movies, feed, fraud]
+}
+
+#[test]
+fn replay_is_deterministic_end_to_end() {
+    let cfg = ServeConfig {
+        seed: 99,
+        total_requests: 20_000,
+        policy: DispatchPolicy::reconfig_aware(),
+        ..ServeConfig::default()
+    };
+    let a = simulate(drift_heavy_tenants(), cfg);
+    let b = simulate(drift_heavy_tenants(), cfg);
+    assert_eq!(a.trace_digest, b.trace_digest);
+    assert_eq!(
+        a, b,
+        "full reports identical: same percentiles, drops, reconfigs"
+    );
+    // And the percentile report itself is stable text.
+    assert_eq!(a.to_string(), b.to_string());
+}
+
+#[test]
+fn backpressure_is_fully_accounted() {
+    let cfg = ServeConfig {
+        seed: 17,
+        total_requests: 10_000,
+        queue_capacity: 8,
+        ..ServeConfig::default()
+    };
+    let report = simulate(drift_heavy_tenants(), cfg);
+    assert_eq!(report.completed() + report.dropped(), 10_000);
+    assert!(report.dropped() > 0, "tiny queue under load must drop");
+    assert!(report.queue_depth.max_depth() <= 8);
+    let per_tenant: u64 = report.tenants.iter().map(|t| t.completed + t.dropped).sum();
+    assert_eq!(per_tenant, 10_000, "per-tenant accounting sums to offered");
+}
+
+#[test]
+fn reconfig_aware_beats_fifo_on_p99_under_drift() {
+    let mk = |policy| {
+        simulate(
+            drift_heavy_tenants(),
+            ServeConfig {
+                seed: 7,
+                total_requests: 30_000,
+                queue_capacity: 512,
+                policy,
+                ..ServeConfig::default()
+            },
+        )
+    };
+    let fifo = mk(DispatchPolicy::Fifo);
+    let aware = mk(DispatchPolicy::reconfig_aware());
+
+    assert!(
+        aware.reconfigs < fifo.reconfigs,
+        "strictly fewer reconfigurations: {} vs {}",
+        aware.reconfigs,
+        fifo.reconfigs
+    );
+    let fifo_p99 = fifo.overall_latency().quantile(0.99);
+    let aware_p99 = aware.overall_latency().quantile(0.99);
+    assert!(
+        aware_p99 < fifo_p99,
+        "p99 must improve: {aware_p99} vs {fifo_p99}"
+    );
+    assert!(
+        aware.throughput_rps() >= fifo.throughput_rps(),
+        "amortizing stalls cannot lose throughput: {} vs {}",
+        aware.throughput_rps(),
+        fifo.throughput_rps()
+    );
+}
+
+#[test]
+fn serving_prices_match_the_runtime_models() {
+    // One light-load tenant: per-request latency must be dominated by the
+    // same analytic stage seconds the runtime would report, not by queueing.
+    let tenants = vec![TenantSpec::new("solo", Dataset::Physics, 0.2)];
+    let report = simulate(
+        tenants,
+        ServeConfig {
+            seed: 1,
+            total_requests: 50,
+            ..ServeConfig::default()
+        },
+    );
+    assert_eq!(report.completed(), 50);
+    let stats = &report.tenants[0];
+    // Board time accumulated but light load means no queueing backlog:
+    // latency p50 stays close to the mean service time.
+    assert!(stats.board_secs > 0.0);
+    let mean_service = stats.board_secs / stats.completed as f64;
+    let p50 = stats.latency.quantile(0.5);
+    assert!(
+        p50 < mean_service * 10.0,
+        "p50 {p50} should be near service time {mean_service}"
+    );
+}
