@@ -1,8 +1,9 @@
 //! Criterion benches of the serving layer: discrete-event replay
-//! throughput under FIFO vs reconfig-aware dispatch, and the arrival
-//! generators in isolation.
+//! throughput under FIFO vs reconfig-aware dispatch, the pool-size ×
+//! placement-policy sweep, and the arrival generators in isolation.
 
 use agnn_graph::datasets::Dataset;
+use agnn_serve::pool::PlacementPolicy;
 use agnn_serve::sim::{simulate, DispatchPolicy, ServeConfig};
 use agnn_serve::tenant::{ArrivalProcess, TenantSpec};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -45,6 +46,44 @@ fn bench_dispatch_policies(c: &mut Criterion) {
     group.finish();
 }
 
+/// The pool-size × placement-policy sweep: replay cost of sharding the
+/// same 10k-request trace over 1/2/4/8 boards under each placement.
+fn bench_board_pool_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_pool");
+    group.sample_size(10);
+    for boards in [1usize, 2, 4, 8] {
+        for placement in [
+            PlacementPolicy::TenantAffine,
+            PlacementPolicy::LeastLoaded,
+            PlacementPolicy::BitstreamAffine,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(
+                    format!("replay_10k_{}", placement.name()),
+                    format!("{boards}_boards"),
+                ),
+                &(boards, placement),
+                |b, &(boards, placement)| {
+                    b.iter(|| {
+                        simulate(
+                            mixed_tenants(),
+                            ServeConfig {
+                                seed: 3,
+                                total_requests: 10_000,
+                                boards,
+                                placement,
+                                policy: DispatchPolicy::reconfig_aware(),
+                                ..ServeConfig::default()
+                            },
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 fn bench_arrival_generators(c: &mut Criterion) {
     let mut group = c.benchmark_group("serve_arrivals");
     let poisson = ArrivalProcess::Poisson { rate_rps: 100.0 };
@@ -73,5 +112,10 @@ fn bench_arrival_generators(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dispatch_policies, bench_arrival_generators);
+criterion_group!(
+    benches,
+    bench_dispatch_policies,
+    bench_board_pool_sweep,
+    bench_arrival_generators
+);
 criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! CI `bench-smoke`: replay the seeded serving sweep, write the
+//! `BENCH_serving.json` artifact, and gate p99 against the checked-in
+//! baseline.
+//!
+//! ```text
+//! # what CI runs (fails with exit code 1 on a >20 % p99 regression):
+//! cargo run --release -p agnn-bench --bin bench_smoke -- \
+//!     --baseline ci/bench_serving_baseline.json --out BENCH_serving.json
+//!
+//! # refresh the baseline after an intentional perf change (in-PR):
+//! cargo run --release -p agnn-bench --bin bench_smoke -- \
+//!     --write-baseline ci/bench_serving_baseline.json
+//! ```
+
+use std::process::ExitCode;
+
+use agnn_bench::{perfgate, serving_smoke};
+
+struct Args {
+    out: Option<String>,
+    baseline: Option<String>,
+    write_baseline: Option<String>,
+    tolerance: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        out: None,
+        baseline: None,
+        write_baseline: None,
+        tolerance: 0.20,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--out" => args.out = Some(value("--out")?),
+            "--baseline" => args.baseline = Some(value("--baseline")?),
+            "--write-baseline" => args.write_baseline = Some(value("--write-baseline")?),
+            "--tolerance" => {
+                args.tolerance = value("--tolerance")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("--tolerance: {e}"))?;
+                if !(args.tolerance.is_finite() && args.tolerance >= 0.0) {
+                    return Err("--tolerance must be a non-negative number".to_string());
+                }
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let sweep = serving_smoke::run_sweep();
+    for s in &sweep {
+        let overall = s.report.overall_latency();
+        println!(
+            "{:<28} boards={} placement={:<17} p99={:>9.4} s reconfigs={:>6} completed={}",
+            s.name,
+            s.boards,
+            s.placement.name(),
+            overall.quantile(0.99),
+            s.report.reconfigs,
+            s.report.completed(),
+        );
+    }
+
+    let artifact = serving_smoke::render_json(&sweep);
+    if let Some(path) = &args.out {
+        std::fs::write(path, &artifact).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote artifact {path}");
+    }
+    if let Some(path) = &args.write_baseline {
+        let baseline = serving_smoke::render_baseline_json(&sweep);
+        std::fs::write(path, baseline).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote baseline {path}");
+    }
+
+    if let Some(path) = &args.baseline {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let baseline = perfgate::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+        let current = perfgate::parse(&artifact).map_err(|e| format!("parsing artifact: {e}"))?;
+        let outcome = perfgate::gate_p99(&baseline, &current, args.tolerance)?;
+        for note in &outcome.notes {
+            println!("note: {note}");
+        }
+        if !outcome.passed() {
+            for failure in &outcome.failures {
+                eprintln!("PERF GATE FAILURE: {failure}");
+            }
+            return Err(format!(
+                "{} scenario(s) regressed past {:.0} % — if intentional, refresh the \
+                 baseline with --write-baseline {path}",
+                outcome.failures.len(),
+                args.tolerance * 100.0
+            ));
+        }
+        println!(
+            "perf gate passed ({} scenario(s), tolerance {:.0} %)",
+            baseline
+                .get("scenarios")
+                .and_then(perfgate::Json::as_arr)
+                .map_or(0, <[perfgate::Json]>::len),
+            args.tolerance * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("bench_smoke: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

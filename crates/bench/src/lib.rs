@@ -14,8 +14,10 @@
 
 pub mod headline;
 pub mod motivation;
+pub mod perfgate;
 pub mod reconfig;
 pub mod sensitivity;
+pub mod serving_smoke;
 pub mod tables;
 
 /// Runs every table and figure harness in paper order.

@@ -1,0 +1,504 @@
+//! The CI perf-regression gate.
+//!
+//! `bench_smoke` (see `src/bin/bench_smoke.rs`) replays a small seeded
+//! serving scenario sweep and emits `BENCH_serving.json`; this module
+//! parses that document (and the checked-in baseline
+//! `ci/bench_serving_baseline.json`) with a dependency-free JSON reader
+//! and decides whether the run regressed. The contract, enforced by the
+//! `bench-smoke` CI job:
+//!
+//! - the baseline and run scenario sets must match: a baseline scenario
+//!   missing from the run fails, and so does a run scenario missing from
+//!   the baseline (an ungated scenario is a silent hole in the perf
+//!   trajectory);
+//! - a scenario's p99 may not exceed the baseline p99 by more than the
+//!   tolerance (20 % by default) — ICAP stalls leaking back into the tail
+//!   is exactly the regression the board pool exists to prevent;
+//! - when both documents record a scenario's `reconfigs`, the count is
+//!   gated with the same tolerance — bitstream-affinity breakage must
+//!   fail even on a trace whose p99 absorbs the extra stalls;
+//! - improvements beyond the tolerance are reported as notes, nudging the
+//!   author to refresh the baseline in the same PR.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value. Objects keep insertion order irrelevant — lookups
+/// go through a sorted map, which is all the gate needs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`, ample for gate metrics).
+    Num(f64),
+    /// A string literal.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Member `key` of an object, if present.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns a message with the byte offset of the first syntax error.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&byte) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", char::from(byte), *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("expected '{word}' at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("malformed number '{text}' at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (the input is a valid &str).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().expect("non-empty by bounds check");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        map.insert(key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+/// What the gate decided.
+#[derive(Debug, Default)]
+pub struct GateOutcome {
+    /// Hard failures: the CI job must fail.
+    pub failures: Vec<String>,
+    /// Informational notes (e.g. "improved enough to refresh the
+    /// baseline").
+    pub notes: Vec<String>,
+}
+
+impl GateOutcome {
+    /// True when no scenario regressed.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// One scenario's gated metrics.
+#[derive(Debug, Clone, PartialEq)]
+struct ScenarioMetrics {
+    p99_secs: f64,
+    /// Absent in pre-reconfig-gate baselines; gated only when both sides
+    /// carry it.
+    reconfigs: Option<f64>,
+}
+
+/// Extracts `scenarios[].{name, p99_secs, reconfigs?}` from a
+/// smoke/baseline document.
+fn scenario_metrics(doc: &Json) -> Result<Vec<(String, ScenarioMetrics)>, String> {
+    let scenarios = doc
+        .get("scenarios")
+        .and_then(Json::as_arr)
+        .ok_or("document has no 'scenarios' array")?;
+    scenarios
+        .iter()
+        .map(|s| {
+            let name = s
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("scenario missing 'name'")?
+                .to_string();
+            let p99_secs = s
+                .get("p99_secs")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("scenario '{name}' missing numeric 'p99_secs'"))?;
+            let reconfigs = s.get("reconfigs").and_then(Json::as_f64);
+            Ok((
+                name,
+                ScenarioMetrics {
+                    p99_secs,
+                    reconfigs,
+                },
+            ))
+        })
+        .collect()
+}
+
+/// Gates `current` against `baseline`: the two scenario sets must match
+/// (a baseline scenario missing from the run, or a run scenario missing
+/// from the baseline, both fail — an ungated scenario is a silent hole in
+/// the perf trajectory), p99 must not exceed `baseline * (1 + tolerance)`,
+/// and — when both documents record it — neither may the reconfiguration
+/// count (ICAP thrash regresses the tail even when this trace's p99
+/// absorbs it).
+///
+/// # Errors
+///
+/// Returns an error when either document lacks the gate schema
+/// (`scenarios[].name` / `scenarios[].p99_secs`).
+pub fn gate_p99(baseline: &Json, current: &Json, tolerance: f64) -> Result<GateOutcome, String> {
+    let base = scenario_metrics(baseline)?;
+    let cur: BTreeMap<String, ScenarioMetrics> = scenario_metrics(current)?.into_iter().collect();
+    let mut outcome = GateOutcome::default();
+    for (name, base_m) in &base {
+        let Some(cur_m) = cur.get(name) else {
+            outcome
+                .failures
+                .push(format!("scenario '{name}' missing from the current run"));
+            continue;
+        };
+        let (base_p99, cur_p99) = (base_m.p99_secs, cur_m.p99_secs);
+        let limit = base_p99 * (1.0 + tolerance);
+        if cur_p99 > limit {
+            outcome.failures.push(format!(
+                "'{name}' p99 regressed: {cur_p99:.6} s vs baseline {base_p99:.6} s \
+                 (limit {limit:.6} s, +{:.1} %)",
+                (cur_p99 / base_p99 - 1.0) * 100.0
+            ));
+        } else if cur_p99 < base_p99 * (1.0 - tolerance) {
+            outcome.notes.push(format!(
+                "'{name}' p99 improved {:.1} % past the tolerance — consider refreshing \
+                 the baseline ({cur_p99:.6} s vs {base_p99:.6} s)",
+                (1.0 - cur_p99 / base_p99) * 100.0
+            ));
+        }
+        if let (Some(base_rc), Some(cur_rc)) = (base_m.reconfigs, cur_m.reconfigs) {
+            if cur_rc > base_rc * (1.0 + tolerance) {
+                outcome.failures.push(format!(
+                    "'{name}' reconfigurations regressed: {cur_rc:.0} vs baseline {base_rc:.0} \
+                     (limit {:.1})",
+                    base_rc * (1.0 + tolerance)
+                ));
+            }
+        }
+    }
+    let base_names: std::collections::BTreeSet<&str> =
+        base.iter().map(|(name, _)| name.as_str()).collect();
+    for name in cur.keys() {
+        if !base_names.contains(name.as_str()) {
+            outcome.failures.push(format!(
+                "scenario '{name}' ran but is missing from the baseline — refresh it \
+                 with --write-baseline so the scenario is gated"
+            ));
+        }
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_documents() {
+        let doc =
+            parse(r#"{"a": [1, 2.5, -3e2], "b": {"c": "x\nyA", "d": null}, "e": true}"#).unwrap();
+        assert_eq!(doc.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(
+            doc.get("a").unwrap().as_arr().unwrap()[2],
+            Json::Num(-300.0)
+        );
+        assert_eq!(
+            doc.get("b").unwrap().get("c").unwrap().as_str(),
+            Some("x\nyA")
+        );
+        assert_eq!(doc.get("b").unwrap().get("d"), Some(&Json::Null));
+        assert_eq!(doc.get("e"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn parse_round_trips_a_serve_report() {
+        use agnn_graph::datasets::Dataset;
+        use agnn_serve::sim::{simulate, ServeConfig};
+        use agnn_serve::tenant::TenantSpec;
+        let report = simulate(
+            vec![TenantSpec::new("feed", Dataset::Movie, 5.0)],
+            ServeConfig {
+                seed: 1,
+                total_requests: 100,
+                boards: 2,
+                ..ServeConfig::default()
+            },
+        );
+        let doc = parse(&report.to_json()).expect("report JSON parses");
+        assert_eq!(
+            doc.get("completed").and_then(Json::as_f64),
+            Some(report.completed() as f64)
+        );
+        assert_eq!(
+            doc.get("boards").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse("{").is_err());
+        assert!(parse(r#"{"a": }"#).is_err());
+        assert!(parse("[1, 2,]").is_err());
+        assert!(parse("{} trailing").is_err());
+        assert!(parse("").is_err());
+    }
+
+    fn doc(pairs: &[(&str, f64)]) -> Json {
+        let scenarios = pairs
+            .iter()
+            .map(|(name, p99)| {
+                let mut obj = BTreeMap::new();
+                obj.insert("name".to_string(), Json::Str((*name).to_string()));
+                obj.insert("p99_secs".to_string(), Json::Num(*p99));
+                Json::Obj(obj)
+            })
+            .collect();
+        let mut root = BTreeMap::new();
+        root.insert("scenarios".to_string(), Json::Arr(scenarios));
+        Json::Obj(root)
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_fails_beyond() {
+        let baseline = doc(&[("a", 1.0), ("b", 0.5)]);
+        let ok = gate_p99(&baseline, &doc(&[("a", 1.19), ("b", 0.5)]), 0.20).unwrap();
+        assert!(ok.passed(), "{:?}", ok.failures);
+        let bad = gate_p99(&baseline, &doc(&[("a", 1.21), ("b", 0.5)]), 0.20).unwrap();
+        assert!(!bad.passed());
+        assert!(bad.failures[0].contains("'a'"), "{:?}", bad.failures);
+    }
+
+    #[test]
+    fn gate_fails_on_missing_scenarios_and_notes_improvements() {
+        let baseline = doc(&[("a", 1.0), ("b", 1.0)]);
+        let outcome = gate_p99(&baseline, &doc(&[("a", 0.5)]), 0.20).unwrap();
+        assert!(!outcome.passed(), "missing scenario must fail the gate");
+        assert!(outcome.failures[0].contains("'b'"));
+        assert_eq!(outcome.notes.len(), 1, "halved p99 earns a refresh note");
+    }
+
+    #[test]
+    fn gate_fails_on_scenarios_absent_from_the_baseline() {
+        let baseline = doc(&[("a", 1.0)]);
+        let outcome = gate_p99(&baseline, &doc(&[("a", 1.0), ("new", 0.1)]), 0.20).unwrap();
+        assert!(!outcome.passed(), "an ungated scenario must fail the gate");
+        assert!(
+            outcome.failures[0].contains("'new'") && outcome.failures[0].contains("baseline"),
+            "{:?}",
+            outcome.failures
+        );
+    }
+
+    fn doc_with_reconfigs(pairs: &[(&str, f64, f64)]) -> Json {
+        let scenarios = pairs
+            .iter()
+            .map(|(name, p99, reconfigs)| {
+                let mut obj = BTreeMap::new();
+                obj.insert("name".to_string(), Json::Str((*name).to_string()));
+                obj.insert("p99_secs".to_string(), Json::Num(*p99));
+                obj.insert("reconfigs".to_string(), Json::Num(*reconfigs));
+                Json::Obj(obj)
+            })
+            .collect();
+        let mut root = BTreeMap::new();
+        root.insert("scenarios".to_string(), Json::Arr(scenarios));
+        Json::Obj(root)
+    }
+
+    #[test]
+    fn gate_fails_when_reconfigurations_regress() {
+        let baseline = doc_with_reconfigs(&[("a", 1.0, 3.0)]);
+        let ok = gate_p99(&baseline, &doc_with_reconfigs(&[("a", 1.0, 3.0)]), 0.20).unwrap();
+        assert!(ok.passed(), "{:?}", ok.failures);
+        let bad = gate_p99(&baseline, &doc_with_reconfigs(&[("a", 1.0, 2404.0)]), 0.20).unwrap();
+        assert!(!bad.passed(), "ICAP thrash must fail even at equal p99");
+        assert!(
+            bad.failures[0].contains("reconfigurations"),
+            "{:?}",
+            bad.failures
+        );
+        // A baseline without the field gates p99 only (older schema).
+        let legacy = gate_p99(
+            &doc(&[("a", 1.0)]),
+            &doc_with_reconfigs(&[("a", 1.0, 9999.0)]),
+            0.2,
+        )
+        .unwrap();
+        assert!(legacy.passed(), "{:?}", legacy.failures);
+    }
+
+    #[test]
+    fn gate_rejects_documents_without_the_schema() {
+        assert!(gate_p99(&Json::Null, &Json::Null, 0.2).is_err());
+        let no_p99 = parse(r#"{"scenarios": [{"name": "a"}]}"#).unwrap();
+        assert!(gate_p99(&no_p99, &no_p99, 0.2).is_err());
+    }
+}

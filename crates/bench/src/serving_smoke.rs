@@ -1,0 +1,215 @@
+//! The seeded serving scenario sweep behind CI's `bench-smoke` job.
+//!
+//! Three scenarios replay the same drift-heavy, offset-diurnal trace
+//! (~6 000 requests, well under a second of wall clock each):
+//!
+//! 1. `single_board_reconfig_aware` — the PR 1 baseline: one VPK180,
+//!    reconfig-aware dispatch;
+//! 2. `pool4_least_loaded` — four boards, utilization-greedy placement
+//!    (drains fast, still thrashes the ICAP);
+//! 3. `pool4_bitstream_affine` — four boards with bitstream-affine
+//!    placement, the configuration the perf gate protects.
+//!
+//! [`render_json`] emits the deterministic `BENCH_serving.json` document;
+//! [`crate::perfgate`] compares its `scenarios[].p99_secs` and
+//! `scenarios[].reconfigs` against the checked-in baseline.
+
+use agnn_graph::datasets::Dataset;
+use agnn_serve::metrics::{json_f64, json_str};
+use agnn_serve::pool::PlacementPolicy;
+use agnn_serve::sim::{simulate, DispatchPolicy, ServeConfig};
+use agnn_serve::tenant::{ArrivalProcess, TenantSpec};
+use agnn_serve::TrafficReport;
+
+/// Deployment seed of the sweep (fixed: the artifact must be reproducible).
+pub const SMOKE_SEED: u64 = 4_242;
+/// Offered load per scenario.
+pub const SMOKE_REQUESTS: u64 = 6_000;
+
+/// One scenario of the sweep.
+#[derive(Debug)]
+pub struct Scenario {
+    /// Stable scenario identifier — the gate joins baseline and run on it.
+    pub name: &'static str,
+    /// Pool size.
+    pub boards: usize,
+    /// Placement policy.
+    pub placement: PlacementPolicy,
+    /// The simulation report.
+    pub report: TrafficReport,
+}
+
+/// The drift-heavy trace: three tenants with offset diurnal peaks, so the
+/// dominant tenant — and the cost-model-optimal bitstream — rotates.
+fn smoke_tenants() -> Vec<TenantSpec> {
+    let period = 600.0;
+    let diurnal = |mean_rps: f64, phase_frac: f64| ArrivalProcess::Diurnal {
+        mean_rps,
+        amplitude: 0.9,
+        period_secs: period,
+        phase_secs: period * phase_frac,
+    };
+    let mut movies = TenantSpec::new("movies", Dataset::Movie, 0.0);
+    movies.arrival = diurnal(12.0, 0.0);
+    let mut feed = TenantSpec::new("feed", Dataset::StackOverflow, 0.0);
+    feed.arrival = diurnal(12.0, 0.5);
+    let mut fraud = TenantSpec::new("fraud", Dataset::Fraud, 0.0);
+    fraud.arrival = diurnal(6.0, 0.25);
+    vec![movies, feed, fraud]
+}
+
+/// Runs the full sweep (deterministic in [`SMOKE_SEED`]).
+pub fn run_sweep() -> Vec<Scenario> {
+    let base = ServeConfig {
+        seed: SMOKE_SEED,
+        total_requests: SMOKE_REQUESTS,
+        queue_capacity: 512,
+        policy: DispatchPolicy::reconfig_aware(),
+        ..ServeConfig::default()
+    };
+    let cases = [
+        (
+            "single_board_reconfig_aware",
+            1,
+            PlacementPolicy::LeastLoaded,
+        ),
+        ("pool4_least_loaded", 4, PlacementPolicy::LeastLoaded),
+        (
+            "pool4_bitstream_affine",
+            4,
+            PlacementPolicy::BitstreamAffine,
+        ),
+    ];
+    cases
+        .into_iter()
+        .map(|(name, boards, placement)| Scenario {
+            name,
+            boards,
+            placement,
+            report: simulate(
+                smoke_tenants(),
+                ServeConfig {
+                    boards,
+                    placement,
+                    ..base
+                },
+            ),
+        })
+        .collect()
+}
+
+/// Renders the sweep as the `BENCH_serving.json` document: a scenario
+/// array whose `name`/`p99_secs` members feed the perf gate, each carrying
+/// the full per-tenant/per-board report for trajectory archaeology.
+pub fn render_json(scenarios: &[Scenario]) -> String {
+    let rows: Vec<String> = scenarios
+        .iter()
+        .map(|s| {
+            let overall = s.report.overall_latency();
+            format!(
+                concat!(
+                    "{{\"name\":{name},\"boards\":{boards},",
+                    "\"placement\":{placement},\"p50_secs\":{p50},",
+                    "\"p99_secs\":{p99},\"reconfigs\":{reconfigs},",
+                    "\"completed\":{completed},\"dropped\":{dropped},",
+                    "\"report\":{report}}}"
+                ),
+                name = json_str(s.name),
+                boards = s.boards,
+                placement = json_str(s.placement.name()),
+                p50 = json_f64(overall.quantile(0.50)),
+                p99 = json_f64(overall.quantile(0.99)),
+                reconfigs = s.report.reconfigs,
+                completed = s.report.completed(),
+                dropped = s.report.dropped(),
+                report = s.report.to_json(),
+            )
+        })
+        .collect();
+    format!(
+        concat!(
+            "{{\"schema\":\"agnn-bench-serving/v1\",\"seed\":{seed},",
+            "\"total_requests\":{requests},\"scenarios\":[{rows}]}}"
+        ),
+        seed = SMOKE_SEED,
+        requests = SMOKE_REQUESTS,
+        rows = rows.join(",")
+    )
+}
+
+/// Renders only the gate schema (`scenarios[].name` / `p99_secs` /
+/// `reconfigs`) — the compact form checked in as the baseline.
+pub fn render_baseline_json(scenarios: &[Scenario]) -> String {
+    let rows: Vec<String> = scenarios
+        .iter()
+        .map(|s| {
+            format!(
+                "\n  {{\"name\":{},\"p99_secs\":{},\"reconfigs\":{}}}",
+                json_str(s.name),
+                json_f64(s.report.overall_latency().quantile(0.99)),
+                s.report.reconfigs,
+            )
+        })
+        .collect();
+    format!(
+        "{{\"schema\":\"agnn-bench-serving-baseline/v1\",\"seed\":{},\"scenarios\":[{}\n]}}\n",
+        SMOKE_SEED,
+        rows.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perfgate;
+
+    #[test]
+    fn sweep_is_deterministic_and_json_parses() {
+        let a = run_sweep();
+        let b = run_sweep();
+        assert_eq!(render_json(&a), render_json(&b), "byte-identical artifacts");
+        let doc = perfgate::parse(&render_json(&a)).expect("artifact parses");
+        assert_eq!(
+            doc.get("scenarios")
+                .and_then(perfgate::Json::as_arr)
+                .map(<[perfgate::Json]>::len),
+            Some(3)
+        );
+        let baseline = perfgate::parse(&render_baseline_json(&a)).expect("baseline parses");
+        // A run always passes the gate against its own baseline.
+        let outcome = perfgate::gate_p99(&baseline, &doc, 0.20).unwrap();
+        assert!(outcome.passed(), "{:?}", outcome.failures);
+    }
+
+    #[test]
+    fn affine_pool_dominates_the_single_board_in_the_sweep() {
+        let sweep = run_sweep();
+        let by_name = |n: &str| {
+            sweep
+                .iter()
+                .find(|s| s.name == n)
+                .unwrap_or_else(|| panic!("scenario {n}"))
+        };
+        let single = by_name("single_board_reconfig_aware");
+        let affine = by_name("pool4_bitstream_affine");
+        assert!(
+            affine.report.reconfigs < single.report.reconfigs,
+            "the gated configuration must hold its headline: {} vs {}",
+            affine.report.reconfigs,
+            single.report.reconfigs
+        );
+        assert!(
+            affine.report.overall_latency().quantile(0.99)
+                < single.report.overall_latency().quantile(0.99)
+        );
+        // Every scenario faces the same offered load.
+        for s in &sweep {
+            assert_eq!(
+                s.report.completed() + s.report.dropped(),
+                SMOKE_REQUESTS,
+                "{}",
+                s.name
+            );
+        }
+    }
+}

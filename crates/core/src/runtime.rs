@@ -86,6 +86,24 @@ impl AutoGnn {
         }
     }
 
+    /// A service with an explicit reconfiguration policy — serving layers
+    /// that build board fleets set the deployment threshold in one call.
+    pub fn with_policy(params: SampleParams, policy: ReconfigPolicy) -> Self {
+        let mut service = Self::new(params);
+        service.policy = policy;
+        service
+    }
+
+    /// A pristine peer board: same sampling parameters, policy and
+    /// fidelity, but factory-fresh hardware state (default bitstream, no
+    /// resident graph). Board pools fork one configured runtime into N
+    /// independent reconfiguration decision points.
+    pub fn fork(&self) -> Self {
+        let mut peer = Self::with_fidelity(self.params, self.engine.fidelity());
+        peer.policy = self.policy;
+        peer
+    }
+
     /// Current hardware configuration.
     pub fn config(&self) -> HwConfig {
         self.engine.config()
@@ -255,6 +273,22 @@ mod tests {
         // optimal configuration.
         assert!(second.reconfig.is_none());
         assert_eq!(first.config, second.config);
+    }
+
+    #[test]
+    fn fork_yields_a_pristine_peer_with_the_same_policy() {
+        let coo = generate::power_law(400, 8_000, 0.9, 9);
+        let mut original = AutoGnn::with_policy(
+            SampleParams::new(5, 2),
+            agnn_cost::ReconfigPolicy { min_gain: 0.42 },
+        );
+        original.serve(&coo, &batch(8), 1); // dirty: resident graph, maybe reconfigured
+        let mut peer = original.fork();
+        assert_eq!(peer.policy(), original.policy());
+        assert_eq!(peer.params(), original.params());
+        assert_eq!(peer.config(), HwConfig::vpk180_default(), "fresh bitstream");
+        let first = peer.serve(&coo, &batch(8), 1);
+        assert!(first.upload_secs > 0.0, "no resident graph inherited");
     }
 
     #[test]

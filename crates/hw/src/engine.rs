@@ -100,6 +100,11 @@ impl AutoGnnEngine {
         self.config
     }
 
+    /// Simulation fidelity this engine was built with.
+    pub fn fidelity(&self) -> Fidelity {
+        self.fidelity
+    }
+
     /// The HW-shell (transfer state and models).
     pub fn shell(&self) -> &HwShell {
         &self.shell

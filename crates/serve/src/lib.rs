@@ -9,6 +9,12 @@
 //!   a GNN spec to a seeded arrival process (homogeneous Poisson or a
 //!   diurnal sinusoid via Lewis–Shedler thinning), with optional
 //!   Table II-rate workload drift;
+//! - [`pool`] — a [`pool::BoardPool`] of N simulated accelerators, each a
+//!   forked [`agnn_core::runtime::AutoGnn`] with its own bitstream state,
+//!   reconfiguration clock, in-flight slot and resident-graph memory, fed
+//!   by the shared admission queue through a pluggable
+//!   [`pool::PlacementPolicy`] (`TenantAffine`, `LeastLoaded`,
+//!   `BitstreamAffine`);
 //! - [`sim`] — a binary-heap discrete-event scheduler with a bounded
 //!   admission queue, drop accounting and pluggable [`sim::DispatchPolicy`]
 //!   — strict FIFO versus a *reconfig-aware* policy that serves
@@ -16,13 +22,31 @@
 //!   (§V-B's cost-model decision, lifted from one request to a traffic
 //!   stream);
 //! - [`metrics`] — deterministic latency histograms (p50/p95/p99/max),
-//!   throughput, queue-depth timelines, per-tenant breakdowns and an
-//!   order-sensitive event-trace digest for reproducibility checks.
+//!   throughput, queue-depth timelines, per-tenant and per-board
+//!   breakdowns, an order-sensitive event-trace digest for
+//!   reproducibility checks, and a byte-stable JSON rendering
+//!   ([`metrics::TrafficReport::to_json`]).
 //!
 //! Every price the scheduler pays — upload delta, per-stage preprocessing,
 //! subgraph download, ICAP stall, GPU inference tail — comes from the same
 //! calibrated models the runtime uses, through the analytic path, so a
 //! hundred thousand requests replay in well under a second.
+//!
+//! # CI perf gate
+//!
+//! The serving numbers are kept honest by CI (`.github/workflows/ci.yml`,
+//! job `bench-smoke`): every push replays a small seeded scenario sweep
+//! through `cargo run -p agnn-bench --bin bench_smoke`, uploads the
+//! resulting `BENCH_serving.json` artifact (built from
+//! [`metrics::TrafficReport::to_json`]), and fails the job if the
+//! bitstream-affine pool's p99 regresses more than 20 % past the
+//! checked-in baseline `ci/bench_serving_baseline.json`. Intentional
+//! regressions update the baseline in the same PR:
+//!
+//! ```text
+//! cargo run --release -p agnn-bench --bin bench_smoke -- \
+//!     --write-baseline ci/bench_serving_baseline.json
+//! ```
 //!
 //! # Examples
 //!
@@ -49,10 +73,12 @@
 //! ```
 
 pub mod metrics;
+pub mod pool;
 pub mod sim;
 pub mod tenant;
 
-pub use metrics::{LatencyHistogram, RequestLatency, TenantStats, TrafficReport};
+pub use metrics::{BoardStats, LatencyHistogram, RequestLatency, TenantStats, TrafficReport};
+pub use pool::{BoardPool, PlacementPolicy};
 pub use sim::{simulate, DispatchPolicy, ServeConfig, TrafficSim};
 pub use tenant::{ArrivalProcess, Drift, TenantSpec};
 
@@ -201,5 +227,126 @@ mod tests {
         for t in &report.tenants {
             assert!(text.contains(&t.name));
         }
+    }
+
+    #[test]
+    fn pool_report_prints_per_board_lines() {
+        let report = simulate(
+            mixed_tenants(30.0),
+            ServeConfig {
+                seed: 6,
+                total_requests: 400,
+                boards: 3,
+                ..ServeConfig::default()
+            },
+        );
+        let text = report.to_string();
+        assert!(text.contains("board 0:"));
+        assert!(text.contains("board 2:"));
+        assert_eq!(report.boards.len(), 3);
+    }
+
+    #[test]
+    fn board_completions_sum_to_total_for_every_placement() {
+        for placement in [
+            PlacementPolicy::TenantAffine,
+            PlacementPolicy::LeastLoaded,
+            PlacementPolicy::BitstreamAffine,
+        ] {
+            let report = simulate(
+                mixed_tenants(60.0),
+                ServeConfig {
+                    seed: 12,
+                    total_requests: 1_500,
+                    boards: 4,
+                    placement,
+                    policy: DispatchPolicy::reconfig_aware(),
+                    ..ServeConfig::default()
+                },
+            );
+            let per_board: u64 = report.boards.iter().map(|b| b.completed).sum();
+            assert_eq!(
+                per_board,
+                report.completed(),
+                "{}: board counts must sum to the total",
+                placement.name()
+            );
+            let per_board_reconfigs: u64 = report.boards.iter().map(|b| b.reconfigs).sum();
+            assert_eq!(per_board_reconfigs, report.reconfigs);
+        }
+    }
+
+    #[test]
+    fn more_boards_never_serve_fewer_requests() {
+        // Heavy load over a small queue: extra boards drain faster, so
+        // completions are monotone in pool size on the same arrival trace.
+        let mk = |boards| {
+            simulate(
+                mixed_tenants(120.0),
+                ServeConfig {
+                    seed: 9,
+                    total_requests: 2_000,
+                    queue_capacity: 16,
+                    boards,
+                    policy: DispatchPolicy::reconfig_aware(),
+                    placement: PlacementPolicy::BitstreamAffine,
+                    ..ServeConfig::default()
+                },
+            )
+        };
+        let one = mk(1);
+        let four = mk(4);
+        assert_eq!(one.completed() + one.dropped(), 2_000);
+        assert_eq!(four.completed() + four.dropped(), 2_000);
+        assert!(
+            four.completed() >= one.completed(),
+            "4 boards {} vs 1 board {}",
+            four.completed(),
+            one.completed()
+        );
+    }
+
+    #[test]
+    fn tenant_affine_pins_every_tenant_to_its_home_board() {
+        // 3 tenants on 3 boards: each board only ever sees one tenant's
+        // bitstream, so after the initial switch no board reconfigures.
+        let report = simulate(
+            mixed_tenants(20.0),
+            ServeConfig {
+                seed: 21,
+                total_requests: 1_200,
+                boards: 3,
+                placement: PlacementPolicy::TenantAffine,
+                ..ServeConfig::default()
+            },
+        );
+        assert_eq!(report.completed() + report.dropped(), 1_200);
+        for (i, board) in report.boards.iter().enumerate() {
+            assert!(
+                board.reconfigs <= 1,
+                "board {i} serves one tenant, saw {} reconfigs",
+                board.reconfigs
+            );
+            assert_eq!(
+                board.completed, report.tenants[i].completed,
+                "board {i} serves exactly tenant {i}'s load"
+            );
+        }
+    }
+
+    #[test]
+    fn rerunning_one_simulator_is_deterministic() {
+        let cfg = ServeConfig {
+            seed: 33,
+            total_requests: 800,
+            boards: 2,
+            placement: PlacementPolicy::BitstreamAffine,
+            policy: DispatchPolicy::reconfig_aware(),
+            ..ServeConfig::default()
+        };
+        let mut sim = TrafficSim::new(mixed_tenants(40.0), cfg);
+        let a = sim.run();
+        let b = sim.run();
+        assert_eq!(a, b, "the pool resets between runs");
     }
 }

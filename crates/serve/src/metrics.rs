@@ -182,6 +182,31 @@ impl TenantStats {
     }
 }
 
+/// Per-board serving statistics — the sharding breakdown of a pool run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BoardStats {
+    /// Requests this board completed.
+    pub completed: u64,
+    /// Reconfigurations this board paid.
+    pub reconfigs: u64,
+    /// Seconds this board spent reprogramming.
+    pub reconfig_secs: f64,
+    /// Seconds this board was occupied (reconfig + upload + preprocess +
+    /// download).
+    pub busy_secs: f64,
+}
+
+impl BoardStats {
+    /// Fraction of `[0, duration_secs]` the board was occupied.
+    pub fn utilization(&self, duration_secs: f64) -> f64 {
+        if duration_secs <= 0.0 {
+            0.0
+        } else {
+            self.busy_secs / duration_secs
+        }
+    }
+}
+
 /// One sample of the queue-depth timeline.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DepthSample {
@@ -267,8 +292,11 @@ pub struct TrafficReport {
     pub reconfigs: u64,
     /// Total seconds the accelerator spent reprogramming.
     pub reconfig_secs: f64,
-    /// Queue-depth timeline.
+    /// Queue-depth timeline (the admission queue is shared pool-wide).
     pub queue_depth: DepthTimeline,
+    /// Per-board breakdown, in board order. Always at least one entry;
+    /// single-board runs report the one board's totals.
+    pub boards: Vec<BoardStats>,
     /// Order-sensitive digest of the full event trace; equal digests mean
     /// identical schedules, completions and latencies.
     pub trace_digest: u64,
@@ -301,6 +329,134 @@ impl TrafficReport {
             merged.merge(&t.latency);
         }
         merged
+    }
+
+    /// Number of boards that served this run.
+    pub fn pool_size(&self) -> usize {
+        self.boards.len().max(1)
+    }
+
+    /// Renders the report as deterministic JSON: fixed key order, Rust's
+    /// shortest-roundtrip float formatting, the trace digest as a hex
+    /// string (JSON numbers cannot carry a full `u64`). Two runs with the
+    /// same seed produce byte-identical documents — which is what the CI
+    /// `bench-smoke` artifact and perf gate compare.
+    pub fn to_json(&self) -> String {
+        let overall = self.overall_latency();
+        let mut out = String::with_capacity(1024);
+        out.push('{');
+        push_field(&mut out, "schema", &json_str("agnn-serve-report/v1"));
+        push_field(&mut out, "pool_size", &self.pool_size().to_string());
+        push_field(&mut out, "completed", &self.completed().to_string());
+        push_field(&mut out, "dropped", &self.dropped().to_string());
+        push_field(&mut out, "reconfigs", &self.reconfigs.to_string());
+        push_field(&mut out, "reconfig_secs", &json_f64(self.reconfig_secs));
+        push_field(&mut out, "duration_secs", &json_f64(self.duration_secs));
+        push_field(&mut out, "throughput_rps", &json_f64(self.throughput_rps()));
+        push_field(&mut out, "p50_secs", &json_f64(overall.quantile(0.50)));
+        push_field(&mut out, "p95_secs", &json_f64(overall.quantile(0.95)));
+        push_field(&mut out, "p99_secs", &json_f64(overall.quantile(0.99)));
+        push_field(&mut out, "max_secs", &json_f64(overall.max()));
+        push_field(&mut out, "mean_secs", &json_f64(overall.mean()));
+        push_field(
+            &mut out,
+            "queue_depth_max",
+            &self.queue_depth.max_depth().to_string(),
+        );
+        push_field(
+            &mut out,
+            "trace_digest",
+            &json_str(&format!("{:#018x}", self.trace_digest)),
+        );
+        let tenants: Vec<String> = self
+            .tenants
+            .iter()
+            .map(|t| {
+                let mut obj = String::new();
+                obj.push('{');
+                push_field(&mut obj, "name", &json_str(&t.name));
+                push_field(&mut obj, "completed", &t.completed.to_string());
+                push_field(&mut obj, "dropped", &t.dropped.to_string());
+                push_field(&mut obj, "reconfigs", &t.reconfigs.to_string());
+                push_field(&mut obj, "board_secs", &json_f64(t.board_secs));
+                push_field(&mut obj, "p50_secs", &json_f64(t.latency.quantile(0.50)));
+                push_field(&mut obj, "p99_secs", &json_f64(t.latency.quantile(0.99)));
+                close_obj(&mut obj);
+                obj
+            })
+            .collect();
+        push_field(&mut out, "tenants", &format!("[{}]", tenants.join(",")));
+        let boards: Vec<String> = self
+            .boards
+            .iter()
+            .map(|b| {
+                let mut obj = String::new();
+                obj.push('{');
+                push_field(&mut obj, "completed", &b.completed.to_string());
+                push_field(&mut obj, "reconfigs", &b.reconfigs.to_string());
+                push_field(&mut obj, "reconfig_secs", &json_f64(b.reconfig_secs));
+                push_field(&mut obj, "busy_secs", &json_f64(b.busy_secs));
+                push_field(
+                    &mut obj,
+                    "utilization",
+                    &json_f64(b.utilization(self.duration_secs)),
+                );
+                close_obj(&mut obj);
+                obj
+            })
+            .collect();
+        push_field(&mut out, "boards", &format!("[{}]", boards.join(",")));
+        close_obj(&mut out);
+        out
+    }
+}
+
+/// Appends `"key":value,` (the trailing comma is trimmed by [`close_obj`]).
+fn push_field(out: &mut String, key: &str, value: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(value);
+    out.push(',');
+}
+
+/// Replaces a trailing comma with the closing brace.
+fn close_obj(out: &mut String) {
+    if out.ends_with(',') {
+        out.pop();
+    }
+    out.push('}');
+}
+
+/// A string as a JSON literal, with `"`/`\`/control characters escaped.
+/// Public so downstream report composers (e.g. the CI `bench-smoke`
+/// artifact) share one encoder instead of hand-rolling escaping.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A finite `f64` as a JSON number (non-finite values become `null` —
+/// bare `{}` formatting of a NaN would corrupt the document). Public for
+/// the same reason as [`json_str`].
+pub fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
     }
 }
 
@@ -350,7 +506,20 @@ impl fmt::Display for TrafficReport {
             self.queue_depth.max_depth(),
             self.queue_depth.mean_depth(self.duration_secs),
             self.reconfig_secs,
-        )
+        )?;
+        if self.boards.len() > 1 {
+            for (i, b) in self.boards.iter().enumerate() {
+                writeln!(
+                    f,
+                    "board {i}: {} completed | util {:>5.1}% | {} reconfigs ({:.2} s stall)",
+                    b.completed,
+                    b.utilization(self.duration_secs) * 100.0,
+                    b.reconfigs,
+                    b.reconfig_secs,
+                )?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -426,6 +595,57 @@ mod tests {
         }
         assert_eq!(d.samples().len(), 10);
         assert_eq!(d.max_depth(), 6);
+    }
+
+    #[test]
+    fn board_stats_utilization_is_bounded_and_guarded() {
+        let b = BoardStats {
+            completed: 10,
+            reconfigs: 2,
+            reconfig_secs: 0.5,
+            busy_secs: 25.0,
+        };
+        assert!((b.utilization(100.0) - 0.25).abs() < 1e-12);
+        assert_eq!(b.utilization(0.0), 0.0, "zero horizon cannot divide");
+    }
+
+    #[test]
+    fn json_report_is_deterministic_and_structurally_sound() {
+        let mut tenant = TenantStats {
+            name: "feed \"a\"\\".to_string(),
+            ..TenantStats::default()
+        };
+        tenant.completed = 3;
+        tenant.latency.record(0.010);
+        let report = TrafficReport {
+            tenants: vec![tenant],
+            duration_secs: 12.5,
+            reconfigs: 1,
+            reconfig_secs: 0.23,
+            queue_depth: DepthTimeline::default(),
+            boards: vec![BoardStats::default(), BoardStats::default()],
+            trace_digest: 0xDEAD_BEEF,
+        };
+        let a = report.to_json();
+        let b = report.to_json();
+        assert_eq!(a, b, "byte-identical renders");
+        assert!(a.starts_with('{') && a.ends_with('}'));
+        assert!(a.contains("\"pool_size\":2"));
+        assert!(a.contains("\"p99_secs\":"));
+        assert!(a.contains("\"trace_digest\":\"0x00000000deadbeef\""));
+        assert!(
+            a.contains("feed \\\"a\\\"\\\\"),
+            "quotes and backslashes escaped"
+        );
+        assert!(!a.contains(",}"), "no trailing commas: {a}");
+        assert!(!a.contains(",]"), "no trailing commas: {a}");
+    }
+
+    #[test]
+    fn json_f64_guards_non_finite_values() {
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(0.25), "0.25");
     }
 
     #[test]

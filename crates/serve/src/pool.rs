@@ -1,0 +1,340 @@
+//! A pool of simulated accelerator boards behind one admission queue.
+//!
+//! PR 1's `agnn-serve` time-multiplexed a single VPK180, so every shift in
+//! the tenant mix forced an ICAP stall. A [`BoardPool`] holds N boards,
+//! each with its **own** bitstream state, reconfiguration clock, in-flight
+//! slot and resident-graph memory — each board forks its own
+//! [`AutoGnn`] runtime, so every board is an independent cost-model
+//! decision point. The shared admission queue feeds the pool through a
+//! pluggable [`PlacementPolicy`]:
+//!
+//! - [`PlacementPolicy::TenantAffine`] — each tenant has a home board
+//!   (pinned, or tenant index hashed over the pool); requests wait for it.
+//!   Perfect residency and bitstream locality, but a hot tenant cannot
+//!   borrow idle boards.
+//! - [`PlacementPolicy::LeastLoaded`] — the free board with the least
+//!   accumulated busy time serves next; the board's dispatch policy picks
+//!   the request. Best raw utilization, no bitstream locality.
+//! - [`PlacementPolicy::BitstreamAffine`] — route a request to a free
+//!   board **already holding its optimal bitstream**, falling back to
+//!   least-loaded; on a pool this turns most reconfigurations into routing
+//!   decisions. With one board it degenerates to PR 1's reconfig-aware
+//!   queue scan exactly.
+//!
+//! A single-board pool is bit-for-bit identical to the PR 1 simulator
+//! (`tests/serve_traffic.rs` pins the PR 1 trace digests), so pool runs
+//! stay comparable across the whole perf trajectory — which is what the
+//! CI `bench-smoke` gate (see [`crate`] docs) relies on.
+
+use agnn_algo::pipeline::SampleParams;
+use agnn_core::runtime::AutoGnn;
+use agnn_cost::{BitstreamLibrary, ReconfigPolicy, Workload};
+use agnn_hw::engine::ReconfigEvent;
+use agnn_hw::HwConfig;
+
+use crate::metrics::BoardStats;
+
+/// How the pool routes an admitted request to a board.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementPolicy {
+    /// Requests only run on their tenant's home board
+    /// ([`crate::tenant::TenantSpec::home_board`]); they queue while it is
+    /// busy even if other boards idle.
+    TenantAffine,
+    /// The free board with the least accumulated busy time serves next;
+    /// the dispatch policy picks which queued request it takes.
+    #[default]
+    LeastLoaded,
+    /// Prefer a free board whose programmed bitstream already matches the
+    /// request's cost-model optimum; fall back to least-loaded when no
+    /// queued request matches any free board.
+    BitstreamAffine,
+}
+
+impl PlacementPolicy {
+    /// Stable lowercase identifier used in reports and benchmark IDs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlacementPolicy::TenantAffine => "tenant_affine",
+            PlacementPolicy::LeastLoaded => "least_loaded",
+            PlacementPolicy::BitstreamAffine => "bitstream_affine",
+        }
+    }
+}
+
+/// One simulated board: a forked [`AutoGnn`] runtime plus the pool-side
+/// serving state the simulator tracks for it.
+#[derive(Debug)]
+struct Board {
+    runtime: AutoGnn,
+    busy: bool,
+    busy_secs: f64,
+    completed: u64,
+    reconfigs: u64,
+    reconfig_secs: f64,
+    /// Graph bytes resident on this board, per tenant — each board has its
+    /// own DDR, so residency (and therefore upload deltas) is per board.
+    resident_bytes: Vec<u64>,
+}
+
+impl Board {
+    fn new(runtime: AutoGnn, tenant_count: usize) -> Self {
+        Board {
+            runtime,
+            busy: false,
+            busy_secs: 0.0,
+            completed: 0,
+            reconfigs: 0,
+            reconfig_secs: 0.0,
+            resident_bytes: vec![0; tenant_count],
+        }
+    }
+}
+
+/// N simulated boards with independent bitstream state, fed by one
+/// admission queue.
+#[derive(Debug)]
+pub struct BoardPool {
+    boards: Vec<Board>,
+    tenant_count: usize,
+}
+
+impl BoardPool {
+    /// A pool of `size` pristine boards serving `tenant_count` tenants,
+    /// all running `params` under `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(
+        size: usize,
+        params: SampleParams,
+        policy: ReconfigPolicy,
+        tenant_count: usize,
+    ) -> Self {
+        assert!(size > 0, "pool must hold at least one board");
+        let prototype = AutoGnn::with_policy(params, policy);
+        let mut boards = Vec::with_capacity(size);
+        for _ in 1..size {
+            boards.push(Board::new(prototype.fork(), tenant_count));
+        }
+        boards.push(Board::new(prototype, tenant_count));
+        BoardPool {
+            boards,
+            tenant_count,
+        }
+    }
+
+    /// Number of boards.
+    pub fn size(&self) -> usize {
+        self.boards.len()
+    }
+
+    /// Restores every board to factory state (fresh bitstream, empty
+    /// memory, zeroed counters) so one pool replays many simulations.
+    pub fn reset(&mut self) {
+        for board in &mut self.boards {
+            *board = Board::new(board.runtime.fork(), self.tenant_count);
+        }
+    }
+
+    /// The bitstream library the cost model searches — identical on every
+    /// board, so bitstream-choice caches can be shared pool-wide.
+    pub fn library(&self) -> &BitstreamLibrary {
+        self.boards[0].runtime.library()
+    }
+
+    /// The reconfiguration policy in force (same on every board).
+    pub fn policy(&self) -> ReconfigPolicy {
+        self.boards[0].runtime.policy()
+    }
+
+    /// The configuration currently programmed on board `index`.
+    pub fn config(&self, index: usize) -> HwConfig {
+        self.boards[index].runtime.config()
+    }
+
+    /// Whether board `index` has a free in-flight slot.
+    pub fn is_free(&self, index: usize) -> bool {
+        !self.boards[index].busy
+    }
+
+    /// True when at least one board is free.
+    pub fn any_free(&self) -> bool {
+        self.boards.iter().any(|b| !b.busy)
+    }
+
+    /// Indices of free boards, in board order.
+    pub fn free_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.boards
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| !b.busy)
+            .map(|(i, _)| i)
+    }
+
+    /// The free board with the least accumulated busy time (ties broken by
+    /// the lowest index), or `None` when every board is busy.
+    pub fn least_loaded_free(&self) -> Option<usize> {
+        self.free_indices().min_by(|&a, &b| {
+            self.boards[a]
+                .busy_secs
+                .total_cmp(&self.boards[b].busy_secs)
+        })
+    }
+
+    /// The first free board already programmed with `config`.
+    pub fn free_with_config(&self, config: HwConfig) -> Option<usize> {
+        self.free_indices().find(|&i| self.config(i) == config)
+    }
+
+    /// True when any board — busy or free — is programmed with `config`.
+    /// `BitstreamAffine` placement uses this to wait for a busy board
+    /// holding the right bitstream instead of reprogramming another one.
+    pub fn any_with_config(&self, config: HwConfig) -> bool {
+        (0..self.boards.len()).any(|i| self.config(i) == config)
+    }
+
+    /// Reprograms board `index` if `best` differs from its current
+    /// bitstream and the board's policy clears the gain threshold; returns
+    /// the stall seconds charged, or `None` when no switch happens.
+    pub fn maybe_reconfigure(
+        &mut self,
+        index: usize,
+        workload: &Workload,
+        best: HwConfig,
+    ) -> Option<f64> {
+        let board = &mut self.boards[index];
+        let current = board.runtime.config();
+        if best == current
+            || !board
+                .runtime
+                .policy()
+                .should_reconfigure(workload, current, best)
+        {
+            return None;
+        }
+        let ReconfigEvent { seconds, .. } = board.runtime.force_reconfigure(best);
+        board.reconfigs += 1;
+        board.reconfig_secs += seconds;
+        Some(seconds)
+    }
+
+    /// Analytic preprocessing seconds for `workload` under board `index`'s
+    /// current configuration.
+    pub fn stage_secs(&self, index: usize, workload: &Workload) -> f64 {
+        self.boards[index]
+            .runtime
+            .analytic_stage_secs(workload)
+            .total()
+    }
+
+    /// Updates tenant residency on board `index` to `coo_bytes` and
+    /// returns the upload delta (0 when the graph is already resident).
+    pub fn upload_delta(&mut self, index: usize, tenant: usize, coo_bytes: u64) -> u64 {
+        let resident = &mut self.boards[index].resident_bytes[tenant];
+        let delta = coo_bytes.saturating_sub(*resident);
+        *resident = coo_bytes;
+        delta
+    }
+
+    /// Marks board `index` busy until `done` (called at dispatch).
+    pub fn occupy(&mut self, index: usize, now: f64, done: f64) {
+        let board = &mut self.boards[index];
+        debug_assert!(!board.busy, "board {index} double-dispatched");
+        board.busy = true;
+        board.busy_secs += (done - now).max(0.0);
+    }
+
+    /// Marks board `index` free again (called at service completion).
+    pub fn release(&mut self, index: usize) {
+        let board = &mut self.boards[index];
+        debug_assert!(board.busy, "board {index} released while idle");
+        board.busy = false;
+        board.completed += 1;
+    }
+
+    /// Per-board statistics snapshot, in board order.
+    pub fn stats(&self) -> Vec<BoardStats> {
+        self.boards
+            .iter()
+            .map(|b| BoardStats {
+                completed: b.completed,
+                reconfigs: b.reconfigs,
+                reconfig_secs: b.reconfig_secs,
+                busy_secs: b.busy_secs,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(size: usize) -> BoardPool {
+        BoardPool::new(size, SampleParams::new(10, 2), ReconfigPolicy::default(), 3)
+    }
+
+    #[test]
+    fn boards_start_free_and_identically_configured() {
+        let pool = pool(4);
+        assert_eq!(pool.size(), 4);
+        assert!(pool.any_free());
+        assert_eq!(pool.free_indices().count(), 4);
+        for i in 1..4 {
+            assert_eq!(pool.config(i), pool.config(0));
+        }
+    }
+
+    #[test]
+    fn least_loaded_breaks_ties_by_index_and_tracks_busy_time() {
+        let mut pool = pool(3);
+        assert_eq!(pool.least_loaded_free(), Some(0));
+        pool.occupy(0, 0.0, 10.0);
+        assert_eq!(pool.least_loaded_free(), Some(1));
+        pool.release(0);
+        // Board 0 now carries 10 busy seconds; 1 and 2 are still at zero.
+        assert_eq!(pool.least_loaded_free(), Some(1));
+        pool.occupy(1, 0.0, 1.0);
+        pool.occupy(2, 0.0, 1.0);
+        pool.release(1);
+        pool.release(2);
+        assert_eq!(pool.least_loaded_free(), Some(1), "1 < 10 busy secs");
+    }
+
+    #[test]
+    fn residency_is_per_board() {
+        let mut pool = pool(2);
+        assert_eq!(pool.upload_delta(0, 1, 1_000), 1_000, "cold on board 0");
+        assert_eq!(pool.upload_delta(0, 1, 1_000), 0, "resident on board 0");
+        assert_eq!(pool.upload_delta(1, 1, 1_000), 1_000, "cold on board 1");
+        assert_eq!(pool.upload_delta(0, 1, 1_500), 500, "delta only");
+    }
+
+    #[test]
+    fn reset_restores_factory_state() {
+        let mut pool = pool(2);
+        pool.occupy(0, 0.0, 5.0);
+        pool.release(0);
+        pool.upload_delta(1, 0, 2_000);
+        pool.reset();
+        assert_eq!(pool.stats()[0].completed, 0);
+        assert_eq!(pool.stats()[0].busy_secs, 0.0);
+        assert_eq!(pool.upload_delta(1, 0, 2_000), 2_000, "memory evicted");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one board")]
+    fn zero_boards_is_rejected() {
+        pool(0);
+    }
+
+    #[test]
+    fn placement_policy_names_are_stable() {
+        assert_eq!(PlacementPolicy::TenantAffine.name(), "tenant_affine");
+        assert_eq!(PlacementPolicy::LeastLoaded.name(), "least_loaded");
+        assert_eq!(PlacementPolicy::BitstreamAffine.name(), "bitstream_affine");
+        assert_eq!(PlacementPolicy::default(), PlacementPolicy::LeastLoaded);
+    }
+}

@@ -3,22 +3,34 @@
 //! A binary-heap event queue advances simulated time (`now: f64` seconds)
 //! through tenant arrivals and service completions. Requests pass a bounded
 //! admission queue (overflow is dropped and counted, never silently lost),
-//! then a [`DispatchPolicy`] picks the next request and decides when the
-//! accelerator reprograms. Every per-request price — upload delta,
-//! preprocessing, download, reconfiguration stall, inference tail — comes
-//! from the same models `AutoGnn::serve` uses, via the analytic path, so
-//! the simulator replays hundreds of thousands of requests in milliseconds.
+//! then two pluggable policies cooperate on every dispatch:
+//!
+//! - a [`PlacementPolicy`] routes the request to one board of the
+//!   [`BoardPool`] — N simulated accelerators, each with its own bitstream
+//!   state, reconfiguration clock, in-flight slot and resident-graph
+//!   memory;
+//! - a [`DispatchPolicy`] picks which queued request the chosen board
+//!   serves and decides when that board reprograms.
+//!
+//! Every per-request price — upload delta, preprocessing, download,
+//! reconfiguration stall, inference tail — comes from the same models
+//! `AutoGnn::serve` uses, via the analytic path, so the simulator replays
+//! hundreds of thousands of requests in milliseconds.
+//!
+//! A single-board pool reproduces the PR 1 simulator bit-for-bit: the same
+//! schedule, latencies and trace digest (pinned in `tests/serve_traffic.rs`),
+//! so perf numbers stay comparable across the whole trajectory.
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 
-use agnn_core::runtime::AutoGnn;
 use agnn_cost::{CostModel, ReconfigPolicy};
 use agnn_gnn::timing::GpuInferenceModel;
 use agnn_hw::shell::PcieModel;
 use agnn_hw::HwConfig;
 
 use crate::metrics::{DepthTimeline, LatencyHistogram, RequestLatency, TenantStats, TrafficReport};
+use crate::pool::{BoardPool, PlacementPolicy};
 use crate::tenant::TenantSpec;
 
 /// How the scheduler picks the next request and pays reconfigurations.
@@ -55,8 +67,17 @@ pub struct ServeConfig {
     pub seed: u64,
     /// Admission-queue capacity; arrivals beyond it are dropped.
     pub queue_capacity: usize,
-    /// Dispatch policy.
+    /// Dispatch policy (which queued request a board serves next).
     pub policy: DispatchPolicy,
+    /// Number of simulated boards in the pool.
+    pub boards: usize,
+    /// Placement policy (which board an admitted request runs on).
+    pub placement: PlacementPolicy,
+    /// Per-board compute speed multiplier: preprocessing runs this many
+    /// times faster, while ICAP reprogramming and PCIe transfers keep
+    /// their physical rates. Models "one board N× as fast" comparisons
+    /// against an N-board pool.
+    pub compute_speedup: f64,
     /// Offered load: total arrivals generated before the queue drains.
     pub total_requests: u64,
     /// Drift quantization step in simulated seconds (bitstream choices are
@@ -74,6 +95,9 @@ impl Default for ServeConfig {
             seed: 0,
             queue_capacity: 256,
             policy: DispatchPolicy::Fifo,
+            boards: 1,
+            placement: PlacementPolicy::LeastLoaded,
+            compute_speedup: 1.0,
             total_requests: 10_000,
             drift_step_secs: 3_600.0,
             min_gain: 0.10,
@@ -93,9 +117,10 @@ struct Request {
 enum EventKind {
     /// A request of `tenant` arrives.
     Arrival { tenant: usize },
-    /// The accelerator finishes the in-flight request.
+    /// Board `board` finishes its in-flight request.
     ServiceDone {
         tenant: usize,
+        board: usize,
         queue_secs: f64,
         reconfig_secs: f64,
         upload_secs: f64,
@@ -156,33 +181,63 @@ impl TraceDigest {
     }
 }
 
-/// The multi-tenant traffic simulator.
+/// The multi-tenant traffic simulator over a board pool.
 #[derive(Debug)]
 pub struct TrafficSim {
     tenants: Vec<TenantSpec>,
     config: ServeConfig,
+    pool: BoardPool,
 }
 
 impl TrafficSim {
-    /// A simulator over `tenants` with `config`.
+    /// A simulator over `tenants` with `config`. The board pool is built
+    /// here (one forked `AutoGnn` runtime per board) and reset at the
+    /// start of every [`run`](TrafficSim::run), so one simulator can
+    /// replay many deterministic simulations.
     ///
     /// # Panics
     ///
-    /// Panics if `tenants` is empty or the queue capacity is zero.
+    /// Panics if `tenants` is empty, the queue capacity or board count is
+    /// zero, or the compute speedup is not a positive finite number.
     pub fn new(tenants: Vec<TenantSpec>, config: ServeConfig) -> Self {
         assert!(!tenants.is_empty(), "need at least one tenant");
         assert!(config.queue_capacity > 0, "queue capacity must be positive");
-        TrafficSim { tenants, config }
+        assert!(
+            config.compute_speedup > 0.0 && config.compute_speedup.is_finite(),
+            "compute speedup must be positive and finite"
+        );
+        let pool = BoardPool::new(
+            config.boards,
+            tenants[0].params,
+            ReconfigPolicy {
+                min_gain: config.min_gain,
+            },
+            tenants.len(),
+        );
+        TrafficSim {
+            tenants,
+            config,
+            pool,
+        }
     }
 
-    /// Runs the simulation to completion and reports.
-    pub fn run(&self) -> TrafficReport {
+    /// Number of boards in the pool.
+    pub fn pool_size(&self) -> usize {
+        self.pool.size()
+    }
+
+    /// Runs the simulation to completion and reports. Takes `&mut self`
+    /// because the pool carries mutable per-board state (bitstreams,
+    /// residency, busy slots); the pool is reset first, so repeated runs
+    /// of the same simulator are identical.
+    pub fn run(&mut self) -> TrafficReport {
         let cfg = self.config;
-        let first = self.tenants[0].params;
-        let mut board = AutoGnn::new(first);
-        board.set_policy(ReconfigPolicy {
-            min_gain: cfg.min_gain,
-        });
+        let TrafficSim { tenants, pool, .. } = self;
+        pool.reset();
+        // Multi-board runs tag reconfiguration and completion digest words
+        // with the board index; the single-board layout is frozen so PR 1
+        // digests stay reproducible.
+        let tag_boards = pool.size() > 1;
         let pcie = PcieModel::default();
         let inference_model = GpuInferenceModel::default();
 
@@ -195,14 +250,13 @@ impl TrafficSim {
 
         // Independent seeded arrival streams; the first arrival of every
         // tenant primes the heap.
-        let mut rngs: Vec<_> = self
-            .tenants
+        let mut rngs: Vec<_> = tenants
             .iter()
             .enumerate()
             .map(|(i, t)| t.arrival_rng(cfg.seed, i))
             .collect();
         let mut offered = 0u64;
-        for (i, t) in self.tenants.iter().enumerate() {
+        for (i, t) in tenants.iter().enumerate() {
             if offered < cfg.total_requests {
                 let at = t.arrival.next_after(0.0, &mut rngs[i]);
                 push(&mut heap, at, EventKind::Arrival { tenant: i });
@@ -211,13 +265,11 @@ impl TrafficSim {
         }
 
         let mut queue: VecDeque<Request> = VecDeque::new();
-        let mut busy = false;
-        let mut resident_bytes: Vec<u64> = vec![0; self.tenants.len()];
-        // (drift bucket, best config) per tenant.
-        let mut best_cache: Vec<Option<(u64, HwConfig)>> = vec![None; self.tenants.len()];
+        // (drift bucket, best config) per tenant — shared across boards:
+        // every board searches the identical bitstream library.
+        let mut best_cache: Vec<Option<(u64, HwConfig)>> = vec![None; tenants.len()];
 
-        let mut stats: Vec<TenantStats> = self
-            .tenants
+        let mut stats: Vec<TenantStats> = tenants
             .iter()
             .map(|t| TenantStats {
                 name: t.name.clone(),
@@ -240,9 +292,7 @@ impl TrafficSim {
                     digest.push(now.to_bits());
                     // Keep the tenant's stream flowing while load remains.
                     if offered < cfg.total_requests {
-                        let at = self.tenants[tenant]
-                            .arrival
-                            .next_after(now, &mut rngs[tenant]);
+                        let at = tenants[tenant].arrival.next_after(now, &mut rngs[tenant]);
                         push(&mut heap, at, EventKind::Arrival { tenant });
                         offered += 1;
                     }
@@ -260,6 +310,7 @@ impl TrafficSim {
                 }
                 EventKind::ServiceDone {
                     tenant,
+                    board,
                     queue_secs,
                     reconfig_secs: stall,
                     upload_secs,
@@ -282,19 +333,27 @@ impl TrafficSim {
                     digest.push(0x5D);
                     digest.push(tenant as u64);
                     digest.push(latency.total().to_bits());
-                    busy = false;
+                    if tag_boards {
+                        digest.push(board as u64);
+                    }
+                    pool.release(board);
                     last_board_free = now;
                 }
             }
 
-            // Dispatch whenever the accelerator is free and work waits.
-            if !busy && !queue.is_empty() {
-                let position = self.pick(&queue, &mut best_cache, &board, now);
+            // Dispatch while boards are free and work waits. Each pass
+            // routes one request to one board; placement decides the pair.
+            while pool.any_free() && !queue.is_empty() {
+                let Some((position, board)) =
+                    select_dispatch(tenants, &cfg, &queue, &mut best_cache, pool, now)
+                else {
+                    break;
+                };
                 let request = queue
                     .remove(position)
-                    .expect("pick returns an in-range queue position");
+                    .expect("placement returns an in-range queue position");
                 depth.record(now, queue.len());
-                let tenant = &self.tenants[request.tenant];
+                let tenant = &tenants[request.tenant];
                 let workload = tenant.workload_at(now, cfg.drift_step_secs);
                 let best = cached_best(
                     &mut best_cache,
@@ -302,37 +361,34 @@ impl TrafficSim {
                     tenant,
                     now,
                     cfg.drift_step_secs,
-                    &board,
+                    pool,
                 );
 
-                // Reconfiguration: both policies respect the runtime's
-                // min-gain threshold; they differ in how often the decision
-                // point sees a foreign bitstream.
+                // Reconfiguration: every policy respects the board's
+                // min-gain threshold; policies differ in how often a
+                // board's decision point sees a foreign bitstream.
                 let mut stall = 0.0;
-                if best != board.config()
-                    && board
-                        .policy()
-                        .should_reconfigure(&workload, board.config(), best)
-                {
-                    let event = board.force_reconfigure(best);
-                    stall = event.seconds;
+                if let Some(secs) = pool.maybe_reconfigure(board, &workload, best) {
+                    stall = secs;
                     reconfigs += 1;
                     reconfig_secs += stall;
                     stats[request.tenant].reconfigs += 1;
                     digest.push(0x2C);
+                    if tag_boards {
+                        digest.push(board as u64);
+                    }
                 }
 
-                // Price the request analytically under the (possibly new)
-                // configuration.
+                // Price the request analytically under the board's
+                // (possibly new) configuration.
                 let coo_bytes = workload.coo_bytes();
-                let delta = coo_bytes.saturating_sub(resident_bytes[request.tenant]);
-                resident_bytes[request.tenant] = coo_bytes;
+                let delta = pool.upload_delta(board, request.tenant, coo_bytes);
                 let upload_secs = if delta == 0 {
                     0.0
                 } else {
                     pcie.transfer_secs(delta)
                 };
-                let preprocess_secs = board.analytic_stage_secs(&workload).total();
+                let preprocess_secs = pool.stage_secs(board, &workload) / cfg.compute_speedup;
                 let download_secs = pcie.transfer_secs(workload.subgraph_bytes());
                 let inference_secs = inference_model.analytic_inference_secs(
                     &tenant.gnn,
@@ -341,12 +397,13 @@ impl TrafficSim {
                 );
 
                 let done = now + stall + upload_secs + preprocess_secs + download_secs;
-                busy = true;
+                pool.occupy(board, now, done);
                 push(
                     &mut heap,
                     done,
                     EventKind::ServiceDone {
                         tenant: request.tenant,
+                        board,
                         queue_secs: now - request.arrival_secs,
                         reconfig_secs: stall,
                         upload_secs,
@@ -364,44 +421,158 @@ impl TrafficSim {
             reconfigs,
             reconfig_secs,
             queue_depth: depth,
+            boards: pool.stats(),
             trace_digest: digest.0,
         }
     }
+}
 
-    /// Picks the queue position to dispatch next under the configured
-    /// policy.
-    fn pick(
-        &self,
-        queue: &VecDeque<Request>,
-        best_cache: &mut [Option<(u64, HwConfig)>],
-        board: &AutoGnn,
-        now: f64,
-    ) -> usize {
-        match self.config.policy {
-            DispatchPolicy::Fifo => 0,
-            DispatchPolicy::ReconfigAware {
-                max_queue_delay_secs,
-            } => {
-                let front = &queue[0];
-                if now - front.arrival_secs >= max_queue_delay_secs {
-                    return 0;
-                }
-                let current = board.config();
-                queue
-                    .iter()
-                    .position(|r| {
-                        let best = cached_best(
-                            best_cache,
-                            r.tenant,
-                            &self.tenants[r.tenant],
-                            now,
-                            self.config.drift_step_secs,
-                            board,
-                        );
-                        best == current
-                    })
-                    .unwrap_or(0)
+/// Picks the next `(queue position, board)` pair to dispatch, or `None`
+/// when no placement is currently possible (e.g. every home board of every
+/// queued request is busy under [`PlacementPolicy::TenantAffine`]).
+fn select_dispatch(
+    tenants: &[TenantSpec],
+    cfg: &ServeConfig,
+    queue: &VecDeque<Request>,
+    best_cache: &mut [Option<(u64, HwConfig)>],
+    pool: &BoardPool,
+    now: f64,
+) -> Option<(usize, usize)> {
+    match cfg.placement {
+        // The home board of the earliest-arrived dispatchable request
+        // serves; the dispatch policy then picks among the requests homed
+        // to that board (a home board never serves foreign tenants, so
+        // the reconfig-aware scan is restricted to its own backlog).
+        PlacementPolicy::TenantAffine => {
+            let board = queue.iter().find_map(|r| {
+                let home = tenants[r.tenant].home_board(r.tenant, pool.size());
+                pool.is_free(home).then_some(home)
+            })?;
+            let homed = |r: &Request| tenants[r.tenant].home_board(r.tenant, pool.size()) == board;
+            let position =
+                pick_for_board(tenants, cfg, queue, best_cache, pool, board, now, &homed)?;
+            Some((position, board))
+        }
+        // The least-loaded free board serves; its dispatch policy picks
+        // the request — with one board this is exactly the PR 1 scheduler.
+        PlacementPolicy::LeastLoaded => {
+            let board = pool.least_loaded_free()?;
+            let position =
+                pick_for_board(tenants, cfg, queue, best_cache, pool, board, now, &|_| true)?;
+            Some((position, board))
+        }
+        // Route a request to a board already holding its bitstream. A
+        // request whose bitstream lives on a *busy* board waits for it
+        // (bounded by the starvation guard) instead of reprogramming an
+        // idle board — that restraint is what turns reconfigurations into
+        // routing decisions. Only a bitstream no board holds claims the
+        // least-loaded free board and pays one switch.
+        PlacementPolicy::BitstreamAffine => {
+            let max_queue_delay_secs = match cfg.policy {
+                // FIFO promises strict arrival order, so the affinity
+                // scan must not overtake: placement only picks the front
+                // request's board (a zero starvation bound).
+                DispatchPolicy::Fifo => 0.0,
+                DispatchPolicy::ReconfigAware {
+                    max_queue_delay_secs,
+                } => max_queue_delay_secs,
+            };
+            let front = &queue[0];
+            if now - front.arrival_secs >= max_queue_delay_secs {
+                let front_best = cached_best(
+                    best_cache,
+                    front.tenant,
+                    &tenants[front.tenant],
+                    now,
+                    cfg.drift_step_secs,
+                    pool,
+                );
+                let board = pool
+                    .free_with_config(front_best)
+                    .or_else(|| pool.least_loaded_free())?;
+                return Some((0, board));
             }
+            // Pass 1: the earliest request whose optimal bitstream is
+            // already programmed on a free board (with one board this is
+            // exactly the PR 1 reconfig-aware queue scan).
+            for (position, r) in queue.iter().enumerate() {
+                let best = cached_best(
+                    best_cache,
+                    r.tenant,
+                    &tenants[r.tenant],
+                    now,
+                    cfg.drift_step_secs,
+                    pool,
+                );
+                if let Some(board) = pool.free_with_config(best) {
+                    return Some((position, board));
+                }
+            }
+            // Pass 2: the earliest request whose bitstream no board holds
+            // claims the least-loaded free board.
+            for (position, r) in queue.iter().enumerate() {
+                let best = cached_best(
+                    best_cache,
+                    r.tenant,
+                    &tenants[r.tenant],
+                    now,
+                    cfg.drift_step_secs,
+                    pool,
+                );
+                if !pool.any_with_config(best) {
+                    let board = pool.least_loaded_free()?;
+                    return Some((position, board));
+                }
+            }
+            // Every queued bitstream is held by a busy board: wait for it.
+            None
+        }
+    }
+}
+
+/// The queue position `board` serves next under the configured dispatch
+/// policy (PR 1's pick, parameterized by the board's bitstream), scanning
+/// only requests `eligible` admits — `TenantAffine` placement restricts
+/// the scan to the board's own tenants, everything else passes all.
+/// `None` when no queued request is eligible.
+#[allow(clippy::too_many_arguments)]
+fn pick_for_board(
+    tenants: &[TenantSpec],
+    cfg: &ServeConfig,
+    queue: &VecDeque<Request>,
+    best_cache: &mut [Option<(u64, HwConfig)>],
+    pool: &BoardPool,
+    board: usize,
+    now: f64,
+    eligible: &dyn Fn(&Request) -> bool,
+) -> Option<usize> {
+    let front_pos = queue.iter().position(eligible)?;
+    match cfg.policy {
+        DispatchPolicy::Fifo => Some(front_pos),
+        DispatchPolicy::ReconfigAware {
+            max_queue_delay_secs,
+        } => {
+            let front = &queue[front_pos];
+            if now - front.arrival_secs >= max_queue_delay_secs {
+                return Some(front_pos);
+            }
+            let current = pool.config(board);
+            queue
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| eligible(r))
+                .find(|(_, r)| {
+                    cached_best(
+                        best_cache,
+                        r.tenant,
+                        &tenants[r.tenant],
+                        now,
+                        cfg.drift_step_secs,
+                        pool,
+                    ) == current
+                })
+                .map(|(position, _)| position)
+                .or(Some(front_pos))
         }
     }
 }
@@ -409,14 +580,15 @@ impl TrafficSim {
 /// The library-optimal configuration for a tenant's current drift bucket,
 /// memoized per tenant. The workload (and its `powf` drift factors) is only
 /// built on a bucket miss — the dispatch scan hits the cache for every
-/// queued request inside a drift step.
+/// queued request inside a drift step. The cache is sound pool-wide: all
+/// boards search the same bitstream library.
 fn cached_best(
     cache: &mut [Option<(u64, HwConfig)>],
     index: usize,
     tenant: &TenantSpec,
     now: f64,
     step_secs: f64,
-    board: &AutoGnn,
+    pool: &BoardPool,
 ) -> HwConfig {
     let bucket = tenant.drift_bucket(now, step_secs);
     if let Some((cached_bucket, config)) = cache[index] {
@@ -425,12 +597,13 @@ fn cached_best(
         }
     }
     let workload = tenant.workload_at(now, step_secs);
-    let best = CostModel.choose_config(&workload, board.library());
+    let best = CostModel.choose_config(&workload, pool.library());
     cache[index] = Some((bucket, best));
     best
 }
 
 /// Runs one simulation over `tenants` with `config`.
 pub fn simulate(tenants: Vec<TenantSpec>, config: ServeConfig) -> TrafficReport {
-    TrafficSim::new(tenants, config).run()
+    let mut sim = TrafficSim::new(tenants, config);
+    sim.run()
 }

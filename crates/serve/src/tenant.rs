@@ -161,6 +161,9 @@ pub struct TenantSpec {
     pub arrival: ArrivalProcess,
     /// How the tenant's graph drifts over the horizon.
     pub drift: Drift,
+    /// Operator-pinned home board for `TenantAffine` placement; `None`
+    /// hashes the tenant index over the pool.
+    pub pinned_board: Option<usize>,
 }
 
 impl TenantSpec {
@@ -176,6 +179,22 @@ impl TenantSpec {
             batch: 3_000,
             arrival: ArrivalProcess::Poisson { rate_rps },
             drift: Drift::table_ii(dataset),
+            pinned_board: None,
+        }
+    }
+
+    /// The board `TenantAffine` placement routes this tenant to in a pool
+    /// of `pool_size` boards: the pinned board when set, otherwise the
+    /// tenant index hashed over the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool_size` is zero.
+    pub fn home_board(&self, tenant_index: usize, pool_size: usize) -> usize {
+        assert!(pool_size > 0, "pool must hold at least one board");
+        match self.pinned_board {
+            Some(board) => board % pool_size,
+            None => tenant_index % pool_size,
         }
     }
 
@@ -323,6 +342,15 @@ mod tests {
         let b = tenant.workload_at(100.0 * SECS_PER_DAY, 3_600.0);
         assert_eq!(a.edges, b.edges);
         assert_eq!(tenant.drift_bucket(1e9, 3_600.0), 0);
+    }
+
+    #[test]
+    fn home_board_hashes_unless_pinned() {
+        let mut tenant = TenantSpec::new("t", Dataset::Movie, 1.0);
+        assert_eq!(tenant.home_board(5, 4), 1);
+        assert_eq!(tenant.home_board(5, 1), 0, "single board absorbs all");
+        tenant.pinned_board = Some(7);
+        assert_eq!(tenant.home_board(5, 4), 3, "pins wrap into the pool");
     }
 
     #[test]

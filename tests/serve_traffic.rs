@@ -1,10 +1,15 @@
 //! Integration tests of the serving layer against the full runtime stack:
-//! determinism, backpressure accounting, and the FIFO vs reconfig-aware
-//! policy comparison on a drift-heavy multi-tenant trace.
+//! determinism, backpressure accounting, the FIFO vs reconfig-aware policy
+//! comparison on a drift-heavy multi-tenant trace, board-pool sharding
+//! (including the pinned PR 1 golden digests a single-board pool must
+//! reproduce bit-for-bit), and property tests over arbitrary pool sizes
+//! and placement policies.
 
 use agnn_graph::datasets::Dataset;
+use agnn_serve::pool::PlacementPolicy;
 use agnn_serve::sim::{simulate, DispatchPolicy, ServeConfig};
 use agnn_serve::tenant::{ArrivalProcess, TenantSpec};
+use proptest::prelude::*;
 
 /// Tenants with offset diurnal peaks: the dominant tenant — and with it
 /// the cost-model-optimal bitstream — rotates through the cycle.
@@ -95,6 +100,232 @@ fn reconfig_aware_beats_fifo_on_p99_under_drift() {
         aware.throughput_rps(),
         fifo.throughput_rps()
     );
+}
+
+/// Golden values captured from the PR 1 single-board simulator (commit
+/// `13c5e52`, before the board-pool refactor) on the drift-heavy trace:
+/// seed 99, 5 000 requests, default queue. A single-board pool must
+/// reproduce them **bit-for-bit** — same event-trace digest, same
+/// completion/drop/reconfiguration counts — or pool numbers stop being
+/// comparable across the perf trajectory.
+#[test]
+fn single_board_pool_reproduces_pr1_metrics_bit_for_bit() {
+    struct Golden {
+        policy: DispatchPolicy,
+        placement: PlacementPolicy,
+        digest: u64,
+        completed: u64,
+        dropped: u64,
+        reconfigs: u64,
+    }
+    let goldens = [
+        Golden {
+            policy: DispatchPolicy::Fifo,
+            placement: PlacementPolicy::LeastLoaded,
+            digest: 0x0A50_3A29_FBBB_3279,
+            completed: 1_280,
+            dropped: 3_720,
+            reconfigs: 756,
+        },
+        Golden {
+            policy: DispatchPolicy::reconfig_aware(),
+            placement: PlacementPolicy::LeastLoaded,
+            digest: 0x7A80_395C_B156_02F6,
+            completed: 5_000,
+            dropped: 0,
+            reconfigs: 549,
+        },
+        // With one board, BitstreamAffine degenerates to the PR 1
+        // reconfig-aware queue scan exactly.
+        Golden {
+            policy: DispatchPolicy::reconfig_aware(),
+            placement: PlacementPolicy::BitstreamAffine,
+            digest: 0x7A80_395C_B156_02F6,
+            completed: 5_000,
+            dropped: 0,
+            reconfigs: 549,
+        },
+    ];
+    for g in goldens {
+        let report = simulate(
+            drift_heavy_tenants(),
+            ServeConfig {
+                seed: 99,
+                total_requests: 5_000,
+                policy: g.policy,
+                placement: g.placement,
+                ..ServeConfig::default()
+            },
+        );
+        let label = format!("{:?}/{}", g.policy, g.placement.name());
+        assert_eq!(
+            report.trace_digest, g.digest,
+            "{label}: PR 1 trace digest must reproduce bit-for-bit"
+        );
+        assert_eq!(report.completed(), g.completed, "{label}");
+        assert_eq!(report.dropped(), g.dropped, "{label}");
+        assert_eq!(report.reconfigs, g.reconfigs, "{label}");
+        assert_eq!(report.boards.len(), 1);
+        assert_eq!(report.boards[0].completed, g.completed, "{label}");
+    }
+}
+
+#[test]
+fn bitstream_affine_pool_beats_single_board_on_the_drift_heavy_trace() {
+    let base = ServeConfig {
+        seed: 7,
+        total_requests: 20_000,
+        queue_capacity: 512,
+        policy: DispatchPolicy::reconfig_aware(),
+        ..ServeConfig::default()
+    };
+    let single = simulate(drift_heavy_tenants(), base);
+    let pool = simulate(
+        drift_heavy_tenants(),
+        ServeConfig {
+            boards: 4,
+            placement: PlacementPolicy::BitstreamAffine,
+            ..base
+        },
+    );
+    assert!(
+        pool.reconfigs < single.reconfigs / 10,
+        "4 affine boards must eliminate most reconfigurations: {} vs {}",
+        pool.reconfigs,
+        single.reconfigs
+    );
+    let single_p99 = single.overall_latency().quantile(0.99);
+    let pool_p99 = pool.overall_latency().quantile(0.99);
+    assert!(
+        pool_p99 < single_p99,
+        "pool p99 {pool_p99} must beat single-board {single_p99}"
+    );
+    assert_eq!(
+        pool.completed() + pool.dropped(),
+        single.completed() + single.dropped(),
+        "same offered load either way"
+    );
+}
+
+/// FIFO promises strict arrival order, so `BitstreamAffine` placement
+/// must not let the affinity scan overtake the queue front: on one board
+/// it must produce exactly the `LeastLoaded` FIFO schedule (placement
+/// degenerates to "which board", and there is only one).
+#[test]
+fn bitstream_affine_under_fifo_preserves_arrival_order() {
+    let base = ServeConfig {
+        seed: 99,
+        total_requests: 5_000,
+        policy: DispatchPolicy::Fifo,
+        ..ServeConfig::default()
+    };
+    let fifo = simulate(drift_heavy_tenants(), base);
+    let affine = simulate(
+        drift_heavy_tenants(),
+        ServeConfig {
+            placement: PlacementPolicy::BitstreamAffine,
+            ..base
+        },
+    );
+    assert_eq!(
+        affine.trace_digest, fifo.trace_digest,
+        "affinity routing must not reorder a FIFO queue"
+    );
+}
+
+/// With more tenants than boards, a home board multiplexes several
+/// bitstreams, so `TenantAffine` placement must still route request
+/// selection through the dispatch policy: reconfig-aware batching has to
+/// produce a different (cheaper) schedule than FIFO on the same trace.
+#[test]
+fn tenant_affine_respects_the_dispatch_policy_when_tenants_share_a_board() {
+    let base = ServeConfig {
+        seed: 31,
+        total_requests: 8_000,
+        queue_capacity: 512,
+        boards: 2, // 3 tenants: movies and fraud share home board 0
+        placement: PlacementPolicy::TenantAffine,
+        ..ServeConfig::default()
+    };
+    let fifo = simulate(
+        drift_heavy_tenants(),
+        ServeConfig {
+            policy: DispatchPolicy::Fifo,
+            ..base
+        },
+    );
+    let aware = simulate(
+        drift_heavy_tenants(),
+        ServeConfig {
+            policy: DispatchPolicy::reconfig_aware(),
+            ..base
+        },
+    );
+    assert_ne!(
+        aware.trace_digest, fifo.trace_digest,
+        "reconfig-aware under TenantAffine must not degenerate to FIFO"
+    );
+    assert!(
+        aware.reconfigs < fifo.reconfigs,
+        "same-bitstream batching must cut reconfigurations on a shared home board: {} vs {}",
+        aware.reconfigs,
+        fifo.reconfigs
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Conservation: for any seed, pool size, placement policy, dispatch
+    /// policy and queue bound, every offered request is either completed
+    /// or dropped — nothing is silently lost — and the per-tenant and
+    /// per-board breakdowns both sum to the totals.
+    #[test]
+    fn served_plus_dropped_equals_arrivals_for_any_pool(
+        seed in proptest::any::<u64>(),
+        boards in 1usize..6,
+        placement_pick in 0u32..3,
+        fifo in proptest::any::<bool>(),
+        queue_capacity in 2usize..48,
+    ) {
+        let placement = match placement_pick {
+            0 => PlacementPolicy::TenantAffine,
+            1 => PlacementPolicy::LeastLoaded,
+            _ => PlacementPolicy::BitstreamAffine,
+        };
+        let policy = if fifo {
+            DispatchPolicy::Fifo
+        } else {
+            DispatchPolicy::reconfig_aware()
+        };
+        let total = 600;
+        let report = simulate(
+            drift_heavy_tenants(),
+            ServeConfig {
+                seed,
+                total_requests: total,
+                queue_capacity,
+                boards,
+                placement,
+                policy,
+                ..ServeConfig::default()
+            },
+        );
+        prop_assert_eq!(
+            report.completed() + report.dropped(),
+            total,
+            "conservation violated: boards={} placement={} seed={}",
+            boards,
+            placement.name(),
+            seed
+        );
+        let per_tenant: u64 = report.tenants.iter().map(|t| t.completed + t.dropped).sum();
+        prop_assert_eq!(per_tenant, total);
+        let per_board: u64 = report.boards.iter().map(|b| b.completed).sum();
+        prop_assert_eq!(per_board, report.completed());
+        prop_assert_eq!(report.boards.len(), boards);
+        prop_assert!(report.queue_depth.max_depth() <= queue_capacity);
+    }
 }
 
 #[test]
