@@ -18,7 +18,11 @@
 //!   gated with the same tolerance — bitstream-affinity breakage must
 //!   fail even on a trace whose p99 absorbs the extra stalls;
 //! - improvements beyond the tolerance are reported as notes, nudging the
-//!   author to refresh the baseline in the same PR.
+//!   author to refresh the baseline in the same PR;
+//! - keys the gate does not know are **ignored, never fatal** — run
+//!   documents grow metrics (per-stage breakdowns, overlap ratios,
+//!   eviction counts) faster than baselines are refreshed, and an old
+//!   baseline must keep gating a new artifact.
 
 use std::collections::BTreeMap;
 
@@ -493,6 +497,26 @@ mod tests {
         )
         .unwrap();
         assert!(legacy.passed(), "{:?}", legacy.failures);
+    }
+
+    #[test]
+    fn gate_ignores_unknown_extra_keys_on_both_sides() {
+        // A new artifact carries metrics an old baseline has never heard
+        // of (and vice versa after a refresh); neither direction may
+        // fail the gate or perturb its verdict.
+        let old_baseline = parse(r#"{"scenarios": [{"name": "a", "p99_secs": 1.0}]}"#).unwrap();
+        let new_run = parse(
+            r#"{"schema": "agnn-bench-serving/v9", "future_field": {"nested": [1, 2]},
+                "scenarios": [{"name": "a", "p99_secs": 1.0, "reconfigs": 3,
+                               "pipeline_overlap_ratio": 0.57, "evictions": 5650,
+                               "stages": [{"stage": "ingest", "p99_secs": 0.128}]}]}"#,
+        )
+        .unwrap();
+        let outcome = gate_p99(&old_baseline, &new_run, 0.20).unwrap();
+        assert!(outcome.passed(), "{:?}", outcome.failures);
+        // And a future baseline with extra keys still gates an old run.
+        let reversed = gate_p99(&new_run, &old_baseline, 0.20).unwrap();
+        assert!(reversed.passed(), "{:?}", reversed.failures);
     }
 
     #[test]

@@ -1,23 +1,34 @@
 //! The seeded serving scenario sweep behind CI's `bench-smoke` job.
 //!
-//! Three scenarios replay the same drift-heavy, offset-diurnal trace
-//! (~6 000 requests, well under a second of wall clock each):
+//! Four scenarios, ~6 000 requests each (well under a second of wall
+//! clock). The first three replay the same drift-heavy, offset-diurnal
+//! trace:
 //!
 //! 1. `single_board_reconfig_aware` — the PR 1 baseline: one VPK180,
 //!    reconfig-aware dispatch;
 //! 2. `pool4_least_loaded` — four boards, utilization-greedy placement
 //!    (drains fast, still thrashes the ICAP);
 //! 3. `pool4_bitstream_affine` — four boards with bitstream-affine
-//!    placement, the configuration the perf gate protects.
+//!    placement, a configuration the perf gate protects.
 //!
-//! [`render_json`] emits the deterministic `BENCH_serving.json` document;
-//! [`crate::perfgate`] compares its `scenarios[].p99_secs` and
-//! `scenarios[].reconfigs` against the checked-in baseline.
+//! The fourth guards the staged pipeline:
+//!
+//! 4. `pipelined_drift` — four boards in `overlap` mode on a
+//!    memory-pressured mix (six Taobao-scale regions whose graphs outgrow
+//!    each board's DRAM, so LRU eviction forces recurring cold
+//!    re-uploads). The gate protects the overlap-mode tail and reconfig
+//!    count, so a regression in the DMA/fabric pipeline fails CI.
+//!
+//! [`render_json`] emits the deterministic `BENCH_serving.json` document
+//! (scenario rows also carry the per-stage report, the pipeline-overlap
+//! ratio and the eviction count); [`crate::perfgate`] compares its
+//! `scenarios[].p99_secs` and `scenarios[].reconfigs` against the
+//! checked-in baseline and ignores keys it does not know.
 
 use agnn_graph::datasets::Dataset;
 use agnn_serve::metrics::{json_f64, json_str};
 use agnn_serve::pool::PlacementPolicy;
-use agnn_serve::sim::{simulate, DispatchPolicy, ServeConfig};
+use agnn_serve::sim::{simulate, ServeConfig};
 use agnn_serve::tenant::{ArrivalProcess, TenantSpec};
 use agnn_serve::TrafficReport;
 
@@ -58,39 +69,55 @@ fn smoke_tenants() -> Vec<TenantSpec> {
     vec![movies, feed, fraud]
 }
 
+/// The memory-pressured trace behind `pipelined_drift`
+/// ([`TenantSpec::taobao_regions`]): six Taobao-scale e-commerce regions
+/// whose combined working set outgrows a board's ~15 GB DRAM budget, so
+/// LRU eviction forces recurring cold re-uploads — the ingest traffic the
+/// pipelined scheduler hides behind fabric compute.
+fn pressured_tenants() -> Vec<TenantSpec> {
+    TenantSpec::taobao_regions(4.0, 900.0)
+}
+
 /// Runs the full sweep (deterministic in [`SMOKE_SEED`]).
 pub fn run_sweep() -> Vec<Scenario> {
     let base = ServeConfig {
         seed: SMOKE_SEED,
         total_requests: SMOKE_REQUESTS,
         queue_capacity: 512,
-        policy: DispatchPolicy::reconfig_aware(),
-        ..ServeConfig::default()
+        ..ServeConfig::reconfig_aware()
     };
     let cases = [
         (
             "single_board_reconfig_aware",
             1,
             PlacementPolicy::LeastLoaded,
+            false,
         ),
-        ("pool4_least_loaded", 4, PlacementPolicy::LeastLoaded),
+        ("pool4_least_loaded", 4, PlacementPolicy::LeastLoaded, false),
         (
             "pool4_bitstream_affine",
             4,
             PlacementPolicy::BitstreamAffine,
+            false,
         ),
+        ("pipelined_drift", 4, PlacementPolicy::LeastLoaded, true),
     ];
     cases
         .into_iter()
-        .map(|(name, boards, placement)| Scenario {
+        .map(|(name, boards, placement, overlap)| Scenario {
             name,
             boards,
             placement,
             report: simulate(
-                smoke_tenants(),
+                if overlap {
+                    pressured_tenants()
+                } else {
+                    smoke_tenants()
+                },
                 ServeConfig {
                     boards,
                     placement,
+                    overlap,
                     ..base
                 },
             ),
@@ -112,6 +139,8 @@ pub fn render_json(scenarios: &[Scenario]) -> String {
                     "\"placement\":{placement},\"p50_secs\":{p50},",
                     "\"p99_secs\":{p99},\"reconfigs\":{reconfigs},",
                     "\"completed\":{completed},\"dropped\":{dropped},",
+                    "\"pipeline_overlap_ratio\":{overlap_ratio},",
+                    "\"evictions\":{evictions},",
                     "\"report\":{report}}}"
                 ),
                 name = json_str(s.name),
@@ -122,13 +151,15 @@ pub fn render_json(scenarios: &[Scenario]) -> String {
                 reconfigs = s.report.reconfigs,
                 completed = s.report.completed(),
                 dropped = s.report.dropped(),
+                overlap_ratio = json_f64(s.report.pipeline_overlap_ratio()),
+                evictions = s.report.evictions(),
                 report = s.report.to_json(),
             )
         })
         .collect();
     format!(
         concat!(
-            "{{\"schema\":\"agnn-bench-serving/v1\",\"seed\":{seed},",
+            "{{\"schema\":\"agnn-bench-serving/v2\",\"seed\":{seed},",
             "\"total_requests\":{requests},\"scenarios\":[{rows}]}}"
         ),
         seed = SMOKE_SEED,
@@ -173,12 +204,35 @@ mod tests {
             doc.get("scenarios")
                 .and_then(perfgate::Json::as_arr)
                 .map(<[perfgate::Json]>::len),
-            Some(3)
+            Some(4)
         );
         let baseline = perfgate::parse(&render_baseline_json(&a)).expect("baseline parses");
         // A run always passes the gate against its own baseline.
         let outcome = perfgate::gate_p99(&baseline, &doc, 0.20).unwrap();
         assert!(outcome.passed(), "{:?}", outcome.failures);
+    }
+
+    #[test]
+    fn pipelined_scenario_actually_pipelines() {
+        let sweep = run_sweep();
+        let pipelined = sweep
+            .iter()
+            .find(|s| s.name == "pipelined_drift")
+            .expect("pipelined_drift scenario");
+        assert!(
+            pipelined.report.pipeline_overlap_ratio() > 0.2,
+            "the gated scenario must exercise DMA/fabric overlap, got {}",
+            pipelined.report.pipeline_overlap_ratio()
+        );
+        assert!(
+            pipelined.report.evictions() > 100,
+            "the memory-pressured mix must thrash DRAM, got {} evictions",
+            pipelined.report.evictions()
+        );
+        // Serial scenarios never report pipeline activity.
+        for s in sweep.iter().filter(|s| s.name != "pipelined_drift") {
+            assert_eq!(s.report.pipeline_overlap_ratio(), 0.0, "{}", s.name);
+        }
     }
 
     #[test]

@@ -6,15 +6,98 @@
 //! *functional* simulator, so every served request returns a real sampled
 //! subgraph plus the timing a VPK180 deployment would exhibit.
 
-use agnn_algo::pipeline::{PreprocessOutput, SampleParams};
+use agnn_algo::pipeline::{PreprocessOutput, SampleParams, SampledSubgraph};
 use agnn_cost::{BitstreamLibrary, CostModel, ReconfigPolicy, Workload};
 use agnn_devices::fpga::FpgaModel;
-use agnn_devices::StageSecs;
+use agnn_devices::{ServiceStageSecs, StageSecs};
 use agnn_graph::{Coo, Vid};
 use agnn_hw::engine::{AutoGnnEngine, ReconfigEvent};
 use agnn_hw::floorplan::Floorplan;
 use agnn_hw::kernel::Fidelity;
+use agnn_hw::shell::PcieModel;
 use agnn_hw::HwConfig;
+
+/// The lifecycle stages of one served request (§II-B's staged flow:
+/// upload, preprocessing, subgraph hand-off).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceStage {
+    /// Host→device graph-delta upload (DMA-main).
+    Ingest,
+    /// Fabric preprocessing: ordering, reshaping, selection, reindexing.
+    Preprocess,
+    /// Subgraph hand-off to the GPU (DMA-bypass) that kicks off inference.
+    Compute,
+}
+
+impl ServiceStage {
+    /// Stable lowercase identifier used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ServiceStage::Ingest => "ingest",
+            ServiceStage::Preprocess => "preprocess",
+            ServiceStage::Compute => "compute",
+        }
+    }
+}
+
+/// The board resource a lifecycle stage occupies. The PCIe DMA engines and
+/// the reconfigurable fabric run independently, so a scheduler can overlap
+/// one request's [`StageResource::Dma`] stage with another's
+/// [`StageResource::Fabric`] stage on the same board.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageResource {
+    /// The PCIe DMA engine pair (one transfer in flight at a time).
+    Dma,
+    /// The reconfigurable fabric (UPE + SCR regions).
+    Fabric,
+}
+
+impl StageResource {
+    /// Stable lowercase identifier used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StageResource::Dma => "dma",
+            StageResource::Fabric => "fabric",
+        }
+    }
+}
+
+/// One completed lifecycle stage: what ran, on which resource, for how
+/// long. The staged entry points ([`AutoGnn::ingest`],
+/// [`AutoGnn::preprocess`], [`AutoGnn::compute`]) each return one; a
+/// serial [`AutoGnn::serve`] is their back-to-back sum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageRecord {
+    /// Which lifecycle stage ran.
+    pub stage: ServiceStage,
+    /// The board resource it occupied.
+    pub resource: StageResource,
+    /// Wall-clock seconds it occupied that resource.
+    pub secs: f64,
+}
+
+/// Result of the [`AutoGnn::preprocess`] stage: the functional product
+/// plus the fabric occupancy it cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreprocessRun {
+    /// The preprocessing product — identical to the software pipeline's.
+    pub output: PreprocessOutput,
+    /// Per-task fabric seconds (ordering/reshaping/selecting/reindexing).
+    pub stage_secs: StageSecs,
+}
+
+impl PreprocessRun {
+    /// The stage summary (`Preprocess` on `Fabric` for
+    /// `stage_secs.total()`), derived so it can never disagree with the
+    /// per-task breakdown.
+    pub fn record(&self) -> StageRecord {
+        StageRecord {
+            stage: ServiceStage::Preprocess,
+            resource: StageResource::Fabric,
+            secs: self.stage_secs.total(),
+        }
+    }
+}
 
 /// One served preprocessing request.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,6 +123,29 @@ impl ServiceRecord {
             + self.upload_secs
             + self.download_secs
             + self.reconfig.map_or(0.0, |r| r.seconds)
+    }
+
+    /// The request as its staged timeline, in lifecycle order. The
+    /// reconfiguration stall (if any) precedes the first stage and is not
+    /// a stage itself — schedulers account for it at fabric acquisition.
+    pub fn stages(&self) -> [StageRecord; 3] {
+        [
+            StageRecord {
+                stage: ServiceStage::Ingest,
+                resource: StageResource::Dma,
+                secs: self.upload_secs,
+            },
+            StageRecord {
+                stage: ServiceStage::Preprocess,
+                resource: StageResource::Fabric,
+                secs: self.stage_secs.total(),
+            },
+            StageRecord {
+                stage: ServiceStage::Compute,
+                resource: StageResource::Dma,
+                secs: self.download_secs,
+            },
+        ]
     }
 }
 
@@ -159,18 +265,89 @@ impl AutoGnn {
         self.fpga.stage_secs(&report)
     }
 
-    /// Serves one preprocessing request: profiles the graph, reconfigures
-    /// if the cost model predicts a worthwhile gain, streams the graph
-    /// delta in, preprocesses, and ships the subgraph out.
-    pub fn serve(&mut self, coo: &Coo, batch: &[Vid], seed: u64) -> ServiceRecord {
-        // 1. Profile: lightweight metadata only (§V-B).
-        let workload = Workload::new(
+    /// Analytic per-*lifecycle*-stage seconds for `workload` under the
+    /// current configuration, with `delta_bytes` still to upload: the
+    /// staged counterpart of [`AutoGnn::analytic_stage_secs`]. Serving
+    /// simulators schedule each leg against its own board resource
+    /// (ingest and compute on the DMA engines, preprocess on the fabric).
+    pub fn analytic_service_secs(&self, workload: &Workload, delta_bytes: u64) -> ServiceStageSecs {
+        self.fpga
+            .service_secs(workload, self.engine.config(), &self.pcie(), delta_bytes)
+    }
+
+    /// The PCIe link model of this board's shell — upload and hand-off
+    /// pricing routes through it per stage.
+    pub fn pcie(&self) -> PcieModel {
+        self.engine.shell().pcie
+    }
+
+    /// Device-DRAM bytes available for resident graphs (bitstream staging
+    /// is already carved out, §V-B). Board pools bound per-board tenant
+    /// residency against this.
+    pub fn dram_graph_capacity(&self) -> u64 {
+        self.engine.shell().dram.capacity
+    }
+
+    /// The cost-model workload `coo` and `batch` present under this
+    /// service's sampling parameters — the lightweight profile of §V-B.
+    pub fn workload_of(&self, coo: &Coo, batch: &[Vid]) -> Workload {
+        Workload::new(
             coo.num_vertices() as u64,
             coo.num_edges() as u64,
             batch.len() as u64,
             self.params.k as u64,
             self.params.layers,
-        );
+        )
+    }
+
+    /// Lifecycle stage 1 — **ingest**: streams the graph delta into device
+    /// DRAM over DMA-main (the shell tracks residency, so a warm graph
+    /// costs nothing). Occupies the [`StageResource::Dma`] engine only;
+    /// the fabric is free to preprocess a previous batch while the delta
+    /// lands in the second staging buffer
+    /// ([`agnn_hw::shell::DELTA_BUFFERS`]).
+    pub fn ingest(&mut self, coo: &Coo) -> StageRecord {
+        let (upload_secs, _moved) = self.engine.shell_mut().upload_graph(coo.byte_size());
+        StageRecord {
+            stage: ServiceStage::Ingest,
+            resource: StageResource::Dma,
+            secs: upload_secs,
+        }
+    }
+
+    /// Lifecycle stage 2 — **preprocess**: runs the fully automated
+    /// preprocessing workflow on the fabric and returns the functional
+    /// output with its per-task timing. Occupies
+    /// [`StageResource::Fabric`].
+    pub fn preprocess(&mut self, coo: &Coo, batch: &[Vid], seed: u64) -> PreprocessRun {
+        let run = self.engine.preprocess(coo, batch, &self.params, seed);
+        PreprocessRun {
+            output: run.output,
+            stage_secs: self.fpga.stage_secs(&run.report),
+        }
+    }
+
+    /// Lifecycle stage 3 — **compute**: ships the preprocessed subgraph to
+    /// the GPU over DMA-bypass, kicking off model inference. Occupies
+    /// [`StageResource::Dma`].
+    pub fn compute(&mut self, subgraph: &SampledSubgraph) -> StageRecord {
+        StageRecord {
+            stage: ServiceStage::Compute,
+            resource: StageResource::Dma,
+            secs: self.engine.shell().download_subgraph(subgraph.byte_size()),
+        }
+    }
+
+    /// Serves one preprocessing request end to end: profiles the graph,
+    /// reconfigures if the cost model predicts a worthwhile gain, then
+    /// runs the staged lifecycle ([`ingest`](AutoGnn::ingest) →
+    /// [`preprocess`](AutoGnn::preprocess) → [`compute`](AutoGnn::compute))
+    /// back to back. This is the serial wrapper: pipelined serving layers
+    /// call the stages directly and schedule them against per-board
+    /// resources.
+    pub fn serve(&mut self, coo: &Coo, batch: &[Vid], seed: u64) -> ServiceRecord {
+        // 1. Profile: lightweight metadata only (§V-B).
+        let workload = self.workload_of(coo, batch);
 
         // 2. Cost evaluation + reconfiguration decision.
         let preview = self.preview(&workload);
@@ -178,25 +355,16 @@ impl AutoGnn {
             .would_reconfigure
             .then(|| self.engine.reconfigure(preview.best));
 
-        // 3. DMA-main upload (delta only; the engine's shell tracks
-        // residency).
-        let (upload_secs, _moved) = self.engine.shell_mut().upload_graph(coo.byte_size());
-
-        // 4. Hardware preprocessing.
-        let run = self.engine.preprocess(coo, batch, &self.params, seed);
-        let stage_secs = self.fpga.stage_secs(&run.report);
-
-        // 5. DMA-bypass subgraph hand-off to the GPU.
-        let download_secs = self
-            .engine
-            .shell()
-            .download_subgraph(run.output.subgraph.byte_size());
+        // 3–5. The staged lifecycle, serially.
+        let ingest = self.ingest(coo);
+        let run = self.preprocess(coo, batch, seed);
+        let compute = self.compute(&run.output.subgraph);
 
         ServiceRecord {
             output: run.output,
-            stage_secs,
-            upload_secs,
-            download_secs,
+            stage_secs: run.stage_secs,
+            upload_secs: ingest.secs,
+            download_secs: compute.secs,
             reconfig,
             config: self.engine.config(),
         }
@@ -289,6 +457,72 @@ mod tests {
         assert_eq!(peer.config(), HwConfig::vpk180_default(), "fresh bitstream");
         let first = peer.serve(&coo, &batch(8), 1);
         assert!(first.upload_secs > 0.0, "no resident graph inherited");
+    }
+
+    #[test]
+    fn staged_lifecycle_reproduces_serve_exactly() {
+        let coo = generate::power_law(400, 6_000, 0.9, 12);
+        let params = SampleParams::new(5, 2);
+        let mut serial = AutoGnn::new(params);
+        let record = serial.serve(&coo, &batch(8), 5);
+
+        // Drive the stages by hand on a fresh peer, mirroring serve().
+        let mut staged = AutoGnn::new(params);
+        let workload = staged.workload_of(&coo, &batch(8));
+        let preview = staged.preview(&workload);
+        let reconfig = preview
+            .would_reconfigure
+            .then(|| staged.force_reconfigure(preview.best));
+        let ingest = staged.ingest(&coo);
+        let run = staged.preprocess(&coo, &batch(8), 5);
+        let compute = staged.compute(&run.output.subgraph);
+
+        assert_eq!(run.output, record.output);
+        assert_eq!(ingest.secs, record.upload_secs);
+        assert_eq!(run.stage_secs, record.stage_secs);
+        assert_eq!(compute.secs, record.download_secs);
+        assert_eq!(reconfig, record.reconfig);
+        let total: f64 =
+            ingest.secs + run.record().secs + compute.secs + reconfig.map_or(0.0, |r| r.seconds);
+        assert!((total - record.total_secs()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn stage_records_carry_their_resources() {
+        let coo = generate::power_law(300, 3_000, 0.8, 13);
+        let mut service = AutoGnn::new(SampleParams::new(4, 2));
+        let record = service.serve(&coo, &batch(4), 1);
+        let stages = record.stages();
+        assert_eq!(stages[0].stage, ServiceStage::Ingest);
+        assert_eq!(stages[0].resource, StageResource::Dma);
+        assert_eq!(stages[1].stage, ServiceStage::Preprocess);
+        assert_eq!(stages[1].resource, StageResource::Fabric);
+        assert_eq!(stages[2].stage, ServiceStage::Compute);
+        assert_eq!(stages[2].resource, StageResource::Dma);
+        let staged_total: f64 = stages.iter().map(|s| s.secs).sum();
+        let stall = record.reconfig.map_or(0.0, |r| r.seconds);
+        assert!((staged_total + stall - record.total_secs()).abs() < 1e-15);
+        assert_eq!(ServiceStage::Ingest.name(), "ingest");
+        assert_eq!(StageResource::Fabric.name(), "fabric");
+    }
+
+    #[test]
+    fn analytic_service_secs_splits_the_analytic_total() {
+        let service = AutoGnn::new(SampleParams::new(10, 2));
+        let workload = Workload::new(100_000, 2_000_000, 3_000, 10, 2);
+        let staged = service.analytic_service_secs(&workload, workload.coo_bytes());
+        assert_eq!(
+            staged.preprocess,
+            service.analytic_stage_secs(&workload),
+            "fabric leg matches the flat analytic path"
+        );
+        assert_eq!(
+            staged.ingest,
+            service.pcie().transfer_secs(workload.coo_bytes())
+        );
+        let warm = service.analytic_service_secs(&workload, 0);
+        assert_eq!(warm.ingest, 0.0);
+        assert!(service.dram_graph_capacity() > workload.coo_bytes());
     }
 
     #[test]

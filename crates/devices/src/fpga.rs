@@ -4,9 +4,10 @@
 use agnn_cost::Workload;
 use agnn_hw::engine::{ordering_dram_bytes, reshaping_dram_bytes};
 use agnn_hw::kernel::RADIX_STAGES_PER_CYCLE;
+use agnn_hw::shell::PcieModel;
 use agnn_hw::{HwConfig, HwReport, StageCycles};
 
-use crate::stage::StageSecs;
+use crate::stage::{ServiceStageSecs, StageSecs};
 
 /// VPK180 timing constants.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -103,6 +104,26 @@ impl FpgaModel {
             dram_bytes: dram,
             upe_passes: 0,
             scr_passes: 0,
+        }
+    }
+
+    /// Analytic per-lifecycle-stage seconds of one served request: ingest
+    /// (`delta_bytes` over DMA-main), fabric preprocessing under `config`,
+    /// and the subgraph hand-off over DMA-bypass. This is the staged
+    /// counterpart of [`FpgaModel::stage_secs`]: serving simulators price
+    /// each stage against its own board resource instead of folding the
+    /// PCIe legs into one engine total.
+    pub fn service_secs(
+        &self,
+        workload: &Workload,
+        config: HwConfig,
+        pcie: &PcieModel,
+        delta_bytes: u64,
+    ) -> ServiceStageSecs {
+        ServiceStageSecs {
+            ingest: pcie.transfer_secs(delta_bytes),
+            preprocess: self.stage_secs(&self.analytic_report(workload, config)),
+            compute: pcie.transfer_secs(workload.subgraph_bytes()),
         }
     }
 
@@ -299,5 +320,22 @@ mod tests {
     #[test]
     fn zero_edges_cost_nothing_to_order() {
         assert_eq!(analytic_ordering_cycles(0, 48, config()), 0);
+    }
+
+    #[test]
+    fn service_secs_price_each_stage_against_its_resource() {
+        let model = FpgaModel::default();
+        let pcie = PcieModel::default();
+        let w = Workload::new(100_000, 1_000_000, 3_000, 10, 2);
+        let cold = model.service_secs(&w, config(), &pcie, w.coo_bytes());
+        assert_eq!(cold.ingest, pcie.transfer_secs(w.coo_bytes()));
+        assert_eq!(cold.compute, pcie.transfer_secs(w.subgraph_bytes()));
+        assert_eq!(
+            cold.preprocess,
+            model.stage_secs(&model.analytic_report(&w, config()))
+        );
+        let resident = model.service_secs(&w, config(), &pcie, 0);
+        assert_eq!(resident.ingest, 0.0, "resident graph uploads nothing");
+        assert_eq!(resident.fabric_secs(), cold.fabric_secs());
     }
 }

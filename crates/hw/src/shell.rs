@@ -1,8 +1,19 @@
 //! The fixed HW-shell: PCIe DMA models, the FPP/ICAP reconfiguration model
 //! and device-DRAM graph residency (§IV-B, Fig. 11, §V-B).
 
+/// Graph-delta staging buffers carved out of device DRAM: two, so one
+/// delta can land over DMA-main while the previous batch occupies the
+/// fabric (§V-B's incremental-read path, double-buffered). Serving layers
+/// derive their per-board staging depth (`DELTA_BUFFERS - 1` requests
+/// ingested-but-not-computing) from this constant.
+pub const DELTA_BUFFERS: usize = 2;
+
 /// PCIe link model shared by DMA-main (descriptor-driven scatter-gather
 /// bulk transfers) and DMA-bypass (BAR/MMIO-style small transfers).
+/// Uploads and subgraph hand-offs share one DMA engine pair, so a board
+/// has a single PCIe transfer in flight at a time; the engine runs
+/// independently of the fabric, which is what staged serving pipelines
+/// exploit.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PcieModel {
     /// Effective link bandwidth in bytes/second (PCIe 4.0 ×16 ≈ 25 GB/s

@@ -11,26 +11,33 @@
 //!   Table II-rate workload drift;
 //! - [`pool`] — a [`pool::BoardPool`] of N simulated accelerators, each a
 //!   forked [`agnn_core::runtime::AutoGnn`] with its own bitstream state,
-//!   reconfiguration clock, in-flight slot and resident-graph memory, fed
-//!   by the shared admission queue through a pluggable
-//!   [`pool::PlacementPolicy`] (`TenantAffine`, `LeastLoaded`,
-//!   `BitstreamAffine`);
+//!   reconfiguration clock, capacity-bounded resident-graph memory (LRU
+//!   eviction at the §V-B DRAM budget) and **two in-flight slots** — the
+//!   PCIe DMA engine and the reconfigurable fabric — fed by the shared
+//!   admission queue through a pluggable [`pool::PlacementPolicy`]
+//!   (`TenantAffine`, `LeastLoaded`, `BitstreamAffine`);
 //! - [`sim`] — a binary-heap discrete-event scheduler with a bounded
 //!   admission queue, drop accounting and pluggable [`sim::DispatchPolicy`]
 //!   — strict FIFO versus a *reconfig-aware* policy that serves
 //!   same-bitstream requests together to amortize `ReconfigEvent` stalls
 //!   (§V-B's cost-model decision, lifted from one request to a traffic
-//!   stream);
+//!   stream). With [`sim::ServeConfig::overlap`] the request lifecycle is
+//!   **pipelined**: a board ingests the next request's graph delta
+//!   (double-buffered, [`agnn_hw::shell::DELTA_BUFFERS`]) and streams
+//!   finished subgraphs out while its fabric preprocesses — upload time
+//!   leaves the dispatch critical path;
 //! - [`metrics`] — deterministic latency histograms (p50/p95/p99/max),
-//!   throughput, queue-depth timelines, per-tenant and per-board
-//!   breakdowns, an order-sensitive event-trace digest for
+//!   per-lifecycle-stage breakdowns ([`metrics::StageHistograms`]), a
+//!   pipeline-overlap ratio, throughput, queue-depth timelines, per-tenant
+//!   and per-board breakdowns, an order-sensitive event-trace digest for
 //!   reproducibility checks, and a byte-stable JSON rendering
 //!   ([`metrics::TrafficReport::to_json`]).
 //!
 //! Every price the scheduler pays — upload delta, per-stage preprocessing,
-//! subgraph download, ICAP stall, GPU inference tail — comes from the same
-//! calibrated models the runtime uses, through the analytic path, so a
-//! hundred thousand requests replay in well under a second.
+//! subgraph hand-off, ICAP stall, GPU inference tail — comes from the same
+//! calibrated models the runtime uses, through the analytic staged path
+//! ([`agnn_core::runtime::AutoGnn::analytic_service_secs`]), so a hundred
+//! thousand requests replay in well under a second.
 //!
 //! # CI perf gate
 //!
@@ -77,7 +84,10 @@ pub mod pool;
 pub mod sim;
 pub mod tenant;
 
-pub use metrics::{BoardStats, LatencyHistogram, RequestLatency, TenantStats, TrafficReport};
+pub use metrics::{
+    BoardStats, CompletedRequest, LatencyHistogram, RequestLatency, StageHistograms, TenantStats,
+    TrafficReport,
+};
 pub use pool::{BoardPool, PlacementPolicy};
 pub use sim::{simulate, DispatchPolicy, ServeConfig, TrafficSim};
 pub use tenant::{ArrivalProcess, Drift, TenantSpec};
@@ -331,6 +341,94 @@ mod tests {
                 board.completed, report.tenants[i].completed,
                 "board {i} serves exactly tenant {i}'s load"
             );
+        }
+    }
+
+    #[test]
+    fn serve_config_presets_share_one_base() {
+        // The satellite fix: `Default` and the named presets delegate to
+        // one base constructor, so knobs cannot silently diverge.
+        assert_eq!(ServeConfig::default(), ServeConfig::base());
+        let aware = ServeConfig::reconfig_aware();
+        assert_eq!(aware.policy, DispatchPolicy::reconfig_aware());
+        assert_eq!(
+            ServeConfig {
+                policy: ServeConfig::base().policy,
+                ..aware
+            },
+            ServeConfig::base(),
+            "reconfig_aware differs from base only in the dispatch policy"
+        );
+        let pipelined = ServeConfig::pipelined();
+        assert!(pipelined.overlap);
+        assert_eq!(
+            ServeConfig {
+                overlap: false,
+                ..pipelined
+            },
+            aware,
+            "pipelined differs from reconfig_aware only in overlap"
+        );
+        assert!(!ServeConfig::base().overlap, "serial is the default");
+    }
+
+    #[test]
+    fn pipelined_mode_conserves_requests_and_overlaps() {
+        let mk = |overlap| {
+            simulate(
+                mixed_tenants(60.0),
+                ServeConfig {
+                    seed: 14,
+                    total_requests: 2_000,
+                    boards: 2,
+                    overlap,
+                    ..ServeConfig::reconfig_aware()
+                },
+            )
+        };
+        let serial = mk(false);
+        let pipelined = mk(true);
+        assert_eq!(
+            pipelined.completed() + pipelined.dropped(),
+            2_000,
+            "pipelined mode loses no request"
+        );
+        assert_eq!(serial.completed() + serial.dropped(), 2_000);
+        assert_eq!(serial.overlap_secs, 0.0, "serial never overlaps");
+        assert_eq!(serial.dma_secs(), 0.0, "serial folds DMA into busy time");
+        assert!(
+            pipelined.dma_secs() > 0.0,
+            "pipelined runs charge the DMA clock"
+        );
+        assert!(pipelined.overlap_secs >= 0.0);
+        assert!(pipelined.pipeline_overlap_ratio() <= 1.0);
+        // Per-stage histograms cover every completion in both modes.
+        for r in [&serial, &pipelined] {
+            assert_eq!(r.stages.ingest.count(), r.completed());
+            assert_eq!(r.stages.preprocess.count(), r.completed());
+            assert_eq!(r.stages.compute.count(), r.completed());
+        }
+    }
+
+    #[test]
+    fn request_log_is_off_by_default_and_complete_when_on() {
+        let cfg = ServeConfig {
+            seed: 8,
+            total_requests: 400,
+            ..ServeConfig::default()
+        };
+        let silent = simulate(mixed_tenants(10.0), cfg);
+        assert!(silent.requests.is_empty(), "logging is opt-in");
+        let logged = simulate(
+            mixed_tenants(10.0),
+            ServeConfig {
+                log_requests: true,
+                ..cfg
+            },
+        );
+        assert_eq!(logged.requests.len() as u64, logged.completed());
+        for r in &logged.requests {
+            assert!(r.latency.total() > 0.0);
         }
     }
 

@@ -127,6 +127,10 @@ pub struct RequestLatency {
     pub reconfig_secs: f64,
     /// Host→device graph (delta) upload.
     pub upload_secs: f64,
+    /// Seconds waiting *inside* the board pipeline: ingested-but-waiting
+    /// for the fabric, or preprocessed-but-waiting for the DMA engine.
+    /// Always 0 in serial mode (the stages run back to back).
+    pub stage_wait_secs: f64,
     /// Accelerator preprocessing.
     pub preprocess_secs: f64,
     /// Device→GPU subgraph download.
@@ -141,16 +145,55 @@ impl RequestLatency {
         self.queue_secs
             + self.reconfig_secs
             + self.upload_secs
+            + self.stage_wait_secs
             + self.preprocess_secs
             + self.download_secs
             + self.inference_secs
     }
 
-    /// Seconds the request occupies the accelerator (excludes queueing and
-    /// the GPU inference tail).
+    /// Seconds the request occupies board resources (excludes queueing,
+    /// in-pipeline waits and the GPU inference tail).
     pub fn board_secs(&self) -> f64 {
         self.reconfig_secs + self.upload_secs + self.preprocess_secs + self.download_secs
     }
+}
+
+/// Per-lifecycle-stage latency distributions across all served requests:
+/// ingest (graph-delta upload), preprocess (fabric), compute (subgraph
+/// hand-off + GPU inference tail). Recorded in both serial and pipelined
+/// modes, so the two can be compared stage by stage.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StageHistograms {
+    /// Host→device graph-delta uploads.
+    pub ingest: LatencyHistogram,
+    /// Fabric preprocessing.
+    pub preprocess: LatencyHistogram,
+    /// Subgraph hand-off plus inference tail.
+    pub compute: LatencyHistogram,
+}
+
+impl StageHistograms {
+    /// Records one request's stage breakdown.
+    pub fn record(&mut self, latency: &RequestLatency) {
+        self.ingest.record(latency.upload_secs);
+        self.preprocess.record(latency.preprocess_secs);
+        self.compute
+            .record(latency.download_secs + latency.inference_secs);
+    }
+}
+
+/// One completed request, kept only when
+/// [`crate::sim::ServeConfig::log_requests`] is set — the per-request
+/// ground truth equivalence tests compare across scheduling modes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompletedRequest {
+    /// Tenant index (declaration order).
+    pub tenant: usize,
+    /// Arrival time in simulated seconds (identifies the request: arrival
+    /// streams are independent of scheduling).
+    pub arrival_secs: f64,
+    /// Full latency breakdown.
+    pub latency: RequestLatency,
 }
 
 /// Per-tenant serving statistics.
@@ -191,9 +234,14 @@ pub struct BoardStats {
     pub reconfigs: u64,
     /// Seconds this board spent reprogramming.
     pub reconfig_secs: f64,
-    /// Seconds this board was occupied (reconfig + upload + preprocess +
-    /// download).
+    /// Seconds the board's fabric slot was occupied (serial mode folds the
+    /// PCIe legs in too, as PR 2 did).
     pub busy_secs: f64,
+    /// Seconds the board's DMA engine was occupied (pipelined mode;
+    /// serial runs report 0 — transfers live inside `busy_secs` there).
+    pub dma_secs: f64,
+    /// Tenants evicted from this board's DRAM to fit the working set.
+    pub evictions: u64,
 }
 
 impl BoardStats {
@@ -297,6 +345,15 @@ pub struct TrafficReport {
     /// Per-board breakdown, in board order. Always at least one entry;
     /// single-board runs report the one board's totals.
     pub boards: Vec<BoardStats>,
+    /// Per-lifecycle-stage latency distributions.
+    pub stages: StageHistograms,
+    /// Seconds a DMA transfer ran concurrently with fabric compute on the
+    /// same board — the pipelining the staged scheduler buys. 0 in serial
+    /// mode.
+    pub overlap_secs: f64,
+    /// Completed-request log (empty unless
+    /// [`crate::sim::ServeConfig::log_requests`] was set).
+    pub requests: Vec<CompletedRequest>,
     /// Order-sensitive digest of the full event trace; equal digests mean
     /// identical schedules, completions and latencies.
     pub trace_digest: u64,
@@ -336,6 +393,30 @@ impl TrafficReport {
         self.boards.len().max(1)
     }
 
+    /// Total seconds the boards' DMA engines were occupied (pipelined
+    /// runs; 0 in serial mode, where transfers fold into `busy_secs`).
+    pub fn dma_secs(&self) -> f64 {
+        self.boards.iter().map(|b| b.dma_secs).sum()
+    }
+
+    /// Total DRAM evictions across the pool.
+    pub fn evictions(&self) -> u64 {
+        self.boards.iter().map(|b| b.evictions).sum()
+    }
+
+    /// The fraction of DMA-engine time that ran concurrently with fabric
+    /// compute — 1.0 means every PCIe byte moved behind a preprocessing
+    /// pass, 0 means the pipeline never overlapped (always the case in
+    /// serial mode).
+    pub fn pipeline_overlap_ratio(&self) -> f64 {
+        let dma = self.dma_secs();
+        if dma <= 0.0 {
+            0.0
+        } else {
+            (self.overlap_secs / dma).clamp(0.0, 1.0)
+        }
+    }
+
     /// Renders the report as deterministic JSON: fixed key order, Rust's
     /// shortest-roundtrip float formatting, the trace digest as a hex
     /// string (JSON numbers cannot carry a full `u64`). Two runs with the
@@ -345,7 +426,7 @@ impl TrafficReport {
         let overall = self.overall_latency();
         let mut out = String::with_capacity(1024);
         out.push('{');
-        push_field(&mut out, "schema", &json_str("agnn-serve-report/v1"));
+        push_field(&mut out, "schema", &json_str("agnn-serve-report/v2"));
         push_field(&mut out, "pool_size", &self.pool_size().to_string());
         push_field(&mut out, "completed", &self.completed().to_string());
         push_field(&mut out, "dropped", &self.dropped().to_string());
@@ -363,6 +444,31 @@ impl TrafficReport {
             "queue_depth_max",
             &self.queue_depth.max_depth().to_string(),
         );
+        let stages: Vec<String> = [
+            ("ingest", &self.stages.ingest),
+            ("preprocess", &self.stages.preprocess),
+            ("compute", &self.stages.compute),
+        ]
+        .into_iter()
+        .map(|(name, h)| {
+            let mut obj = String::new();
+            obj.push('{');
+            push_field(&mut obj, "stage", &json_str(name));
+            push_field(&mut obj, "p50_secs", &json_f64(h.quantile(0.50)));
+            push_field(&mut obj, "p99_secs", &json_f64(h.quantile(0.99)));
+            push_field(&mut obj, "mean_secs", &json_f64(h.mean()));
+            close_obj(&mut obj);
+            obj
+        })
+        .collect();
+        push_field(&mut out, "stages", &format!("[{}]", stages.join(",")));
+        push_field(&mut out, "overlap_secs", &json_f64(self.overlap_secs));
+        push_field(
+            &mut out,
+            "pipeline_overlap_ratio",
+            &json_f64(self.pipeline_overlap_ratio()),
+        );
+        push_field(&mut out, "evictions", &self.evictions().to_string());
         push_field(
             &mut out,
             "trace_digest",
@@ -396,6 +502,8 @@ impl TrafficReport {
                 push_field(&mut obj, "reconfigs", &b.reconfigs.to_string());
                 push_field(&mut obj, "reconfig_secs", &json_f64(b.reconfig_secs));
                 push_field(&mut obj, "busy_secs", &json_f64(b.busy_secs));
+                push_field(&mut obj, "dma_secs", &json_f64(b.dma_secs));
+                push_field(&mut obj, "evictions", &b.evictions.to_string());
                 push_field(
                     &mut obj,
                     "utilization",
@@ -507,6 +615,22 @@ impl fmt::Display for TrafficReport {
             self.queue_depth.mean_depth(self.duration_secs),
             self.reconfig_secs,
         )?;
+        writeln!(
+            f,
+            "stages p99 (ms): ingest {:.3} | preprocess {:.3} | compute {:.3}",
+            self.stages.ingest.quantile(0.99) * 1e3,
+            self.stages.preprocess.quantile(0.99) * 1e3,
+            self.stages.compute.quantile(0.99) * 1e3,
+        )?;
+        if self.dma_secs() > 0.0 {
+            writeln!(
+                f,
+                "pipeline: {:.1}% of DMA time overlapped fabric compute ({:.2} s) | {} evictions",
+                self.pipeline_overlap_ratio() * 100.0,
+                self.overlap_secs,
+                self.evictions(),
+            )?;
+        }
         if self.boards.len() > 1 {
             for (i, b) in self.boards.iter().enumerate() {
                 writeln!(
@@ -604,6 +728,7 @@ mod tests {
             reconfigs: 2,
             reconfig_secs: 0.5,
             busy_secs: 25.0,
+            ..BoardStats::default()
         };
         assert!((b.utilization(100.0) - 0.25).abs() < 1e-12);
         assert_eq!(b.utilization(0.0), 0.0, "zero horizon cannot divide");
@@ -624,6 +749,9 @@ mod tests {
             reconfig_secs: 0.23,
             queue_depth: DepthTimeline::default(),
             boards: vec![BoardStats::default(), BoardStats::default()],
+            stages: StageHistograms::default(),
+            overlap_secs: 0.0,
+            requests: Vec::new(),
             trace_digest: 0xDEAD_BEEF,
         };
         let a = report.to_json();
@@ -632,6 +760,9 @@ mod tests {
         assert!(a.starts_with('{') && a.ends_with('}'));
         assert!(a.contains("\"pool_size\":2"));
         assert!(a.contains("\"p99_secs\":"));
+        assert!(a.contains("\"stages\":[{\"stage\":\"ingest\""));
+        assert!(a.contains("\"pipeline_overlap_ratio\":"));
+        assert!(a.contains("\"dma_secs\":"));
         assert!(a.contains("\"trace_digest\":\"0x00000000deadbeef\""));
         assert!(
             a.contains("feed \\\"a\\\"\\\\"),
@@ -654,11 +785,58 @@ mod tests {
             queue_secs: 1.0,
             reconfig_secs: 0.23,
             upload_secs: 0.1,
+            stage_wait_secs: 0.0,
             preprocess_secs: 0.5,
             download_secs: 0.05,
             inference_secs: 0.2,
         };
         assert!((lat.total() - 2.08).abs() < 1e-12);
         assert!((lat.board_secs() - 0.88).abs() < 1e-12);
+        // Pipeline waits count toward the end-to-end total but not toward
+        // board occupancy.
+        let waited = RequestLatency {
+            stage_wait_secs: 0.3,
+            ..lat
+        };
+        assert!((waited.total() - 2.38).abs() < 1e-12);
+        assert!((waited.board_secs() - lat.board_secs()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn stage_histograms_split_the_lifecycle() {
+        let mut stages = StageHistograms::default();
+        stages.record(&RequestLatency {
+            upload_secs: 0.010,
+            preprocess_secs: 0.040,
+            download_secs: 0.002,
+            inference_secs: 0.003,
+            ..RequestLatency::default()
+        });
+        assert_eq!(stages.ingest.count(), 1);
+        assert!((stages.ingest.mean() - 0.010).abs() < 1e-12);
+        assert!((stages.preprocess.mean() - 0.040).abs() < 1e-12);
+        assert!((stages.compute.mean() - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_ratio_is_guarded_and_bounded() {
+        let mut report = TrafficReport {
+            tenants: Vec::new(),
+            duration_secs: 10.0,
+            reconfigs: 0,
+            reconfig_secs: 0.0,
+            queue_depth: DepthTimeline::default(),
+            boards: vec![BoardStats::default()],
+            stages: StageHistograms::default(),
+            overlap_secs: 0.0,
+            requests: Vec::new(),
+            trace_digest: 0,
+        };
+        assert_eq!(report.pipeline_overlap_ratio(), 0.0, "serial: no DMA clock");
+        report.boards[0].dma_secs = 4.0;
+        report.overlap_secs = 3.0;
+        assert!((report.pipeline_overlap_ratio() - 0.75).abs() < 1e-12);
+        report.overlap_secs = 100.0;
+        assert_eq!(report.pipeline_overlap_ratio(), 1.0, "clamped");
     }
 }

@@ -2,11 +2,32 @@
 //!
 //! PR 1's `agnn-serve` time-multiplexed a single VPK180, so every shift in
 //! the tenant mix forced an ICAP stall. A [`BoardPool`] holds N boards,
-//! each with its **own** bitstream state, reconfiguration clock, in-flight
-//! slot and resident-graph memory — each board forks its own
-//! [`AutoGnn`] runtime, so every board is an independent cost-model
-//! decision point. The shared admission queue feeds the pool through a
-//! pluggable [`PlacementPolicy`]:
+//! each with its **own** bitstream state, reconfiguration clock, resident
+//! graph memory and — since the staged-lifecycle refactor — **two
+//! in-flight slots** mirroring the board's independent resources:
+//!
+//! - the **DMA slot** (PCIe engine pair): at most one transfer in flight —
+//!   a graph-delta ingest or a subgraph hand-off;
+//! - the **fabric slot** (UPE + SCR regions): at most one request
+//!   preprocessing (reconfiguration stalls are charged here, at fabric
+//!   acquisition).
+//!
+//! A serial scheduler occupies both slots for the whole request
+//! ([`BoardPool::occupy`] / [`BoardPool::release`] — exactly the PR 2
+//! board, bit-for-bit); a pipelined scheduler drives the slots separately
+//! so one request's ingest lands while another computes (the staging depth
+//! comes from [`agnn_hw::shell::DELTA_BUFFERS`]: one request may sit
+//! ingested-but-waiting per board).
+//!
+//! Residency is **capacity-bounded**: each board's DRAM holds at most
+//! [`AutoGnn::dram_graph_capacity`] bytes of resident graphs (§V-B — the
+//! 15 GB left after bitstream staging). When a tenant mix outgrows that,
+//! the least-recently-served tenant is evicted and its next request pays a
+//! full re-upload — which is exactly the recurring ingest traffic that
+//! staged pipelining hides behind fabric compute.
+//!
+//! The shared admission queue feeds the pool through a pluggable
+//! [`PlacementPolicy`]:
 //!
 //! - [`PlacementPolicy::TenantAffine`] — each tenant has a home board
 //!   (pinned, or tenant index hashed over the pool); requests wait for it.
@@ -21,18 +42,24 @@
 //!   decisions. With one board it degenerates to PR 1's reconfig-aware
 //!   queue scan exactly.
 //!
-//! A single-board pool is bit-for-bit identical to the PR 1 simulator
-//! (`tests/serve_traffic.rs` pins the PR 1 trace digests), so pool runs
-//! stay comparable across the whole perf trajectory — which is what the
-//! CI `bench-smoke` gate (see [`crate`] docs) relies on.
+//! A single-board pool in serial mode is bit-for-bit identical to the PR 1
+//! simulator (`tests/serve_traffic.rs` pins the PR 1 trace digests), so
+//! pool runs stay comparable across the whole perf trajectory — which is
+//! what the CI `bench-smoke` gate (see [`crate`] docs) relies on.
 
 use agnn_algo::pipeline::SampleParams;
 use agnn_core::runtime::AutoGnn;
 use agnn_cost::{BitstreamLibrary, ReconfigPolicy, Workload};
+use agnn_devices::ServiceStageSecs;
 use agnn_hw::engine::ReconfigEvent;
+use agnn_hw::shell::DELTA_BUFFERS;
 use agnn_hw::HwConfig;
 
 use crate::metrics::BoardStats;
+
+/// Requests a board can hold ingested-but-not-computing: one delta buffer
+/// feeds the fabric while the other fills over DMA.
+pub const STAGING_DEPTH: u32 = (DELTA_BUFFERS - 1) as u32;
 
 /// How the pool routes an admitted request to a board.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -62,32 +89,81 @@ impl PlacementPolicy {
     }
 }
 
+/// Per-tenant residency on one board's DRAM.
+#[derive(Debug, Clone, Copy, Default)]
+struct Residency {
+    /// Graph bytes resident for this tenant.
+    bytes: u64,
+    /// LRU tick of the tenant's last upload (0 = never touched).
+    touched: u64,
+}
+
 /// One simulated board: a forked [`AutoGnn`] runtime plus the pool-side
 /// serving state the simulator tracks for it.
 #[derive(Debug)]
 struct Board {
     runtime: AutoGnn,
-    busy: bool,
+    /// A PCIe transfer (ingest or hand-off) is in flight.
+    dma_busy: bool,
+    /// Simulated second the in-flight DMA transfer completes (stale once
+    /// `dma_busy` clears; overlap accounting reads it only while busy).
+    dma_until: f64,
+    /// The fabric is preprocessing (or reprogramming).
+    fabric_busy: bool,
+    /// Simulated second the fabric frees (stale once `fabric_busy`
+    /// clears).
+    fabric_until: f64,
+    /// Ingested requests waiting for the fabric, bounded by
+    /// [`STAGING_DEPTH`] (the delta buffers not currently being filled).
+    staged: u32,
+    /// Subgraph hand-offs waiting for the DMA engine.
+    pending_handoffs: u32,
+    /// Fabric occupancy (reconfig + preprocess; in serial mode the whole
+    /// request interval, as in PR 2).
     busy_secs: f64,
+    /// DMA-engine occupancy (pipelined mode only; serial folds transfers
+    /// into `busy_secs`).
+    dma_secs: f64,
     completed: u64,
     reconfigs: u64,
     reconfig_secs: f64,
+    /// Tenants evicted from this board's DRAM to make room.
+    evictions: u64,
     /// Graph bytes resident on this board, per tenant — each board has its
     /// own DDR, so residency (and therefore upload deltas) is per board.
-    resident_bytes: Vec<u64>,
+    resident: Vec<Residency>,
+    resident_total: u64,
+    lru_clock: u64,
 }
 
 impl Board {
     fn new(runtime: AutoGnn, tenant_count: usize) -> Self {
         Board {
             runtime,
-            busy: false,
+            dma_busy: false,
+            dma_until: 0.0,
+            fabric_busy: false,
+            fabric_until: 0.0,
+            staged: 0,
+            pending_handoffs: 0,
             busy_secs: 0.0,
+            dma_secs: 0.0,
             completed: 0,
             reconfigs: 0,
             reconfig_secs: 0.0,
-            resident_bytes: vec![0; tenant_count],
+            evictions: 0,
+            resident: vec![Residency::default(); tenant_count],
+            resident_total: 0,
+            lru_clock: 0,
         }
+    }
+
+    /// Whether the board can accept a new request's ingest: DMA engine
+    /// idle, a staging buffer free, and no subgraph hand-off queued for
+    /// the engine. In serial mode `staged`/`pending_handoffs` never set,
+    /// so this is exactly the PR 2 single-slot "free" predicate.
+    fn can_accept(&self) -> bool {
+        !self.dma_busy && self.staged < STAGING_DEPTH && self.pending_handoffs == 0
     }
 }
 
@@ -97,6 +173,8 @@ impl Board {
 pub struct BoardPool {
     boards: Vec<Board>,
     tenant_count: usize,
+    /// Per-board DRAM budget for resident graphs.
+    graph_capacity: u64,
 }
 
 impl BoardPool {
@@ -114,6 +192,7 @@ impl BoardPool {
     ) -> Self {
         assert!(size > 0, "pool must hold at least one board");
         let prototype = AutoGnn::with_policy(params, policy);
+        let graph_capacity = prototype.dram_graph_capacity();
         let mut boards = Vec::with_capacity(size);
         for _ in 1..size {
             boards.push(Board::new(prototype.fork(), tenant_count));
@@ -122,6 +201,7 @@ impl BoardPool {
         BoardPool {
             boards,
             tenant_count,
+            graph_capacity,
         }
     }
 
@@ -149,32 +229,40 @@ impl BoardPool {
         self.boards[0].runtime.policy()
     }
 
+    /// The PCIe link model of the boards' shells (identical on every
+    /// board) — per-stage transfer pricing routes through it.
+    pub fn pcie(&self) -> agnn_hw::shell::PcieModel {
+        self.boards[0].runtime.pcie()
+    }
+
     /// The configuration currently programmed on board `index`.
     pub fn config(&self, index: usize) -> HwConfig {
         self.boards[index].runtime.config()
     }
 
-    /// Whether board `index` has a free in-flight slot.
+    /// Whether board `index` can admit a new request (see
+    /// [`Board::can_accept`]); in serial mode this is exactly "not busy".
     pub fn is_free(&self, index: usize) -> bool {
-        !self.boards[index].busy
+        self.boards[index].can_accept()
     }
 
-    /// True when at least one board is free.
+    /// True when at least one board can admit a request.
     pub fn any_free(&self) -> bool {
-        self.boards.iter().any(|b| !b.busy)
+        self.boards.iter().any(Board::can_accept)
     }
 
-    /// Indices of free boards, in board order.
+    /// Indices of admission-ready boards, in board order.
     pub fn free_indices(&self) -> impl Iterator<Item = usize> + '_ {
         self.boards
             .iter()
             .enumerate()
-            .filter(|(_, b)| !b.busy)
+            .filter(|(_, b)| b.can_accept())
             .map(|(i, _)| i)
     }
 
-    /// The free board with the least accumulated busy time (ties broken by
-    /// the lowest index), or `None` when every board is busy.
+    /// The admission-ready board with the least accumulated busy time
+    /// (ties broken by the lowest index), or `None` when every board is
+    /// busy.
     pub fn least_loaded_free(&self) -> Option<usize> {
         self.free_indices().min_by(|&a, &b| {
             self.boards[a]
@@ -183,7 +271,7 @@ impl BoardPool {
         })
     }
 
-    /// The first free board already programmed with `config`.
+    /// The first admission-ready board already programmed with `config`.
     pub fn free_with_config(&self, config: HwConfig) -> Option<usize> {
         self.free_indices().find(|&i| self.config(i) == config)
     }
@@ -229,29 +317,160 @@ impl BoardPool {
             .total()
     }
 
+    /// Analytic per-lifecycle-stage seconds for `workload` on board
+    /// `index` with `delta_bytes` still to upload — the staged price the
+    /// simulator schedules against the board's DMA and fabric slots.
+    pub fn service_secs(
+        &self,
+        index: usize,
+        workload: &Workload,
+        delta_bytes: u64,
+    ) -> ServiceStageSecs {
+        self.boards[index]
+            .runtime
+            .analytic_service_secs(workload, delta_bytes)
+    }
+
     /// Updates tenant residency on board `index` to `coo_bytes` and
     /// returns the upload delta (0 when the graph is already resident).
+    ///
+    /// Residency is bounded by the board's DRAM graph capacity: when the
+    /// upload would overflow it, the least-recently-served *other* tenants
+    /// are evicted (deterministically, oldest upload first) until the
+    /// graph fits — their next request pays a full cold re-upload.
     pub fn upload_delta(&mut self, index: usize, tenant: usize, coo_bytes: u64) -> u64 {
-        let resident = &mut self.boards[index].resident_bytes[tenant];
-        let delta = coo_bytes.saturating_sub(*resident);
-        *resident = coo_bytes;
+        let capacity = self.graph_capacity;
+        let board = &mut self.boards[index];
+        board.lru_clock += 1;
+        let slot = &mut board.resident[tenant];
+        let delta = coo_bytes.saturating_sub(slot.bytes);
+        // Residency tracks the current graph size exactly (a shrinking
+        // graph releases DRAM, as in PR 2); only growth crosses PCIe.
+        board.resident_total = board.resident_total - slot.bytes + coo_bytes;
+        slot.bytes = coo_bytes;
+        slot.touched = board.lru_clock;
+        while board.resident_total > capacity {
+            let victim = board
+                .resident
+                .iter()
+                .enumerate()
+                .filter(|(t, r)| *t != tenant && r.bytes > 0)
+                .min_by_key(|(_, r)| r.touched)
+                .map(|(t, _)| t);
+            let Some(victim) = victim else {
+                // Only the uploading tenant is resident; an oversized
+                // single graph is the shell's capacity panic, not ours.
+                break;
+            };
+            board.resident_total -= board.resident[victim].bytes;
+            board.resident[victim] = Residency::default();
+            board.evictions += 1;
+        }
         delta
     }
 
-    /// Marks board `index` busy until `done` (called at dispatch).
+    /// Marks board `index` fully busy until `done` — the **serial** path:
+    /// both slots held for the whole request, exactly the PR 2 board.
     pub fn occupy(&mut self, index: usize, now: f64, done: f64) {
         let board = &mut self.boards[index];
-        debug_assert!(!board.busy, "board {index} double-dispatched");
-        board.busy = true;
+        debug_assert!(!board.dma_busy, "board {index} double-dispatched");
+        board.dma_busy = true;
+        board.fabric_busy = true;
         board.busy_secs += (done - now).max(0.0);
     }
 
-    /// Marks board `index` free again (called at service completion).
+    /// Marks board `index` fully free again (serial service completion).
     pub fn release(&mut self, index: usize) {
         let board = &mut self.boards[index];
-        debug_assert!(board.busy, "board {index} released while idle");
-        board.busy = false;
+        debug_assert!(board.dma_busy, "board {index} released while idle");
+        board.dma_busy = false;
+        board.fabric_busy = false;
         board.completed += 1;
+    }
+
+    /// Occupies board `index`'s DMA engine until `done` (pipelined ingest
+    /// or subgraph hand-off).
+    pub fn occupy_dma(&mut self, index: usize, now: f64, done: f64) {
+        let board = &mut self.boards[index];
+        debug_assert!(!board.dma_busy, "board {index} DMA double-booked");
+        board.dma_busy = true;
+        board.dma_until = done;
+        board.dma_secs += (done - now).max(0.0);
+    }
+
+    /// Frees board `index`'s DMA engine.
+    pub fn release_dma(&mut self, index: usize) {
+        debug_assert!(self.boards[index].dma_busy);
+        self.boards[index].dma_busy = false;
+    }
+
+    /// Whether board `index`'s DMA engine is idle.
+    pub fn dma_free(&self, index: usize) -> bool {
+        !self.boards[index].dma_busy
+    }
+
+    /// When board `index`'s in-flight DMA transfer completes (meaningful
+    /// only while the engine is busy).
+    pub fn dma_until(&self, index: usize) -> f64 {
+        self.boards[index].dma_until
+    }
+
+    /// Occupies board `index`'s fabric until `done` (reconfiguration stall
+    /// + preprocessing).
+    pub fn occupy_fabric(&mut self, index: usize, now: f64, done: f64) {
+        let board = &mut self.boards[index];
+        debug_assert!(!board.fabric_busy, "board {index} fabric double-booked");
+        board.fabric_busy = true;
+        board.fabric_until = done;
+        board.busy_secs += (done - now).max(0.0);
+    }
+
+    /// Frees board `index`'s fabric.
+    pub fn release_fabric(&mut self, index: usize) {
+        debug_assert!(self.boards[index].fabric_busy);
+        self.boards[index].fabric_busy = false;
+    }
+
+    /// Whether board `index`'s fabric is idle.
+    pub fn fabric_free(&self, index: usize) -> bool {
+        !self.boards[index].fabric_busy
+    }
+
+    /// When board `index`'s fabric frees (meaningful only while busy).
+    pub fn fabric_until(&self, index: usize) -> f64 {
+        self.boards[index].fabric_until
+    }
+
+    /// Parks an ingested request in one of board `index`'s staging
+    /// buffers (it waits there for the fabric; admission stops once all
+    /// [`STAGING_DEPTH`] buffers hold a request).
+    pub fn stage(&mut self, index: usize) {
+        let board = &mut self.boards[index];
+        debug_assert!(board.staged < STAGING_DEPTH, "staging buffer overrun");
+        board.staged += 1;
+    }
+
+    /// Releases one of board `index`'s staging buffers (a staged request
+    /// acquired the fabric).
+    pub fn unstage(&mut self, index: usize) {
+        debug_assert!(self.boards[index].staged > 0);
+        self.boards[index].staged -= 1;
+    }
+
+    /// Adjusts the count of subgraph hand-offs waiting for board
+    /// `index`'s DMA engine (they outrank new ingests).
+    pub fn add_pending_handoffs(&mut self, index: usize, delta: i32) {
+        let board = &mut self.boards[index];
+        board.pending_handoffs = board
+            .pending_handoffs
+            .checked_add_signed(delta)
+            .expect("pending hand-off count underflow");
+    }
+
+    /// Counts one completed request on board `index` (pipelined mode; the
+    /// serial path counts inside [`BoardPool::release`]).
+    pub fn complete(&mut self, index: usize) {
+        self.boards[index].completed += 1;
     }
 
     /// Per-board statistics snapshot, in board order.
@@ -263,6 +482,8 @@ impl BoardPool {
                 reconfigs: b.reconfigs,
                 reconfig_secs: b.reconfig_secs,
                 busy_secs: b.busy_secs,
+                dma_secs: b.dma_secs,
+                evictions: b.evictions,
             })
             .collect()
     }
@@ -336,5 +557,93 @@ mod tests {
         assert_eq!(PlacementPolicy::LeastLoaded.name(), "least_loaded");
         assert_eq!(PlacementPolicy::BitstreamAffine.name(), "bitstream_affine");
         assert_eq!(PlacementPolicy::default(), PlacementPolicy::LeastLoaded);
+    }
+
+    #[test]
+    fn dma_and_fabric_slots_are_independent() {
+        let mut pool = pool(1);
+        pool.occupy_dma(0, 0.0, 1.0);
+        assert!(!pool.is_free(0), "DMA in flight blocks admission");
+        assert!(pool.fabric_free(0), "fabric still idle");
+        pool.release_dma(0);
+        pool.occupy_fabric(0, 1.0, 3.0);
+        assert!(pool.is_free(0), "fabric compute does not block ingest");
+        assert!(pool.dma_free(0));
+        pool.occupy_dma(0, 1.0, 2.0);
+        assert!(!pool.is_free(0));
+        pool.release_dma(0);
+        pool.stage(0);
+        assert!(!pool.is_free(0), "staging buffer full blocks admission");
+        pool.unstage(0);
+        pool.release_fabric(0);
+        assert!(pool.is_free(0));
+        let stats = pool.stats();
+        assert_eq!(stats[0].dma_secs, 2.0, "uploads charged to the DMA clock");
+        assert_eq!(stats[0].busy_secs, 2.0, "fabric interval charged");
+    }
+
+    #[test]
+    fn pending_handoffs_block_admission() {
+        let mut pool = pool(1);
+        pool.add_pending_handoffs(0, 1);
+        assert!(!pool.is_free(0), "queued hand-off owns the DMA engine next");
+        pool.add_pending_handoffs(0, -1);
+        assert!(pool.is_free(0));
+    }
+
+    #[test]
+    fn residency_is_capacity_bounded_with_lru_eviction() {
+        let mut pool = BoardPool::new(
+            1,
+            SampleParams::new(10, 2),
+            ReconfigPolicy::default(),
+            4, // tenants
+        );
+        let cap = pool.graph_capacity;
+        let third = cap / 3;
+        assert_eq!(pool.upload_delta(0, 0, third), third);
+        assert_eq!(pool.upload_delta(0, 1, third), third);
+        assert_eq!(pool.upload_delta(0, 2, third), third);
+        // A fourth tenant overflows: tenant 0 (least recently served) is
+        // evicted to make room.
+        assert_eq!(pool.upload_delta(0, 3, third), third);
+        assert_eq!(pool.stats()[0].evictions, 1);
+        assert_eq!(
+            pool.upload_delta(0, 0, third),
+            third,
+            "evicted tenant pays a full cold re-upload"
+        );
+        // ... which in turn evicted tenant 1, the next-oldest.
+        assert_eq!(pool.stats()[0].evictions, 2);
+        assert_eq!(pool.upload_delta(0, 2, third), 0, "tenant 2 still warm");
+    }
+
+    #[test]
+    fn shrinking_graphs_release_dram() {
+        let mut pool = BoardPool::new(
+            1,
+            SampleParams::new(10, 2),
+            ReconfigPolicy::default(),
+            2, // tenants
+        );
+        let cap = pool.graph_capacity;
+        assert_eq!(pool.upload_delta(0, 0, cap), cap);
+        // Tenant 0 shrinks to a quarter: nothing crosses PCIe, but the
+        // freed DRAM lets tenant 1 become resident without any eviction.
+        assert_eq!(pool.upload_delta(0, 0, cap / 4), 0);
+        assert_eq!(pool.upload_delta(0, 1, cap / 2), cap / 2);
+        assert_eq!(pool.stats()[0].evictions, 0);
+        assert_eq!(pool.upload_delta(0, 0, cap / 4), 0, "still resident");
+    }
+
+    #[test]
+    fn small_working_sets_never_evict() {
+        let mut pool = pool(1);
+        for round in 0..10 {
+            for tenant in 0..3 {
+                pool.upload_delta(0, tenant, 1_000_000 + round * 1_000);
+            }
+        }
+        assert_eq!(pool.stats()[0].evictions, 0);
     }
 }

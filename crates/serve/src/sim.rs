@@ -1,35 +1,74 @@
 //! The discrete-event traffic simulator.
 //!
-//! A binary-heap event queue advances simulated time (`now: f64` seconds)
-//! through tenant arrivals and service completions. Requests pass a bounded
-//! admission queue (overflow is dropped and counted, never silently lost),
-//! then two pluggable policies cooperate on every dispatch:
+//! # Event model
 //!
-//! - a [`PlacementPolicy`] routes the request to one board of the
-//!   [`BoardPool`] — N simulated accelerators, each with its own bitstream
-//!   state, reconfiguration clock, in-flight slot and resident-graph
-//!   memory;
-//! - a [`DispatchPolicy`] picks which queued request the chosen board
-//!   serves and decides when that board reprograms.
+//! A binary-heap event queue advances simulated time (`now: f64` seconds;
+//! ties broken by a monotone sequence number, so replays are bit-stable).
+//! Four event kinds drive the simulation:
 //!
-//! Every per-request price — upload delta, preprocessing, download,
+//! - **`Arrival`** — a tenant's request arrives. It passes a bounded
+//!   admission queue (overflow is dropped and counted, never silently
+//!   lost) and schedules the tenant's next arrival while offered load
+//!   remains.
+//! - **`IngestDone`** (pipelined mode only) — a request's graph-delta
+//!   upload finished on a board's DMA engine. The request enters the
+//!   fabric if it is idle, otherwise parks in the board's staging buffer.
+//! - **`FabricDone`** (pipelined mode only) — a board's fabric finished
+//!   preprocessing a request. The subgraph hand-off queues for the DMA
+//!   engine, and any staged request acquires the fabric immediately.
+//! - **`ServiceDone`** — a request completed (in serial mode: the whole
+//!   reconfig + upload + preprocess + hand-off interval; in pipelined
+//!   mode: the hand-off transfer). Latency is recorded and the board slot
+//!   frees.
+//!
+//! # The two board slots
+//!
+//! Every [`BoardPool`] board exposes two in-flight slots mirroring the
+//! VPK180 shell's independent engines: the **DMA slot** (PCIe — at most
+//! one transfer in flight, an ingest or a subgraph hand-off) and the
+//! **fabric slot** (UPE + SCR — at most one request preprocessing;
+//! reconfiguration stalls are charged here, at fabric acquisition).
+//!
+//! With [`ServeConfig::overlap`] **off** (the default), a dispatched
+//! request holds both slots for its whole staged timeline — stages run
+//! back to back, exactly the monolithic `AutoGnn::serve` lifecycle.
+//!
+//! With `overlap` **on**, the slots are scheduled independently: a board
+//! admits the next request's ingest as soon as its DMA engine frees, so a
+//! graph delta lands in the second staging buffer
+//! ([`agnn_hw::shell::DELTA_BUFFERS`]) while the previous batch occupies
+//! the fabric, and the finished subgraph streams out under the next
+//! request's preprocessing. The admission queue and the dispatch/placement
+//! policies are untouched — only the meaning of "board free" narrows from
+//! "fully idle" to "can accept an ingest".
+//!
+//! # Why a 1-board serial pool is the PR 1 simulator
+//!
+//! In serial mode the two slots are held and released together, so a
+//! single-board pool performs exactly the PR 1 sequence of
+//! dispatch/complete events with identical prices — the same schedule,
+//! latencies and trace digest bit-for-bit (pinned in
+//! `tests/serve_traffic.rs`). Perf numbers therefore stay comparable
+//! across the whole trajectory, which is what the CI `bench-smoke` gate
+//! relies on.
+//!
+//! Every per-request price — upload delta, preprocessing, hand-off,
 //! reconfiguration stall, inference tail — comes from the same models
-//! `AutoGnn::serve` uses, via the analytic path, so the simulator replays
-//! hundreds of thousands of requests in milliseconds.
-//!
-//! A single-board pool reproduces the PR 1 simulator bit-for-bit: the same
-//! schedule, latencies and trace digest (pinned in `tests/serve_traffic.rs`),
-//! so perf numbers stay comparable across the whole trajectory.
+//! `AutoGnn::serve` uses, via the analytic staged path
+//! ([`BoardPool::service_secs`]), so the simulator replays hundreds of
+//! thousands of requests in milliseconds.
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 
-use agnn_cost::{CostModel, ReconfigPolicy};
+use agnn_cost::{CostModel, ReconfigPolicy, Workload};
 use agnn_gnn::timing::GpuInferenceModel;
-use agnn_hw::shell::PcieModel;
 use agnn_hw::HwConfig;
 
-use crate::metrics::{DepthTimeline, LatencyHistogram, RequestLatency, TenantStats, TrafficReport};
+use crate::metrics::{
+    CompletedRequest, DepthTimeline, LatencyHistogram, RequestLatency, StageHistograms,
+    TenantStats, TrafficReport,
+};
 use crate::pool::{BoardPool, PlacementPolicy};
 use crate::tenant::TenantSpec;
 
@@ -73,6 +112,11 @@ pub struct ServeConfig {
     pub boards: usize,
     /// Placement policy (which board an admitted request runs on).
     pub placement: PlacementPolicy,
+    /// Pipeline boards' DMA against fabric compute: ingest the next
+    /// request (double-buffered graph deltas) and stream finished
+    /// subgraphs out while the fabric preprocesses. `false` replays the
+    /// serial staged lifecycle bit-for-bit against the PR 1/PR 2 digests.
+    pub overlap: bool,
     /// Per-board compute speed multiplier: preprocessing runs this many
     /// times faster, while ICAP reprogramming and PCIe transfers keep
     /// their physical rates. Models "one board N× as fast" comparisons
@@ -87,22 +131,53 @@ pub struct ServeConfig {
     pub min_gain: f64,
     /// Queue-depth timeline decimation stride.
     pub depth_stride: u64,
+    /// Keep a per-request completion log in the report (off by default —
+    /// costs memory proportional to the trace).
+    pub log_requests: bool,
 }
 
-impl Default for ServeConfig {
-    fn default() -> Self {
+impl ServeConfig {
+    /// Every knob at its deployment default — the single source of truth
+    /// for field defaults. `Default` and the named presets all delegate
+    /// here, so a new knob cannot silently diverge between constructors.
+    pub fn base() -> Self {
         ServeConfig {
             seed: 0,
             queue_capacity: 256,
             policy: DispatchPolicy::Fifo,
             boards: 1,
             placement: PlacementPolicy::LeastLoaded,
+            overlap: false,
             compute_speedup: 1.0,
             total_requests: 10_000,
             drift_step_secs: 3_600.0,
             min_gain: 0.10,
             depth_stride: 64,
+            log_requests: false,
         }
+    }
+
+    /// The reconfig-aware deployment preset (30-second starvation guard).
+    pub fn reconfig_aware() -> Self {
+        ServeConfig {
+            policy: DispatchPolicy::reconfig_aware(),
+            ..Self::base()
+        }
+    }
+
+    /// The pipelined preset: reconfig-aware dispatch with DMA/fabric
+    /// overlap enabled.
+    pub fn pipelined() -> Self {
+        ServeConfig {
+            overlap: true,
+            ..Self::reconfig_aware()
+        }
+    }
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self::base()
     }
 }
 
@@ -113,20 +188,37 @@ struct Request {
     arrival_secs: f64,
 }
 
+/// A dispatched request flowing through a board's staged pipeline
+/// (pipelined mode only); the timestamps accumulate as stages complete.
+#[derive(Debug, Clone, Copy)]
+struct Pipelined {
+    tenant: usize,
+    arrival_secs: f64,
+    dispatch_secs: f64,
+    workload: Workload,
+    best: HwConfig,
+    upload_secs: f64,
+    ingest_done_secs: f64,
+    fabric_start_secs: f64,
+    fabric_done_secs: f64,
+    reconfig_secs: f64,
+    preprocess_secs: f64,
+}
+
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum EventKind {
     /// A request of `tenant` arrives.
     Arrival { tenant: usize },
-    /// Board `board` finishes its in-flight request.
+    /// Board `board` finished a graph-delta ingest (pipelined mode).
+    IngestDone { board: usize },
+    /// Board `board`'s fabric finished preprocessing (pipelined mode).
+    FabricDone { board: usize },
+    /// Board `board` completes `tenant`'s request with `latency`.
     ServiceDone {
         tenant: usize,
         board: usize,
-        queue_secs: f64,
-        reconfig_secs: f64,
-        upload_secs: f64,
-        preprocess_secs: f64,
-        download_secs: f64,
-        inference_secs: f64,
+        arrival_secs: f64,
+        latency: RequestLatency,
     },
 }
 
@@ -189,6 +281,60 @@ pub struct TrafficSim {
     pool: BoardPool,
 }
 
+/// Mutable tallies shared by the serial and pipelined completion paths.
+struct RunStats {
+    tenants: Vec<TenantStats>,
+    stages: StageHistograms,
+    requests: Vec<CompletedRequest>,
+    reconfigs: u64,
+    reconfig_secs: f64,
+    overlap_secs: f64,
+    last_board_free: f64,
+}
+
+impl RunStats {
+    fn complete(&mut self, tenant: usize, arrival_secs: f64, latency: RequestLatency, log: bool) {
+        let t = &mut self.tenants[tenant];
+        t.completed += 1;
+        t.latency.record(latency.total());
+        t.board_secs += latency.board_secs();
+        self.stages.record(&latency);
+        if log {
+            self.requests.push(CompletedRequest {
+                tenant,
+                arrival_secs,
+                latency,
+            });
+        }
+    }
+}
+
+/// Per-board pipeline payloads (pipelined mode only): the requests
+/// currently ingesting / staged / preprocessing and the hand-offs waiting
+/// for the DMA engine. Slot occupancy and busy horizons live on the
+/// [`BoardPool`] boards themselves — the pool's `stage`/`unstage` and
+/// `add_pending_handoffs` counters mirror these queues' lengths.
+struct Pipeline {
+    ingesting: Vec<Option<Pipelined>>,
+    /// FIFO of ingested requests waiting for the fabric, at most
+    /// [`crate::pool::STAGING_DEPTH`] deep (the pool enforces the bound
+    /// at admission).
+    staged: Vec<VecDeque<Pipelined>>,
+    in_fabric: Vec<Option<Pipelined>>,
+    handoffs: Vec<VecDeque<Pipelined>>,
+}
+
+impl Pipeline {
+    fn new(boards: usize) -> Self {
+        Pipeline {
+            ingesting: vec![None; boards],
+            staged: vec![VecDeque::new(); boards],
+            in_fabric: vec![None; boards],
+            handoffs: vec![VecDeque::new(); boards],
+        }
+    }
+}
+
 impl TrafficSim {
     /// A simulator over `tenants` with `config`. The board pool is built
     /// here (one forked `AutoGnn` runtime per board) and reset at the
@@ -234,11 +380,11 @@ impl TrafficSim {
         let cfg = self.config;
         let TrafficSim { tenants, pool, .. } = self;
         pool.reset();
-        // Multi-board runs tag reconfiguration and completion digest words
-        // with the board index; the single-board layout is frozen so PR 1
-        // digests stay reproducible.
-        let tag_boards = pool.size() > 1;
-        let pcie = PcieModel::default();
+        // Multi-board (or pipelined) runs tag reconfiguration and
+        // completion digest words with the board index; the single-board
+        // serial layout is frozen so PR 1 digests stay reproducible.
+        let tag_boards = pool.size() > 1 || cfg.overlap;
+        let pcie = pool.pcie();
         let inference_model = GpuInferenceModel::default();
 
         let mut heap: BinaryHeap<Event> = BinaryHeap::new();
@@ -269,19 +415,25 @@ impl TrafficSim {
         // every board searches the identical bitstream library.
         let mut best_cache: Vec<Option<(u64, HwConfig)>> = vec![None; tenants.len()];
 
-        let mut stats: Vec<TenantStats> = tenants
-            .iter()
-            .map(|t| TenantStats {
-                name: t.name.clone(),
-                latency: LatencyHistogram::default(),
-                ..TenantStats::default()
-            })
-            .collect();
+        let mut stats = RunStats {
+            tenants: tenants
+                .iter()
+                .map(|t| TenantStats {
+                    name: t.name.clone(),
+                    latency: LatencyHistogram::default(),
+                    ..TenantStats::default()
+                })
+                .collect(),
+            stages: StageHistograms::default(),
+            requests: Vec::new(),
+            reconfigs: 0,
+            reconfig_secs: 0.0,
+            overlap_secs: 0.0,
+            last_board_free: 0.0,
+        };
         let mut depth = DepthTimeline::with_stride(cfg.depth_stride);
         let mut digest = TraceDigest::new();
-        let mut reconfigs = 0u64;
-        let mut reconfig_secs = 0.0f64;
-        let mut last_board_free = 0.0f64;
+        let mut pipe = Pipeline::new(pool.size());
 
         while let Some(event) = heap.pop() {
             let now = event.time;
@@ -298,7 +450,7 @@ impl TrafficSim {
                     }
                     // Bounded admission: overflow is dropped and counted.
                     if queue.len() >= cfg.queue_capacity {
-                        stats[tenant].dropped += 1;
+                        stats.tenants[tenant].dropped += 1;
                         digest.push(0xD0);
                         continue;
                     }
@@ -308,36 +460,119 @@ impl TrafficSim {
                     });
                     depth.record(now, queue.len());
                 }
+                EventKind::IngestDone { board } => {
+                    let mut rq = pipe.ingesting[board]
+                        .take()
+                        .expect("ingest completion without an ingest in flight");
+                    pool.release_dma(board);
+                    rq.ingest_done_secs = now;
+                    digest.push(0x16);
+                    digest.push(rq.tenant as u64);
+                    digest.push(board as u64);
+                    if pool.fabric_free(board) && pipe.staged[board].is_empty() {
+                        start_fabric(
+                            rq,
+                            board,
+                            now,
+                            pool,
+                            &mut pipe,
+                            &mut stats,
+                            &mut digest,
+                            &cfg,
+                            &mut push,
+                            &mut heap,
+                        );
+                    } else {
+                        pool.stage(board);
+                        pipe.staged[board].push_back(rq);
+                    }
+                    // The freed DMA engine drains any waiting hand-off.
+                    start_handoff(
+                        board,
+                        now,
+                        pool,
+                        &mut pipe,
+                        &mut stats,
+                        &pcie,
+                        &inference_model,
+                        tenants,
+                        &mut push,
+                        &mut heap,
+                    );
+                }
+                EventKind::FabricDone { board } => {
+                    let mut rq = pipe.in_fabric[board]
+                        .take()
+                        .expect("fabric completion without a request in the fabric");
+                    pool.release_fabric(board);
+                    rq.fabric_done_secs = now;
+                    digest.push(0xFB);
+                    digest.push(rq.tenant as u64);
+                    digest.push(board as u64);
+                    pipe.handoffs[board].push_back(rq);
+                    pool.add_pending_handoffs(board, 1);
+                    start_handoff(
+                        board,
+                        now,
+                        pool,
+                        &mut pipe,
+                        &mut stats,
+                        &pcie,
+                        &inference_model,
+                        tenants,
+                        &mut push,
+                        &mut heap,
+                    );
+                    // The earliest staged request acquires the fabric
+                    // immediately.
+                    if let Some(staged) = pipe.staged[board].pop_front() {
+                        pool.unstage(board);
+                        start_fabric(
+                            staged,
+                            board,
+                            now,
+                            pool,
+                            &mut pipe,
+                            &mut stats,
+                            &mut digest,
+                            &cfg,
+                            &mut push,
+                            &mut heap,
+                        );
+                    }
+                }
                 EventKind::ServiceDone {
                     tenant,
                     board,
-                    queue_secs,
-                    reconfig_secs: stall,
-                    upload_secs,
-                    preprocess_secs,
-                    download_secs,
-                    inference_secs,
+                    arrival_secs,
+                    latency,
                 } => {
-                    let latency = RequestLatency {
-                        queue_secs,
-                        reconfig_secs: stall,
-                        upload_secs,
-                        preprocess_secs,
-                        download_secs,
-                        inference_secs,
-                    };
-                    let t = &mut stats[tenant];
-                    t.completed += 1;
-                    t.latency.record(latency.total());
-                    t.board_secs += latency.board_secs();
+                    stats.complete(tenant, arrival_secs, latency, cfg.log_requests);
                     digest.push(0x5D);
                     digest.push(tenant as u64);
                     digest.push(latency.total().to_bits());
                     if tag_boards {
                         digest.push(board as u64);
                     }
-                    pool.release(board);
-                    last_board_free = now;
+                    if cfg.overlap {
+                        pool.release_dma(board);
+                        pool.complete(board);
+                        start_handoff(
+                            board,
+                            now,
+                            pool,
+                            &mut pipe,
+                            &mut stats,
+                            &pcie,
+                            &inference_model,
+                            tenants,
+                            &mut push,
+                            &mut heap,
+                        );
+                    } else {
+                        pool.release(board);
+                    }
+                    stats.last_board_free = now;
                 }
             }
 
@@ -363,33 +598,59 @@ impl TrafficSim {
                     cfg.drift_step_secs,
                     pool,
                 );
+                let coo_bytes = workload.coo_bytes();
+                let delta = pool.upload_delta(board, request.tenant, coo_bytes);
 
-                // Reconfiguration: every policy respects the board's
-                // min-gain threshold; policies differ in how often a
-                // board's decision point sees a foreign bitstream.
+                if cfg.overlap {
+                    // Pipelined: occupy only the DMA engine; the fabric
+                    // (and the reconfiguration decision) waits until the
+                    // delta has landed.
+                    let upload_secs = pcie.transfer_secs(delta);
+                    let done = now + upload_secs;
+                    pool.occupy_dma(board, now, done);
+                    if !pool.fabric_free(board) {
+                        stats.overlap_secs += (done.min(pool.fabric_until(board)) - now).max(0.0);
+                    }
+                    digest.push(0x1D);
+                    digest.push(request.tenant as u64);
+                    digest.push(board as u64);
+                    pipe.ingesting[board] = Some(Pipelined {
+                        tenant: request.tenant,
+                        arrival_secs: request.arrival_secs,
+                        dispatch_secs: now,
+                        workload,
+                        best,
+                        upload_secs,
+                        ingest_done_secs: done,
+                        fabric_start_secs: done,
+                        fabric_done_secs: done,
+                        reconfig_secs: 0.0,
+                        preprocess_secs: 0.0,
+                    });
+                    push(&mut heap, done, EventKind::IngestDone { board });
+                    continue;
+                }
+
+                // Serial: the board pays every stage back to back and both
+                // slots stay held — the PR 1/PR 2 schedule bit-for-bit.
                 let mut stall = 0.0;
                 if let Some(secs) = pool.maybe_reconfigure(board, &workload, best) {
                     stall = secs;
-                    reconfigs += 1;
-                    reconfig_secs += stall;
-                    stats[request.tenant].reconfigs += 1;
+                    stats.reconfigs += 1;
+                    stats.reconfig_secs += stall;
+                    stats.tenants[request.tenant].reconfigs += 1;
                     digest.push(0x2C);
                     if tag_boards {
                         digest.push(board as u64);
                     }
                 }
 
-                // Price the request analytically under the board's
-                // (possibly new) configuration.
-                let coo_bytes = workload.coo_bytes();
-                let delta = pool.upload_delta(board, request.tenant, coo_bytes);
-                let upload_secs = if delta == 0 {
-                    0.0
-                } else {
-                    pcie.transfer_secs(delta)
-                };
-                let preprocess_secs = pool.stage_secs(board, &workload) / cfg.compute_speedup;
-                let download_secs = pcie.transfer_secs(workload.subgraph_bytes());
+                // Price the staged lifecycle analytically under the
+                // board's (possibly new) configuration.
+                let staged = pool.service_secs(board, &workload, delta);
+                let upload_secs = staged.ingest;
+                let preprocess_secs = staged.preprocess.total() / cfg.compute_speedup;
+                let download_secs = staged.compute;
                 let inference_secs = inference_model.analytic_inference_secs(
                     &tenant.gnn,
                     workload.subgraph_nodes(),
@@ -404,27 +665,129 @@ impl TrafficSim {
                     EventKind::ServiceDone {
                         tenant: request.tenant,
                         board,
-                        queue_secs: now - request.arrival_secs,
-                        reconfig_secs: stall,
-                        upload_secs,
-                        preprocess_secs,
-                        download_secs,
-                        inference_secs,
+                        arrival_secs: request.arrival_secs,
+                        latency: RequestLatency {
+                            queue_secs: now - request.arrival_secs,
+                            reconfig_secs: stall,
+                            upload_secs,
+                            stage_wait_secs: 0.0,
+                            preprocess_secs,
+                            download_secs,
+                            inference_secs,
+                        },
                     },
                 );
             }
         }
 
         TrafficReport {
-            tenants: stats,
-            duration_secs: last_board_free,
-            reconfigs,
-            reconfig_secs,
+            tenants: stats.tenants,
+            duration_secs: stats.last_board_free,
+            reconfigs: stats.reconfigs,
+            reconfig_secs: stats.reconfig_secs,
             queue_depth: depth,
             boards: pool.stats(),
+            stages: stats.stages,
+            overlap_secs: stats.overlap_secs,
+            requests: stats.requests,
             trace_digest: digest.0,
         }
     }
+}
+
+/// Moves an ingested request into board `board`'s fabric at `now`: pays
+/// the (deferred) reconfiguration decision, prices preprocessing under the
+/// resulting configuration, and schedules `FabricDone`.
+#[allow(clippy::too_many_arguments)]
+fn start_fabric(
+    mut rq: Pipelined,
+    board: usize,
+    now: f64,
+    pool: &mut BoardPool,
+    pipe: &mut Pipeline,
+    stats: &mut RunStats,
+    digest: &mut TraceDigest,
+    cfg: &ServeConfig,
+    push: &mut impl FnMut(&mut BinaryHeap<Event>, f64, EventKind),
+    heap: &mut BinaryHeap<Event>,
+) {
+    let mut stall = 0.0;
+    if let Some(secs) = pool.maybe_reconfigure(board, &rq.workload, rq.best) {
+        stall = secs;
+        stats.reconfigs += 1;
+        stats.reconfig_secs += stall;
+        stats.tenants[rq.tenant].reconfigs += 1;
+        digest.push(0x2C);
+        digest.push(board as u64);
+    }
+    let preprocess_secs = pool.stage_secs(board, &rq.workload) / cfg.compute_speedup;
+    let done = now + stall + preprocess_secs;
+    pool.occupy_fabric(board, now, done);
+    // The fabric starting under an in-flight DMA transfer is pipeline
+    // overlap (the symmetric case — DMA starting under the fabric — is
+    // accounted at the transfer's start).
+    if !pool.dma_free(board) {
+        stats.overlap_secs += (done.min(pool.dma_until(board)) - now).max(0.0);
+    }
+    rq.fabric_start_secs = now;
+    rq.reconfig_secs = stall;
+    rq.preprocess_secs = preprocess_secs;
+    pipe.in_fabric[board] = Some(rq);
+    push(heap, done, EventKind::FabricDone { board });
+}
+
+/// Starts the next queued subgraph hand-off on board `board`'s DMA engine
+/// if it is idle, scheduling the request's `ServiceDone`.
+#[allow(clippy::too_many_arguments)]
+fn start_handoff(
+    board: usize,
+    now: f64,
+    pool: &mut BoardPool,
+    pipe: &mut Pipeline,
+    stats: &mut RunStats,
+    pcie: &agnn_hw::shell::PcieModel,
+    inference_model: &GpuInferenceModel,
+    tenants: &[TenantSpec],
+    push: &mut impl FnMut(&mut BinaryHeap<Event>, f64, EventKind),
+    heap: &mut BinaryHeap<Event>,
+) {
+    if !pool.dma_free(board) {
+        return;
+    }
+    let Some(rq) = pipe.handoffs[board].pop_front() else {
+        return;
+    };
+    pool.add_pending_handoffs(board, -1);
+    let download_secs = pcie.transfer_secs(rq.workload.subgraph_bytes());
+    let done = now + download_secs;
+    pool.occupy_dma(board, now, done);
+    if !pool.fabric_free(board) {
+        stats.overlap_secs += (done.min(pool.fabric_until(board)) - now).max(0.0);
+    }
+    let inference_secs = inference_model.analytic_inference_secs(
+        &tenants[rq.tenant].gnn,
+        rq.workload.subgraph_nodes(),
+        rq.workload.subgraph_edges(),
+    );
+    let latency = RequestLatency {
+        queue_secs: rq.dispatch_secs - rq.arrival_secs,
+        reconfig_secs: rq.reconfig_secs,
+        upload_secs: rq.upload_secs,
+        stage_wait_secs: (rq.fabric_start_secs - rq.ingest_done_secs) + (now - rq.fabric_done_secs),
+        preprocess_secs: rq.preprocess_secs,
+        download_secs,
+        inference_secs,
+    };
+    push(
+        heap,
+        done,
+        EventKind::ServiceDone {
+            tenant: rq.tenant,
+            board,
+            arrival_secs: rq.arrival_secs,
+            latency,
+        },
+    );
 }
 
 /// Picks the next `(queue position, board)` pair to dispatch, or `None`

@@ -183,6 +183,32 @@ impl TenantSpec {
         }
     }
 
+    /// The memory-pressured serving mix shared by the CI `pipelined_drift`
+    /// scenario, the pipelining integration test and the example headline:
+    /// six Taobao-scale e-commerce regions (3.2 GB graphs, Table II drift)
+    /// with evenly offset diurnal peaks of `mean_rps` each over
+    /// `period_secs`. Their combined working set outgrows one board's DRAM
+    /// graph budget, so LRU eviction forces the recurring cold re-uploads
+    /// that staged pipelining hides behind fabric compute — keeping the
+    /// gate, the test and the demo provably on the same trace.
+    pub fn taobao_regions(mean_rps: f64, period_secs: f64) -> Vec<TenantSpec> {
+        let names = ["tb-apac", "tb-eu", "tb-na", "tb-latam", "tb-mea", "tb-cn"];
+        names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let mut t = TenantSpec::new(*name, Dataset::Taobao, 0.0);
+                t.arrival = ArrivalProcess::Diurnal {
+                    mean_rps,
+                    amplitude: 0.9,
+                    period_secs,
+                    phase_secs: period_secs * i as f64 / names.len() as f64,
+                };
+                t
+            })
+            .collect()
+    }
+
     /// The board `TenantAffine` placement routes this tenant to in a pool
     /// of `pool_size` boards: the pinned board when set, otherwise the
     /// tenant index hashed over the pool.

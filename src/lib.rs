@@ -31,8 +31,11 @@
 //!   Poisson/diurnal arrival processes, a bounded admission queue with drop
 //!   accounting, FIFO vs *reconfig-aware* dispatch policies that amortize
 //!   partial-reconfiguration stalls across same-bitstream request batches,
-//!   and deterministic latency/throughput/queue-depth metrics
-//!   ([`agnn_serve`]).
+//!   a **staged request lifecycle** (ingest → preprocess → compute) that
+//!   can pipeline each board's DMA engine against its fabric
+//!   (double-buffered graph deltas, capacity-bounded residency with LRU
+//!   eviction), and deterministic latency/throughput/queue-depth metrics
+//!   with per-stage breakdowns ([`agnn_serve`]).
 //!
 //! # Quickstart
 //!
@@ -68,7 +71,9 @@ pub use agnn_serve as serve;
 pub mod prelude {
     pub use agnn_algo::pipeline::{preprocess, SampleParams, SampledSubgraph};
     pub use agnn_core::config::EvalSetup;
-    pub use agnn_core::runtime::{AutoGnn, ServiceRecord};
+    pub use agnn_core::runtime::{
+        AutoGnn, ServiceRecord, ServiceStage, StageRecord, StageResource,
+    };
     pub use agnn_core::systems::{evaluate, SystemContext, SystemKind};
     pub use agnn_cost::{BitstreamLibrary, CostModel, Workload};
     pub use agnn_devices::StageSecs;
