@@ -3,14 +3,22 @@
 //! baseline.
 //!
 //! ```text
-//! # what CI runs (fails with exit code 1 on a >20 % p99 regression):
+//! # what CI runs (fails with exit code 1 on a >20 % regression of any
+//! # gated metric — p99, reconfigs, host_upload_bytes):
 //! cargo run --release -p agnn-bench --bin bench_smoke -- \
-//!     --baseline ci/bench_serving_baseline.json --out BENCH_serving.json
+//!     --baseline ci/bench_serving_baseline.json --out BENCH_serving.json \
+//!     --summary "$GITHUB_STEP_SUMMARY"
 //!
 //! # refresh the baseline after an intentional perf change (in-PR):
 //! cargo run --release -p agnn-bench --bin bench_smoke -- \
 //!     --write-baseline ci/bench_serving_baseline.json
 //! ```
+//!
+//! `--summary` appends a baseline-vs-run markdown delta table to the
+//! given file (GitHub renders `$GITHUB_STEP_SUMMARY` on the job page, so
+//! regressions are readable without downloading the artifact). The table
+//! is written *before* the gate verdict is returned — a failing run still
+//! publishes its deltas.
 
 use std::process::ExitCode;
 
@@ -20,6 +28,7 @@ struct Args {
     out: Option<String>,
     baseline: Option<String>,
     write_baseline: Option<String>,
+    summary: Option<String>,
     tolerance: f64,
 }
 
@@ -28,6 +37,7 @@ fn parse_args() -> Result<Args, String> {
         out: None,
         baseline: None,
         write_baseline: None,
+        summary: None,
         tolerance: 0.20,
     };
     let mut it = std::env::args().skip(1);
@@ -37,6 +47,7 @@ fn parse_args() -> Result<Args, String> {
             "--out" => args.out = Some(value("--out")?),
             "--baseline" => args.baseline = Some(value("--baseline")?),
             "--write-baseline" => args.write_baseline = Some(value("--write-baseline")?),
+            "--summary" => args.summary = Some(value("--summary")?),
             "--tolerance" => {
                 args.tolerance = value("--tolerance")?
                     .parse::<f64>()
@@ -57,13 +68,16 @@ fn run() -> Result<(), String> {
     for s in &sweep {
         let overall = s.report.overall_latency();
         println!(
-            "{:<28} boards={} placement={:<17} p99={:>9.4} s reconfigs={:>6} completed={}",
+            "{:<28} boards={} placement={:<17} p99={:>9.4} s reconfigs={:>6} completed={} \
+             migrations={:>4} host_gb={:>8.2}",
             s.name,
             s.boards,
             s.placement.name(),
             overall.quantile(0.99),
             s.report.reconfigs,
             s.report.completed(),
+            s.report.migrations(),
+            s.report.host_upload_bytes() as f64 / 1e9,
         );
     }
 
@@ -82,6 +96,14 @@ fn run() -> Result<(), String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
         let baseline = perfgate::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
         let current = perfgate::parse(&artifact).map_err(|e| format!("parsing artifact: {e}"))?;
+        // The delta table lands in the summary before the verdict is
+        // decided, so a failing gate still publishes its numbers.
+        if let Some(summary_path) = &args.summary {
+            let table = perfgate::render_summary_table(&baseline, &current)?;
+            append_to(summary_path, &table)
+                .map_err(|e| format!("writing summary {summary_path}: {e}"))?;
+            println!("appended delta table to {summary_path}");
+        }
         let outcome = perfgate::gate_p99(&baseline, &current, args.tolerance)?;
         for note in &outcome.notes {
             println!("note: {note}");
@@ -107,6 +129,18 @@ fn run() -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// Appends `content` to the file at `path` (creating it if missing) —
+/// `$GITHUB_STEP_SUMMARY` is append-only by contract, and other steps may
+/// already have written to it.
+fn append_to(path: &str, content: &str) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    file.write_all(content.as_bytes())
 }
 
 fn main() -> ExitCode {

@@ -17,6 +17,10 @@
 //! - when both documents record a scenario's `reconfigs`, the count is
 //!   gated with the same tolerance — bitstream-affinity breakage must
 //!   fail even on a trace whose p99 absorbs the extra stalls;
+//! - when both documents record a scenario's `host_upload_bytes`, it is
+//!   gated with the same tolerance — cross-board migration exists to keep
+//!   graphs off the host link, so quietly re-uploading from the host must
+//!   fail even when the tail absorbs it;
 //! - improvements beyond the tolerance are reported as notes, nudging the
 //!   author to refresh the baseline in the same PR;
 //! - keys the gate does not know are **ignored, never fatal** — run
@@ -266,10 +270,13 @@ struct ScenarioMetrics {
     /// Absent in pre-reconfig-gate baselines; gated only when both sides
     /// carry it.
     reconfigs: Option<f64>,
+    /// Absent in pre-migration baselines; gated only when both sides
+    /// carry it.
+    host_upload_bytes: Option<f64>,
 }
 
-/// Extracts `scenarios[].{name, p99_secs, reconfigs?}` from a
-/// smoke/baseline document.
+/// Extracts `scenarios[].{name, p99_secs, reconfigs?, host_upload_bytes?}`
+/// from a smoke/baseline document.
 fn scenario_metrics(doc: &Json) -> Result<Vec<(String, ScenarioMetrics)>, String> {
     let scenarios = doc
         .get("scenarios")
@@ -288,11 +295,13 @@ fn scenario_metrics(doc: &Json) -> Result<Vec<(String, ScenarioMetrics)>, String
                 .and_then(Json::as_f64)
                 .ok_or_else(|| format!("scenario '{name}' missing numeric 'p99_secs'"))?;
             let reconfigs = s.get("reconfigs").and_then(Json::as_f64);
+            let host_upload_bytes = s.get("host_upload_bytes").and_then(Json::as_f64);
             Ok((
                 name,
                 ScenarioMetrics {
                     p99_secs,
                     reconfigs,
+                    host_upload_bytes,
                 },
             ))
         })
@@ -346,6 +355,15 @@ pub fn gate_p99(baseline: &Json, current: &Json, tolerance: f64) -> Result<GateO
                 ));
             }
         }
+        if let (Some(base_hb), Some(cur_hb)) = (base_m.host_upload_bytes, cur_m.host_upload_bytes) {
+            if cur_hb > base_hb * (1.0 + tolerance) {
+                outcome.failures.push(format!(
+                    "'{name}' host upload bytes regressed: {cur_hb:.0} vs baseline {base_hb:.0} \
+                     (limit {:.0}) — graphs are re-crossing the host link",
+                    base_hb * (1.0 + tolerance)
+                ));
+            }
+        }
     }
     let base_names: std::collections::BTreeSet<&str> =
         base.iter().map(|(name, _)| name.as_str()).collect();
@@ -358,6 +376,74 @@ pub fn gate_p99(baseline: &Json, current: &Json, tolerance: f64) -> Result<GateO
         }
     }
     Ok(outcome)
+}
+
+/// Renders a baseline-vs-run delta table in GitHub-flavored markdown —
+/// the `bench-smoke` job appends it to `$GITHUB_STEP_SUMMARY`, so a perf
+/// regression is readable on the job page without downloading the
+/// artifact. Scenarios appear in baseline order, followed by run-only
+/// scenarios; a metric either side lacks renders as `—`.
+///
+/// # Errors
+///
+/// Returns an error when either document lacks the gate schema.
+pub fn render_summary_table(baseline: &Json, current: &Json) -> Result<String, String> {
+    let base = scenario_metrics(baseline)?;
+    let cur = scenario_metrics(current)?;
+    let cur_map: BTreeMap<String, ScenarioMetrics> = cur.iter().cloned().collect();
+    let pct = |b: f64, c: f64| {
+        if b > 0.0 {
+            format!("{:+.1}%", (c / b - 1.0) * 100.0)
+        } else {
+            "—".to_string()
+        }
+    };
+    let opt = |v: Option<f64>, scale: f64, digits: usize| {
+        v.map_or("—".to_string(), |x| format!("{:.*}", digits, x * scale))
+    };
+    let opt_pct = |b: Option<f64>, c: Option<f64>| match (b, c) {
+        (Some(b), Some(c)) => pct(b, c),
+        _ => "—".to_string(),
+    };
+    let mut out = String::from("### Serving perf gate: baseline vs run\n\n");
+    out.push_str("| scenario | p99 ms (base → run) | Δ p99 | reconfigs (base → run) | host GB (base → run) | Δ host |\n");
+    out.push_str("|---|---|---|---|---|---|\n");
+    for (name, b) in &base {
+        match cur_map.get(name) {
+            Some(c) => {
+                out.push_str(&format!(
+                    "| `{name}` | {:.1} → {:.1} | {} | {} → {} | {} → {} | {} |\n",
+                    b.p99_secs * 1e3,
+                    c.p99_secs * 1e3,
+                    pct(b.p99_secs, c.p99_secs),
+                    opt(b.reconfigs, 1.0, 0),
+                    opt(c.reconfigs, 1.0, 0),
+                    opt(b.host_upload_bytes, 1e-9, 2),
+                    opt(c.host_upload_bytes, 1e-9, 2),
+                    opt_pct(b.host_upload_bytes, c.host_upload_bytes),
+                ));
+            }
+            None => {
+                out.push_str(&format!(
+                    "| `{name}` | {:.1} → **missing from run** | — | — | — | — |\n",
+                    b.p99_secs * 1e3,
+                ));
+            }
+        }
+    }
+    let base_names: std::collections::BTreeSet<&str> =
+        base.iter().map(|(name, _)| name.as_str()).collect();
+    for (name, c) in &cur {
+        if !base_names.contains(name.as_str()) {
+            out.push_str(&format!(
+                "| `{name}` | **not in baseline** → {:.1} | — | — → {} | — → {} | — |\n",
+                c.p99_secs * 1e3,
+                opt(c.reconfigs, 1.0, 0),
+                opt(c.host_upload_bytes, 1e-9, 2),
+            ));
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -497,6 +583,54 @@ mod tests {
         )
         .unwrap();
         assert!(legacy.passed(), "{:?}", legacy.failures);
+    }
+
+    #[test]
+    fn gate_fails_when_host_upload_bytes_regress() {
+        let row = |hb: f64| {
+            parse(&format!(
+                r#"{{"scenarios": [{{"name": "m", "p99_secs": 1.0, "host_upload_bytes": {hb}}}]}}"#
+            ))
+            .unwrap()
+        };
+        let baseline = row(100.0e9);
+        let ok = gate_p99(&baseline, &row(110.0e9), 0.20).unwrap();
+        assert!(ok.passed(), "{:?}", ok.failures);
+        let bad = gate_p99(&baseline, &row(130.0e9), 0.20).unwrap();
+        assert!(!bad.passed(), "host-link leakage must fail at equal p99");
+        assert!(
+            bad.failures[0].contains("host upload bytes"),
+            "{:?}",
+            bad.failures
+        );
+        // A baseline without the field gates p99/reconfigs only.
+        let legacy = gate_p99(&doc(&[("m", 1.0)]), &row(900.0e9), 0.2).unwrap();
+        assert!(legacy.passed(), "{:?}", legacy.failures);
+    }
+
+    #[test]
+    fn summary_table_shows_deltas_and_holes() {
+        let baseline = parse(
+            r#"{"scenarios": [
+                {"name": "a", "p99_secs": 1.0, "reconfigs": 10, "host_upload_bytes": 50000000000},
+                {"name": "gone", "p99_secs": 0.5}]}"#,
+        )
+        .unwrap();
+        let run = parse(
+            r#"{"scenarios": [
+                {"name": "a", "p99_secs": 1.1, "reconfigs": 12, "host_upload_bytes": 25000000000},
+                {"name": "new", "p99_secs": 0.2, "reconfigs": 3}]}"#,
+        )
+        .unwrap();
+        let table = render_summary_table(&baseline, &run).unwrap();
+        assert!(table.starts_with("### Serving perf gate"), "{table}");
+        assert!(
+            table.contains("| `a` | 1000.0 → 1100.0 | +10.0% | 10 → 12 | 50.00 → 25.00 | -50.0% |"),
+            "{table}"
+        );
+        assert!(table.contains("**missing from run**"), "{table}");
+        assert!(table.contains("**not in baseline** → 200.0"), "{table}");
+        assert!(render_summary_table(&Json::Null, &run).is_err());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The seeded serving scenario sweep behind CI's `bench-smoke` job.
 //!
-//! Four scenarios, ~6 000 requests each (well under a second of wall
+//! Five scenarios, ~6 000 requests each (well under a second of wall
 //! clock). The first three replay the same drift-heavy, offset-diurnal
 //! trace:
 //!
@@ -11,23 +11,30 @@
 //! 3. `pool4_bitstream_affine` — four boards with bitstream-affine
 //!    placement, a configuration the perf gate protects.
 //!
-//! The fourth guards the staged pipeline:
+//! The remaining two guard the staged pipeline and cross-board migration:
 //!
 //! 4. `pipelined_drift` — four boards in `overlap` mode on a
 //!    memory-pressured mix (six Taobao-scale regions whose graphs outgrow
 //!    each board's DRAM, so LRU eviction forces recurring cold
 //!    re-uploads). The gate protects the overlap-mode tail and reconfig
 //!    count, so a regression in the DMA/fabric pipeline fails CI.
+//! 5. `migration_drift` — the same memory-pressured trace with
+//!    [`MigratePolicy::PeerRehydrate`]: evicted tenants rehydrate from
+//!    peer boards over the PCIe switch instead of the host link. The gate
+//!    protects its p99 **and its `host_upload_bytes`** — the byte saving
+//!    is the scenario's whole point, so quietly re-uploading from the
+//!    host again must fail CI even if the tail absorbs it.
 //!
 //! [`render_json`] emits the deterministic `BENCH_serving.json` document
 //! (scenario rows also carry the per-stage report, the pipeline-overlap
-//! ratio and the eviction count); [`crate::perfgate`] compares its
-//! `scenarios[].p99_secs` and `scenarios[].reconfigs` against the
-//! checked-in baseline and ignores keys it does not know.
+//! ratio, eviction/migration counts and the switch/host byte split);
+//! [`crate::perfgate`] compares its `scenarios[].p99_secs`,
+//! `scenarios[].reconfigs` and `scenarios[].host_upload_bytes` against
+//! the checked-in baseline and ignores keys it does not know.
 
 use agnn_graph::datasets::Dataset;
 use agnn_serve::metrics::{json_f64, json_str};
-use agnn_serve::pool::PlacementPolicy;
+use agnn_serve::pool::{MigratePolicy, PlacementPolicy};
 use agnn_serve::sim::{simulate, ServeConfig};
 use agnn_serve::tenant::{ArrivalProcess, TenantSpec};
 use agnn_serve::TrafficReport;
@@ -46,6 +53,8 @@ pub struct Scenario {
     pub boards: usize,
     /// Placement policy.
     pub placement: PlacementPolicy,
+    /// Cross-board migration policy.
+    pub migrate: MigratePolicy,
     /// The simulation report.
     pub report: TrafficReport,
 }
@@ -92,22 +101,49 @@ pub fn run_sweep() -> Vec<Scenario> {
             1,
             PlacementPolicy::LeastLoaded,
             false,
+            MigratePolicy::Off,
         ),
-        ("pool4_least_loaded", 4, PlacementPolicy::LeastLoaded, false),
+        (
+            "pool4_least_loaded",
+            4,
+            PlacementPolicy::LeastLoaded,
+            false,
+            MigratePolicy::Off,
+        ),
         (
             "pool4_bitstream_affine",
             4,
             PlacementPolicy::BitstreamAffine,
             false,
+            MigratePolicy::Off,
         ),
-        ("pipelined_drift", 4, PlacementPolicy::LeastLoaded, true),
+        (
+            "pipelined_drift",
+            4,
+            PlacementPolicy::LeastLoaded,
+            true,
+            MigratePolicy::Off,
+        ),
+        (
+            "migration_drift",
+            4,
+            PlacementPolicy::LeastLoaded,
+            true,
+            // PeerRehydrate, deliberately: under LeastLoaded placement
+            // there is no wait-for-affine-board state, so the SplitHot
+            // overflow path can never fire — labeling the row split_hot
+            // would advertise coverage the gate does not have. The split
+            // path is pinned by `tests/serve_traffic.rs` instead.
+            MigratePolicy::PeerRehydrate,
+        ),
     ];
     cases
         .into_iter()
-        .map(|(name, boards, placement, overlap)| Scenario {
+        .map(|(name, boards, placement, overlap, migrate)| Scenario {
             name,
             boards,
             placement,
+            migrate,
             report: simulate(
                 if overlap {
                     pressured_tenants()
@@ -118,6 +154,7 @@ pub fn run_sweep() -> Vec<Scenario> {
                     boards,
                     placement,
                     overlap,
+                    migrate,
                     ..base
                 },
             ),
@@ -136,16 +173,21 @@ pub fn render_json(scenarios: &[Scenario]) -> String {
             format!(
                 concat!(
                     "{{\"name\":{name},\"boards\":{boards},",
-                    "\"placement\":{placement},\"p50_secs\":{p50},",
+                    "\"placement\":{placement},\"migrate\":{migrate},",
+                    "\"p50_secs\":{p50},",
                     "\"p99_secs\":{p99},\"reconfigs\":{reconfigs},",
                     "\"completed\":{completed},\"dropped\":{dropped},",
                     "\"pipeline_overlap_ratio\":{overlap_ratio},",
                     "\"evictions\":{evictions},",
+                    "\"migrations\":{migrations},",
+                    "\"switch_bytes\":{switch_bytes},",
+                    "\"host_upload_bytes\":{host_upload_bytes},",
                     "\"report\":{report}}}"
                 ),
                 name = json_str(s.name),
                 boards = s.boards,
                 placement = json_str(s.placement.name()),
+                migrate = json_str(s.migrate.name()),
                 p50 = json_f64(overall.quantile(0.50)),
                 p99 = json_f64(overall.quantile(0.99)),
                 reconfigs = s.report.reconfigs,
@@ -153,13 +195,16 @@ pub fn render_json(scenarios: &[Scenario]) -> String {
                 dropped = s.report.dropped(),
                 overlap_ratio = json_f64(s.report.pipeline_overlap_ratio()),
                 evictions = s.report.evictions(),
+                migrations = s.report.migrations(),
+                switch_bytes = s.report.switch_bytes(),
+                host_upload_bytes = s.report.host_upload_bytes(),
                 report = s.report.to_json(),
             )
         })
         .collect();
     format!(
         concat!(
-            "{{\"schema\":\"agnn-bench-serving/v2\",\"seed\":{seed},",
+            "{{\"schema\":\"agnn-bench-serving/v3\",\"seed\":{seed},",
             "\"total_requests\":{requests},\"scenarios\":[{rows}]}}"
         ),
         seed = SMOKE_SEED,
@@ -169,21 +214,23 @@ pub fn render_json(scenarios: &[Scenario]) -> String {
 }
 
 /// Renders only the gate schema (`scenarios[].name` / `p99_secs` /
-/// `reconfigs`) — the compact form checked in as the baseline.
+/// `reconfigs` / `host_upload_bytes`) — the compact form checked in as
+/// the baseline.
 pub fn render_baseline_json(scenarios: &[Scenario]) -> String {
     let rows: Vec<String> = scenarios
         .iter()
         .map(|s| {
             format!(
-                "\n  {{\"name\":{},\"p99_secs\":{},\"reconfigs\":{}}}",
+                "\n  {{\"name\":{},\"p99_secs\":{},\"reconfigs\":{},\"host_upload_bytes\":{}}}",
                 json_str(s.name),
                 json_f64(s.report.overall_latency().quantile(0.99)),
                 s.report.reconfigs,
+                s.report.host_upload_bytes(),
             )
         })
         .collect();
     format!(
-        "{{\"schema\":\"agnn-bench-serving-baseline/v1\",\"seed\":{},\"scenarios\":[{}\n]}}\n",
+        "{{\"schema\":\"agnn-bench-serving-baseline/v2\",\"seed\":{},\"scenarios\":[{}\n]}}\n",
         SMOKE_SEED,
         rows.join(",")
     )
@@ -204,7 +251,7 @@ mod tests {
             doc.get("scenarios")
                 .and_then(perfgate::Json::as_arr)
                 .map(<[perfgate::Json]>::len),
-            Some(4)
+            Some(5)
         );
         let baseline = perfgate::parse(&render_baseline_json(&a)).expect("baseline parses");
         // A run always passes the gate against its own baseline.
@@ -230,8 +277,46 @@ mod tests {
             pipelined.report.evictions()
         );
         // Serial scenarios never report pipeline activity.
-        for s in sweep.iter().filter(|s| s.name != "pipelined_drift") {
+        for s in sweep
+            .iter()
+            .filter(|s| !matches!(s.name, "pipelined_drift" | "migration_drift"))
+        {
             assert_eq!(s.report.pipeline_overlap_ratio(), 0.0, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn migration_scenario_actually_migrates_and_saves_host_bytes() {
+        let sweep = run_sweep();
+        let by_name = |n: &str| {
+            sweep
+                .iter()
+                .find(|s| s.name == n)
+                .unwrap_or_else(|| panic!("scenario {n}"))
+        };
+        let pipelined = by_name("pipelined_drift");
+        let migrated = by_name("migration_drift");
+        assert!(
+            migrated.report.migrations() > 100,
+            "the gated scenario must exercise peer rehydration, got {}",
+            migrated.report.migrations()
+        );
+        assert!(
+            (migrated.report.host_upload_bytes() as f64)
+                < pipelined.report.host_upload_bytes() as f64 * 0.6,
+            "migration must save >= 40 % of host upload bytes: {} vs {}",
+            migrated.report.host_upload_bytes(),
+            pipelined.report.host_upload_bytes(),
+        );
+        assert!(
+            migrated.report.overall_latency().quantile(0.99)
+                <= pipelined.report.overall_latency().quantile(0.99),
+            "rehydration at switch bandwidth cannot hurt the tail"
+        );
+        // Every non-migration scenario stays off the switch.
+        for s in sweep.iter().filter(|s| s.name != "migration_drift") {
+            assert_eq!(s.report.migrations(), 0, "{}", s.name);
+            assert_eq!(s.report.switch_bytes(), 0, "{}", s.name);
         }
     }
 

@@ -14,7 +14,7 @@ use agnn_graph::{Coo, Vid};
 use agnn_hw::engine::{AutoGnnEngine, ReconfigEvent};
 use agnn_hw::floorplan::Floorplan;
 use agnn_hw::kernel::Fidelity;
-use agnn_hw::shell::PcieModel;
+use agnn_hw::shell::{PcieModel, PcieSwitchModel};
 use agnn_hw::HwConfig;
 
 /// The lifecycle stages of one served request (§II-B's staged flow:
@@ -281,6 +281,12 @@ impl AutoGnn {
         self.engine.shell().pcie
     }
 
+    /// The board-to-board PCIe switch model of this board's shell —
+    /// cross-board graph migrations price their transfers through it.
+    pub fn pcie_switch(&self) -> PcieSwitchModel {
+        self.engine.shell().pcie_switch
+    }
+
     /// Device-DRAM bytes available for resident graphs (bitstream staging
     /// is already carved out, §V-B). Board pools bound per-board tenant
     /// residency against this.
@@ -312,6 +318,25 @@ impl AutoGnn {
             stage: ServiceStage::Ingest,
             resource: StageResource::Dma,
             secs: upload_secs,
+        }
+    }
+
+    /// Lifecycle stage 1, migration variant — **ingest from a peer
+    /// board**: the first `peer_resident_bytes` of the graph stream in
+    /// from a peer board's DRAM over the PCIe switch, and only growth the
+    /// peer never saw re-crosses the host link. Occupies this board's
+    /// [`StageResource::Dma`] engine for the whole record (the peer's DMA
+    /// engine is occupied for the switch leg — schedulers price that on
+    /// the source board).
+    pub fn ingest_from_peer(&mut self, coo: &Coo, peer_resident_bytes: u64) -> StageRecord {
+        let (secs, _switch, _host) = self
+            .engine
+            .shell_mut()
+            .upload_graph_from_peer(coo.byte_size(), peer_resident_bytes);
+        StageRecord {
+            stage: ServiceStage::Ingest,
+            resource: StageResource::Dma,
+            secs,
         }
     }
 
@@ -523,6 +548,32 @@ mod tests {
         let warm = service.analytic_service_secs(&workload, 0);
         assert_eq!(warm.ingest, 0.0);
         assert!(service.dram_graph_capacity() > workload.coo_bytes());
+    }
+
+    #[test]
+    fn peer_ingest_is_cheaper_than_a_host_reupload() {
+        let coo = generate::power_law(400, 8_000, 0.9, 14);
+        let mut host = AutoGnn::new(SampleParams::new(4, 2));
+        let cold = host.ingest(&coo);
+        assert!(cold.secs > 0.0);
+
+        // A peer that held the whole graph rehydrates over the switch.
+        let mut peer = AutoGnn::new(SampleParams::new(4, 2));
+        let migrated = peer.ingest_from_peer(&coo, coo.byte_size());
+        assert_eq!(migrated.stage, ServiceStage::Ingest);
+        assert_eq!(migrated.resource, StageResource::Dma);
+        assert!(
+            migrated.secs < cold.secs,
+            "switch bandwidth must beat the host link: {} vs {}",
+            migrated.secs,
+            cold.secs
+        );
+        assert!(
+            peer.pcie_switch().bandwidth > peer.pcie().bandwidth,
+            "the peer path only exists because the switch fabric is faster"
+        );
+        // Rehydration leaves the graph resident: the next ingest is free.
+        assert_eq!(peer.ingest(&coo).secs, 0.0);
     }
 
     #[test]

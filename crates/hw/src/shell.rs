@@ -42,6 +42,60 @@ impl PcieModel {
     }
 }
 
+/// Board-to-board PCIe switch model: the path a graph takes when it
+/// migrates between boards' DRAM instead of re-crossing the host link.
+///
+/// The evaluation chassis hangs every VPK180 off one PCIe switch; the
+/// host uplink runs at Gen4 ×16 (≈ 25 GB/s effective, [`PcieModel`]),
+/// while peer-to-peer DMA between boards stays inside the Gen5 switch
+/// fabric and skips the host-DRAM bounce entirely — roughly twice the
+/// effective bandwidth at lower doorbell latency. A cross-board transfer
+/// occupies **both** endpoints' DMA engines for its duration (one reads
+/// out of device DRAM, one writes in), which is what serving layers price
+/// when they stage a migration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PcieSwitchModel {
+    /// Effective peer-to-peer bandwidth in bytes/second (Gen5 switch
+    /// fabric, no host-memory staging).
+    pub bandwidth: f64,
+    /// Fixed per-transfer latency in seconds (peer doorbell + descriptor
+    /// exchange, cheaper than a host round trip).
+    pub base_latency: f64,
+}
+
+impl Default for PcieSwitchModel {
+    fn default() -> Self {
+        PcieSwitchModel {
+            bandwidth: 50.0e9,
+            base_latency: 5.0e-6,
+        }
+    }
+}
+
+impl PcieSwitchModel {
+    /// Seconds to move `bytes` board-to-board through the switch.
+    pub fn transfer_secs(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.base_latency + bytes as f64 / self.bandwidth
+    }
+}
+
+/// Splits a peer-sourced graph ingest into its `(switch_bytes,
+/// host_bytes)` legs: of a `total_bytes` graph with `resident_bytes`
+/// already on the destination, the prefix the peer holds (`peer_bytes`)
+/// crosses the switch and only growth the peer never saw crosses the
+/// host link. Locally resident bytes never move, and the two legs
+/// partition the growth delta exactly. The single source of this
+/// arithmetic — [`HwShell::upload_graph_from_peer`] and pool-level
+/// migration accounting must never disagree on it.
+pub fn peer_transfer_split(total_bytes: u64, peer_bytes: u64, resident_bytes: u64) -> (u64, u64) {
+    let switch_bytes = peer_bytes.min(total_bytes).saturating_sub(resident_bytes);
+    let host_bytes = total_bytes.saturating_sub(peer_bytes.max(resident_bytes));
+    (switch_bytes, host_bytes)
+}
+
 /// Which reconfigurable region(s) a bitstream update touches.
 ///
 /// "Because UPE and SCR reside in separate reconfigurable regions, only the
@@ -122,8 +176,10 @@ impl Default for DramModel {
 /// The HW-shell: PCIe + ICAP + DRAM state.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct HwShell {
-    /// PCIe link model.
+    /// PCIe link model (host uplink).
     pub pcie: PcieModel,
+    /// Board-to-board PCIe switch model (peer DMA path).
+    pub pcie_switch: PcieSwitchModel,
     /// Reconfiguration timing model.
     pub icap: IcapModel,
     /// Device DRAM model.
@@ -157,6 +213,31 @@ impl HwShell {
         let delta = total_bytes.saturating_sub(self.resident_graph_bytes);
         self.resident_graph_bytes = self.resident_graph_bytes.max(total_bytes);
         (self.pcie.transfer_secs(delta), delta)
+    }
+
+    /// Uploads a graph whose first `peer_bytes` live in a **peer board's**
+    /// DRAM: that prefix crosses the PCIe switch at peer-to-peer bandwidth
+    /// and only the remainder (growth the peer never saw) re-crosses the
+    /// host link. Returns `(seconds, switch_bytes, host_bytes)`; like
+    /// [`HwShell::upload_graph`], bytes already resident locally are never
+    /// moved at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph exceeds DRAM capacity.
+    pub fn upload_graph_from_peer(&mut self, total_bytes: u64, peer_bytes: u64) -> (f64, u64, u64) {
+        assert!(
+            total_bytes <= self.dram.capacity,
+            "graph of {total_bytes} bytes exceeds device DRAM capacity"
+        );
+        let resident = self.resident_graph_bytes;
+        let (switch_bytes, host_bytes) = peer_transfer_split(total_bytes, peer_bytes, resident);
+        self.resident_graph_bytes = resident.max(total_bytes);
+        (
+            self.pcie_switch.transfer_secs(switch_bytes) + self.pcie.transfer_secs(host_bytes),
+            switch_bytes,
+            host_bytes,
+        )
     }
 
     /// Drops residency (e.g. switching to an unrelated graph).
@@ -225,5 +306,51 @@ mod tests {
     #[should_panic(expected = "exceeds device DRAM capacity")]
     fn oversized_graph_panics() {
         HwShell::new().upload_graph(u64::MAX);
+    }
+
+    #[test]
+    fn switch_beats_the_host_link_per_byte() {
+        let host = PcieModel::default();
+        let switch = PcieSwitchModel::default();
+        assert_eq!(switch.transfer_secs(0), 0.0);
+        let bytes = 1u64 << 30;
+        assert!(
+            switch.transfer_secs(bytes) < host.transfer_secs(bytes) / 1.8,
+            "peer DMA must roughly halve the transfer time"
+        );
+    }
+
+    #[test]
+    fn peer_upload_splits_bytes_between_switch_and_host() {
+        let mut shell = HwShell::new();
+        // A peer holds 800k of a graph that has since grown to 1M: the
+        // warm prefix crosses the switch, only the growth hits the host.
+        let (secs, switch_bytes, host_bytes) = shell.upload_graph_from_peer(1_000_000, 800_000);
+        assert_eq!(switch_bytes, 800_000);
+        assert_eq!(host_bytes, 200_000);
+        assert_eq!(shell.resident_graph_bytes(), 1_000_000);
+        let expected = shell.pcie_switch.transfer_secs(800_000) + shell.pcie.transfer_secs(200_000);
+        assert!((secs - expected).abs() < 1e-15);
+        // Fully resident: nothing moves on either path.
+        assert_eq!(
+            shell.upload_graph_from_peer(1_000_000, 800_000),
+            (0.0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn peer_upload_never_removes_locally_resident_bytes() {
+        let mut shell = HwShell::new();
+        shell.upload_graph(600_000);
+        // Peer holds 900k of a 1M graph; the local 600k stay put, the
+        // switch tops up to the peer's 900k, the host supplies the rest.
+        let (_, switch_bytes, host_bytes) = shell.upload_graph_from_peer(1_000_000, 900_000);
+        assert_eq!(switch_bytes, 300_000);
+        assert_eq!(host_bytes, 100_000);
+        // A peer holding more than the current graph caps at the graph.
+        shell.evict_graph();
+        let (_, switch_bytes, host_bytes) = shell.upload_graph_from_peer(500_000, 2_000_000);
+        assert_eq!(switch_bytes, 500_000);
+        assert_eq!(host_bytes, 0);
     }
 }

@@ -15,7 +15,13 @@
 //!   eviction at the §V-B DRAM budget) and **two in-flight slots** — the
 //!   PCIe DMA engine and the reconfigurable fabric — fed by the shared
 //!   admission queue through a pluggable [`pool::PlacementPolicy`]
-//!   (`TenantAffine`, `LeastLoaded`, `BitstreamAffine`);
+//!   (`TenantAffine`, `LeastLoaded`, `BitstreamAffine`). A
+//!   [`pool::MigratePolicy`] additionally lets graphs move **between**
+//!   boards over the PCIe switch
+//!   ([`agnn_hw::shell::PcieSwitchModel`]): DRAM-evicted tenants
+//!   rehydrate from a peer still holding their graph instead of
+//!   re-crossing the host link, and hot tenants split onto idle boards
+//!   once their affine board's queue outgrows a threshold;
 //! - [`sim`] — a binary-heap discrete-event scheduler with a bounded
 //!   admission queue, drop accounting and pluggable [`sim::DispatchPolicy`]
 //!   — strict FIFO versus a *reconfig-aware* policy that serves
@@ -45,9 +51,12 @@
 //! job `bench-smoke`): every push replays a small seeded scenario sweep
 //! through `cargo run -p agnn-bench --bin bench_smoke`, uploads the
 //! resulting `BENCH_serving.json` artifact (built from
-//! [`metrics::TrafficReport::to_json`]), and fails the job if the
-//! bitstream-affine pool's p99 regresses more than 20 % past the
-//! checked-in baseline `ci/bench_serving_baseline.json`. Intentional
+//! [`metrics::TrafficReport::to_json`]), and fails the job if any gated
+//! scenario's p99, reconfiguration count or host-upload bytes regresses
+//! more than 20 % past the checked-in baseline
+//! `ci/bench_serving_baseline.json` — including `migration_drift`, whose
+//! host-byte saving is the point of cross-board migration. A
+//! baseline-vs-run delta table lands in the job summary. Intentional
 //! regressions update the baseline in the same PR:
 //!
 //! ```text
@@ -88,7 +97,7 @@ pub use metrics::{
     BoardStats, CompletedRequest, LatencyHistogram, RequestLatency, StageHistograms, TenantStats,
     TrafficReport,
 };
-pub use pool::{BoardPool, PlacementPolicy};
+pub use pool::{BoardPool, MigratePolicy, MigrationTransfer, PlacementPolicy};
 pub use sim::{simulate, DispatchPolicy, ServeConfig, TrafficSim};
 pub use tenant::{ArrivalProcess, Drift, TenantSpec};
 

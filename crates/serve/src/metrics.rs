@@ -194,6 +194,13 @@ pub struct CompletedRequest {
     pub arrival_secs: f64,
     /// Full latency breakdown.
     pub latency: RequestLatency,
+    /// Graph bytes this request's ingest moved over the host link.
+    pub host_bytes: u64,
+    /// Graph bytes this request's ingest pulled from a peer board over
+    /// the PCIe switch. Together with `host_bytes` this partitions the
+    /// ingest: every byte arrived from exactly one source (both 0 for a
+    /// warm graph).
+    pub switch_bytes: u64,
 }
 
 /// Per-tenant serving statistics.
@@ -237,11 +244,19 @@ pub struct BoardStats {
     /// Seconds the board's fabric slot was occupied (serial mode folds the
     /// PCIe legs in too, as PR 2 did).
     pub busy_secs: f64,
-    /// Seconds the board's DMA engine was occupied (pipelined mode;
-    /// serial runs report 0 — transfers live inside `busy_secs` there).
+    /// Seconds the board's DMA engine was occupied (pipelined mode folds
+    /// every transfer in; serial runs charge only outbound migration legs
+    /// here — host transfers live inside `busy_secs` there).
     pub dma_secs: f64,
     /// Tenants evicted from this board's DRAM to fit the working set.
     pub evictions: u64,
+    /// Requests this board served by pulling the graph from a peer
+    /// board's DRAM over the PCIe switch.
+    pub migrations: u64,
+    /// Bytes this board pulled in over the PCIe switch.
+    pub switch_bytes: u64,
+    /// Bytes this board ingested from the host link.
+    pub host_bytes: u64,
 }
 
 impl BoardStats {
@@ -404,6 +419,39 @@ impl TrafficReport {
         self.boards.iter().map(|b| b.evictions).sum()
     }
 
+    /// Total requests served by pulling a graph from a peer board's DRAM
+    /// over the PCIe switch instead of re-uploading from the host.
+    pub fn migrations(&self) -> u64 {
+        self.boards.iter().map(|b| b.migrations).sum()
+    }
+
+    /// Total bytes moved board-to-board over the PCIe switch.
+    pub fn switch_bytes(&self) -> u64 {
+        self.boards.iter().map(|b| b.switch_bytes).sum()
+    }
+
+    /// Total bytes uploaded from the host across the pool.
+    pub fn host_upload_bytes(&self) -> u64 {
+        self.boards.iter().map(|b| b.host_bytes).sum()
+    }
+
+    /// Host-link bytes migration saved, against the **per-dispatch**
+    /// counterfactual: had each migrated ingest sourced from the host
+    /// instead (same request, same board), every switch byte would have
+    /// crossed the host link — so the saving is the switch traffic.
+    ///
+    /// This is *not* a comparison against a [`MigratePolicy::Off`] run:
+    /// a `SplitHot` overflow dispatch only exists because migration does
+    /// (under `Off` the request waits for its warm affine board and
+    /// uploads nothing), so cross-policy savings must be computed by
+    /// diffing two runs' [`TrafficReport::host_upload_bytes`] — as the
+    /// example and the CI `migration_drift` gate do.
+    ///
+    /// [`MigratePolicy::Off`]: crate::pool::MigratePolicy::Off
+    pub fn host_bytes_saved(&self) -> u64 {
+        self.switch_bytes()
+    }
+
     /// The fraction of DMA-engine time that ran concurrently with fabric
     /// compute — 1.0 means every PCIe byte moved behind a preprocessing
     /// pass, 0 means the pipeline never overlapped (always the case in
@@ -426,7 +474,7 @@ impl TrafficReport {
         let overall = self.overall_latency();
         let mut out = String::with_capacity(1024);
         out.push('{');
-        push_field(&mut out, "schema", &json_str("agnn-serve-report/v2"));
+        push_field(&mut out, "schema", &json_str("agnn-serve-report/v3"));
         push_field(&mut out, "pool_size", &self.pool_size().to_string());
         push_field(&mut out, "completed", &self.completed().to_string());
         push_field(&mut out, "dropped", &self.dropped().to_string());
@@ -469,6 +517,18 @@ impl TrafficReport {
             &json_f64(self.pipeline_overlap_ratio()),
         );
         push_field(&mut out, "evictions", &self.evictions().to_string());
+        push_field(&mut out, "migrations", &self.migrations().to_string());
+        push_field(&mut out, "switch_bytes", &self.switch_bytes().to_string());
+        push_field(
+            &mut out,
+            "host_upload_bytes",
+            &self.host_upload_bytes().to_string(),
+        );
+        push_field(
+            &mut out,
+            "host_bytes_saved",
+            &self.host_bytes_saved().to_string(),
+        );
         push_field(
             &mut out,
             "trace_digest",
@@ -504,6 +564,9 @@ impl TrafficReport {
                 push_field(&mut obj, "busy_secs", &json_f64(b.busy_secs));
                 push_field(&mut obj, "dma_secs", &json_f64(b.dma_secs));
                 push_field(&mut obj, "evictions", &b.evictions.to_string());
+                push_field(&mut obj, "migrations", &b.migrations.to_string());
+                push_field(&mut obj, "switch_bytes", &b.switch_bytes.to_string());
+                push_field(&mut obj, "host_bytes", &b.host_bytes.to_string());
                 push_field(
                     &mut obj,
                     "utilization",
@@ -629,6 +692,16 @@ impl fmt::Display for TrafficReport {
                 self.pipeline_overlap_ratio() * 100.0,
                 self.overlap_secs,
                 self.evictions(),
+            )?;
+        }
+        if self.migrations() > 0 {
+            writeln!(
+                f,
+                "migration: {} peer pulls | {:.2} GB over the switch | {:.2} GB from the host ({:.2} GB saved)",
+                self.migrations(),
+                self.switch_bytes() as f64 / 1e9,
+                self.host_upload_bytes() as f64 / 1e9,
+                self.host_bytes_saved() as f64 / 1e9,
             )?;
         }
         if self.boards.len() > 1 {
@@ -763,6 +836,10 @@ mod tests {
         assert!(a.contains("\"stages\":[{\"stage\":\"ingest\""));
         assert!(a.contains("\"pipeline_overlap_ratio\":"));
         assert!(a.contains("\"dma_secs\":"));
+        assert!(a.contains("\"migrations\":0"));
+        assert!(a.contains("\"switch_bytes\":0"));
+        assert!(a.contains("\"host_upload_bytes\":0"));
+        assert!(a.contains("\"host_bytes_saved\":0"));
         assert!(a.contains("\"trace_digest\":\"0x00000000deadbeef\""));
         assert!(
             a.contains("feed \\\"a\\\"\\\\"),
@@ -838,5 +915,36 @@ mod tests {
         assert!((report.pipeline_overlap_ratio() - 0.75).abs() < 1e-12);
         report.overlap_secs = 100.0;
         assert_eq!(report.pipeline_overlap_ratio(), 1.0, "clamped");
+    }
+
+    #[test]
+    fn migration_aggregates_sum_across_boards() {
+        let mut report = TrafficReport {
+            tenants: Vec::new(),
+            duration_secs: 10.0,
+            reconfigs: 0,
+            reconfig_secs: 0.0,
+            queue_depth: DepthTimeline::default(),
+            boards: vec![BoardStats::default(), BoardStats::default()],
+            stages: StageHistograms::default(),
+            overlap_secs: 0.0,
+            requests: Vec::new(),
+            trace_digest: 0,
+        };
+        assert_eq!(report.migrations(), 0);
+        assert!(!report.to_string().contains("migration:"), "quiet when off");
+        report.boards[0].migrations = 2;
+        report.boards[0].switch_bytes = 3_000_000_000;
+        report.boards[0].host_bytes = 1_000_000_000;
+        report.boards[1].migrations = 1;
+        report.boards[1].switch_bytes = 1_000_000_000;
+        report.boards[1].host_bytes = 500_000_000;
+        assert_eq!(report.migrations(), 3);
+        assert_eq!(report.switch_bytes(), 4_000_000_000);
+        assert_eq!(report.host_upload_bytes(), 1_500_000_000);
+        assert_eq!(report.host_bytes_saved(), report.switch_bytes());
+        let text = report.to_string();
+        assert!(text.contains("migration: 3 peer pulls"), "{text}");
+        assert!(text.contains("4.00 GB over the switch"), "{text}");
     }
 }

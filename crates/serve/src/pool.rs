@@ -89,6 +89,80 @@ impl PlacementPolicy {
     }
 }
 
+/// Whether (and when) a tenant's graph may cross the PCIe switch from a
+/// peer board's DRAM instead of re-crossing the host link.
+///
+/// A migration is an `Ingest` stage whose source is another board: the
+/// warm prefix moves board-to-board at switch bandwidth
+/// ([`agnn_hw::shell::PcieSwitchModel`]), only growth the peer never saw
+/// comes from the host, and the transfer occupies **both** boards' DMA
+/// engines (pipelinable behind each fabric like any other ingest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MigratePolicy {
+    /// No cross-board transfers: every cold ingest re-uploads from the
+    /// host and requests wait for their affine board. Reproduces the
+    /// pre-migration schedules bit-for-bit.
+    #[default]
+    Off,
+    /// A tenant dispatched to a board where its graph is not resident
+    /// pulls it from the peer board holding the largest copy (when that
+    /// peer's DMA engine is idle) — DRAM-evicted tenants rehydrate at
+    /// switch bandwidth.
+    PeerRehydrate,
+    /// [`MigratePolicy::PeerRehydrate`], plus proactive splitting: when
+    /// every queued request is waiting for a busy affine/home board and
+    /// the queue has grown past `queue_threshold`, the front request
+    /// claims the least-loaded free board and its tenant's graph migrates
+    /// there — a hot tenant splits across boards instead of serializing
+    /// on one.
+    SplitHot {
+        /// Queue depth beyond which waiting-for-affinity gives way to
+        /// splitting.
+        queue_threshold: usize,
+    },
+}
+
+impl MigratePolicy {
+    /// The splitting preset with an 8-request queue threshold: early
+    /// enough that a hot tenant spills before its backlog snowballs, deep
+    /// enough that a single slow request does not scatter bitstreams.
+    pub fn split_hot() -> Self {
+        MigratePolicy::SplitHot { queue_threshold: 8 }
+    }
+
+    /// Stable lowercase identifier used in reports and benchmark IDs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MigratePolicy::Off => "off",
+            MigratePolicy::PeerRehydrate => "peer_rehydrate",
+            MigratePolicy::SplitHot { .. } => "split_hot",
+        }
+    }
+
+    /// Whether cold ingests may source from peer boards at all.
+    pub fn pulls_from_peers(&self) -> bool {
+        !matches!(self, MigratePolicy::Off)
+    }
+
+    /// The queue depth that triggers a proactive split, if enabled.
+    pub fn split_threshold(&self) -> Option<usize> {
+        match *self {
+            MigratePolicy::SplitHot { queue_threshold } => Some(queue_threshold),
+            _ => None,
+        }
+    }
+}
+
+/// Byte split of one migration ingest: the warm prefix that crossed the
+/// PCIe switch and the growth that still came from the host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationTransfer {
+    /// Bytes pulled from the peer board's DRAM over the switch.
+    pub switch_bytes: u64,
+    /// Bytes the peer never held, uploaded from the host.
+    pub host_bytes: u64,
+}
+
 /// Per-tenant residency on one board's DRAM.
 #[derive(Debug, Clone, Copy, Default)]
 struct Residency {
@@ -129,8 +203,16 @@ struct Board {
     reconfig_secs: f64,
     /// Tenants evicted from this board's DRAM to make room.
     evictions: u64,
+    /// Requests this board served by pulling the graph from a peer board.
+    migrations: u64,
+    /// Bytes this board pulled in over the PCIe switch.
+    switch_bytes: u64,
+    /// Bytes this board ingested from the host.
+    host_bytes: u64,
     /// Graph bytes resident on this board, per tenant — each board has its
     /// own DDR, so residency (and therefore upload deltas) is per board.
+    /// Invariant: a slot is either `Residency::default()` (not resident)
+    /// or has `bytes > 0` — [`BoardPool::resident_boards`] relies on it.
     resident: Vec<Residency>,
     resident_total: u64,
     lru_clock: u64,
@@ -152,6 +234,9 @@ impl Board {
             reconfigs: 0,
             reconfig_secs: 0.0,
             evictions: 0,
+            migrations: 0,
+            switch_bytes: 0,
+            host_bytes: 0,
             resident: vec![Residency::default(); tenant_count],
             resident_total: 0,
             lru_clock: 0,
@@ -164,6 +249,55 @@ impl Board {
     /// so this is exactly the PR 2 single-slot "free" predicate.
     fn can_accept(&self) -> bool {
         !self.dma_busy && self.staged < STAGING_DEPTH && self.pending_handoffs == 0
+    }
+
+    /// Removes `tenant` from this board's DRAM entirely, returning the
+    /// bytes freed. The slot goes back to `Residency::default()` — bytes
+    /// *and* LRU stamp — so residency bookkeeping stays exact: a tenant
+    /// evicted from its only resident board no longer appears anywhere.
+    fn evict_tenant(&mut self, tenant: usize) -> u64 {
+        let freed = self.resident[tenant].bytes;
+        self.resident_total -= freed;
+        self.resident[tenant] = Residency::default();
+        freed
+    }
+
+    /// Sets `tenant`'s resident graph to `coo_bytes`, evicting the
+    /// least-recently-served *other* tenants until it fits under
+    /// `capacity`. Returns the growth delta (bytes not yet resident).
+    fn place_resident(&mut self, tenant: usize, coo_bytes: u64, capacity: u64) -> u64 {
+        self.lru_clock += 1;
+        let slot = &mut self.resident[tenant];
+        let delta = coo_bytes.saturating_sub(slot.bytes);
+        // Residency tracks the current graph size exactly (a shrinking
+        // graph releases DRAM, as in PR 2); only growth crosses a link.
+        self.resident_total = self.resident_total - slot.bytes + coo_bytes;
+        if coo_bytes == 0 {
+            // A graph shrunk to nothing is *not resident*: clearing the
+            // LRU stamp too keeps `resident_boards` exact (a stale stamp
+            // used to keep the tenant visible in residency bookkeeping).
+            *slot = Residency::default();
+        } else {
+            slot.bytes = coo_bytes;
+            slot.touched = self.lru_clock;
+        }
+        while self.resident_total > capacity {
+            let victim = self
+                .resident
+                .iter()
+                .enumerate()
+                .filter(|(t, r)| *t != tenant && r.bytes > 0)
+                .min_by_key(|(_, r)| r.touched)
+                .map(|(t, _)| t);
+            let Some(victim) = victim else {
+                // Only the uploading tenant is resident; an oversized
+                // single graph is the shell's capacity panic, not ours.
+                break;
+            };
+            self.evict_tenant(victim);
+            self.evictions += 1;
+        }
+        delta
     }
 }
 
@@ -341,32 +475,83 @@ impl BoardPool {
     pub fn upload_delta(&mut self, index: usize, tenant: usize, coo_bytes: u64) -> u64 {
         let capacity = self.graph_capacity;
         let board = &mut self.boards[index];
-        board.lru_clock += 1;
-        let slot = &mut board.resident[tenant];
-        let delta = coo_bytes.saturating_sub(slot.bytes);
-        // Residency tracks the current graph size exactly (a shrinking
-        // graph releases DRAM, as in PR 2); only growth crosses PCIe.
-        board.resident_total = board.resident_total - slot.bytes + coo_bytes;
-        slot.bytes = coo_bytes;
-        slot.touched = board.lru_clock;
-        while board.resident_total > capacity {
-            let victim = board
-                .resident
-                .iter()
-                .enumerate()
-                .filter(|(t, r)| *t != tenant && r.bytes > 0)
-                .min_by_key(|(_, r)| r.touched)
-                .map(|(t, _)| t);
-            let Some(victim) = victim else {
-                // Only the uploading tenant is resident; an oversized
-                // single graph is the shell's capacity panic, not ours.
-                break;
-            };
-            board.resident_total -= board.resident[victim].bytes;
-            board.resident[victim] = Residency::default();
-            board.evictions += 1;
-        }
+        let delta = board.place_resident(tenant, coo_bytes, capacity);
+        board.host_bytes += delta;
         delta
+    }
+
+    /// Ingests `tenant`'s graph onto board `dest` **from board `source`'s
+    /// DRAM**: the warm prefix the peer holds crosses the PCIe switch,
+    /// only growth the peer never saw comes from the host, and `dest`'s
+    /// residency is updated exactly as a host upload would (same LRU
+    /// eviction under the DRAM budget). The source keeps its copy — a
+    /// migration is a read, so a hot tenant can split across boards.
+    ///
+    /// Callers price the returned byte split on both boards' DMA engines
+    /// and must hold `source`'s engine for the switch leg.
+    pub fn migrate_ingest(
+        &mut self,
+        dest: usize,
+        source: usize,
+        tenant: usize,
+        coo_bytes: u64,
+    ) -> MigrationTransfer {
+        debug_assert_ne!(dest, source, "a board cannot migrate from itself");
+        let peer_bytes = self.boards[source].resident[tenant].bytes;
+        debug_assert!(peer_bytes > 0, "migration source holds no copy");
+        let dest_bytes = self.boards[dest].resident[tenant].bytes;
+        let (switch_bytes, host_bytes) =
+            agnn_hw::shell::peer_transfer_split(coo_bytes, peer_bytes, dest_bytes);
+        let capacity = self.graph_capacity;
+        let board = &mut self.boards[dest];
+        board.place_resident(tenant, coo_bytes, capacity);
+        board.migrations += 1;
+        board.switch_bytes += switch_bytes;
+        board.host_bytes += host_bytes;
+        MigrationTransfer {
+            switch_bytes,
+            host_bytes,
+        }
+    }
+
+    /// Graph bytes board `index` holds for `tenant` (0 = not resident).
+    pub fn resident_bytes(&self, index: usize, tenant: usize) -> u64 {
+        self.boards[index].resident[tenant].bytes
+    }
+
+    /// Boards whose DRAM still holds a copy of `tenant`'s graph, in board
+    /// order. Exact: a tenant evicted from (or shrunk to nothing on) its
+    /// only resident board appears nowhere.
+    pub fn resident_boards(&self, tenant: usize) -> impl Iterator<Item = usize> + '_ {
+        self.boards
+            .iter()
+            .enumerate()
+            .filter(move |(_, b)| b.resident[tenant].bytes > 0)
+            .map(|(i, _)| i)
+    }
+
+    /// The best migration source for `tenant` onto board `dest`: among
+    /// peers holding a copy **whose DMA engine is idle** (the switch leg
+    /// occupies it), the one with the most resident bytes, ties broken by
+    /// the lowest index. `None` when no usable peer exists.
+    pub fn peer_source(&self, tenant: usize, dest: usize) -> Option<usize> {
+        self.boards
+            .iter()
+            .enumerate()
+            .filter(|(i, b)| *i != dest && !b.dma_busy && b.resident[tenant].bytes > 0)
+            .max_by(|(ai, a), (bi, b)| {
+                a.resident[tenant]
+                    .bytes
+                    .cmp(&b.resident[tenant].bytes)
+                    .then(bi.cmp(ai))
+            })
+            .map(|(i, _)| i)
+    }
+
+    /// The PCIe switch model connecting the boards (identical on every
+    /// board's shell) — migration transfer pricing routes through it.
+    pub fn switch(&self) -> agnn_hw::shell::PcieSwitchModel {
+        self.boards[0].runtime.pcie_switch()
     }
 
     /// Marks board `index` fully busy until `done` — the **serial** path:
@@ -484,6 +669,9 @@ impl BoardPool {
                 busy_secs: b.busy_secs,
                 dma_secs: b.dma_secs,
                 evictions: b.evictions,
+                migrations: b.migrations,
+                switch_bytes: b.switch_bytes,
+                host_bytes: b.host_bytes,
             })
             .collect()
     }
@@ -645,5 +833,108 @@ mod tests {
             }
         }
         assert_eq!(pool.stats()[0].evictions, 0);
+    }
+
+    /// Regression (satellite fix): residency bookkeeping must be exact on
+    /// *every* path — LRU eviction, a graph shrinking to nothing, and
+    /// reset. A tenant evicted from its only resident board must appear
+    /// on no board at all.
+    #[test]
+    fn resident_boards_is_exact_across_eviction_paths() {
+        let mut pool = BoardPool::new(2, SampleParams::new(10, 2), ReconfigPolicy::default(), 3);
+        let third = pool.graph_capacity / 3;
+        assert_eq!(pool.resident_boards(0).count(), 0, "pristine pool");
+
+        pool.upload_delta(0, 0, third);
+        pool.upload_delta(1, 0, third);
+        assert_eq!(pool.resident_boards(0).collect::<Vec<_>>(), vec![0, 1]);
+
+        // LRU pressure on board 0 evicts tenant 0 there; board 1's copy
+        // survives, so the tenant is resident on exactly one board.
+        pool.upload_delta(0, 1, third);
+        pool.upload_delta(0, 2, third * 2);
+        assert_eq!(pool.stats()[0].evictions, 1);
+        assert_eq!(pool.resident_boards(0).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(pool.resident_bytes(0, 0), 0);
+
+        // The shrink-to-zero path: a zero-byte graph is *not* resident
+        // (the stale-LRU-stamp path that used to keep it visible).
+        pool.upload_delta(1, 0, 0);
+        assert_eq!(
+            pool.resident_boards(0).count(),
+            0,
+            "evicted from its only resident board, the tenant must vanish"
+        );
+        assert_eq!(pool.upload_delta(1, 0, third), third, "cold re-upload");
+
+        pool.reset();
+        for tenant in 0..3 {
+            assert_eq!(pool.resident_boards(tenant).count(), 0);
+        }
+    }
+
+    #[test]
+    fn migrate_ingest_splits_bytes_and_keeps_the_source_copy() {
+        let mut pool = BoardPool::new(3, SampleParams::new(10, 2), ReconfigPolicy::default(), 2);
+        pool.upload_delta(0, 0, 1_000_000);
+        assert_eq!(pool.peer_source(0, 1), Some(0));
+
+        // The graph grew to 1.2 MB since board 0 ingested it: the warm
+        // 1 MB crosses the switch, only the growth hits the host.
+        let transfer = pool.migrate_ingest(1, 0, 0, 1_200_000);
+        assert_eq!(
+            transfer,
+            MigrationTransfer {
+                switch_bytes: 1_000_000,
+                host_bytes: 200_000,
+            }
+        );
+        assert_eq!(pool.resident_bytes(1, 0), 1_200_000, "dest fully warm");
+        assert_eq!(
+            pool.resident_bytes(0, 0),
+            1_000_000,
+            "source keeps its copy"
+        );
+        assert_eq!(pool.resident_boards(0).collect::<Vec<_>>(), vec![0, 1]);
+
+        let stats = pool.stats();
+        assert_eq!(stats[1].migrations, 1);
+        assert_eq!(stats[1].switch_bytes, 1_000_000);
+        assert_eq!(stats[1].host_bytes, 200_000);
+        assert_eq!(stats[0].migrations, 0, "source-side counters untouched");
+
+        // The bigger copy wins the source election; a busy DMA disqualifies.
+        assert_eq!(pool.peer_source(0, 2), Some(1), "largest copy preferred");
+        pool.occupy_dma(1, 0.0, 1.0);
+        assert_eq!(pool.peer_source(0, 2), Some(0), "busy DMA disqualifies");
+        pool.occupy_dma(0, 0.0, 1.0);
+        assert_eq!(pool.peer_source(0, 2), None, "no idle peer, no source");
+    }
+
+    #[test]
+    fn migrate_policy_names_and_presets_are_stable() {
+        assert_eq!(MigratePolicy::default(), MigratePolicy::Off);
+        assert_eq!(MigratePolicy::Off.name(), "off");
+        assert_eq!(MigratePolicy::PeerRehydrate.name(), "peer_rehydrate");
+        assert_eq!(MigratePolicy::split_hot().name(), "split_hot");
+        assert!(!MigratePolicy::Off.pulls_from_peers());
+        assert!(MigratePolicy::PeerRehydrate.pulls_from_peers());
+        assert_eq!(MigratePolicy::Off.split_threshold(), None);
+        assert_eq!(MigratePolicy::PeerRehydrate.split_threshold(), None);
+        assert_eq!(MigratePolicy::split_hot().split_threshold(), Some(8));
+    }
+
+    #[test]
+    fn host_bytes_accumulate_on_the_host_path_only() {
+        let mut pool = pool(2);
+        pool.upload_delta(0, 0, 500_000);
+        pool.upload_delta(0, 0, 600_000); // +100k delta
+        assert_eq!(pool.stats()[0].host_bytes, 600_000);
+        assert_eq!(pool.stats()[0].switch_bytes, 0);
+        let transfer = pool.migrate_ingest(1, 0, 0, 600_000);
+        assert_eq!(transfer.host_bytes, 0, "peer holds the whole graph");
+        assert_eq!(pool.stats()[1].host_bytes, 0);
+        assert_eq!(pool.stats()[1].switch_bytes, 600_000);
+        assert!(pool.switch().bandwidth > pool.pcie().bandwidth);
     }
 }

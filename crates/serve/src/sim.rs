@@ -4,7 +4,7 @@
 //!
 //! A binary-heap event queue advances simulated time (`now: f64` seconds;
 //! ties broken by a monotone sequence number, so replays are bit-stable).
-//! Four event kinds drive the simulation:
+//! Five event kinds drive the simulation:
 //!
 //! - **`Arrival`** — a tenant's request arrives. It passes a bounded
 //!   admission queue (overflow is dropped and counted, never silently
@@ -16,10 +16,37 @@
 //! - **`FabricDone`** (pipelined mode only) — a board's fabric finished
 //!   preprocessing a request. The subgraph hand-off queues for the DMA
 //!   engine, and any staged request acquires the fabric immediately.
+//! - **`MigrationDone`** — the outbound switch leg of a cross-board
+//!   migration finished: the **source** board's DMA engine stops reading
+//!   the graph out of its DRAM and frees (in pipelined mode it
+//!   immediately drains any waiting hand-off). The destination side needs
+//!   no event of its own — the migration is just an ingest whose transfer
+//!   time prices the switch leg plus any host top-up, so the existing
+//!   `IngestDone`/`ServiceDone` flow completes it.
 //! - **`ServiceDone`** — a request completed (in serial mode: the whole
 //!   reconfig + upload + preprocess + hand-off interval; in pipelined
 //!   mode: the hand-off transfer). Latency is recorded and the board slot
 //!   frees.
+//!
+//! # Cross-board migration
+//!
+//! With [`ServeConfig::migrate`] enabled, a migration is an **ingest
+//! whose source is a peer board's DRAM**: when a request lands on a board
+//! where its tenant's graph is not resident and some peer still holds a
+//! copy (with an idle DMA engine), the warm prefix crosses the PCIe
+//! switch at peer-to-peer bandwidth
+//! ([`agnn_hw::shell::PcieSwitchModel`]) and only growth the peer never
+//! saw re-crosses the host link. The transfer is priced on **both**
+//! boards' DMA resources — the destination's for the whole ingest, the
+//! source's for the switch leg (released by `MigrationDone`) — and
+//! pipelines behind each fabric like any other ingest.
+//! [`MigratePolicy::PeerRehydrate`] enables exactly that rehydration
+//! path; [`MigratePolicy::SplitHot`] additionally lets the front request
+//! claim an idle board (a `Placement::Migrating` outcome) once every
+//! affine board is busy and the queue outgrows a threshold, so a hot
+//! tenant splits across boards instead of serializing on one.
+//! [`MigratePolicy::Off`] never consults peers and reproduces the
+//! pre-migration schedules bit-for-bit.
 //!
 //! # The two board slots
 //!
@@ -69,7 +96,7 @@ use crate::metrics::{
     CompletedRequest, DepthTimeline, LatencyHistogram, RequestLatency, StageHistograms,
     TenantStats, TrafficReport,
 };
-use crate::pool::{BoardPool, PlacementPolicy};
+use crate::pool::{BoardPool, MigratePolicy, PlacementPolicy};
 use crate::tenant::TenantSpec;
 
 /// How the scheduler picks the next request and pays reconfigurations.
@@ -112,6 +139,12 @@ pub struct ServeConfig {
     pub boards: usize,
     /// Placement policy (which board an admitted request runs on).
     pub placement: PlacementPolicy,
+    /// Cross-board migration policy: whether a cold tenant's graph may be
+    /// pulled from a peer board's DRAM over the PCIe switch (and whether
+    /// a hot tenant may proactively split across boards).
+    /// [`MigratePolicy::Off`] reproduces the pre-migration schedules
+    /// bit-for-bit.
+    pub migrate: MigratePolicy,
     /// Pipeline boards' DMA against fabric compute: ingest the next
     /// request (double-buffered graph deltas) and stream finished
     /// subgraphs out while the fabric preprocesses. `false` replays the
@@ -147,6 +180,7 @@ impl ServeConfig {
             policy: DispatchPolicy::Fifo,
             boards: 1,
             placement: PlacementPolicy::LeastLoaded,
+            migrate: MigratePolicy::Off,
             overlap: false,
             compute_speedup: 1.0,
             total_requests: 10_000,
@@ -203,6 +237,8 @@ struct Pipelined {
     fabric_done_secs: f64,
     reconfig_secs: f64,
     preprocess_secs: f64,
+    host_bytes: u64,
+    switch_bytes: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -213,12 +249,17 @@ enum EventKind {
     IngestDone { board: usize },
     /// Board `board`'s fabric finished preprocessing (pipelined mode).
     FabricDone { board: usize },
+    /// Board `board`'s **outbound** switch leg of a migration finished:
+    /// its DMA engine stops reading the graph out of DRAM and frees.
+    MigrationDone { board: usize },
     /// Board `board` completes `tenant`'s request with `latency`.
     ServiceDone {
         tenant: usize,
         board: usize,
         arrival_secs: f64,
         latency: RequestLatency,
+        host_bytes: u64,
+        switch_bytes: u64,
     },
 }
 
@@ -293,7 +334,16 @@ struct RunStats {
 }
 
 impl RunStats {
-    fn complete(&mut self, tenant: usize, arrival_secs: f64, latency: RequestLatency, log: bool) {
+    #[allow(clippy::too_many_arguments)]
+    fn complete(
+        &mut self,
+        tenant: usize,
+        arrival_secs: f64,
+        latency: RequestLatency,
+        host_bytes: u64,
+        switch_bytes: u64,
+        log: bool,
+    ) {
         let t = &mut self.tenants[tenant];
         t.completed += 1;
         t.latency.record(latency.total());
@@ -304,6 +354,8 @@ impl RunStats {
                 tenant,
                 arrival_secs,
                 latency,
+                host_bytes,
+                switch_bytes,
             });
         }
     }
@@ -385,6 +437,7 @@ impl TrafficSim {
         // serial layout is frozen so PR 1 digests stay reproducible.
         let tag_boards = pool.size() > 1 || cfg.overlap;
         let pcie = pool.pcie();
+        let switch = pool.switch();
         let inference_model = GpuInferenceModel::default();
 
         let mut heap: BinaryHeap<Event> = BinaryHeap::new();
@@ -541,13 +594,43 @@ impl TrafficSim {
                         );
                     }
                 }
+                EventKind::MigrationDone { board } => {
+                    // The outbound switch leg finished: the source board's
+                    // DMA engine stops streaming the graph out and frees.
+                    pool.release_dma(board);
+                    digest.push(0x37);
+                    digest.push(board as u64);
+                    if cfg.overlap {
+                        start_handoff(
+                            board,
+                            now,
+                            pool,
+                            &mut pipe,
+                            &mut stats,
+                            &pcie,
+                            &inference_model,
+                            tenants,
+                            &mut push,
+                            &mut heap,
+                        );
+                    }
+                }
                 EventKind::ServiceDone {
                     tenant,
                     board,
                     arrival_secs,
                     latency,
+                    host_bytes,
+                    switch_bytes,
                 } => {
-                    stats.complete(tenant, arrival_secs, latency, cfg.log_requests);
+                    stats.complete(
+                        tenant,
+                        arrival_secs,
+                        latency,
+                        host_bytes,
+                        switch_bytes,
+                        cfg.log_requests,
+                    );
                     digest.push(0x5D);
                     digest.push(tenant as u64);
                     digest.push(latency.total().to_bits());
@@ -579,10 +662,21 @@ impl TrafficSim {
             // Dispatch while boards are free and work waits. Each pass
             // routes one request to one board; placement decides the pair.
             while pool.any_free() && !queue.is_empty() {
-                let Some((position, board)) =
+                let Some(placement) =
                     select_dispatch(tenants, &cfg, &queue, &mut best_cache, pool, now)
                 else {
                     break;
+                };
+                let (position, board) = match placement {
+                    Placement::Serve { position, board } => (position, board),
+                    Placement::Migrating { position, board } => {
+                        // SplitHot overflow: the queue outgrew its
+                        // threshold with every affine board busy, so the
+                        // front request claims an idle board instead.
+                        digest.push(0x51);
+                        digest.push(board as u64);
+                        (position, board)
+                    }
                 };
                 let request = queue
                     .remove(position)
@@ -599,13 +693,49 @@ impl TrafficSim {
                     pool,
                 );
                 let coo_bytes = workload.coo_bytes();
-                let delta = pool.upload_delta(board, request.tenant, coo_bytes);
+
+                // The ingest source: a cold tenant pulls its graph from a
+                // peer board's DRAM over the PCIe switch when the policy
+                // allows and an idle-DMA peer holds a copy; everything
+                // else (warm or no peer) ingests from the host as before.
+                let source = if cfg.migrate.pulls_from_peers()
+                    && pool.resident_bytes(board, request.tenant) == 0
+                {
+                    pool.peer_source(request.tenant, board)
+                } else {
+                    None
+                };
+                let (host_bytes, switch_bytes, switch_secs) = match source {
+                    Some(source) => {
+                        let transfer =
+                            pool.migrate_ingest(board, source, request.tenant, coo_bytes);
+                        let switch_secs = switch.transfer_secs(transfer.switch_bytes);
+                        // The outbound leg holds the source board's DMA
+                        // engine until `MigrationDone` releases it.
+                        pool.occupy_dma(source, now, now + switch_secs);
+                        if cfg.overlap && !pool.fabric_free(source) {
+                            stats.overlap_secs +=
+                                ((now + switch_secs).min(pool.fabric_until(source)) - now).max(0.0);
+                        }
+                        digest.push(0x39);
+                        digest.push(request.tenant as u64);
+                        digest.push(board as u64);
+                        digest.push(source as u64);
+                        push(
+                            &mut heap,
+                            now + switch_secs,
+                            EventKind::MigrationDone { board: source },
+                        );
+                        (transfer.host_bytes, transfer.switch_bytes, switch_secs)
+                    }
+                    None => (pool.upload_delta(board, request.tenant, coo_bytes), 0, 0.0),
+                };
 
                 if cfg.overlap {
                     // Pipelined: occupy only the DMA engine; the fabric
                     // (and the reconfiguration decision) waits until the
                     // delta has landed.
-                    let upload_secs = pcie.transfer_secs(delta);
+                    let upload_secs = switch_secs + pcie.transfer_secs(host_bytes);
                     let done = now + upload_secs;
                     pool.occupy_dma(board, now, done);
                     if !pool.fabric_free(board) {
@@ -626,6 +756,8 @@ impl TrafficSim {
                         fabric_done_secs: done,
                         reconfig_secs: 0.0,
                         preprocess_secs: 0.0,
+                        host_bytes,
+                        switch_bytes,
                     });
                     push(&mut heap, done, EventKind::IngestDone { board });
                     continue;
@@ -646,9 +778,11 @@ impl TrafficSim {
                 }
 
                 // Price the staged lifecycle analytically under the
-                // board's (possibly new) configuration.
-                let staged = pool.service_secs(board, &workload, delta);
-                let upload_secs = staged.ingest;
+                // board's (possibly new) configuration. The ingest leg
+                // prices the host bytes; a migration adds its switch leg
+                // on top (the peer prefix crossing board-to-board).
+                let staged = pool.service_secs(board, &workload, host_bytes);
+                let upload_secs = switch_secs + staged.ingest;
                 let preprocess_secs = staged.preprocess.total() / cfg.compute_speedup;
                 let download_secs = staged.compute;
                 let inference_secs = inference_model.analytic_inference_secs(
@@ -675,6 +809,8 @@ impl TrafficSim {
                             download_secs,
                             inference_secs,
                         },
+                        host_bytes,
+                        switch_bytes,
                     },
                 );
             }
@@ -786,13 +922,44 @@ fn start_handoff(
             board,
             arrival_secs: rq.arrival_secs,
             latency,
+            host_bytes: rq.host_bytes,
+            switch_bytes: rq.switch_bytes,
         },
     );
 }
 
-/// Picks the next `(queue position, board)` pair to dispatch, or `None`
-/// when no placement is currently possible (e.g. every home board of every
-/// queued request is busy under [`PlacementPolicy::TenantAffine`]).
+/// Where (and how) the next dispatch lands.
+enum Placement {
+    /// Serve queue `position` on `board` — the request's placement-policy
+    /// pick, ingesting from the host or a warm local copy.
+    Serve { position: usize, board: usize },
+    /// [`MigratePolicy::SplitHot`] overflow: serve queue `position` on
+    /// idle `board` even though the request's affine/home board is busy —
+    /// the tenant's graph migrates in from a peer when one holds a copy.
+    Migrating { position: usize, board: usize },
+}
+
+/// The SplitHot fallback when every queued request is waiting for a busy
+/// affine/home board: once the queue outgrows the policy threshold, the
+/// front request claims the least-loaded free board as a
+/// [`Placement::Migrating`] dispatch instead of waiting.
+fn split_overflow(
+    cfg: &ServeConfig,
+    queue: &VecDeque<Request>,
+    pool: &BoardPool,
+) -> Option<Placement> {
+    let threshold = cfg.migrate.split_threshold()?;
+    if queue.len() < threshold {
+        return None;
+    }
+    let board = pool.least_loaded_free()?;
+    Some(Placement::Migrating { position: 0, board })
+}
+
+/// Picks the next dispatch, or `None` when no placement is currently
+/// possible (e.g. every home board of every queued request is busy under
+/// [`PlacementPolicy::TenantAffine`] and the migration policy keeps them
+/// waiting).
 fn select_dispatch(
     tenants: &[TenantSpec],
     cfg: &ServeConfig,
@@ -800,21 +967,25 @@ fn select_dispatch(
     best_cache: &mut [Option<(u64, HwConfig)>],
     pool: &BoardPool,
     now: f64,
-) -> Option<(usize, usize)> {
+) -> Option<Placement> {
     match cfg.placement {
         // The home board of the earliest-arrived dispatchable request
         // serves; the dispatch policy then picks among the requests homed
         // to that board (a home board never serves foreign tenants, so
         // the reconfig-aware scan is restricted to its own backlog).
         PlacementPolicy::TenantAffine => {
-            let board = queue.iter().find_map(|r| {
+            let Some(board) = queue.iter().find_map(|r| {
                 let home = tenants[r.tenant].home_board(r.tenant, pool.size());
                 pool.is_free(home).then_some(home)
-            })?;
+            }) else {
+                // Every home board is busy: wait, unless the queue has
+                // outgrown the SplitHot threshold.
+                return split_overflow(cfg, queue, pool);
+            };
             let homed = |r: &Request| tenants[r.tenant].home_board(r.tenant, pool.size()) == board;
             let position =
                 pick_for_board(tenants, cfg, queue, best_cache, pool, board, now, &homed)?;
-            Some((position, board))
+            Some(Placement::Serve { position, board })
         }
         // The least-loaded free board serves; its dispatch policy picks
         // the request — with one board this is exactly the PR 1 scheduler.
@@ -822,7 +993,7 @@ fn select_dispatch(
             let board = pool.least_loaded_free()?;
             let position =
                 pick_for_board(tenants, cfg, queue, best_cache, pool, board, now, &|_| true)?;
-            Some((position, board))
+            Some(Placement::Serve { position, board })
         }
         // Route a request to a board already holding its bitstream. A
         // request whose bitstream lives on a *busy* board waits for it
@@ -853,7 +1024,7 @@ fn select_dispatch(
                 let board = pool
                     .free_with_config(front_best)
                     .or_else(|| pool.least_loaded_free())?;
-                return Some((0, board));
+                return Some(Placement::Serve { position: 0, board });
             }
             // Pass 1: the earliest request whose optimal bitstream is
             // already programmed on a free board (with one board this is
@@ -868,7 +1039,7 @@ fn select_dispatch(
                     pool,
                 );
                 if let Some(board) = pool.free_with_config(best) {
-                    return Some((position, board));
+                    return Some(Placement::Serve { position, board });
                 }
             }
             // Pass 2: the earliest request whose bitstream no board holds
@@ -884,11 +1055,13 @@ fn select_dispatch(
                 );
                 if !pool.any_with_config(best) {
                     let board = pool.least_loaded_free()?;
-                    return Some((position, board));
+                    return Some(Placement::Serve { position, board });
                 }
             }
-            // Every queued bitstream is held by a busy board: wait for it.
-            None
+            // Every queued bitstream is held by a busy board: wait for
+            // it — unless the queue has outgrown the SplitHot threshold,
+            // in which case the hot tenant splits onto an idle board.
+            split_overflow(cfg, queue, pool)
         }
     }
 }

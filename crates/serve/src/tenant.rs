@@ -209,6 +209,29 @@ impl TenantSpec {
             .collect()
     }
 
+    /// The skewed-load serving mix shared by the cross-board-migration
+    /// comparison in `tests/serve_traffic.rs` and the example headline:
+    /// one hot Taobao-scale region whose diurnal peak (`hot_mean_rps`
+    /// mean, 0.9 amplitude over `period_secs`) saturates whichever board
+    /// holds its bitstream, plus two light Poisson background tenants.
+    /// Under `BitstreamAffine` placement the hot tenant's requests wait
+    /// for that one busy board while its peers idle — exactly the
+    /// behavior `MigratePolicy::SplitHot` exists to beat.
+    pub fn skewed_hotspot(hot_mean_rps: f64, period_secs: f64) -> Vec<TenantSpec> {
+        let mut hot = TenantSpec::new("hot-feed", Dataset::Taobao, 0.0);
+        hot.arrival = ArrivalProcess::Diurnal {
+            mean_rps: hot_mean_rps,
+            amplitude: 0.9,
+            period_secs,
+            phase_secs: 0.0,
+        };
+        vec![
+            hot,
+            TenantSpec::new("bg-movies", Dataset::Movie, 0.5),
+            TenantSpec::new("bg-papers", Dataset::Arxiv, 0.5),
+        ]
+    }
+
     /// The board `TenantAffine` placement routes this tenant to in a pool
     /// of `pool_size` boards: the pinned board when set, otherwise the
     /// tenant index hashed over the pool.

@@ -16,7 +16,7 @@
 //! 4× the preprocessing compute (whose ICAP and PCIe still run at
 //! physical speed).
 //!
-//! The finale pipelines the request lifecycle itself (`overlap`): on a
+//! The third act pipelines the request lifecycle itself (`overlap`): on a
 //! memory-pressured pool — six Taobao-scale e-commerce regions whose
 //! 3.2 GB graphs outgrow each board's DRAM, so LRU eviction forces
 //! recurring cold re-uploads — the staged scheduler ingests the next
@@ -24,12 +24,19 @@
 //! while the fabric preprocesses, taking upload time off the dispatch
 //! critical path.
 //!
+//! The finale migrates graphs **between boards** over the PCIe switch:
+//! a DRAM-evicted tenant rehydrates from a peer board still holding its
+//! graph instead of re-crossing the host link (slashing host upload
+//! traffic), and a hot tenant whose home board's queue outgrows a
+//! threshold proactively splits onto an idle board instead of waiting
+//! (slashing the tail).
+//!
 //! ```text
 //! cargo run --release --example multi_tenant_serve
 //! ```
 
 use agnn_graph::datasets::Dataset;
-use agnn_serve::pool::PlacementPolicy;
+use agnn_serve::pool::{MigratePolicy, PlacementPolicy};
 use agnn_serve::sim::{simulate, DispatchPolicy, ServeConfig};
 use agnn_serve::tenant::{ArrivalProcess, TenantSpec};
 use agnn_serve::TrafficReport;
@@ -251,5 +258,108 @@ fn main() {
         (1.0 - p99(&pipelined) / p99(&serial)) * 100.0,
         pipelined.pipeline_overlap_ratio() * 100.0,
         pipelined.evictions(),
+    );
+
+    // ----- Cross-board migration over the PCIe switch ------------------
+
+    // Act 1: rehydration. Same memory-pressured pipelined pool, but a
+    // DRAM-evicted tenant now pulls its graph from a peer board still
+    // holding a copy — board-to-board at switch bandwidth — instead of
+    // re-uploading 3.2 GB from the host.
+    let rehydrated = simulate(
+        TenantSpec::taobao_regions(4.0, PERIOD_SECS),
+        ServeConfig {
+            seed: SEED,
+            total_requests: REQUESTS,
+            queue_capacity: 512,
+            boards: 4,
+            migrate: MigratePolicy::PeerRehydrate,
+            ..ServeConfig::pipelined()
+        },
+    );
+    println!("\n--- memory-pressured pool, pipelined + PeerRehydrate ---");
+    print!("{rehydrated}");
+
+    println!("\n--- comparison (rehydration over the switch) ---");
+    for (name, r) in [
+        ("host re-upload", &pipelined),
+        ("peer rehydrate", &rehydrated),
+    ] {
+        println!(
+            "{name}: p50 {:>6.1} ms | p99 {:>6.1} ms | host uploads {:>8.1} GB | switch {:>8.1} GB | {:>4} migrations",
+            p50(r) * 1e3,
+            p99(r) * 1e3,
+            r.host_upload_bytes() as f64 / 1e9,
+            r.switch_bytes() as f64 / 1e9,
+            r.migrations(),
+        );
+    }
+    assert!(
+        rehydrated.migrations() > 1_000,
+        "evicted tenants must rehydrate from peers, saw {}",
+        rehydrated.migrations()
+    );
+    assert!(
+        (rehydrated.host_upload_bytes() as f64) < pipelined.host_upload_bytes() as f64 * 0.6,
+        "rehydration must cut host re-upload bytes by at least 40%: {} vs {}",
+        rehydrated.host_upload_bytes(),
+        pipelined.host_upload_bytes(),
+    );
+    assert!(
+        p99(&rehydrated) <= p99(&pipelined) && p50(&rehydrated) <= p50(&pipelined),
+        "switch-bandwidth ingest cannot be slower than the host link"
+    );
+
+    // Act 2: splitting. Under TenantAffine placement each region's
+    // diurnal peak piles onto its home board while other boards idle;
+    // SplitHot spills the backlog onto an idle board (migrating the
+    // graph over the switch) once the queue outgrows its threshold.
+    let affine = |migrate| {
+        simulate(
+            TenantSpec::taobao_regions(4.0, PERIOD_SECS),
+            ServeConfig {
+                seed: SEED,
+                total_requests: REQUESTS,
+                queue_capacity: 512,
+                boards: 4,
+                placement: PlacementPolicy::TenantAffine,
+                migrate,
+                ..ServeConfig::pipelined()
+            },
+        )
+    };
+    let waiting = affine(MigratePolicy::Off);
+    let split = affine(MigratePolicy::split_hot());
+    println!("\n--- comparison (hot-tenant splitting, TenantAffine placement) ---");
+    for (name, r) in [
+        ("wait for home board", &waiting),
+        ("split when hot     ", &split),
+    ] {
+        println!(
+            "{name}: p50 {:>8.1} ms | p99 {:>8.1} ms | {:>4.1} req/s | dropped {:>5} | {:>3} migrations",
+            p50(r) * 1e3,
+            p99(r) * 1e3,
+            r.throughput_rps(),
+            r.dropped(),
+            r.migrations(),
+        );
+    }
+    assert!(
+        p99(&split) < p99(&waiting) / 2.0,
+        "splitting a hot tenant must slash the waiting tail: {} vs {}",
+        p99(&split),
+        p99(&waiting)
+    );
+    assert!(split.dropped() < waiting.dropped());
+    assert!(split.migrations() > 0, "splits must migrate graphs");
+    println!(
+        "\ncross-board migration cut host uploads by {:.0}% under memory pressure \
+         (rehydrating {} evictions at switch bandwidth), and splitting hot tenants \
+         cut the affine-placement p99 by {:.0}% at {} fewer drops",
+        (1.0 - rehydrated.host_upload_bytes() as f64 / pipelined.host_upload_bytes() as f64)
+            * 100.0,
+        rehydrated.migrations(),
+        (1.0 - p99(&split) / p99(&waiting)) * 100.0,
+        waiting.dropped() - split.dropped(),
     );
 }

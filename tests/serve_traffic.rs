@@ -6,7 +6,7 @@
 //! and placement policies.
 
 use agnn_graph::datasets::Dataset;
-use agnn_serve::pool::PlacementPolicy;
+use agnn_serve::pool::{MigratePolicy, PlacementPolicy};
 use agnn_serve::sim::{simulate, DispatchPolicy, ServeConfig};
 use agnn_serve::tenant::{ArrivalProcess, TenantSpec};
 use proptest::prelude::*;
@@ -361,6 +361,83 @@ proptest! {
         }
     }
 
+    /// Migration is a transport change, not a semantic one: for any seed,
+    /// pool size, placement and migration flavor, enabling migration on
+    /// the memory-pressured trace serves the identical request multiset
+    /// as `MigratePolicy::Off` (keyed by scheduling-independent arrivals,
+    /// on a drop-free queue). Byte accounting conserves: every served
+    /// request's graph arrived from exactly one source per byte — the
+    /// per-request host/switch splits sum to the pool totals, every
+    /// migration moved switch bytes, and `Off` never touches the switch.
+    #[test]
+    fn migration_serves_the_same_multiset_and_conserves_bytes(
+        seed in proptest::any::<u64>(),
+        boards in 2usize..5,
+        placement_pick in 0u32..3,
+        split in proptest::any::<bool>(),
+    ) {
+        let placement = match placement_pick {
+            0 => PlacementPolicy::TenantAffine,
+            1 => PlacementPolicy::LeastLoaded,
+            _ => PlacementPolicy::BitstreamAffine,
+        };
+        let migrate = if split {
+            MigratePolicy::split_hot()
+        } else {
+            MigratePolicy::PeerRehydrate
+        };
+        let total = 400;
+        let mk = |migrate| {
+            simulate(
+                TenantSpec::taobao_regions(4.0, 900.0),
+                ServeConfig {
+                    seed,
+                    total_requests: total,
+                    // Deep enough that neither mode drops: the served
+                    // multisets are then directly comparable.
+                    queue_capacity: 4_096,
+                    boards,
+                    placement,
+                    migrate,
+                    log_requests: true,
+                    ..ServeConfig::pipelined()
+                },
+            )
+        };
+        let off = mk(MigratePolicy::Off);
+        let on = mk(migrate);
+        prop_assert_eq!(off.dropped(), 0, "queue sized to avoid drops");
+        prop_assert_eq!(on.dropped(), 0);
+        prop_assert_eq!(off.completed(), total);
+        prop_assert_eq!(on.completed(), total);
+
+        // Identical served multiset: arrivals are scheduling-independent.
+        let key = |r: &agnn_serve::CompletedRequest| (r.tenant, r.arrival_secs.to_bits());
+        let mut off_keys: Vec<_> = off.requests.iter().map(key).collect();
+        let mut on_keys: Vec<_> = on.requests.iter().map(key).collect();
+        off_keys.sort_unstable();
+        on_keys.sort_unstable();
+        prop_assert_eq!(off_keys, on_keys, "same requests served either way");
+
+        // Off never touches the switch; per-request splits sum to the
+        // pool totals on both sides.
+        prop_assert_eq!(off.switch_bytes(), 0);
+        prop_assert_eq!(off.migrations(), 0);
+        prop_assert!(off.requests.iter().all(|r| r.switch_bytes == 0));
+        for report in [&off, &on] {
+            let host: u64 = report.requests.iter().map(|r| r.host_bytes).sum();
+            let switch: u64 = report.requests.iter().map(|r| r.switch_bytes).sum();
+            prop_assert_eq!(host, report.host_upload_bytes(), "host bytes conserve");
+            prop_assert_eq!(switch, report.switch_bytes(), "switch bytes conserve");
+        }
+        let migrated = on.requests.iter().filter(|r| r.switch_bytes > 0).count() as u64;
+        prop_assert_eq!(
+            migrated,
+            on.migrations(),
+            "every migration moved bytes over the switch, and nothing else did"
+        );
+    }
+
     /// Conservation: for any seed, pool size, placement policy, dispatch
     /// policy and queue bound, every offered request is either completed
     /// or dropped — nothing is silently lost — and the per-tenant and
@@ -459,6 +536,177 @@ fn pipelined_mode_beats_serial_under_memory_pressure() {
     let again = mk(true);
     assert_eq!(again.trace_digest, pipelined.trace_digest);
     assert_eq!(again, pipelined);
+}
+
+/// The rehydration headline at test scale: on the memory-pressured trace
+/// ([`TenantSpec::taobao_regions`], graphs outgrow board DRAM, LRU
+/// eviction forces recurring cold re-uploads), letting evicted tenants
+/// pull their graph from a peer board over the PCIe switch instead of the
+/// host link must slash host re-upload traffic — the ≥ 40 % acceptance
+/// bar, with a wide margin — without hurting the tail.
+#[test]
+fn rehydration_cuts_host_reuploads_under_memory_pressure() {
+    // The CI smoke seed: the gated `migration_drift` scenario replays
+    // exactly this comparison's migration side.
+    let mk = |migrate| {
+        simulate(
+            TenantSpec::taobao_regions(4.0, 900.0),
+            ServeConfig {
+                seed: 4_242,
+                total_requests: 6_000,
+                queue_capacity: 512,
+                boards: 4,
+                migrate,
+                ..ServeConfig::pipelined()
+            },
+        )
+    };
+    let off = mk(MigratePolicy::Off);
+    let rehydrated = mk(MigratePolicy::PeerRehydrate);
+    assert_eq!(off.completed() + off.dropped(), 6_000);
+    assert_eq!(rehydrated.completed() + rehydrated.dropped(), 6_000);
+    assert_eq!(off.migrations(), 0, "Off never consults peers");
+    assert_eq!(off.switch_bytes(), 0);
+    assert!(
+        off.evictions() > 100,
+        "the trace must thrash DRAM, saw {} evictions",
+        off.evictions()
+    );
+    assert!(
+        rehydrated.migrations() > 100,
+        "evicted tenants must rehydrate from peers, saw {}",
+        rehydrated.migrations()
+    );
+    assert!(
+        rehydrated.switch_bytes() > 0,
+        "rehydration must move bytes over the switch"
+    );
+    let (host_off, host_mig) = (off.host_upload_bytes(), rehydrated.host_upload_bytes());
+    assert!(
+        (host_mig as f64) < host_off as f64 * 0.6,
+        "migration must cut host re-upload bytes by at least 40 %: {host_mig} vs {host_off}"
+    );
+    let off_p99 = off.overall_latency().quantile(0.99);
+    let mig_p99 = rehydrated.overall_latency().quantile(0.99);
+    assert!(
+        mig_p99 < off_p99,
+        "switch-bandwidth rehydration must also cut the tail here: {mig_p99} vs {off_p99}"
+    );
+    // Determinism of the migration event model.
+    let again = mk(MigratePolicy::PeerRehydrate);
+    assert_eq!(again.trace_digest, rehydrated.trace_digest);
+    assert_eq!(again, rehydrated);
+}
+
+/// The splitting headline at test scale: under `TenantAffine` placement
+/// the pressured trace piles each region's diurnal peak onto its home
+/// board while other boards idle; `SplitHot` spills the backlog onto an
+/// idle board (migrating the graph in over the switch) once the queue
+/// outgrows its threshold.
+#[test]
+fn split_hot_beats_waiting_for_a_busy_home_board() {
+    let mk = |migrate| {
+        simulate(
+            TenantSpec::taobao_regions(4.0, 900.0),
+            ServeConfig {
+                seed: 7,
+                total_requests: 6_000,
+                queue_capacity: 512,
+                boards: 4,
+                placement: PlacementPolicy::TenantAffine,
+                migrate,
+                ..ServeConfig::pipelined()
+            },
+        )
+    };
+    let off = mk(MigratePolicy::Off);
+    let split = mk(MigratePolicy::split_hot());
+    let off_p99 = off.overall_latency().quantile(0.99);
+    let split_p99 = split.overall_latency().quantile(0.99);
+    assert!(
+        split_p99 < off_p99 / 2.0,
+        "splitting a hot tenant must slash the waiting tail: {split_p99} vs {off_p99}"
+    );
+    assert!(
+        split.dropped() < off.dropped(),
+        "relieved queues must drop less: {} vs {}",
+        split.dropped(),
+        off.dropped()
+    );
+    assert!(
+        split.migrations() > 0,
+        "splits must actually migrate graphs"
+    );
+    assert!(split.completed() > off.completed());
+}
+
+/// The ISSUE's skewed-load comparison: one hot tenant under
+/// `BitstreamAffine` placement waits for the single busy board holding
+/// its bitstream (the PR 2 restraint that usually pays); `SplitHot` must
+/// beat that wait-for-busy-board behavior once the backlog builds.
+#[test]
+fn split_hot_beats_bitstream_affine_waiting_under_skewed_load() {
+    let mk = |migrate| {
+        simulate(
+            TenantSpec::skewed_hotspot(12.0, 900.0),
+            ServeConfig {
+                seed: 7,
+                total_requests: 10_000,
+                queue_capacity: 512,
+                boards: 4,
+                placement: PlacementPolicy::BitstreamAffine,
+                migrate,
+                ..ServeConfig::pipelined()
+            },
+        )
+    };
+    let wait = mk(MigratePolicy::Off);
+    let split = mk(MigratePolicy::split_hot());
+    let wait_p99 = wait.overall_latency().quantile(0.99);
+    let split_p99 = split.overall_latency().quantile(0.99);
+    assert!(
+        split_p99 < wait_p99 / 2.0,
+        "splitting must beat wait-for-busy-board: {split_p99} vs {wait_p99}"
+    );
+    assert!(
+        split.throughput_rps() >= wait.throughput_rps(),
+        "borrowed boards cannot lose throughput: {} vs {}",
+        split.throughput_rps(),
+        wait.throughput_rps()
+    );
+    assert!(split.dropped() <= wait.dropped());
+    assert!(
+        split.migrations() > 0,
+        "the hot graph must migrate onto borrowed boards"
+    );
+    assert!(
+        split.reconfigs >= wait.reconfigs,
+        "splitting pays reconfigurations as its price — that is the trade"
+    );
+}
+
+/// With a single board there is no peer to pull from, so every migration
+/// policy must degenerate to the host-only schedule bit-for-bit.
+#[test]
+fn migration_without_peers_is_the_host_schedule_bit_for_bit() {
+    let mk = |migrate| {
+        simulate(
+            TenantSpec::taobao_regions(4.0, 900.0),
+            ServeConfig {
+                seed: 11,
+                total_requests: 3_000,
+                queue_capacity: 512,
+                boards: 1,
+                migrate,
+                ..ServeConfig::pipelined()
+            },
+        )
+    };
+    let off = mk(MigratePolicy::Off);
+    let rehydrated = mk(MigratePolicy::PeerRehydrate);
+    assert_eq!(off.trace_digest, rehydrated.trace_digest);
+    assert_eq!(off, rehydrated);
+    assert_eq!(rehydrated.migrations(), 0);
 }
 
 #[test]
