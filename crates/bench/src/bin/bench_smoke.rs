@@ -67,12 +67,16 @@ fn run() -> Result<(), String> {
     let sweep = serving_smoke::run_sweep();
     for s in &sweep {
         let overall = s.report.overall_latency();
+        let victim = s
+            .victim_p99_secs()
+            .map_or(String::new(), |p| format!(" victim_p99={p:>9.4} s"));
         println!(
-            "{:<28} boards={} placement={:<17} p99={:>9.4} s reconfigs={:>6} completed={} \
-             migrations={:>4} host_gb={:>8.2}",
+            "{:<28} boards={} placement={:<17} sched={:<4} p99={:>9.4} s reconfigs={:>6} \
+             completed={} migrations={:>4} host_gb={:>8.2}{victim}",
             s.name,
-            s.boards,
-            s.placement.name(),
+            s.config.boards,
+            s.config.placement.name(),
+            s.config.scheduler.name(),
             overall.quantile(0.99),
             s.report.reconfigs,
             s.report.completed(),

@@ -21,6 +21,15 @@
 //!   gated with the same tolerance — cross-board migration exists to keep
 //!   graphs off the host link, so quietly re-uploading from the host must
 //!   fail even when the tail absorbs it;
+//! - when both documents record a scenario's `victim_p99_secs` (the
+//!   worse victim-tenant tail of a bursty-aggressor scenario), it is
+//!   gated with the same tolerance — weighted fair queueing exists to
+//!   bound exactly that number, and the *overall* p99 is dominated by the
+//!   aggressor, so victim starvation would otherwise hide;
+//! - when both documents record a scenario's `tenant_drops` (an object of
+//!   per-tenant drop counts), each tenant present on both sides is gated
+//!   with the same tolerance — a baseline of zero victim drops means
+//!   *any* victim drop fails, which is the fairness isolation contract;
 //! - improvements beyond the tolerance are reported as notes, nudging the
 //!   author to refresh the baseline in the same PR;
 //! - keys the gate does not know are **ignored, never fatal** — run
@@ -77,6 +86,14 @@ impl Json {
     pub fn as_arr(&self) -> Option<&[Json]> {
         match self {
             Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is an object.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(map) => Some(map),
             _ => None,
         }
     }
@@ -273,10 +290,16 @@ struct ScenarioMetrics {
     /// Absent in pre-migration baselines; gated only when both sides
     /// carry it.
     host_upload_bytes: Option<f64>,
+    /// The worse victim-tenant p99 of a bursty-aggressor scenario; gated
+    /// only when both sides carry it.
+    victim_p99_secs: Option<f64>,
+    /// Per-tenant drop counts; each tenant present on both sides is
+    /// gated.
+    tenant_drops: Option<BTreeMap<String, f64>>,
 }
 
-/// Extracts `scenarios[].{name, p99_secs, reconfigs?, host_upload_bytes?}`
-/// from a smoke/baseline document.
+/// Extracts `scenarios[].{name, p99_secs, reconfigs?, host_upload_bytes?,
+/// victim_p99_secs?, tenant_drops?}` from a smoke/baseline document.
 fn scenario_metrics(doc: &Json) -> Result<Vec<(String, ScenarioMetrics)>, String> {
     let scenarios = doc
         .get("scenarios")
@@ -296,12 +319,20 @@ fn scenario_metrics(doc: &Json) -> Result<Vec<(String, ScenarioMetrics)>, String
                 .ok_or_else(|| format!("scenario '{name}' missing numeric 'p99_secs'"))?;
             let reconfigs = s.get("reconfigs").and_then(Json::as_f64);
             let host_upload_bytes = s.get("host_upload_bytes").and_then(Json::as_f64);
+            let victim_p99_secs = s.get("victim_p99_secs").and_then(Json::as_f64);
+            let tenant_drops = s.get("tenant_drops").and_then(Json::as_obj).map(|obj| {
+                obj.iter()
+                    .filter_map(|(tenant, v)| v.as_f64().map(|d| (tenant.clone(), d)))
+                    .collect()
+            });
             Ok((
                 name,
                 ScenarioMetrics {
                     p99_secs,
                     reconfigs,
                     host_upload_bytes,
+                    victim_p99_secs,
+                    tenant_drops,
                 },
             ))
         })
@@ -364,6 +395,31 @@ pub fn gate_p99(baseline: &Json, current: &Json, tolerance: f64) -> Result<GateO
                 ));
             }
         }
+        if let (Some(base_vp), Some(cur_vp)) = (base_m.victim_p99_secs, cur_m.victim_p99_secs) {
+            if cur_vp > base_vp * (1.0 + tolerance) {
+                outcome.failures.push(format!(
+                    "'{name}' victim p99 regressed: {cur_vp:.6} s vs baseline {base_vp:.6} s \
+                     (limit {:.6} s) — the fair queue is no longer isolating victims",
+                    base_vp * (1.0 + tolerance)
+                ));
+            }
+        }
+        if let (Some(base_drops), Some(cur_drops)) = (&base_m.tenant_drops, &cur_m.tenant_drops) {
+            for (tenant, base_d) in base_drops {
+                let Some(cur_d) = cur_drops.get(tenant) else {
+                    continue;
+                };
+                // A zero-drop baseline tolerates zero: any drop for that
+                // tenant is a fairness-isolation failure.
+                if *cur_d > base_d * (1.0 + tolerance) {
+                    outcome.failures.push(format!(
+                        "'{name}' drops for tenant '{tenant}' regressed: {cur_d:.0} vs \
+                         baseline {base_d:.0} (limit {:.1})",
+                        base_d * (1.0 + tolerance)
+                    ));
+                }
+            }
+        }
     }
     let base_names: std::collections::BTreeSet<&str> =
         base.iter().map(|(name, _)| name.as_str()).collect();
@@ -405,14 +461,40 @@ pub fn render_summary_table(baseline: &Json, current: &Json) -> Result<String, S
         (Some(b), Some(c)) => pct(b, c),
         _ => "—".to_string(),
     };
+    // Per-tenant drops, base → run for every tenant both sides know
+    // (run-only tenants appear with a `—` base) — the fairness gate fails
+    // per tenant, so the summary must name the tenant too.
+    let drops_cell = |b: Option<&BTreeMap<String, f64>>, c: Option<&BTreeMap<String, f64>>| {
+        let (Some(b), Some(c)) = (b, c) else {
+            return "—".to_string();
+        };
+        let cells: Vec<String> = b
+            .iter()
+            .map(|(tenant, base_d)| {
+                let run_d = c.get(tenant).map_or("—".to_string(), |d| format!("{d:.0}"));
+                format!("{tenant} {base_d:.0}→{run_d}")
+            })
+            .chain(
+                c.iter()
+                    .filter(|(tenant, _)| !b.contains_key(*tenant))
+                    .map(|(tenant, run_d)| format!("{tenant} —→{run_d:.0}")),
+            )
+            .collect();
+        cells.join(", ")
+    };
     let mut out = String::from("### Serving perf gate: baseline vs run\n\n");
-    out.push_str("| scenario | p99 ms (base → run) | Δ p99 | reconfigs (base → run) | host GB (base → run) | Δ host |\n");
-    out.push_str("|---|---|---|---|---|---|\n");
+    out.push_str(
+        "| scenario | p99 ms (base → run) | Δ p99 | reconfigs (base → run) \
+         | host GB (base → run) | Δ host | victim p99 ms (base → run) | Δ victim \
+         | tenant drops (base → run) |\n",
+    );
+    out.push_str("|---|---|---|---|---|---|---|---|---|\n");
     for (name, b) in &base {
         match cur_map.get(name) {
             Some(c) => {
                 out.push_str(&format!(
-                    "| `{name}` | {:.1} → {:.1} | {} | {} → {} | {} → {} | {} |\n",
+                    "| `{name}` | {:.1} → {:.1} | {} | {} → {} | {} → {} | {} \
+                     | {} → {} | {} | {} |\n",
                     b.p99_secs * 1e3,
                     c.p99_secs * 1e3,
                     pct(b.p99_secs, c.p99_secs),
@@ -421,11 +503,15 @@ pub fn render_summary_table(baseline: &Json, current: &Json) -> Result<String, S
                     opt(b.host_upload_bytes, 1e-9, 2),
                     opt(c.host_upload_bytes, 1e-9, 2),
                     opt_pct(b.host_upload_bytes, c.host_upload_bytes),
+                    opt(b.victim_p99_secs, 1e3, 1),
+                    opt(c.victim_p99_secs, 1e3, 1),
+                    opt_pct(b.victim_p99_secs, c.victim_p99_secs),
+                    drops_cell(b.tenant_drops.as_ref(), c.tenant_drops.as_ref()),
                 ));
             }
             None => {
                 out.push_str(&format!(
-                    "| `{name}` | {:.1} → **missing from run** | — | — | — | — |\n",
+                    "| `{name}` | {:.1} → **missing from run** | — | — | — | — | — | — | — |\n",
                     b.p99_secs * 1e3,
                 ));
             }
@@ -436,10 +522,12 @@ pub fn render_summary_table(baseline: &Json, current: &Json) -> Result<String, S
     for (name, c) in &cur {
         if !base_names.contains(name.as_str()) {
             out.push_str(&format!(
-                "| `{name}` | **not in baseline** → {:.1} | — | — → {} | — → {} | — |\n",
+                "| `{name}` | **not in baseline** → {:.1} | — | — → {} | — → {} | — \
+                 | — → {} | — | — |\n",
                 c.p99_secs * 1e3,
                 opt(c.reconfigs, 1.0, 0),
                 opt(c.host_upload_bytes, 1e-9, 2),
+                opt(c.victim_p99_secs, 1e3, 1),
             ));
         }
     }
@@ -609,23 +697,83 @@ mod tests {
     }
 
     #[test]
+    fn gate_fails_when_the_victim_tail_regresses() {
+        let row = |vp: f64| {
+            parse(&format!(
+                r#"{{"scenarios": [{{"name": "b", "p99_secs": 10.0, "victim_p99_secs": {vp}}}]}}"#
+            ))
+            .unwrap()
+        };
+        let baseline = row(0.8);
+        let ok = gate_p99(&baseline, &row(0.9), 0.20).unwrap();
+        assert!(ok.passed(), "{:?}", ok.failures);
+        // The overall p99 (aggressor-dominated) is identical, yet victim
+        // starvation must fail on its own.
+        let bad = gate_p99(&baseline, &row(8.0), 0.20).unwrap();
+        assert!(!bad.passed());
+        assert!(bad.failures[0].contains("victim p99"), "{:?}", bad.failures);
+        // A baseline without the field gates the overall p99 only.
+        let legacy = gate_p99(&doc(&[("b", 10.0)]), &row(80.0), 0.2).unwrap();
+        assert!(legacy.passed(), "{:?}", legacy.failures);
+    }
+
+    #[test]
+    fn gate_fails_when_a_tenant_starts_dropping() {
+        let row = |victim: f64, aggressor: f64| {
+            parse(&format!(
+                r#"{{"scenarios": [{{"name": "b", "p99_secs": 1.0,
+                    "tenant_drops": {{"victim": {victim}, "aggressor": {aggressor}}}}}]}}"#
+            ))
+            .unwrap()
+        };
+        let baseline = row(0.0, 4000.0);
+        let ok = gate_p99(&baseline, &row(0.0, 4100.0), 0.20).unwrap();
+        assert!(ok.passed(), "{:?}", ok.failures);
+        let bad = gate_p99(&baseline, &row(5.0, 4000.0), 0.20).unwrap();
+        assert!(!bad.passed(), "a zero-drop baseline tolerates zero drops");
+        assert!(bad.failures[0].contains("'victim'"), "{:?}", bad.failures);
+        // A tenant present only on one side is skipped, not fatal.
+        let renamed = parse(
+            r#"{"scenarios": [{"name": "b", "p99_secs": 1.0,
+                "tenant_drops": {"victim-2": 9.0}}]}"#,
+        )
+        .unwrap();
+        let skipped = gate_p99(&baseline, &renamed, 0.20).unwrap();
+        assert!(skipped.passed(), "{:?}", skipped.failures);
+    }
+
+    #[test]
     fn summary_table_shows_deltas_and_holes() {
         let baseline = parse(
             r#"{"scenarios": [
                 {"name": "a", "p99_secs": 1.0, "reconfigs": 10, "host_upload_bytes": 50000000000},
+                {"name": "b", "p99_secs": 10.0, "victim_p99_secs": 0.8,
+                 "tenant_drops": {"victim": 0, "aggressor": 4000}},
                 {"name": "gone", "p99_secs": 0.5}]}"#,
         )
         .unwrap();
         let run = parse(
             r#"{"scenarios": [
                 {"name": "a", "p99_secs": 1.1, "reconfigs": 12, "host_upload_bytes": 25000000000},
+                {"name": "b", "p99_secs": 10.0, "victim_p99_secs": 1.6,
+                 "tenant_drops": {"victim": 5, "aggressor": 4000}},
                 {"name": "new", "p99_secs": 0.2, "reconfigs": 3}]}"#,
         )
         .unwrap();
         let table = render_summary_table(&baseline, &run).unwrap();
         assert!(table.starts_with("### Serving perf gate"), "{table}");
         assert!(
-            table.contains("| `a` | 1000.0 → 1100.0 | +10.0% | 10 → 12 | 50.00 → 25.00 | -50.0% |"),
+            table.contains(
+                "| `a` | 1000.0 → 1100.0 | +10.0% | 10 → 12 | 50.00 → 25.00 | -50.0% \
+                 | — → — | — | — |"
+            ),
+            "{table}"
+        );
+        // The fairness metrics are readable per scenario — a victim-tail
+        // or per-tenant-drop regression must be visible in the summary,
+        // not only in the gate's stderr.
+        assert!(
+            table.contains("| 800.0 → 1600.0 | +100.0% | aggressor 4000→4000, victim 0→5 |"),
             "{table}"
         );
         assert!(table.contains("**missing from run**"), "{table}");

@@ -1,8 +1,7 @@
 //! The seeded serving scenario sweep behind CI's `bench-smoke` job.
 //!
-//! Five scenarios, ~6 000 requests each (well under a second of wall
-//! clock). The first three replay the same drift-heavy, offset-diurnal
-//! trace:
+//! Eight scenarios, ~6 000 requests each (a few seconds of wall clock).
+//! The first three replay the same drift-heavy, offset-diurnal trace:
 //!
 //! 1. `single_board_reconfig_aware` — the PR 1 baseline: one VPK180,
 //!    reconfig-aware dispatch;
@@ -11,7 +10,7 @@
 //! 3. `pool4_bitstream_affine` — four boards with bitstream-affine
 //!    placement, a configuration the perf gate protects.
 //!
-//! The remaining two guard the staged pipeline and cross-board migration:
+//! The next two guard the staged pipeline and cross-board migration:
 //!
 //! 4. `pipelined_drift` — four boards in `overlap` mode on a
 //!    memory-pressured mix (six Taobao-scale regions whose graphs outgrow
@@ -25,16 +24,36 @@
 //!    is the scenario's whole point, so quietly re-uploading from the
 //!    host again must fail CI even if the tail absorbs it.
 //!
+//! The last three guard the scheduler subsystem
+//! (`crates/serve/src/sched/`):
+//!
+//! 6. `fifo_burst` — the bursty-aggressor trace
+//!    ([`TenantSpec::bursty_aggressor`]) through the shared FIFO queue:
+//!    the aggressor's bursts starve the two victim tenants. Gated so the
+//!    *contrast* stays honest (if FIFO stopped failing the victims, the
+//!    wfq headline would be hollow).
+//! 7. `wfq_burst` — the same trace under
+//!    [`SchedKind::weighted_fair`]: per-tenant quotas plus deficit round
+//!    robin. The gate protects **`victim_p99_secs`** (the worse of the
+//!    two victims' p99 — the fairness headline) and **`tenant_drops`**
+//!    (victims must keep dropping zero), alongside p99/reconfigs.
+//! 8. `slo_drift` — the drift-heavy trace with [`SchedKind::slo_aware`]:
+//!    reconfigurations happen only when a tenant's predicted p99 clears
+//!    its SLO budget. The gate protects its reconfig count (the cut is
+//!    the point) and its p99 (the cut must not cost the tail).
+//!
 //! [`render_json`] emits the deterministic `BENCH_serving.json` document
 //! (scenario rows also carry the per-stage report, the pipeline-overlap
 //! ratio, eviction/migration counts and the switch/host byte split);
 //! [`crate::perfgate`] compares its `scenarios[].p99_secs`,
-//! `scenarios[].reconfigs` and `scenarios[].host_upload_bytes` against
+//! `scenarios[].reconfigs`, `scenarios[].host_upload_bytes`,
+//! `scenarios[].victim_p99_secs` and `scenarios[].tenant_drops` against
 //! the checked-in baseline and ignores keys it does not know.
 
 use agnn_graph::datasets::Dataset;
 use agnn_serve::metrics::{json_f64, json_str};
 use agnn_serve::pool::{MigratePolicy, PlacementPolicy};
+use agnn_serve::sched::SchedKind;
 use agnn_serve::sim::{simulate, ServeConfig};
 use agnn_serve::tenant::{ArrivalProcess, TenantSpec};
 use agnn_serve::TrafficReport;
@@ -44,19 +63,50 @@ pub const SMOKE_SEED: u64 = 4_242;
 /// Offered load per scenario.
 pub const SMOKE_REQUESTS: u64 = 6_000;
 
+/// Victim tenants of the bursty-aggressor scenarios (the fairness gate
+/// tracks their tail and drops by name).
+pub const BURST_VICTIMS: &[&str] = &["victim-feed", "victim-fraud"];
+
 /// One scenario of the sweep.
 #[derive(Debug)]
 pub struct Scenario {
     /// Stable scenario identifier — the gate joins baseline and run on it.
     pub name: &'static str,
-    /// Pool size.
-    pub boards: usize,
-    /// Placement policy.
-    pub placement: PlacementPolicy,
-    /// Cross-board migration policy.
-    pub migrate: MigratePolicy,
+    /// The exact simulation configuration the scenario ran (boards,
+    /// placement, migration, scheduler, …) — stored whole so reported
+    /// knobs can never drift from the knobs actually simulated.
+    pub config: ServeConfig,
+    /// Tenant names whose tail the fairness gate protects (empty for
+    /// scenarios without an adversarial mix).
+    pub victims: &'static [&'static str],
     /// The simulation report.
     pub report: TrafficReport,
+}
+
+impl Scenario {
+    /// The worse p99 across the scenario's victim tenants, if any.
+    pub fn victim_p99_secs(&self) -> Option<f64> {
+        self.report
+            .tenants
+            .iter()
+            .filter(|t| self.victims.contains(&t.name.as_str()))
+            .map(|t| t.latency.quantile(0.99))
+            .fold(None, |acc: Option<f64>, p| {
+                Some(acc.map_or(p, |a| a.max(p)))
+            })
+    }
+
+    /// Per-tenant drop counts as a deterministic JSON object (tenant
+    /// declaration order), for scenarios with victims.
+    fn tenant_drops_json(&self) -> String {
+        let rows: Vec<String> = self
+            .report
+            .tenants
+            .iter()
+            .map(|t| format!("{}:{}", json_str(&t.name), t.dropped))
+            .collect();
+        format!("{{{}}}", rows.join(","))
+    }
 }
 
 /// The drift-heavy trace: three tenants with offset diurnal peaks, so the
@@ -87,6 +137,14 @@ fn pressured_tenants() -> Vec<TenantSpec> {
     TenantSpec::taobao_regions(4.0, 900.0)
 }
 
+/// The bursty-aggressor trace behind the scheduler scenarios
+/// ([`TenantSpec::bursty_aggressor`]): two steady interactive victims
+/// plus one tenant whose diurnal bursts offer several times the pool's
+/// capacity.
+fn burst_tenants() -> Vec<TenantSpec> {
+    TenantSpec::bursty_aggressor(2.0, 40.0, 900.0)
+}
+
 /// Runs the full sweep (deterministic in [`SMOKE_SEED`]).
 pub fn run_sweep() -> Vec<Scenario> {
     let base = ServeConfig {
@@ -95,69 +153,99 @@ pub fn run_sweep() -> Vec<Scenario> {
         queue_capacity: 512,
         ..ServeConfig::reconfig_aware()
     };
-    let cases = [
+    // The burst scenarios dispatch in strict scan order on two boards:
+    // the fair schedule *is* the scan order (see
+    // `ServeConfig::weighted_fair`), and the FIFO comparator runs the
+    // identical configuration so the contrast isolates the scheduler.
+    let burst = ServeConfig {
+        seed: SMOKE_SEED,
+        total_requests: SMOKE_REQUESTS,
+        queue_capacity: 512,
+        boards: 2,
+        ..ServeConfig::weighted_fair()
+    };
+    let cases: [(
+        &'static str,
+        Vec<TenantSpec>,
+        ServeConfig,
+        &'static [&'static str],
+    ); 8] = [
         (
             "single_board_reconfig_aware",
-            1,
-            PlacementPolicy::LeastLoaded,
-            false,
-            MigratePolicy::Off,
+            smoke_tenants(),
+            ServeConfig { boards: 1, ..base },
+            &[],
         ),
         (
             "pool4_least_loaded",
-            4,
-            PlacementPolicy::LeastLoaded,
-            false,
-            MigratePolicy::Off,
+            smoke_tenants(),
+            ServeConfig { boards: 4, ..base },
+            &[],
         ),
         (
             "pool4_bitstream_affine",
-            4,
-            PlacementPolicy::BitstreamAffine,
-            false,
-            MigratePolicy::Off,
+            smoke_tenants(),
+            ServeConfig {
+                boards: 4,
+                placement: PlacementPolicy::BitstreamAffine,
+                ..base
+            },
+            &[],
         ),
         (
             "pipelined_drift",
-            4,
-            PlacementPolicy::LeastLoaded,
-            true,
-            MigratePolicy::Off,
+            pressured_tenants(),
+            ServeConfig {
+                boards: 4,
+                overlap: true,
+                ..base
+            },
+            &[],
         ),
         (
             "migration_drift",
-            4,
-            PlacementPolicy::LeastLoaded,
-            true,
-            // PeerRehydrate, deliberately: under LeastLoaded placement
-            // there is no wait-for-affine-board state, so the SplitHot
-            // overflow path can never fire — labeling the row split_hot
-            // would advertise coverage the gate does not have. The split
-            // path is pinned by `tests/serve_traffic.rs` instead.
-            MigratePolicy::PeerRehydrate,
+            pressured_tenants(),
+            ServeConfig {
+                boards: 4,
+                overlap: true,
+                // PeerRehydrate, deliberately: under LeastLoaded placement
+                // there is no wait-for-affine-board state, so the SplitHot
+                // overflow path can never fire — labeling the row split_hot
+                // would advertise coverage the gate does not have. The split
+                // path is pinned by `tests/serve_traffic.rs` instead.
+                migrate: MigratePolicy::PeerRehydrate,
+                ..base
+            },
+            &[],
+        ),
+        (
+            "fifo_burst",
+            burst_tenants(),
+            ServeConfig {
+                scheduler: SchedKind::Fifo,
+                ..burst
+            },
+            BURST_VICTIMS,
+        ),
+        ("wfq_burst", burst_tenants(), burst, BURST_VICTIMS),
+        (
+            "slo_drift",
+            smoke_tenants(),
+            ServeConfig {
+                boards: 1,
+                scheduler: SchedKind::slo_aware(),
+                ..base
+            },
+            &[],
         ),
     ];
     cases
         .into_iter()
-        .map(|(name, boards, placement, overlap, migrate)| Scenario {
+        .map(|(name, tenants, config, victims)| Scenario {
             name,
-            boards,
-            placement,
-            migrate,
-            report: simulate(
-                if overlap {
-                    pressured_tenants()
-                } else {
-                    smoke_tenants()
-                },
-                ServeConfig {
-                    boards,
-                    placement,
-                    overlap,
-                    migrate,
-                    ..base
-                },
-            ),
+            config,
+            victims,
+            report: simulate(tenants, config),
         })
         .collect()
 }
@@ -170,13 +258,23 @@ pub fn render_json(scenarios: &[Scenario]) -> String {
         .iter()
         .map(|s| {
             let overall = s.report.overall_latency();
+            let fairness = match s.victim_p99_secs() {
+                Some(victim_p99) => format!(
+                    "\"victim_p99_secs\":{},\"tenant_drops\":{},",
+                    json_f64(victim_p99),
+                    s.tenant_drops_json(),
+                ),
+                None => String::new(),
+            };
             format!(
                 concat!(
                     "{{\"name\":{name},\"boards\":{boards},",
                     "\"placement\":{placement},\"migrate\":{migrate},",
+                    "\"scheduler\":{scheduler},",
                     "\"p50_secs\":{p50},",
                     "\"p99_secs\":{p99},\"reconfigs\":{reconfigs},",
                     "\"completed\":{completed},\"dropped\":{dropped},",
+                    "{fairness}",
                     "\"pipeline_overlap_ratio\":{overlap_ratio},",
                     "\"evictions\":{evictions},",
                     "\"migrations\":{migrations},",
@@ -185,14 +283,16 @@ pub fn render_json(scenarios: &[Scenario]) -> String {
                     "\"report\":{report}}}"
                 ),
                 name = json_str(s.name),
-                boards = s.boards,
-                placement = json_str(s.placement.name()),
-                migrate = json_str(s.migrate.name()),
+                boards = s.config.boards,
+                placement = json_str(s.config.placement.name()),
+                migrate = json_str(s.config.migrate.name()),
+                scheduler = json_str(s.config.scheduler.name()),
                 p50 = json_f64(overall.quantile(0.50)),
                 p99 = json_f64(overall.quantile(0.99)),
                 reconfigs = s.report.reconfigs,
                 completed = s.report.completed(),
                 dropped = s.report.dropped(),
+                fairness = fairness,
                 overlap_ratio = json_f64(s.report.pipeline_overlap_ratio()),
                 evictions = s.report.evictions(),
                 migrations = s.report.migrations(),
@@ -204,7 +304,7 @@ pub fn render_json(scenarios: &[Scenario]) -> String {
         .collect();
     format!(
         concat!(
-            "{{\"schema\":\"agnn-bench-serving/v3\",\"seed\":{seed},",
+            "{{\"schema\":\"agnn-bench-serving/v4\",\"seed\":{seed},",
             "\"total_requests\":{requests},\"scenarios\":[{rows}]}}"
         ),
         seed = SMOKE_SEED,
@@ -214,23 +314,33 @@ pub fn render_json(scenarios: &[Scenario]) -> String {
 }
 
 /// Renders only the gate schema (`scenarios[].name` / `p99_secs` /
-/// `reconfigs` / `host_upload_bytes`) — the compact form checked in as
-/// the baseline.
+/// `reconfigs` / `host_upload_bytes`, plus `victim_p99_secs` and
+/// `tenant_drops` on scenarios with victims) — the compact form checked
+/// in as the baseline.
 pub fn render_baseline_json(scenarios: &[Scenario]) -> String {
     let rows: Vec<String> = scenarios
         .iter()
         .map(|s| {
+            let fairness = match s.victim_p99_secs() {
+                Some(victim_p99) => format!(
+                    ",\"victim_p99_secs\":{},\"tenant_drops\":{}",
+                    json_f64(victim_p99),
+                    s.tenant_drops_json(),
+                ),
+                None => String::new(),
+            };
             format!(
-                "\n  {{\"name\":{},\"p99_secs\":{},\"reconfigs\":{},\"host_upload_bytes\":{}}}",
+                "\n  {{\"name\":{},\"p99_secs\":{},\"reconfigs\":{},\"host_upload_bytes\":{}{}}}",
                 json_str(s.name),
                 json_f64(s.report.overall_latency().quantile(0.99)),
                 s.report.reconfigs,
                 s.report.host_upload_bytes(),
+                fairness,
             )
         })
         .collect();
     format!(
-        "{{\"schema\":\"agnn-bench-serving-baseline/v2\",\"seed\":{},\"scenarios\":[{}\n]}}\n",
+        "{{\"schema\":\"agnn-bench-serving-baseline/v3\",\"seed\":{},\"scenarios\":[{}\n]}}\n",
         SMOKE_SEED,
         rows.join(",")
     )
@@ -251,7 +361,7 @@ mod tests {
             doc.get("scenarios")
                 .and_then(perfgate::Json::as_arr)
                 .map(<[perfgate::Json]>::len),
-            Some(5)
+            Some(8)
         );
         let baseline = perfgate::parse(&render_baseline_json(&a)).expect("baseline parses");
         // A run always passes the gate against its own baseline.
@@ -276,11 +386,17 @@ mod tests {
             "the memory-pressured mix must thrash DRAM, got {} evictions",
             pipelined.report.evictions()
         );
-        // Serial scenarios never report pipeline activity.
-        for s in sweep
-            .iter()
-            .filter(|s| !matches!(s.name, "pipelined_drift" | "migration_drift"))
-        {
+        // Serial scenarios never report pipeline activity (the burst
+        // scenarios run the pipelined lifecycle, so they are excluded).
+        for s in sweep.iter().filter(|s| {
+            matches!(
+                s.name,
+                "single_board_reconfig_aware"
+                    | "pool4_least_loaded"
+                    | "pool4_bitstream_affine"
+                    | "slo_drift"
+            )
+        }) {
             assert_eq!(s.report.pipeline_overlap_ratio(), 0.0, "{}", s.name);
         }
     }
@@ -318,6 +434,77 @@ mod tests {
             assert_eq!(s.report.migrations(), 0, "{}", s.name);
             assert_eq!(s.report.switch_bytes(), 0, "{}", s.name);
         }
+    }
+
+    /// The ISSUE's acceptance criterion: the gated `wfq_burst` scenario
+    /// must show WFQ bounding victim p99 under the bursty-aggressor trace
+    /// where `fifo_burst` does not — and the victims must drop nothing
+    /// under WFQ while FIFO sheds their traffic.
+    #[test]
+    fn wfq_burst_bounds_the_victim_tail_where_fifo_does_not() {
+        let sweep = run_sweep();
+        let by_name = |n: &str| {
+            sweep
+                .iter()
+                .find(|s| s.name == n)
+                .unwrap_or_else(|| panic!("scenario {n}"))
+        };
+        let fifo = by_name("fifo_burst");
+        let wfq = by_name("wfq_burst");
+        let (fifo_victim, wfq_victim) = (
+            fifo.victim_p99_secs().expect("fifo_burst tracks victims"),
+            wfq.victim_p99_secs().expect("wfq_burst tracks victims"),
+        );
+        assert!(
+            fifo_victim > wfq_victim * 10.0,
+            "FIFO must blow the victim tail up by an order of magnitude \
+             where WFQ bounds it: {fifo_victim} vs {wfq_victim}"
+        );
+        for victim in BURST_VICTIMS {
+            let drops = |s: &Scenario| {
+                s.report
+                    .tenants
+                    .iter()
+                    .find(|t| t.name == *victim)
+                    .map(|t| t.dropped)
+                    .expect("victim tenant present")
+            };
+            assert_eq!(drops(wfq), 0, "{victim}: quotas protect the backlog");
+            assert!(drops(fifo) > 0, "{victim}: the shared queue sheds traffic");
+        }
+        // Both burst scenarios face the identical offered load; WFQ's
+        // aggregate drop count sums its per-tenant counts.
+        for s in [fifo, wfq] {
+            let tenant_drops: u64 = s.report.tenants.iter().map(|t| t.dropped).sum();
+            assert_eq!(s.report.dropped(), tenant_drops, "{}", s.name);
+        }
+    }
+
+    /// The SLO-gating headline in the sweep: `slo_drift` must cut the
+    /// single-board reconfiguration count by an order of magnitude at a
+    /// no-worse tail.
+    #[test]
+    fn slo_drift_cuts_reconfigs_at_a_no_worse_tail() {
+        let sweep = run_sweep();
+        let by_name = |n: &str| {
+            sweep
+                .iter()
+                .find(|s| s.name == n)
+                .unwrap_or_else(|| panic!("scenario {n}"))
+        };
+        let ungated = by_name("single_board_reconfig_aware");
+        let gated = by_name("slo_drift");
+        assert!(
+            gated.report.reconfigs < ungated.report.reconfigs / 10,
+            "the SLO gate must eliminate most reconfigurations: {} vs {}",
+            gated.report.reconfigs,
+            ungated.report.reconfigs
+        );
+        assert!(
+            gated.report.overall_latency().quantile(0.99)
+                <= ungated.report.overall_latency().quantile(0.99),
+            "a no-worse tail is the gate's contract"
+        );
     }
 
     #[test]

@@ -22,21 +22,32 @@
 //!   rehydrate from a peer still holding their graph instead of
 //!   re-crossing the host link, and hot tenants split onto idle boards
 //!   once their affine board's queue outgrows a threshold;
-//! - [`sim`] — a binary-heap discrete-event scheduler with a bounded
-//!   admission queue, drop accounting and pluggable [`sim::DispatchPolicy`]
-//!   — strict FIFO versus a *reconfig-aware* policy that serves
-//!   same-bitstream requests together to amortize `ReconfigEvent` stalls
-//!   (§V-B's cost-model decision, lifted from one request to a traffic
-//!   stream). With [`sim::ServeConfig::overlap`] the request lifecycle is
+//! - [`sched`] — the pluggable admission/dispatch scheduler: a
+//!   [`sched::SchedPolicy`] trait owning enqueue/drop/pick and
+//!   reconfiguration-gating decisions, with [`sched::Fifo`] (the bounded
+//!   arrival-order queue, bit-for-bit the pre-refactor schedules — every
+//!   golden digest holds), [`sched::WeightedFair`] (deficit round robin
+//!   over per-tenant queues with [`tenant::TenantSpec::weight`] shares
+//!   and per-tenant quotas, so one bursty aggressor can no longer starve
+//!   the other tenants) and [`sched::SloAware`] (a per-tenant latency
+//!   EWMA gates bitstream reconfiguration on predicted p99 vs the
+//!   tenant's SLO budget — stalls nobody's tail needs stop being paid);
+//! - [`sim`] — a binary-heap discrete-event scheduler with drop
+//!   accounting and pluggable [`sim::DispatchPolicy`] — strict FIFO
+//!   versus a *reconfig-aware* policy that serves same-bitstream requests
+//!   together to amortize `ReconfigEvent` stalls (§V-B's cost-model
+//!   decision, lifted from one request to a traffic stream). With
+//!   [`sim::ServeConfig::overlap`] the request lifecycle is
 //!   **pipelined**: a board ingests the next request's graph delta
 //!   (double-buffered, [`agnn_hw::shell::DELTA_BUFFERS`]) and streams
 //!   finished subgraphs out while its fabric preprocesses — upload time
 //!   leaves the dispatch critical path;
 //! - [`metrics`] — deterministic latency histograms (p50/p95/p99/max),
-//!   per-lifecycle-stage breakdowns ([`metrics::StageHistograms`]), a
-//!   pipeline-overlap ratio, throughput, queue-depth timelines, per-tenant
-//!   and per-board breakdowns, an order-sensitive event-trace digest for
-//!   reproducibility checks, and a byte-stable JSON rendering
+//!   per-lifecycle-stage breakdowns ([`metrics::StageHistograms`]),
+//!   per-tenant queue-wait distributions, drop and SLO-violation
+//!   counters, a pipeline-overlap ratio, throughput, queue-depth
+//!   timelines, per-board breakdowns, an order-sensitive event-trace
+//!   digest for reproducibility checks, and a byte-stable JSON rendering
 //!   ([`metrics::TrafficReport::to_json`]).
 //!
 //! Every price the scheduler pays — upload delta, per-stage preprocessing,
@@ -90,6 +101,7 @@
 
 pub mod metrics;
 pub mod pool;
+pub mod sched;
 pub mod sim;
 pub mod tenant;
 
@@ -98,6 +110,7 @@ pub use metrics::{
     TrafficReport,
 };
 pub use pool::{BoardPool, MigratePolicy, MigrationTransfer, PlacementPolicy};
+pub use sched::{SchedKind, SchedPolicy};
 pub use sim::{simulate, DispatchPolicy, ServeConfig, TrafficSim};
 pub use tenant::{ArrivalProcess, Drift, TenantSpec};
 

@@ -210,10 +210,22 @@ pub struct TenantStats {
     pub name: String,
     /// Requests admitted and completed.
     pub completed: u64,
-    /// Requests refused at admission (queue full).
+    /// Requests refused at admission (shared queue full, or — under
+    /// [`crate::sched::SchedKind::WeightedFair`] — the tenant's own quota
+    /// exhausted). The report-wide [`TrafficReport::dropped`] aggregate
+    /// is exactly the sum of these per-tenant counts, which is what makes
+    /// fair-queueing drop isolation observable per tenant.
     pub dropped: u64,
     /// End-to-end latency distribution.
     pub latency: LatencyHistogram,
+    /// Queue-wait distribution (arrival → dispatch): the share of latency
+    /// the *scheduler* controls, which is where fair queueing shows up.
+    pub queue_wait: LatencyHistogram,
+    /// Completions whose end-to-end latency exceeded the tenant's
+    /// [`crate::tenant::TenantSpec::slo_secs`] budget. Always 0 for
+    /// tenants without a declared SLO; counted under every scheduler, so
+    /// SLO attainment is comparable across policies.
+    pub slo_violations: u64,
     /// Total accelerator-busy seconds consumed.
     pub board_secs: f64,
     /// Reconfigurations performed to serve this tenant's requests.
@@ -474,7 +486,7 @@ impl TrafficReport {
         let overall = self.overall_latency();
         let mut out = String::with_capacity(1024);
         out.push('{');
-        push_field(&mut out, "schema", &json_str("agnn-serve-report/v3"));
+        push_field(&mut out, "schema", &json_str("agnn-serve-report/v4"));
         push_field(&mut out, "pool_size", &self.pool_size().to_string());
         push_field(&mut out, "completed", &self.completed().to_string());
         push_field(&mut out, "dropped", &self.dropped().to_string());
@@ -547,6 +559,17 @@ impl TrafficReport {
                 push_field(&mut obj, "board_secs", &json_f64(t.board_secs));
                 push_field(&mut obj, "p50_secs", &json_f64(t.latency.quantile(0.50)));
                 push_field(&mut obj, "p99_secs", &json_f64(t.latency.quantile(0.99)));
+                push_field(
+                    &mut obj,
+                    "queue_wait_p50_secs",
+                    &json_f64(t.queue_wait.quantile(0.50)),
+                );
+                push_field(
+                    &mut obj,
+                    "queue_wait_p99_secs",
+                    &json_f64(t.queue_wait.quantile(0.99)),
+                );
+                push_field(&mut obj, "slo_violations", &t.slo_violations.to_string());
                 close_obj(&mut obj);
                 obj
             })
@@ -840,6 +863,9 @@ mod tests {
         assert!(a.contains("\"switch_bytes\":0"));
         assert!(a.contains("\"host_upload_bytes\":0"));
         assert!(a.contains("\"host_bytes_saved\":0"));
+        assert!(a.contains("\"schema\":\"agnn-serve-report/v4\""));
+        assert!(a.contains("\"queue_wait_p99_secs\":"));
+        assert!(a.contains("\"slo_violations\":0"));
         assert!(a.contains("\"trace_digest\":\"0x00000000deadbeef\""));
         assert!(
             a.contains("feed \\\"a\\\"\\\\"),

@@ -26,8 +26,13 @@
 //! full re-upload — which is exactly the recurring ingest traffic that
 //! staged pipelining hides behind fabric compute.
 //!
-//! The shared admission queue feeds the pool through a pluggable
-//! [`PlacementPolicy`]:
+//! The admission queue — owned by the pluggable scheduler
+//! ([`crate::sched::SchedPolicy`]), which decides admission, offer order
+//! and reconfiguration gating — feeds the pool through a pluggable
+//! [`PlacementPolicy`]. Placement scans the scheduler's offer order, so a
+//! fair-queueing scheduler's preference arrives here as a hint: the same
+//! scan that used to be "earliest arrival first" becomes "most underserved
+//! tenant first" without the policies below changing:
 //!
 //! - [`PlacementPolicy::TenantAffine`] — each tenant has a home board
 //!   (pinned, or tenant index hashed over the pool); requests wait for it.

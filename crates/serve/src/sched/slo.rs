@@ -1,0 +1,200 @@
+//! SLO-driven reconfiguration gating over a FIFO queue.
+
+use crate::metrics::RequestLatency;
+
+use super::{queue::Fifo, Request, SchedPolicy};
+
+/// EWMA smoothing factor for the per-tenant latency tracker (~the last
+/// dozen requests dominate the estimate).
+const EWMA_ALPHA: f64 = 0.15;
+/// Standard-normal z-score of the 99th percentile: the predicted p99 is
+/// `mean + Z_P99 · stddev` of the EWMA-tracked latency distribution.
+const Z_P99: f64 = 2.326;
+
+/// FIFO admission and offer order, plus an SLO-driven reconfiguration
+/// gate: a dispatch may only pay an ICAP stall when the tenant's
+/// **predicted p99** — an exponentially weighted mean of its end-to-end
+/// latency (queueing included, so a building backlog raises the
+/// prediction) plus [`Z_P99`] weighted deviations — exceeds its SLO
+/// budget.
+///
+/// The cost model's per-request gain threshold keeps firing on every
+/// drift step even when tenants are comfortably inside their SLOs; this
+/// policy converts those stalls into headroom: while every tenant's
+/// predicted tail clears its budget, boards keep serving on whatever
+/// bitstream they hold, and the fabric reprograms only when a tenant is
+/// actually about to miss. Queueing order is untouched (bit-identical to
+/// [`Fifo`] admission/offer decisions), so any schedule difference comes
+/// from the gate alone.
+///
+/// A tenant with no completed request yet always passes the gate — a cold
+/// deployment must be allowed its first configuration.
+#[derive(Debug)]
+pub struct SloAware {
+    inner: Fifo,
+    /// Effective per-tenant p99 budget in seconds.
+    budgets: Vec<f64>,
+    /// Per-tenant EWMA of end-to-end latency.
+    mean: Vec<f64>,
+    /// Per-tenant EWMA of squared deviation from the mean.
+    var: Vec<f64>,
+    /// Completed-request count per tenant (0 = cold, gate open).
+    samples: Vec<u64>,
+}
+
+impl SloAware {
+    /// An SLO-aware scheduler for tenants with the given p99 `budgets`
+    /// (seconds), over a FIFO queue of `capacity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budgets` is empty or any budget is not positive and
+    /// finite.
+    pub fn new(budgets: Vec<f64>, capacity: usize) -> Self {
+        assert!(!budgets.is_empty(), "need at least one tenant budget");
+        assert!(
+            budgets.iter().all(|b| *b > 0.0 && b.is_finite()),
+            "SLO budgets must be positive and finite"
+        );
+        let n = budgets.len();
+        SloAware {
+            inner: Fifo::new(capacity),
+            budgets,
+            mean: vec![0.0; n],
+            var: vec![0.0; n],
+            samples: vec![0; n],
+        }
+    }
+
+    /// The tenant's current predicted p99 in seconds (0 while cold).
+    pub fn predicted_p99(&self, tenant: usize) -> f64 {
+        if self.samples[tenant] == 0 {
+            0.0
+        } else {
+            self.mean[tenant] + Z_P99 * self.var[tenant].max(0.0).sqrt()
+        }
+    }
+}
+
+impl SchedPolicy for SloAware {
+    fn name(&self) -> &'static str {
+        "slo"
+    }
+
+    fn admit(&mut self, request: Request) -> bool {
+        self.inner.admit(request)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn scan(&mut self) -> &[Request] {
+        self.inner.scan()
+    }
+
+    fn take(&mut self, position: usize) -> Request {
+        self.inner.take(position)
+    }
+
+    fn allow_reconfig(&self, tenant: usize, _now: f64) -> bool {
+        self.samples[tenant] == 0 || self.predicted_p99(tenant) > self.budgets[tenant]
+    }
+
+    fn on_complete(&mut self, tenant: usize, latency: &RequestLatency, _now: f64) {
+        let x = latency.total();
+        if self.samples[tenant] == 0 {
+            self.mean[tenant] = x;
+            self.var[tenant] = 0.0;
+        } else {
+            let dev = x - self.mean[tenant];
+            self.mean[tenant] += EWMA_ALPHA * dev;
+            self.var[tenant] = (1.0 - EWMA_ALPHA) * (self.var[tenant] + EWMA_ALPHA * dev * dev);
+        }
+        self.samples[tenant] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lat(total_secs: f64) -> RequestLatency {
+        RequestLatency {
+            preprocess_secs: total_secs,
+            ..RequestLatency::default()
+        }
+    }
+
+    #[test]
+    fn cold_tenants_always_pass_the_gate() {
+        let s = SloAware::new(vec![1.0, 1.0], 8);
+        assert!(s.allow_reconfig(0, 0.0));
+        assert_eq!(s.predicted_p99(0), 0.0);
+    }
+
+    #[test]
+    fn within_budget_traffic_closes_the_gate() {
+        let mut s = SloAware::new(vec![1.0], 8);
+        for _ in 0..50 {
+            s.on_complete(0, &lat(0.1), 0.0);
+        }
+        assert!(s.predicted_p99(0) < 0.2);
+        assert!(!s.allow_reconfig(0, 0.0), "comfortably inside the SLO");
+    }
+
+    #[test]
+    fn a_building_tail_reopens_the_gate() {
+        let mut s = SloAware::new(vec![1.0], 8);
+        for _ in 0..20 {
+            s.on_complete(0, &lat(0.5), 0.0);
+        }
+        assert!(!s.allow_reconfig(0, 0.0));
+        for _ in 0..20 {
+            s.on_complete(0, &lat(3.0), 0.0);
+        }
+        assert!(
+            s.predicted_p99(0) > 1.0,
+            "EWMA follows the degradation: {}",
+            s.predicted_p99(0)
+        );
+        assert!(s.allow_reconfig(0, 0.0), "SLO breach reopens the gate");
+    }
+
+    #[test]
+    fn budgets_are_per_tenant() {
+        let mut s = SloAware::new(vec![0.2, 5.0], 8);
+        for t in 0..2 {
+            for _ in 0..30 {
+                s.on_complete(t, &lat(1.0), 0.0);
+            }
+        }
+        assert!(s.allow_reconfig(0, 0.0), "1 s tail breaches a 0.2 s budget");
+        assert!(!s.allow_reconfig(1, 0.0), "but clears a 5 s budget");
+    }
+
+    #[test]
+    fn queueing_behavior_is_fifo() {
+        let mut s = SloAware::new(vec![1.0], 2);
+        assert!(s.admit(Request {
+            tenant: 0,
+            arrival_secs: 1.0
+        }));
+        assert!(s.admit(Request {
+            tenant: 0,
+            arrival_secs: 2.0
+        }));
+        assert!(!s.admit(Request {
+            tenant: 0,
+            arrival_secs: 3.0
+        }));
+        assert_eq!(s.scan().len(), 2);
+        assert_eq!(s.take(0).arrival_secs, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "budgets must be positive")]
+    fn non_positive_budgets_are_rejected() {
+        SloAware::new(vec![-1.0], 8);
+    }
+}

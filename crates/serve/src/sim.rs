@@ -6,10 +6,11 @@
 //! ties broken by a monotone sequence number, so replays are bit-stable).
 //! Five event kinds drive the simulation:
 //!
-//! - **`Arrival`** — a tenant's request arrives. It passes a bounded
-//!   admission queue (overflow is dropped and counted, never silently
-//!   lost) and schedules the tenant's next arrival while offered load
-//!   remains.
+//! - **`Arrival`** — a tenant's request arrives. It is offered to the
+//!   configured [`crate::sched::SchedPolicy`] (refusals — shared queue
+//!   full, or a per-tenant quota exhausted — are dropped and counted per
+//!   tenant, never silently lost) and schedules the tenant's next arrival
+//!   while offered load remains.
 //! - **`IngestDone`** (pipelined mode only) — a request's graph-delta
 //!   upload finished on a board's DMA engine. The request enters the
 //!   fabric if it is idle, otherwise parks in the board's staging buffer.
@@ -69,6 +70,37 @@
 //! policies are untouched — only the meaning of "board free" narrows from
 //! "fully idle" to "can accept an ingest".
 //!
+//! # The scheduler seam
+//!
+//! The admission/dispatch core lives behind [`crate::sched::SchedPolicy`]
+//! ([`ServeConfig::scheduler`] picks the implementation). The event loop
+//! delegates exactly three decisions to it:
+//!
+//! 1. **Admission** — an `Arrival` calls `admit`; a refusal is the drop
+//!    path (counted against the arriving tenant).
+//! 2. **Offer order** — each dispatch pass calls `scan` and hands the
+//!    ordered view to placement ([`select_dispatch`]) and the
+//!    [`DispatchPolicy`]; the chosen *scan position* is then removed with
+//!    `take`. Under [`crate::sched::SchedKind::Fifo`] the scan order is
+//!    arrival order, so placement/dispatch see exactly the pre-refactor
+//!    queue; under weighted fair queueing the order is the deficit-round-
+//!    robin fair schedule — placement reads the scheduler's preference as
+//!    a hint and the dispatch policy may still batch around it (the
+//!    scheduler charges the picked tenant's deficit).
+//! 3. **Reconfiguration gating** — before a board pays an ICAP stall
+//!    (serial dispatch, or fabric acquisition in pipelined mode), the
+//!    loop asks `allow_reconfig`; [`crate::sched::SloAware`] closes that
+//!    gate while the tenant's predicted p99 clears its SLO budget.
+//!    Completions feed back through `on_complete`.
+//!
+//! **The Fifo-equivalence invariant:** with the default
+//! [`crate::sched::SchedKind::Fifo`] every one of those calls maps
+//! one-to-one onto the old baked-in `VecDeque` operation (admit =
+//! bounded `push_back`, scan = the queue itself, take = `remove`,
+//! `allow_reconfig` = always) — so every golden trace digest from PR 1–4
+//! reproduces bit-for-bit, and the CI perf baselines survive the
+//! refactor unchanged. `tests/serve_traffic.rs` pins this.
+//!
 //! # Why a 1-board serial pool is the PR 1 simulator
 //!
 //! In serial mode the two slots are held and released together, so a
@@ -97,6 +129,7 @@ use crate::metrics::{
     TenantStats, TrafficReport,
 };
 use crate::pool::{BoardPool, MigratePolicy, PlacementPolicy};
+use crate::sched::{Request, SchedKind, SchedPolicy};
 use crate::tenant::TenantSpec;
 
 /// How the scheduler picks the next request and pays reconfigurations.
@@ -135,6 +168,12 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Dispatch policy (which queued request a board serves next).
     pub policy: DispatchPolicy,
+    /// Admission/dispatch scheduler: the bounded FIFO queue
+    /// ([`SchedKind::Fifo`], bit-for-bit the pre-refactor schedules),
+    /// weighted fair queueing with per-tenant quotas
+    /// ([`SchedKind::WeightedFair`]), or SLO-driven reconfiguration
+    /// gating ([`SchedKind::SloAware`]).
+    pub scheduler: SchedKind,
     /// Number of simulated boards in the pool.
     pub boards: usize,
     /// Placement policy (which board an admitted request runs on).
@@ -178,6 +217,7 @@ impl ServeConfig {
             seed: 0,
             queue_capacity: 256,
             policy: DispatchPolicy::Fifo,
+            scheduler: SchedKind::Fifo,
             boards: 1,
             placement: PlacementPolicy::LeastLoaded,
             migrate: MigratePolicy::Off,
@@ -207,19 +247,38 @@ impl ServeConfig {
             ..Self::reconfig_aware()
         }
     }
+
+    /// The weighted-fair preset: deficit-round-robin per-tenant queues
+    /// with the default quota ([`SchedKind::weighted_fair`]) over the
+    /// pipelined lifecycle, dispatched in **strict scan order**
+    /// ([`DispatchPolicy::Fifo`]). Strict order is deliberate: the fair
+    /// schedule *is* the scan order, and reconfig-aware batching would
+    /// override it — letting a board serve the aggressor's matching
+    /// bitstream for up to its starvation guard while victims wait, which
+    /// is exactly the isolation WFQ exists to provide.
+    pub fn weighted_fair() -> Self {
+        ServeConfig {
+            scheduler: SchedKind::weighted_fair(),
+            policy: DispatchPolicy::Fifo,
+            ..Self::pipelined()
+        }
+    }
+
+    /// The SLO-aware preset: FIFO-order queueing whose reconfigurations
+    /// are gated on predicted p99 vs the tenants' SLO budgets
+    /// ([`SchedKind::slo_aware`]), on top of the pipelined deployment.
+    pub fn slo_aware() -> Self {
+        ServeConfig {
+            scheduler: SchedKind::slo_aware(),
+            ..Self::pipelined()
+        }
+    }
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
         Self::base()
     }
-}
-
-/// One admitted request waiting for dispatch.
-#[derive(Debug, Clone, Copy)]
-struct Request {
-    tenant: usize,
-    arrival_secs: f64,
 }
 
 /// A dispatched request flowing through a board's staged pipeline
@@ -325,6 +384,9 @@ pub struct TrafficSim {
 /// Mutable tallies shared by the serial and pipelined completion paths.
 struct RunStats {
     tenants: Vec<TenantStats>,
+    /// Per-tenant SLO budgets ([`TenantSpec::slo_secs`]); violations are
+    /// counted here, independent of the scheduler in force.
+    slo: Vec<Option<f64>>,
     stages: StageHistograms,
     requests: Vec<CompletedRequest>,
     reconfigs: u64,
@@ -344,9 +406,14 @@ impl RunStats {
         switch_bytes: u64,
         log: bool,
     ) {
+        let budget = self.slo[tenant];
         let t = &mut self.tenants[tenant];
         t.completed += 1;
         t.latency.record(latency.total());
+        t.queue_wait.record(latency.queue_secs);
+        if budget.is_some_and(|budget| latency.total() > budget) {
+            t.slo_violations += 1;
+        }
         t.board_secs += latency.board_secs();
         self.stages.record(&latency);
         if log {
@@ -463,7 +530,10 @@ impl TrafficSim {
             }
         }
 
-        let mut queue: VecDeque<Request> = VecDeque::new();
+        // The pluggable admission/dispatch scheduler (see the module
+        // docs' "scheduler seam"): `Fifo` is the pre-refactor bounded
+        // queue bit-for-bit.
+        let mut sched = cfg.scheduler.build(tenants, cfg.queue_capacity);
         // (drift bucket, best config) per tenant — shared across boards:
         // every board searches the identical bitstream library.
         let mut best_cache: Vec<Option<(u64, HwConfig)>> = vec![None; tenants.len()];
@@ -477,6 +547,7 @@ impl TrafficSim {
                     ..TenantStats::default()
                 })
                 .collect(),
+            slo: tenants.iter().map(|t| t.slo_secs).collect(),
             stages: StageHistograms::default(),
             requests: Vec::new(),
             reconfigs: 0,
@@ -501,17 +572,18 @@ impl TrafficSim {
                         push(&mut heap, at, EventKind::Arrival { tenant });
                         offered += 1;
                     }
-                    // Bounded admission: overflow is dropped and counted.
-                    if queue.len() >= cfg.queue_capacity {
+                    // Bounded admission: the scheduler's refusal (shared
+                    // queue full, or a per-tenant quota exhausted) is the
+                    // drop path — counted, never silently lost.
+                    if !sched.admit(Request {
+                        tenant,
+                        arrival_secs: now,
+                    }) {
                         stats.tenants[tenant].dropped += 1;
                         digest.push(0xD0);
                         continue;
                     }
-                    queue.push_back(Request {
-                        tenant,
-                        arrival_secs: now,
-                    });
-                    depth.record(now, queue.len());
+                    depth.record(now, sched.len());
                 }
                 EventKind::IngestDone { board } => {
                     let mut rq = pipe.ingesting[board]
@@ -530,6 +602,7 @@ impl TrafficSim {
                             pool,
                             &mut pipe,
                             &mut stats,
+                            &*sched,
                             &mut digest,
                             &cfg,
                             &mut push,
@@ -587,6 +660,7 @@ impl TrafficSim {
                             pool,
                             &mut pipe,
                             &mut stats,
+                            &*sched,
                             &mut digest,
                             &cfg,
                             &mut push,
@@ -631,6 +705,8 @@ impl TrafficSim {
                         switch_bytes,
                         cfg.log_requests,
                     );
+                    // Latency feedback for SLO-aware scheduling.
+                    sched.on_complete(tenant, &latency, now);
                     digest.push(0x5D);
                     digest.push(tenant as u64);
                     digest.push(latency.total().to_bits());
@@ -660,10 +736,11 @@ impl TrafficSim {
             }
 
             // Dispatch while boards are free and work waits. Each pass
-            // routes one request to one board; placement decides the pair.
-            while pool.any_free() && !queue.is_empty() {
+            // offers the scheduler's scan order to placement; placement
+            // and the dispatch policy pick the (request, board) pair.
+            while pool.any_free() && !sched.is_empty() {
                 let Some(placement) =
-                    select_dispatch(tenants, &cfg, &queue, &mut best_cache, pool, now)
+                    select_dispatch(tenants, &cfg, sched.scan(), &mut best_cache, pool, now)
                 else {
                     break;
                 };
@@ -678,10 +755,8 @@ impl TrafficSim {
                         (position, board)
                     }
                 };
-                let request = queue
-                    .remove(position)
-                    .expect("placement returns an in-range queue position");
-                depth.record(now, queue.len());
+                let request = sched.take(position);
+                depth.record(now, sched.len());
                 let tenant = &tenants[request.tenant];
                 let workload = tenant.workload_at(now, cfg.drift_step_secs);
                 let best = cached_best(
@@ -765,15 +840,20 @@ impl TrafficSim {
 
                 // Serial: the board pays every stage back to back and both
                 // slots stay held — the PR 1/PR 2 schedule bit-for-bit.
+                // The scheduler may gate the reconfiguration (SLO-aware
+                // policies keep a within-budget tenant on the current
+                // bitstream); `Fifo` never does.
                 let mut stall = 0.0;
-                if let Some(secs) = pool.maybe_reconfigure(board, &workload, best) {
-                    stall = secs;
-                    stats.reconfigs += 1;
-                    stats.reconfig_secs += stall;
-                    stats.tenants[request.tenant].reconfigs += 1;
-                    digest.push(0x2C);
-                    if tag_boards {
-                        digest.push(board as u64);
+                if sched.allow_reconfig(request.tenant, now) {
+                    if let Some(secs) = pool.maybe_reconfigure(board, &workload, best) {
+                        stall = secs;
+                        stats.reconfigs += 1;
+                        stats.reconfig_secs += stall;
+                        stats.tenants[request.tenant].reconfigs += 1;
+                        digest.push(0x2C);
+                        if tag_boards {
+                            digest.push(board as u64);
+                        }
                     }
                 }
 
@@ -832,8 +912,9 @@ impl TrafficSim {
 }
 
 /// Moves an ingested request into board `board`'s fabric at `now`: pays
-/// the (deferred) reconfiguration decision, prices preprocessing under the
-/// resulting configuration, and schedules `FabricDone`.
+/// the (deferred) reconfiguration decision — unless the scheduler's SLO
+/// gate withholds it — prices preprocessing under the resulting
+/// configuration, and schedules `FabricDone`.
 #[allow(clippy::too_many_arguments)]
 fn start_fabric(
     mut rq: Pipelined,
@@ -842,19 +923,22 @@ fn start_fabric(
     pool: &mut BoardPool,
     pipe: &mut Pipeline,
     stats: &mut RunStats,
+    sched: &dyn SchedPolicy,
     digest: &mut TraceDigest,
     cfg: &ServeConfig,
     push: &mut impl FnMut(&mut BinaryHeap<Event>, f64, EventKind),
     heap: &mut BinaryHeap<Event>,
 ) {
     let mut stall = 0.0;
-    if let Some(secs) = pool.maybe_reconfigure(board, &rq.workload, rq.best) {
-        stall = secs;
-        stats.reconfigs += 1;
-        stats.reconfig_secs += stall;
-        stats.tenants[rq.tenant].reconfigs += 1;
-        digest.push(0x2C);
-        digest.push(board as u64);
+    if sched.allow_reconfig(rq.tenant, now) {
+        if let Some(secs) = pool.maybe_reconfigure(board, &rq.workload, rq.best) {
+            stall = secs;
+            stats.reconfigs += 1;
+            stats.reconfig_secs += stall;
+            stats.tenants[rq.tenant].reconfigs += 1;
+            digest.push(0x2C);
+            digest.push(board as u64);
+        }
     }
     let preprocess_secs = pool.stage_secs(board, &rq.workload) / cfg.compute_speedup;
     let done = now + stall + preprocess_secs;
@@ -943,11 +1027,7 @@ enum Placement {
 /// affine/home board: once the queue outgrows the policy threshold, the
 /// front request claims the least-loaded free board as a
 /// [`Placement::Migrating`] dispatch instead of waiting.
-fn split_overflow(
-    cfg: &ServeConfig,
-    queue: &VecDeque<Request>,
-    pool: &BoardPool,
-) -> Option<Placement> {
+fn split_overflow(cfg: &ServeConfig, queue: &[Request], pool: &BoardPool) -> Option<Placement> {
     let threshold = cfg.migrate.split_threshold()?;
     if queue.len() < threshold {
         return None;
@@ -959,11 +1039,14 @@ fn split_overflow(
 /// Picks the next dispatch, or `None` when no placement is currently
 /// possible (e.g. every home board of every queued request is busy under
 /// [`PlacementPolicy::TenantAffine`] and the migration policy keeps them
-/// waiting).
+/// waiting). `queue` is the scheduler's scan order — arrival order under
+/// [`SchedKind::Fifo`], the deficit-round-robin fair order under
+/// [`SchedKind::WeightedFair`] — so placement reads the scheduler's
+/// preference as a hint and positions index back into the scan.
 fn select_dispatch(
     tenants: &[TenantSpec],
     cfg: &ServeConfig,
-    queue: &VecDeque<Request>,
+    queue: &[Request],
     best_cache: &mut [Option<(u64, HwConfig)>],
     pool: &BoardPool,
     now: f64,
@@ -1075,7 +1158,7 @@ fn select_dispatch(
 fn pick_for_board(
     tenants: &[TenantSpec],
     cfg: &ServeConfig,
-    queue: &VecDeque<Request>,
+    queue: &[Request],
     best_cache: &mut [Option<(u64, HwConfig)>],
     pool: &BoardPool,
     board: usize,

@@ -164,6 +164,17 @@ pub struct TenantSpec {
     /// Operator-pinned home board for `TenantAffine` placement; `None`
     /// hashes the tenant index over the pool.
     pub pinned_board: Option<usize>,
+    /// Fair-queueing weight ([`crate::sched::SchedKind::WeightedFair`]):
+    /// the tenant's share of dispatch service relative to other tenants.
+    /// Must be positive and finite; 1.0 = an equal share.
+    pub weight: f64,
+    /// End-to-end p99 latency budget in seconds. Drives the
+    /// [`crate::sched::SchedKind::SloAware`] reconfiguration gate (when
+    /// `None`, that scheduler's default budget applies) and, whenever
+    /// set, the per-tenant `slo_violations` counter in
+    /// [`crate::metrics::TenantStats`] — which is recorded under *every*
+    /// scheduler, so SLO attainment is comparable across policies.
+    pub slo_secs: Option<f64>,
 }
 
 impl TenantSpec {
@@ -180,7 +191,43 @@ impl TenantSpec {
             arrival: ArrivalProcess::Poisson { rate_rps },
             drift: Drift::table_ii(dataset),
             pinned_board: None,
+            weight: 1.0,
+            slo_secs: None,
         }
+    }
+
+    /// The adversarial bursty-aggressor serving mix shared by the CI
+    /// `wfq_burst` scenario, the scheduler fairness tests and the example
+    /// fairness table: two well-behaved *victim* tenants offering steady
+    /// Poisson traffic at `victim_rps` each, plus one **aggressor** whose
+    /// near-total-amplitude diurnal bursts (`burst_rps` mean over
+    /// `period_secs`, amplitude 0.98) periodically offer several times
+    /// the pool's capacity. The aggressor's Taobao-scale graph also
+    /// drifts at the Table II daily rate, so its bitstream choice keeps
+    /// shifting — the trace where a shared FIFO queue lets one tenant's
+    /// burst starve everyone ([`crate::sched::SchedKind::Fifo`]) and
+    /// per-tenant quotas + deficit round robin do not
+    /// ([`crate::sched::SchedKind::WeightedFair`]). Victims carry 4×
+    /// fair-queueing weight (the operator values interactive traffic over
+    /// the batch-y aggressor — and the aggressor's individual requests
+    /// are several times more expensive, so equal per-request shares
+    /// would still under-serve the victims) and a 1 s SLO budget so
+    /// violation counts surface the damage.
+    pub fn bursty_aggressor(victim_rps: f64, burst_rps: f64, period_secs: f64) -> Vec<TenantSpec> {
+        let mut victim_feed = TenantSpec::new("victim-feed", Dataset::Movie, victim_rps);
+        victim_feed.weight = 4.0;
+        victim_feed.slo_secs = Some(1.0);
+        let mut victim_fraud = TenantSpec::new("victim-fraud", Dataset::Fraud, victim_rps);
+        victim_fraud.weight = 4.0;
+        victim_fraud.slo_secs = Some(1.0);
+        let mut aggressor = TenantSpec::new("aggressor", Dataset::Taobao, 0.0);
+        aggressor.arrival = ArrivalProcess::Diurnal {
+            mean_rps: burst_rps,
+            amplitude: 0.98,
+            period_secs,
+            phase_secs: 0.0,
+        };
+        vec![victim_feed, victim_fraud, aggressor]
     }
 
     /// The memory-pressured serving mix shared by the CI `pipelined_drift`
@@ -400,6 +447,53 @@ mod tests {
         assert_eq!(tenant.home_board(5, 1), 0, "single board absorbs all");
         tenant.pinned_board = Some(7);
         assert_eq!(tenant.home_board(5, 4), 3, "pins wrap into the pool");
+    }
+
+    #[test]
+    fn tenants_default_to_equal_weight_and_no_slo() {
+        let tenant = TenantSpec::new("t", Dataset::Movie, 1.0);
+        assert_eq!(tenant.weight, 1.0);
+        assert_eq!(tenant.slo_secs, None);
+    }
+
+    #[test]
+    fn bursty_aggressor_fixture_is_adversarial_by_construction() {
+        let tenants = TenantSpec::bursty_aggressor(2.0, 40.0, 900.0);
+        assert_eq!(tenants.len(), 3);
+        let (feed, fraud, aggressor) = (&tenants[0], &tenants[1], &tenants[2]);
+        assert_eq!(feed.name, "victim-feed");
+        assert_eq!(fraud.name, "victim-fraud");
+        assert_eq!(aggressor.name, "aggressor");
+        // Victims: steady Poisson load, 4x fair-queueing weight, a 1 s SLO.
+        for victim in [feed, fraud] {
+            assert_eq!(
+                victim.arrival,
+                ArrivalProcess::Poisson { rate_rps: 2.0 },
+                "{}",
+                victim.name
+            );
+            assert_eq!(victim.weight, 4.0);
+            assert_eq!(victim.slo_secs, Some(1.0));
+        }
+        // The aggressor: near-total-amplitude bursts at many times the
+        // victims' rate, unit weight, a drifting Taobao-scale graph.
+        match aggressor.arrival {
+            ArrivalProcess::Diurnal {
+                mean_rps,
+                amplitude,
+                period_secs,
+                ..
+            } => {
+                assert_eq!(mean_rps, 40.0);
+                assert_eq!(amplitude, 0.98);
+                assert_eq!(period_secs, 900.0);
+            }
+            other => panic!("aggressor must burst, got {other:?}"),
+        }
+        assert_eq!(aggressor.weight, 1.0);
+        assert_ne!(aggressor.drift, Drift::Static, "the aggressor drifts");
+        // Burst peak offers far more than the victims combined.
+        assert!(aggressor.arrival.rate_at(225.0) > 70.0);
     }
 
     #[test]

@@ -24,19 +24,29 @@
 //! while the fabric preprocesses, taking upload time off the dispatch
 //! critical path.
 //!
-//! The finale migrates graphs **between boards** over the PCIe switch:
-//! a DRAM-evicted tenant rehydrates from a peer board still holding its
-//! graph instead of re-crossing the host link (slashing host upload
-//! traffic), and a hot tenant whose home board's queue outgrows a
+//! The fourth act migrates graphs **between boards** over the PCIe
+//! switch: a DRAM-evicted tenant rehydrates from a peer board still
+//! holding its graph instead of re-crossing the host link (slashing host
+//! upload traffic), and a hot tenant whose home board's queue outgrows a
 //! threshold proactively splits onto an idle board instead of waiting
 //! (slashing the tail).
 //!
+//! The finale swaps the **scheduler**: on a bursty-aggressor trace (two
+//! steady interactive victims plus one tenant whose bursts offer several
+//! times the pool's capacity) the shared FIFO queue lets the aggressor
+//! starve everyone, weighted fair queueing (per-tenant quotas + deficit
+//! round robin) holds the victims near their isolated latency, and the
+//! SLO-aware gate stops paying reconfigurations nobody's tail needs.
+//!
 //! ```text
 //! cargo run --release --example multi_tenant_serve
+//! # just the scheduler fairness act, one policy:
+//! cargo run --release --example multi_tenant_serve -- --scheduler wfq
 //! ```
 
 use agnn_graph::datasets::Dataset;
 use agnn_serve::pool::{MigratePolicy, PlacementPolicy};
+use agnn_serve::sched::SchedKind;
 use agnn_serve::sim::{simulate, DispatchPolicy, ServeConfig};
 use agnn_serve::tenant::{ArrivalProcess, TenantSpec};
 use agnn_serve::TrafficReport;
@@ -70,9 +80,145 @@ fn p50(r: &TrafficReport) -> f64 {
     r.overall_latency().quantile(0.50)
 }
 
+/// Parses `--scheduler fifo|wfq|slo`: `Some(kind)` restricts the run to
+/// the scheduler fairness act under that policy; `None` plays the full
+/// demo.
+fn scheduler_flag() -> Option<SchedKind> {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        None => None,
+        Some("--scheduler") => {
+            let value = args.next();
+            match value.as_deref() {
+                Some("fifo") => Some(SchedKind::Fifo),
+                Some("wfq") => Some(SchedKind::weighted_fair()),
+                Some("slo") => Some(SchedKind::slo_aware()),
+                other => {
+                    eprintln!(
+                        "--scheduler must be fifo|wfq|slo, got {:?}\n\
+                         usage: multi_tenant_serve [--scheduler fifo|wfq|slo]",
+                        other.unwrap_or("<missing>")
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        Some(other) => {
+            eprintln!("unknown flag {other}\nusage: multi_tenant_serve [--scheduler fifo|wfq|slo]");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Prints the per-tenant fairness table of one bursty-aggressor run.
+fn fairness_table(label: &str, r: &TrafficReport) {
+    println!("\n--- bursty aggressor, scheduler = {label} ---");
+    println!(
+        "{:<14} {:>9} {:>8} {:>8} {:>13} {:>10} {:>9}",
+        "tenant", "completed", "dropped", "drop%", "q-wait p99(ms)", "p99(ms)", "slo-viol"
+    );
+    for t in &r.tenants {
+        println!(
+            "{:<14} {:>9} {:>8} {:>7.2}% {:>13.1} {:>10.1} {:>9}",
+            t.name,
+            t.completed,
+            t.dropped,
+            t.drop_rate() * 100.0,
+            t.queue_wait.quantile(0.99) * 1e3,
+            t.latency.quantile(0.99) * 1e3,
+            t.slo_violations,
+        );
+    }
+    println!(
+        "reconfigs {} | overall p99 {:.1} ms | {:.1} req/s",
+        r.reconfigs,
+        r.overall_latency().quantile(0.99) * 1e3,
+        r.throughput_rps(),
+    );
+}
+
+/// The scheduler fairness act: the bursty-aggressor trace under the
+/// requested scheduler(s), with the victims' isolated run as the yardstick.
+fn scheduler_act(seed: u64, requests: u64, period_secs: f64, only: Option<SchedKind>) {
+    let burst = || TenantSpec::bursty_aggressor(2.0, 40.0, period_secs);
+    let config = |scheduler| ServeConfig {
+        seed,
+        total_requests: requests,
+        queue_capacity: 512,
+        boards: 2,
+        scheduler,
+        // Strict scan-order dispatch: the fair schedule *is* the order.
+        ..ServeConfig::weighted_fair()
+    };
+    let isolated = simulate(
+        burst().into_iter().take(2).collect(),
+        config(SchedKind::Fifo),
+    );
+    println!(
+        "\nisolated victims (aggressor absent): feed p99 {:.1} ms | fraud p99 {:.1} ms",
+        isolated.tenants[0].latency.quantile(0.99) * 1e3,
+        isolated.tenants[1].latency.quantile(0.99) * 1e3,
+    );
+
+    let kinds: Vec<SchedKind> = match only {
+        Some(kind) => vec![kind],
+        None => vec![
+            SchedKind::Fifo,
+            SchedKind::weighted_fair(),
+            SchedKind::slo_aware(),
+        ],
+    };
+    let mut runs = Vec::new();
+    for kind in &kinds {
+        let r = simulate(burst(), config(*kind));
+        fairness_table(kind.name(), &r);
+        runs.push((*kind, r));
+    }
+
+    if only.is_none() {
+        let by = |name: &str| &runs.iter().find(|(k, _)| k.name() == name).unwrap().1;
+        let (fifo, wfq) = (by("fifo"), by("wfq"));
+        for v in 0..2 {
+            let iso = isolated.tenants[v].latency.quantile(0.99);
+            let fair = wfq.tenants[v].latency.quantile(0.99);
+            let shared = fifo.tenants[v].latency.quantile(0.99);
+            // ~2.2x observed; the residue is head-of-line blocking behind
+            // the aggressor request already in service (no preemption).
+            assert!(
+                fair < iso * 2.5,
+                "WFQ must hold {} within ~2x of its isolated p99: {fair} vs {iso}",
+                wfq.tenants[v].name
+            );
+            assert!(
+                shared > fair * 10.0,
+                "FIFO must blow the victim tail up where WFQ does not"
+            );
+            assert_eq!(wfq.tenants[v].dropped, 0, "quotas protect victim backlog");
+        }
+        println!(
+            "\nWFQ held victim p99 within {:.1}x / {:.1}x of the isolated run \
+             (FIFO: {:.0}x / {:.0}x) and cut victim drops {} -> 0",
+            wfq.tenants[0].latency.quantile(0.99) / isolated.tenants[0].latency.quantile(0.99),
+            wfq.tenants[1].latency.quantile(0.99) / isolated.tenants[1].latency.quantile(0.99),
+            fifo.tenants[0].latency.quantile(0.99) / isolated.tenants[0].latency.quantile(0.99),
+            fifo.tenants[1].latency.quantile(0.99) / isolated.tenants[1].latency.quantile(0.99),
+            fifo.tenants[0].dropped + fifo.tenants[1].dropped,
+        );
+    }
+}
+
 fn main() {
     const SEED: u64 = 2_026;
     const REQUESTS: u64 = 120_000;
+    if let Some(kind) = scheduler_flag() {
+        // Focused mode: just the fairness act under one scheduler.
+        println!(
+            "replaying {REQUESTS} bursty-aggressor requests (seed {SEED}, scheduler {})",
+            kind.name()
+        );
+        scheduler_act(SEED, REQUESTS, PERIOD_SECS, Some(kind));
+        return;
+    }
     let config = |policy| ServeConfig {
         seed: SEED,
         total_requests: REQUESTS,
@@ -362,4 +508,8 @@ fn main() {
         (1.0 - p99(&split) / p99(&waiting)) * 100.0,
         waiting.dropped() - split.dropped(),
     );
+
+    // ----- Scheduler fairness: FIFO vs WFQ vs SLO-aware ----------------
+
+    scheduler_act(SEED, REQUESTS, PERIOD_SECS, None);
 }

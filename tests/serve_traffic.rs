@@ -7,6 +7,7 @@
 
 use agnn_graph::datasets::Dataset;
 use agnn_serve::pool::{MigratePolicy, PlacementPolicy};
+use agnn_serve::sched::SchedKind;
 use agnn_serve::sim::{simulate, DispatchPolicy, ServeConfig};
 use agnn_serve::tenant::{ArrivalProcess, TenantSpec};
 use proptest::prelude::*;
@@ -447,6 +448,7 @@ proptest! {
         seed in proptest::any::<u64>(),
         boards in 1usize..6,
         placement_pick in 0u32..3,
+        scheduler_pick in 0u32..3,
         fifo in proptest::any::<bool>(),
         queue_capacity in 2usize..48,
     ) {
@@ -454,6 +456,13 @@ proptest! {
             0 => PlacementPolicy::TenantAffine,
             1 => PlacementPolicy::LeastLoaded,
             _ => PlacementPolicy::BitstreamAffine,
+        };
+        let scheduler = match scheduler_pick {
+            0 => SchedKind::Fifo,
+            // A quota *below* the aggregate capacity, so the per-tenant
+            // drop path is exercised too.
+            1 => SchedKind::WeightedFair { per_tenant_quota: 8 },
+            _ => SchedKind::slo_aware(),
         };
         let policy = if fifo {
             DispatchPolicy::Fifo
@@ -470,17 +479,24 @@ proptest! {
                 boards,
                 placement,
                 policy,
+                scheduler,
                 ..ServeConfig::default()
             },
         );
         prop_assert_eq!(
             report.completed() + report.dropped(),
             total,
-            "conservation violated: boards={} placement={} seed={}",
+            "conservation violated: boards={} placement={} scheduler={} seed={}",
             boards,
             placement.name(),
+            scheduler.name(),
             seed
         );
+        // The satellite assert: the aggregate drop count is exactly the
+        // sum of the per-tenant counts — WFQ's per-tenant quota refusals
+        // are attributed to the right tenant, never pooled.
+        let tenant_drops: u64 = report.tenants.iter().map(|t| t.dropped).sum();
+        prop_assert_eq!(report.dropped(), tenant_drops);
         let per_tenant: u64 = report.tenants.iter().map(|t| t.completed + t.dropped).sum();
         prop_assert_eq!(per_tenant, total);
         let per_board: u64 = report.boards.iter().map(|b| b.completed).sum();
@@ -488,6 +504,165 @@ proptest! {
         prop_assert_eq!(report.boards.len(), boards);
         prop_assert!(report.queue_depth.max_depth() <= queue_capacity);
     }
+
+    /// The Fifo-equivalence invariant over the scheduler seam, from the
+    /// other side: with a single tenant there is nothing to arbitrate, so
+    /// weighted fair queueing (quota == the aggregate bound) must
+    /// reproduce the `SchedKind::Fifo` schedule bit-for-bit for any seed,
+    /// pool size and queue bound.
+    #[test]
+    fn wfq_with_one_tenant_degenerates_to_fifo(
+        seed in proptest::any::<u64>(),
+        boards in 1usize..4,
+        queue_capacity in 2usize..32,
+    ) {
+        let tenants = || vec![TenantSpec::new("solo", Dataset::Taobao, 30.0)];
+        let mk = |scheduler| {
+            simulate(
+                tenants(),
+                ServeConfig {
+                    seed,
+                    total_requests: 400,
+                    queue_capacity,
+                    boards,
+                    policy: DispatchPolicy::Fifo,
+                    scheduler,
+                    ..ServeConfig::default()
+                },
+            )
+        };
+        let fifo = mk(SchedKind::Fifo);
+        let wfq = mk(SchedKind::WeightedFair { per_tenant_quota: queue_capacity });
+        prop_assert_eq!(fifo.trace_digest, wfq.trace_digest);
+        prop_assert_eq!(fifo, wfq);
+    }
+}
+
+/// The tentpole headline at test scale: on the bursty-aggressor trace
+/// ([`TenantSpec::bursty_aggressor`] — two steady interactive victims plus
+/// one tenant whose diurnal bursts offer several times the pool's
+/// capacity) a shared FIFO queue lets the aggressor's backlog starve the
+/// victims, while weighted fair queueing (per-tenant quotas + deficit
+/// round robin) holds each victim's p99 within ~2× of its *isolated* run
+/// — the latency it would see with the aggressor absent entirely.
+#[test]
+fn wfq_bounds_victim_p99_under_a_bursty_aggressor() {
+    // `weighted_fair()` pins strict dispatch + overlap; swap only the
+    // scheduler so the compared runs differ in nothing else.
+    let config = |scheduler| ServeConfig {
+        seed: 4_242,
+        total_requests: 6_000,
+        queue_capacity: 512,
+        boards: 2,
+        scheduler,
+        ..ServeConfig::weighted_fair()
+    };
+    let fifo = simulate(
+        TenantSpec::bursty_aggressor(2.0, 40.0, 900.0),
+        config(SchedKind::Fifo),
+    );
+    let wfq = simulate(
+        TenantSpec::bursty_aggressor(2.0, 40.0, 900.0),
+        config(SchedKind::weighted_fair()),
+    );
+    // The isolated comparator: victims alone on the same pool.
+    let isolated = simulate(
+        TenantSpec::bursty_aggressor(2.0, 40.0, 900.0)
+            .into_iter()
+            .take(2)
+            .collect(),
+        config(SchedKind::Fifo),
+    );
+    for v in 0..2 {
+        let name = &wfq.tenants[v].name;
+        let iso_p99 = isolated.tenants[v].latency.quantile(0.99);
+        let wfq_p99 = wfq.tenants[v].latency.quantile(0.99);
+        let fifo_p99 = fifo.tenants[v].latency.quantile(0.99);
+        // ~2.2x observed; the gap to 1x is head-of-line blocking behind
+        // the one aggressor request already in service (no preemption),
+        // which no admission policy can remove. The CI `wfq_burst` gate
+        // pins the exact value +/-20%; this bound guards the semantics.
+        assert!(
+            wfq_p99 < iso_p99 * 2.5,
+            "{name}: WFQ must hold the victim near its isolated tail: \
+             {wfq_p99} vs isolated {iso_p99}"
+        );
+        assert!(
+            fifo_p99 > wfq_p99 * 10.0,
+            "{name}: FIFO must blow the victim tail up by an order of \
+             magnitude where WFQ does not: {fifo_p99} vs {wfq_p99}"
+        );
+        assert_eq!(
+            wfq.tenants[v].dropped, 0,
+            "{name}: the aggressor's burst cannot evict a victim's backlog"
+        );
+        assert!(
+            fifo.tenants[v].dropped > 0,
+            "{name}: the shared FIFO queue drops victim traffic"
+        );
+        assert!(
+            wfq.tenants[v].slo_violations < fifo.tenants[v].slo_violations,
+            "{name}: fair queueing must improve SLO attainment"
+        );
+    }
+    // The aggressor pays: its quota caps its backlog, so it drops more —
+    // but per-tenant accounting still conserves every request.
+    assert!(wfq.tenants[2].dropped > fifo.tenants[2].dropped);
+    assert_eq!(wfq.completed() + wfq.dropped(), 6_000);
+    // Determinism of the WFQ event model.
+    let again = simulate(
+        TenantSpec::bursty_aggressor(2.0, 40.0, 900.0),
+        config(SchedKind::weighted_fair()),
+    );
+    assert_eq!(again.trace_digest, wfq.trace_digest);
+    assert_eq!(again, wfq);
+}
+
+/// The SLO-gating headline at test scale: on the drift-heavy trace the
+/// per-request gain threshold keeps reprogramming the fabric as the
+/// dominant tenant rotates, but every tenant is comfortably inside a 1 s
+/// p99 budget — so the SLO-aware scheduler stops paying those stalls and
+/// the tail *improves* (the stalls were the tail).
+#[test]
+fn slo_gate_cuts_reconfigs_at_a_no_worse_tail() {
+    // Built on the `slo_aware()` preset (SLO gate over the pipelined
+    // reconfig-aware deployment); the ungated comparator swaps only the
+    // scheduler, so the preset's composition itself is what is pinned.
+    let config = |scheduler| ServeConfig {
+        seed: 7,
+        total_requests: 10_000,
+        queue_capacity: 512,
+        scheduler,
+        ..ServeConfig::slo_aware()
+    };
+    let ungated = simulate(drift_heavy_tenants(), config(SchedKind::Fifo));
+    let gated = simulate(drift_heavy_tenants(), config(SchedKind::slo_aware()));
+    assert!(
+        ungated.reconfigs > 100,
+        "the drift trace must thrash the ICAP for the gate to matter, saw {}",
+        ungated.reconfigs
+    );
+    assert!(
+        gated.reconfigs < ungated.reconfigs / 10,
+        "the SLO gate must eliminate most reconfigurations: {} vs {}",
+        gated.reconfigs,
+        ungated.reconfigs
+    );
+    let ungated_p99 = ungated.overall_latency().quantile(0.99);
+    let gated_p99 = gated.overall_latency().quantile(0.99);
+    assert!(
+        gated_p99 <= ungated_p99,
+        "a no-worse tail is the gate's contract: {gated_p99} vs {ungated_p99}"
+    );
+    assert_eq!(
+        gated.completed() + gated.dropped(),
+        ungated.completed() + ungated.dropped(),
+        "both face the same offered load"
+    );
+    // Determinism of the SLO-aware event model.
+    let again = simulate(drift_heavy_tenants(), config(SchedKind::slo_aware()));
+    assert_eq!(again.trace_digest, gated.trace_digest);
+    assert_eq!(again, gated);
 }
 
 /// The tentpole headline at test scale: on a memory-pressured pool
