@@ -7,7 +7,7 @@
 //! # gated metric — p99, reconfigs, host_upload_bytes):
 //! cargo run --release -p agnn-bench --bin bench_smoke -- \
 //!     --baseline ci/bench_serving_baseline.json --out BENCH_serving.json \
-//!     --summary "$GITHUB_STEP_SUMMARY"
+//!     --trace-out BENCH_trace.json --summary "$GITHUB_STEP_SUMMARY"
 //!
 //! # refresh the baseline after an intentional perf change (in-PR):
 //! cargo run --release -p agnn-bench --bin bench_smoke -- \
@@ -19,16 +19,34 @@
 //! regressions are readable without downloading the artifact). The table
 //! is written *before* the gate verdict is returned — a failing run still
 //! publishes its deltas.
+//!
+//! `--trace-out <file>` additionally replays the `migration_drift`
+//! scenario with a Perfetto trace sink attached
+//! ([`serving_smoke::perfetto_trace`]) and writes the
+//! `chrome://tracing` / [ui.perfetto.dev] JSON document — the CI job
+//! uploads it next to `BENCH_serving.json` so a regressed run's
+//! board-resource timeline can be inspected without a local rebuild.
+//! The document is sanity-parsed (valid JSON, nonzero `traceEvents`)
+//! before it is written: a malformed trace fails the run, never lands
+//! as a green artifact.
+//!
+//! [ui.perfetto.dev]: https://ui.perfetto.dev
 
 use std::process::ExitCode;
 
 use agnn_bench::{perfgate, serving_smoke};
+
+/// The sweep case `--trace-out` replays: the scenario exercising the
+/// most machinery at once (pipelined boards, LRU eviction, peer
+/// migration), so its trace shows every track the writer knows.
+const TRACE_SCENARIO: &str = "migration_drift";
 
 struct Args {
     out: Option<String>,
     baseline: Option<String>,
     write_baseline: Option<String>,
     summary: Option<String>,
+    trace_out: Option<String>,
     tolerance: f64,
 }
 
@@ -38,6 +56,7 @@ fn parse_args() -> Result<Args, String> {
         baseline: None,
         write_baseline: None,
         summary: None,
+        trace_out: None,
         tolerance: 0.20,
     };
     let mut it = std::env::args().skip(1);
@@ -48,6 +67,7 @@ fn parse_args() -> Result<Args, String> {
             "--baseline" => args.baseline = Some(value("--baseline")?),
             "--write-baseline" => args.write_baseline = Some(value("--write-baseline")?),
             "--summary" => args.summary = Some(value("--summary")?),
+            "--trace-out" => args.trace_out = Some(value("--trace-out")?),
             "--tolerance" => {
                 args.tolerance = value("--tolerance")?
                     .parse::<f64>()
@@ -94,6 +114,22 @@ fn run() -> Result<(), String> {
         let baseline = serving_smoke::render_baseline_json(&sweep);
         std::fs::write(path, baseline).map_err(|e| format!("writing {path}: {e}"))?;
         println!("wrote baseline {path}");
+    }
+    if let Some(path) = &args.trace_out {
+        let trace = serving_smoke::perfetto_trace(TRACE_SCENARIO)
+            .ok_or_else(|| format!("unknown trace scenario '{TRACE_SCENARIO}'"))?;
+        // Sanity-parse before writing: an artifact Perfetto cannot load
+        // must fail the run, not land green.
+        let doc = perfgate::parse(&trace).map_err(|e| format!("trace does not parse: {e}"))?;
+        let events = doc
+            .get("traceEvents")
+            .and_then(perfgate::Json::as_arr)
+            .map_or(0, <[perfgate::Json]>::len);
+        if events == 0 {
+            return Err("trace parsed but carries no traceEvents".to_string());
+        }
+        std::fs::write(path, &trace).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote Perfetto trace {path} ({TRACE_SCENARIO}, {events} events)");
     }
 
     if let Some(path) = &args.baseline {

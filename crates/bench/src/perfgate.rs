@@ -30,6 +30,15 @@
 //!   per-tenant drop counts), each tenant present on both sides is gated
 //!   with the same tolerance — a baseline of zero victim drops means
 //!   *any* victim drop fails, which is the fairness isolation contract;
+//! - when both documents record a scenario's `sim_events_per_sec` (the
+//!   simulator's own event-processing throughput), the gate is
+//!   **inverted** — it fails when the run is *slower* than the baseline
+//!   by more than [`SIM_SPEED_TOLERANCE`]. That tolerance is deliberately
+//!   generous (40 %, vs 20 % for the simulated metrics) because wall
+//!   clock on a shared CI runner is noisy in a way simulated seconds are
+//!   not; the gate exists to catch a simulator that got *several times*
+//!   slower (an accidental `O(n²)` scan, tracing overhead leaking into
+//!   the `NullSink` path), not to flag scheduler jitter;
 //! - improvements beyond the tolerance are reported as notes, nudging the
 //!   author to refresh the baseline in the same PR;
 //! - keys the gate does not know are **ignored, never fatal** — run
@@ -38,6 +47,14 @@
 //!   baseline must keep gating a new artifact.
 
 use std::collections::BTreeMap;
+
+/// Regression tolerance for `sim_events_per_sec` — deliberately wider
+/// than the 20 % used for simulated metrics, because this is the one
+/// gated number measured in *host* wall clock: shared CI runners jitter
+/// by tens of percent run to run. 40 % still catches the failures the
+/// gate exists for (a simulator that got severalfold slower, or tracing
+/// overhead leaking into the default `NullSink` path).
+pub const SIM_SPEED_TOLERANCE: f64 = 0.40;
 
 /// A parsed JSON value. Objects keep insertion order irrelevant — lookups
 /// go through a sorted map, which is all the gate needs.
@@ -204,11 +221,18 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                 *pos += 1;
             }
             Some(_) => {
-                // Consume one UTF-8 scalar (the input is a valid &str).
-                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
-                let c = rest.chars().next().expect("non-empty by bounds check");
-                out.push(c);
-                *pos += c.len_utf8();
+                // Consume the whole unescaped run in one go. Byte-wise
+                // scanning is UTF-8-safe ('"' and '\\' never appear in
+                // continuation bytes), and pushing the run as a chunk
+                // keeps parsing O(n) — per-char `from_utf8` on the tail
+                // made string-heavy documents (the Perfetto trace is
+                // megabytes of short strings) quadratic.
+                let start = *pos;
+                while *pos < bytes.len() && !matches!(bytes[*pos], b'"' | b'\\') {
+                    *pos += 1;
+                }
+                let run = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+                out.push_str(run);
             }
         }
     }
@@ -296,6 +320,10 @@ struct ScenarioMetrics {
     /// Per-tenant drop counts; each tenant present on both sides is
     /// gated.
     tenant_drops: Option<BTreeMap<String, f64>>,
+    /// The simulator's own event throughput (host wall clock); gated
+    /// *inverted* — lower is a regression — at [`SIM_SPEED_TOLERANCE`]
+    /// when both sides carry it.
+    sim_events_per_sec: Option<f64>,
 }
 
 /// Extracts `scenarios[].{name, p99_secs, reconfigs?, host_upload_bytes?,
@@ -325,6 +353,7 @@ fn scenario_metrics(doc: &Json) -> Result<Vec<(String, ScenarioMetrics)>, String
                     .filter_map(|(tenant, v)| v.as_f64().map(|d| (tenant.clone(), d)))
                     .collect()
             });
+            let sim_events_per_sec = s.get("sim_events_per_sec").and_then(Json::as_f64);
             Ok((
                 name,
                 ScenarioMetrics {
@@ -333,6 +362,7 @@ fn scenario_metrics(doc: &Json) -> Result<Vec<(String, ScenarioMetrics)>, String
                     host_upload_bytes,
                     victim_p99_secs,
                     tenant_drops,
+                    sim_events_per_sec,
                 },
             ))
         })
@@ -420,6 +450,28 @@ pub fn gate_p99(baseline: &Json, current: &Json, tolerance: f64) -> Result<GateO
                 }
             }
         }
+        if let (Some(base_ev), Some(cur_ev)) = (base_m.sim_events_per_sec, cur_m.sim_events_per_sec)
+        {
+            // Inverted gate: the regression direction is *down*. The
+            // floor uses SIM_SPEED_TOLERANCE, not the caller's
+            // `tolerance` — host wall clock on a CI runner deserves far
+            // more slack than simulated seconds (see the const's docs).
+            let floor = base_ev * (1.0 - SIM_SPEED_TOLERANCE);
+            if cur_ev < floor {
+                outcome.failures.push(format!(
+                    "'{name}' sim speed regressed: {cur_ev:.0} events/s vs baseline \
+                     {base_ev:.0} (floor {floor:.0}, -{:.1} %) — the simulator itself \
+                     got slower, beyond even the generous CI-noise tolerance",
+                    (1.0 - cur_ev / base_ev) * 100.0
+                ));
+            } else if cur_ev > base_ev * (1.0 + SIM_SPEED_TOLERANCE) {
+                outcome.notes.push(format!(
+                    "'{name}' sim speed improved {:.1} % past the tolerance — consider \
+                     refreshing the baseline ({cur_ev:.0} events/s vs {base_ev:.0})",
+                    (cur_ev / base_ev - 1.0) * 100.0
+                ));
+            }
+        }
     }
     let base_names: std::collections::BTreeSet<&str> =
         base.iter().map(|(name, _)| name.as_str()).collect();
@@ -486,15 +538,15 @@ pub fn render_summary_table(baseline: &Json, current: &Json) -> Result<String, S
     out.push_str(
         "| scenario | p99 ms (base → run) | Δ p99 | reconfigs (base → run) \
          | host GB (base → run) | Δ host | victim p99 ms (base → run) | Δ victim \
-         | tenant drops (base → run) |\n",
+         | tenant drops (base → run) | sim kev/s (base → run) |\n",
     );
-    out.push_str("|---|---|---|---|---|---|---|---|---|\n");
+    out.push_str("|---|---|---|---|---|---|---|---|---|---|\n");
     for (name, b) in &base {
         match cur_map.get(name) {
             Some(c) => {
                 out.push_str(&format!(
                     "| `{name}` | {:.1} → {:.1} | {} | {} → {} | {} → {} | {} \
-                     | {} → {} | {} | {} |\n",
+                     | {} → {} | {} | {} | {} → {} |\n",
                     b.p99_secs * 1e3,
                     c.p99_secs * 1e3,
                     pct(b.p99_secs, c.p99_secs),
@@ -507,11 +559,13 @@ pub fn render_summary_table(baseline: &Json, current: &Json) -> Result<String, S
                     opt(c.victim_p99_secs, 1e3, 1),
                     opt_pct(b.victim_p99_secs, c.victim_p99_secs),
                     drops_cell(b.tenant_drops.as_ref(), c.tenant_drops.as_ref()),
+                    opt(b.sim_events_per_sec, 1e-3, 0),
+                    opt(c.sim_events_per_sec, 1e-3, 0),
                 ));
             }
             None => {
                 out.push_str(&format!(
-                    "| `{name}` | {:.1} → **missing from run** | — | — | — | — | — | — | — |\n",
+                    "| `{name}` | {:.1} → **missing from run** | — | — | — | — | — | — | — | — |\n",
                     b.p99_secs * 1e3,
                 ));
             }
@@ -523,11 +577,12 @@ pub fn render_summary_table(baseline: &Json, current: &Json) -> Result<String, S
         if !base_names.contains(name.as_str()) {
             out.push_str(&format!(
                 "| `{name}` | **not in baseline** → {:.1} | — | — → {} | — → {} | — \
-                 | — → {} | — | — |\n",
+                 | — → {} | — | — | — → {} |\n",
                 c.p99_secs * 1e3,
                 opt(c.reconfigs, 1.0, 0),
                 opt(c.host_upload_bytes, 1e-9, 2),
                 opt(c.victim_p99_secs, 1e3, 1),
+                opt(c.sim_events_per_sec, 1e-3, 0),
             ));
         }
     }
@@ -743,10 +798,42 @@ mod tests {
     }
 
     #[test]
+    fn sim_speed_gate_is_inverted_and_generous() {
+        let row = |ev: f64| {
+            parse(&format!(
+                r#"{{"scenarios": [{{"name": "s", "p99_secs": 1.0, "sim_events_per_sec": {ev}}}]}}"#
+            ))
+            .unwrap()
+        };
+        let baseline = row(100_000.0);
+        // 35 % slower sits inside the 40 % CI-noise tolerance — no
+        // matter how tight the caller's simulated-metric tolerance is.
+        let noisy = gate_p99(&baseline, &row(65_000.0), 0.05).unwrap();
+        assert!(noisy.passed(), "{:?}", noisy.failures);
+        // Severalfold slower fails: that is a real simulator regression.
+        let slow = gate_p99(&baseline, &row(30_000.0), 0.20).unwrap();
+        assert!(!slow.passed());
+        assert!(
+            slow.failures[0].contains("sim speed"),
+            "{:?}",
+            slow.failures
+        );
+        // Faster never fails (the inversion), but a big win earns a
+        // refresh note.
+        let fast = gate_p99(&baseline, &row(1_000_000.0), 0.20).unwrap();
+        assert!(fast.passed(), "{:?}", fast.failures);
+        assert_eq!(fast.notes.len(), 1, "{:?}", fast.notes);
+        // A baseline without the field (pre-v4 schema) gates p99 only.
+        let legacy = gate_p99(&doc(&[("s", 1.0)]), &row(1.0), 0.2).unwrap();
+        assert!(legacy.passed(), "{:?}", legacy.failures);
+    }
+
+    #[test]
     fn summary_table_shows_deltas_and_holes() {
         let baseline = parse(
             r#"{"scenarios": [
-                {"name": "a", "p99_secs": 1.0, "reconfigs": 10, "host_upload_bytes": 50000000000},
+                {"name": "a", "p99_secs": 1.0, "reconfigs": 10, "host_upload_bytes": 50000000000,
+                 "sim_events_per_sec": 450000},
                 {"name": "b", "p99_secs": 10.0, "victim_p99_secs": 0.8,
                  "tenant_drops": {"victim": 0, "aggressor": 4000}},
                 {"name": "gone", "p99_secs": 0.5}]}"#,
@@ -754,7 +841,8 @@ mod tests {
         .unwrap();
         let run = parse(
             r#"{"scenarios": [
-                {"name": "a", "p99_secs": 1.1, "reconfigs": 12, "host_upload_bytes": 25000000000},
+                {"name": "a", "p99_secs": 1.1, "reconfigs": 12, "host_upload_bytes": 25000000000,
+                 "sim_events_per_sec": 520000},
                 {"name": "b", "p99_secs": 10.0, "victim_p99_secs": 1.6,
                  "tenant_drops": {"victim": 5, "aggressor": 4000}},
                 {"name": "new", "p99_secs": 0.2, "reconfigs": 3}]}"#,
@@ -765,7 +853,7 @@ mod tests {
         assert!(
             table.contains(
                 "| `a` | 1000.0 → 1100.0 | +10.0% | 10 → 12 | 50.00 → 25.00 | -50.0% \
-                 | — → — | — | — |"
+                 | — → — | — | — | 450 → 520 |"
             ),
             "{table}"
         );
@@ -773,7 +861,8 @@ mod tests {
         // or per-tenant-drop regression must be visible in the summary,
         // not only in the gate's stderr.
         assert!(
-            table.contains("| 800.0 → 1600.0 | +100.0% | aggressor 4000→4000, victim 0→5 |"),
+            table
+                .contains("| 800.0 → 1600.0 | +100.0% | aggressor 4000→4000, victim 0→5 | — → — |"),
             "{table}"
         );
         assert!(table.contains("**missing from run**"), "{table}");

@@ -42,21 +42,26 @@
 //!    its SLO budget. The gate protects its reconfig count (the cut is
 //!    the point) and its p99 (the cut must not cost the tail).
 //!
-//! [`render_json`] emits the deterministic `BENCH_serving.json` document
-//! (scenario rows also carry the per-stage report, the pipeline-overlap
-//! ratio, eviction/migration counts and the switch/host byte split);
+//! [`render_json`] emits the `BENCH_serving.json` document (scenario
+//! rows also carry the per-stage report, the pipeline-overlap ratio,
+//! eviction/migration counts, the switch/host byte split and the
+//! simulator's own `sim_wall_secs` / `sim_events_per_sec` — the only
+//! non-deterministic members, being host wall clock);
 //! [`crate::perfgate`] compares its `scenarios[].p99_secs`,
 //! `scenarios[].reconfigs`, `scenarios[].host_upload_bytes`,
-//! `scenarios[].victim_p99_secs` and `scenarios[].tenant_drops` against
-//! the checked-in baseline and ignores keys it does not know.
+//! `scenarios[].victim_p99_secs`, `scenarios[].tenant_drops` and
+//! (inverted, at a generous tolerance) `scenarios[].sim_events_per_sec`
+//! against the checked-in baseline and ignores keys it does not know.
+//! [`perfetto_trace`] replays one named case with a
+//! [`ChromeTraceWriter`] attached for the `--trace-out` flag.
 
 use agnn_graph::datasets::Dataset;
 use agnn_serve::metrics::{json_f64, json_str};
 use agnn_serve::pool::{MigratePolicy, PlacementPolicy};
 use agnn_serve::sched::SchedKind;
-use agnn_serve::sim::{simulate, ServeConfig};
+use agnn_serve::sim::{simulate, ServeConfig, TrafficSim};
 use agnn_serve::tenant::{ArrivalProcess, TenantSpec};
-use agnn_serve::TrafficReport;
+use agnn_serve::{ChromeTraceWriter, TrafficReport};
 
 /// Deployment seed of the sweep (fixed: the artifact must be reproducible).
 pub const SMOKE_SEED: u64 = 4_242;
@@ -145,8 +150,19 @@ fn burst_tenants() -> Vec<TenantSpec> {
     TenantSpec::bursty_aggressor(2.0, 40.0, 900.0)
 }
 
-/// Runs the full sweep (deterministic in [`SMOKE_SEED`]).
-pub fn run_sweep() -> Vec<Scenario> {
+/// One sweep case before simulation: stable name, tenant mix, full
+/// configuration and the victim tenants the fairness gate tracks.
+type SweepCase = (
+    &'static str,
+    Vec<TenantSpec>,
+    ServeConfig,
+    &'static [&'static str],
+);
+
+/// The sweep's case list — the single source of truth shared by
+/// [`run_sweep`] (which simulates every case) and [`perfetto_trace`]
+/// (which replays one named case with a trace sink attached).
+fn sweep_cases() -> Vec<SweepCase> {
     let base = ServeConfig {
         seed: SMOKE_SEED,
         total_requests: SMOKE_REQUESTS,
@@ -164,12 +180,7 @@ pub fn run_sweep() -> Vec<Scenario> {
         boards: 2,
         ..ServeConfig::weighted_fair()
     };
-    let cases: [(
-        &'static str,
-        Vec<TenantSpec>,
-        ServeConfig,
-        &'static [&'static str],
-    ); 8] = [
+    vec![
         (
             "single_board_reconfig_aware",
             smoke_tenants(),
@@ -238,8 +249,12 @@ pub fn run_sweep() -> Vec<Scenario> {
             },
             &[],
         ),
-    ];
-    cases
+    ]
+}
+
+/// Runs the full sweep (deterministic in [`SMOKE_SEED`]).
+pub fn run_sweep() -> Vec<Scenario> {
+    sweep_cases()
         .into_iter()
         .map(|(name, tenants, config, victims)| Scenario {
             name,
@@ -248,6 +263,24 @@ pub fn run_sweep() -> Vec<Scenario> {
             report: simulate(tenants, config),
         })
         .collect()
+}
+
+/// Replays the named sweep case with a [`ChromeTraceWriter`] attached and
+/// returns the Perfetto / `chrome://tracing` JSON document, or `None` for
+/// an unknown scenario name.
+///
+/// The replay is the *identical* simulation `run_sweep` ran — same seed,
+/// same configuration — so the trace's spans line up with the gated
+/// numbers in `BENCH_serving.json` (sinks are write-only; see
+/// [`TrafficSim::run_traced`]).
+pub fn perfetto_trace(scenario_name: &str) -> Option<String> {
+    let (_, tenants, config, _) = sweep_cases()
+        .into_iter()
+        .find(|(name, ..)| *name == scenario_name)?;
+    let names = tenants.iter().map(|t| t.name.clone()).collect();
+    let mut writer = ChromeTraceWriter::with_tenant_names(names);
+    TrafficSim::new(tenants, config).run_traced(&mut writer);
+    Some(writer.finish())
 }
 
 /// Renders the sweep as the `BENCH_serving.json` document: a scenario
@@ -280,6 +313,8 @@ pub fn render_json(scenarios: &[Scenario]) -> String {
                     "\"migrations\":{migrations},",
                     "\"switch_bytes\":{switch_bytes},",
                     "\"host_upload_bytes\":{host_upload_bytes},",
+                    "\"sim_wall_secs\":{sim_wall},",
+                    "\"sim_events_per_sec\":{sim_rate},",
                     "\"report\":{report}}}"
                 ),
                 name = json_str(s.name),
@@ -298,13 +333,15 @@ pub fn render_json(scenarios: &[Scenario]) -> String {
                 migrations = s.report.migrations(),
                 switch_bytes = s.report.switch_bytes(),
                 host_upload_bytes = s.report.host_upload_bytes(),
+                sim_wall = json_f64(s.report.sim.wall_secs),
+                sim_rate = json_f64(s.report.sim.events_per_sec()),
                 report = s.report.to_json(),
             )
         })
         .collect();
     format!(
         concat!(
-            "{{\"schema\":\"agnn-bench-serving/v4\",\"seed\":{seed},",
+            "{{\"schema\":\"agnn-bench-serving/v5\",\"seed\":{seed},",
             "\"total_requests\":{requests},\"scenarios\":[{rows}]}}"
         ),
         seed = SMOKE_SEED,
@@ -314,9 +351,15 @@ pub fn render_json(scenarios: &[Scenario]) -> String {
 }
 
 /// Renders only the gate schema (`scenarios[].name` / `p99_secs` /
-/// `reconfigs` / `host_upload_bytes`, plus `victim_p99_secs` and
-/// `tenant_drops` on scenarios with victims) — the compact form checked
-/// in as the baseline.
+/// `reconfigs` / `host_upload_bytes` / `sim_events_per_sec`, plus
+/// `victim_p99_secs` and `tenant_drops` on scenarios with victims) — the
+/// compact form checked in as the baseline.
+///
+/// `sim_events_per_sec` is the one member measured in *host* wall clock:
+/// the checked-in value captures the writer's machine, the gate compares
+/// at the generous [`crate::perfgate::SIM_SPEED_TOLERANCE`], and the CI
+/// stale-baseline guard filters the member out before diffing (it can
+/// never be byte-reproduced on another host).
 pub fn render_baseline_json(scenarios: &[Scenario]) -> String {
     let rows: Vec<String> = scenarios
         .iter()
@@ -330,17 +373,18 @@ pub fn render_baseline_json(scenarios: &[Scenario]) -> String {
                 None => String::new(),
             };
             format!(
-                "\n  {{\"name\":{},\"p99_secs\":{},\"reconfigs\":{},\"host_upload_bytes\":{}{}}}",
+                "\n  {{\"name\":{},\"p99_secs\":{},\"reconfigs\":{},\"host_upload_bytes\":{}{},\"sim_events_per_sec\":{}}}",
                 json_str(s.name),
                 json_f64(s.report.overall_latency().quantile(0.99)),
                 s.report.reconfigs,
                 s.report.host_upload_bytes(),
                 fairness,
+                json_f64(s.report.sim.events_per_sec()),
             )
         })
         .collect();
     format!(
-        "{{\"schema\":\"agnn-bench-serving-baseline/v3\",\"seed\":{},\"scenarios\":[{}\n]}}\n",
+        "{{\"schema\":\"agnn-bench-serving-baseline/v4\",\"seed\":{},\"scenarios\":[{}\n]}}\n",
         SMOKE_SEED,
         rows.join(",")
     )
@@ -353,8 +397,21 @@ mod tests {
 
     #[test]
     fn sweep_is_deterministic_and_json_parses() {
-        let a = run_sweep();
-        let b = run_sweep();
+        let mut a = run_sweep();
+        let mut b = run_sweep();
+        // Before zeroing: the live sweep must actually carry the sim
+        // self-metrics the gate consumes.
+        for s in &a {
+            assert!(s.report.sim.events > 0, "{}", s.name);
+            assert!(s.report.sim.wall_secs > 0.0, "{}", s.name);
+            assert!(s.report.sim.events_per_sec() > 0.0, "{}", s.name);
+        }
+        // The sim self-metrics (wall clock) are the artifact's only
+        // non-deterministic bytes; zero them on both sides so the rest
+        // of the document byte-compares.
+        for s in a.iter_mut().chain(b.iter_mut()) {
+            s.report.sim = agnn_serve::SimPerf::default();
+        }
         assert_eq!(render_json(&a), render_json(&b), "byte-identical artifacts");
         let doc = perfgate::parse(&render_json(&a)).expect("artifact parses");
         assert_eq!(
@@ -367,6 +424,38 @@ mod tests {
         // A run always passes the gate against its own baseline.
         let outcome = perfgate::gate_p99(&baseline, &doc, 0.20).unwrap();
         assert!(outcome.passed(), "{:?}", outcome.failures);
+    }
+
+    /// The `--trace-out` path: replaying a sweep case with the Chrome
+    /// writer attached yields a dense, parseable Perfetto document whose
+    /// gated numbers match the sweep's (sinks are write-only).
+    #[test]
+    fn perfetto_trace_replays_a_scenario_and_parses() {
+        assert!(perfetto_trace("no_such_scenario").is_none());
+        let trace = perfetto_trace("migration_drift").expect("known scenario");
+        let doc = perfgate::parse(&trace).expect("trace is valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(perfgate::Json::as_arr)
+            .expect("traceEvents array");
+        assert!(
+            events.len() > 1_000,
+            "a {SMOKE_REQUESTS}-request replay must emit a dense trace, got {} events",
+            events.len()
+        );
+        let phase = |e: &perfgate::Json| {
+            e.get("ph")
+                .and_then(perfgate::Json::as_str)
+                .map(str::to_string)
+        };
+        let phases: std::collections::BTreeSet<String> = events.iter().filter_map(phase).collect();
+        for required in ["X", "M", "C", "s", "t", "f"] {
+            assert!(
+                phases.contains(required),
+                "trace must carry '{required}' events (spans, metadata, \
+                 counters and flow arrows), got {phases:?}"
+            );
+        }
     }
 
     #[test]

@@ -47,8 +47,20 @@
 //!   per-tenant queue-wait distributions, drop and SLO-violation
 //!   counters, a pipeline-overlap ratio, throughput, queue-depth
 //!   timelines, per-board breakdowns, an order-sensitive event-trace
-//!   digest for reproducibility checks, and a byte-stable JSON rendering
-//!   ([`metrics::TrafficReport::to_json`]).
+//!   digest for reproducibility checks, an exact five-way stall
+//!   attribution of every completed request's latency
+//!   ([`metrics::StallBreakdown`]), the simulator's own speed
+//!   ([`metrics::SimPerf`]) and a byte-stable JSON rendering
+//!   ([`metrics::TrafficReport::to_json`]);
+//! - [`trace`] — flight-recorder tracing: the event loop narrates
+//!   per-request lifecycle spans, board-resource occupancy and counter
+//!   samples into a [`trace::TraceSink`]
+//!   ([`sim::TrafficSim::run_traced`]), with a zero-cost
+//!   [`trace::NullSink`] default (bit-for-bit the untraced run), a
+//!   bounded [`trace::FlightRecorder`] ring for post-mortem queries, and
+//!   a [`trace::ChromeTraceWriter`] exporting Perfetto /
+//!   `chrome://tracing` JSON with per-board resource tracks and
+//!   per-request flow arrows.
 //!
 //! Every price the scheduler pays — upload delta, per-stage preprocessing,
 //! subgraph hand-off, ICAP stall, GPU inference tail — comes from the same
@@ -66,7 +78,10 @@
 //! scenario's p99, reconfiguration count or host-upload bytes regresses
 //! more than 20 % past the checked-in baseline
 //! `ci/bench_serving_baseline.json` — including `migration_drift`, whose
-//! host-byte saving is the point of cross-board migration. A
+//! host-byte saving is the point of cross-board migration. The simulator
+//! also gates **itself**: each scenario row carries `sim_events_per_sec`
+//! ([`metrics::SimPerf`]), failed only on a much more generous 40 %
+//! slowdown because wall-clock rows ride CI-runner noise. A
 //! baseline-vs-run delta table lands in the job summary. Intentional
 //! regressions update the baseline in the same PR:
 //!
@@ -104,15 +119,17 @@ pub mod pool;
 pub mod sched;
 pub mod sim;
 pub mod tenant;
+pub mod trace;
 
 pub use metrics::{
-    BoardStats, CompletedRequest, LatencyHistogram, RequestLatency, StageHistograms, TenantStats,
-    TrafficReport,
+    BoardStats, CompletedRequest, LatencyHistogram, RequestLatency, SimPerf, StageHistograms,
+    StallBreakdown, TenantStats, TrafficReport,
 };
 pub use pool::{BoardPool, MigratePolicy, MigrationTransfer, PlacementPolicy};
 pub use sched::{SchedKind, SchedPolicy};
 pub use sim::{simulate, DispatchPolicy, ServeConfig, TrafficSim};
 pub use tenant::{ArrivalProcess, Drift, TenantSpec};
+pub use trace::{ChromeTraceWriter, FlightRecorder, NullSink, TraceSink};
 
 #[cfg(test)]
 mod tests {

@@ -158,6 +158,101 @@ impl RequestLatency {
     }
 }
 
+/// Aggregate stall attribution: every completed request's end-to-end
+/// latency, partitioned **exactly** into five components (the partition
+/// is a regrouping of [`RequestLatency`]'s fields, so the five sum to
+/// [`RequestLatency::total`] by construction — the conservation the
+/// property tests pin). "Where did the p99 go" becomes a report field:
+///
+/// - **queue** — waiting for the scheduler (admission queue + in-pipeline
+///   staging/hand-off waits: the time nobody was working on the request);
+/// - **reconfig** — ICAP reconfiguration stalls charged to the request;
+/// - **dma** — the host/switch→board graph upload leg;
+/// - **fabric** — accelerator preprocessing;
+/// - **handoff** — the board→GPU subgraph download plus the GPU
+///   inference tail.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StallBreakdown {
+    /// Seconds waiting for service (queue + pipeline stage waits).
+    pub queue_secs: f64,
+    /// Seconds stalled on ICAP reconfiguration.
+    pub reconfig_secs: f64,
+    /// Seconds on the DMA upload leg.
+    pub dma_secs: f64,
+    /// Seconds preprocessing on the fabric.
+    pub fabric_secs: f64,
+    /// Seconds handing the subgraph off (download + inference tail).
+    pub handoff_secs: f64,
+}
+
+impl StallBreakdown {
+    /// One request's latency partitioned into the five components.
+    pub fn of(latency: &RequestLatency) -> Self {
+        StallBreakdown {
+            queue_secs: latency.queue_secs + latency.stage_wait_secs,
+            reconfig_secs: latency.reconfig_secs,
+            dma_secs: latency.upload_secs,
+            fabric_secs: latency.preprocess_secs,
+            handoff_secs: latency.download_secs + latency.inference_secs,
+        }
+    }
+
+    /// Sum of the five components — equals [`RequestLatency::total`] for
+    /// a breakdown built by [`StallBreakdown::of`].
+    pub fn total(&self) -> f64 {
+        self.queue_secs + self.reconfig_secs + self.dma_secs + self.fabric_secs + self.handoff_secs
+    }
+
+    /// Adds another breakdown (aggregation across requests).
+    pub fn accumulate(&mut self, other: &StallBreakdown) {
+        self.queue_secs += other.queue_secs;
+        self.reconfig_secs += other.reconfig_secs;
+        self.dma_secs += other.dma_secs;
+        self.fabric_secs += other.fabric_secs;
+        self.handoff_secs += other.handoff_secs;
+    }
+}
+
+/// The simulator measuring itself: wall-clock runtime and event count of
+/// the run that produced a report.
+///
+/// These numbers describe the **measurement**, not the simulated system —
+/// they vary run to run and machine to machine while the simulated
+/// schedule stays bit-identical. `PartialEq` therefore ignores them
+/// (two reports of the same simulated run compare equal regardless of
+/// host speed), and byte-compare tests zero the field before rendering;
+/// [`TrafficReport::to_json`] is where they surface for the CI sim-speed
+/// gate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimPerf {
+    /// Wall-clock seconds the event loop ran.
+    pub wall_secs: f64,
+    /// Heap events processed.
+    pub events: u64,
+}
+
+impl SimPerf {
+    /// Events processed per wall-clock second (0 when the clock did not
+    /// advance — sub-resolution runs cannot claim infinite speed).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.events as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+impl PartialEq for SimPerf {
+    /// Always equal: self-metrics are properties of the host, not the
+    /// simulated run (see the type docs) — determinism tests assert full
+    /// report equality across replays whose wall clocks necessarily
+    /// differ.
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
 /// Per-lifecycle-stage latency distributions across all served requests:
 /// ingest (graph-delta upload), preprocess (fabric), compute (subgraph
 /// hand-off + GPU inference tail). Recorded in both serial and pipelined
@@ -381,6 +476,14 @@ pub struct TrafficReport {
     /// Completed-request log (empty unless
     /// [`crate::sim::ServeConfig::log_requests`] was set).
     pub requests: Vec<CompletedRequest>,
+    /// Aggregate stall attribution summed over every completed request
+    /// (each request's five components sum to its end-to-end latency).
+    pub stall: StallBreakdown,
+    /// The simulator's own speed (wall clock + events). The **only**
+    /// non-deterministic report field: excluded from `PartialEq` (see
+    /// [`SimPerf`]) and from [`fmt::Display`], included in
+    /// [`TrafficReport::to_json`] for the CI sim-speed gate.
+    pub sim: SimPerf,
     /// Order-sensitive digest of the full event trace; equal digests mean
     /// identical schedules, completions and latencies.
     pub trace_digest: u64,
@@ -481,12 +584,15 @@ impl TrafficReport {
     /// shortest-roundtrip float formatting, the trace digest as a hex
     /// string (JSON numbers cannot carry a full `u64`). Two runs with the
     /// same seed produce byte-identical documents — which is what the CI
-    /// `bench-smoke` artifact and perf gate compare.
+    /// `bench-smoke` artifact and perf gate compare — **except** the
+    /// `sim_*` self-metric fields, which report the host's wall clock and
+    /// are the document's only non-deterministic bytes (byte-compare
+    /// tests zero [`TrafficReport::sim`] before rendering).
     pub fn to_json(&self) -> String {
         let overall = self.overall_latency();
         let mut out = String::with_capacity(1024);
         out.push('{');
-        push_field(&mut out, "schema", &json_str("agnn-serve-report/v4"));
+        push_field(&mut out, "schema", &json_str("agnn-serve-report/v5"));
         push_field(&mut out, "pool_size", &self.pool_size().to_string());
         push_field(&mut out, "completed", &self.completed().to_string());
         push_field(&mut out, "dropped", &self.dropped().to_string());
@@ -522,6 +628,30 @@ impl TrafficReport {
         })
         .collect();
         push_field(&mut out, "stages", &format!("[{}]", stages.join(",")));
+        let mut stall = String::new();
+        stall.push('{');
+        push_field(&mut stall, "queue_secs", &json_f64(self.stall.queue_secs));
+        push_field(
+            &mut stall,
+            "reconfig_secs",
+            &json_f64(self.stall.reconfig_secs),
+        );
+        push_field(&mut stall, "dma_secs", &json_f64(self.stall.dma_secs));
+        push_field(&mut stall, "fabric_secs", &json_f64(self.stall.fabric_secs));
+        push_field(
+            &mut stall,
+            "handoff_secs",
+            &json_f64(self.stall.handoff_secs),
+        );
+        close_obj(&mut stall);
+        push_field(&mut out, "stall_attribution", &stall);
+        push_field(&mut out, "sim_wall_secs", &json_f64(self.sim.wall_secs));
+        push_field(&mut out, "sim_events", &self.sim.events.to_string());
+        push_field(
+            &mut out,
+            "sim_events_per_sec",
+            &json_f64(self.sim.events_per_sec()),
+        );
         push_field(&mut out, "overlap_secs", &json_f64(self.overlap_secs));
         push_field(
             &mut out,
@@ -708,6 +838,20 @@ impl fmt::Display for TrafficReport {
             self.stages.preprocess.quantile(0.99) * 1e3,
             self.stages.compute.quantile(0.99) * 1e3,
         )?;
+        let total = self.stall.total();
+        if total > 0.0 {
+            writeln!(
+                f,
+                "stall attribution: queue {:.1}% | reconfig {:.1}% | dma {:.1}% | \
+                 fabric {:.1}% | handoff {:.1}% of {:.1} request-s",
+                self.stall.queue_secs / total * 100.0,
+                self.stall.reconfig_secs / total * 100.0,
+                self.stall.dma_secs / total * 100.0,
+                self.stall.fabric_secs / total * 100.0,
+                self.stall.handoff_secs / total * 100.0,
+                total,
+            )?;
+        }
         if self.dma_secs() > 0.0 {
             writeln!(
                 f,
@@ -848,6 +992,8 @@ mod tests {
             stages: StageHistograms::default(),
             overlap_secs: 0.0,
             requests: Vec::new(),
+            stall: StallBreakdown::default(),
+            sim: SimPerf::default(),
             trace_digest: 0xDEAD_BEEF,
         };
         let a = report.to_json();
@@ -863,7 +1009,12 @@ mod tests {
         assert!(a.contains("\"switch_bytes\":0"));
         assert!(a.contains("\"host_upload_bytes\":0"));
         assert!(a.contains("\"host_bytes_saved\":0"));
-        assert!(a.contains("\"schema\":\"agnn-serve-report/v4\""));
+        assert!(a.contains("\"schema\":\"agnn-serve-report/v5\""));
+        assert!(a.contains("\"stall_attribution\":{\"queue_secs\":"));
+        assert!(a.contains("\"handoff_secs\":"));
+        assert!(a.contains("\"sim_wall_secs\":"));
+        assert!(a.contains("\"sim_events\":0"));
+        assert!(a.contains("\"sim_events_per_sec\":"));
         assert!(a.contains("\"queue_wait_p99_secs\":"));
         assert!(a.contains("\"slo_violations\":0"));
         assert!(a.contains("\"trace_digest\":\"0x00000000deadbeef\""));
@@ -906,6 +1057,57 @@ mod tests {
     }
 
     #[test]
+    fn stall_breakdown_partitions_the_latency_exactly() {
+        let lat = RequestLatency {
+            queue_secs: 1.0,
+            reconfig_secs: 0.23,
+            upload_secs: 0.1,
+            stage_wait_secs: 0.3,
+            preprocess_secs: 0.5,
+            download_secs: 0.05,
+            inference_secs: 0.2,
+        };
+        let stall = StallBreakdown::of(&lat);
+        assert!((stall.queue_secs - 1.3).abs() < 1e-12, "queue + stage wait");
+        assert!((stall.reconfig_secs - 0.23).abs() < 1e-12);
+        assert!((stall.dma_secs - 0.1).abs() < 1e-12);
+        assert!((stall.fabric_secs - 0.5).abs() < 1e-12);
+        assert!(
+            (stall.handoff_secs - 0.25).abs() < 1e-12,
+            "download + inference"
+        );
+        assert!(
+            (stall.total() - lat.total()).abs() < 1e-12,
+            "the five components partition the end-to-end latency"
+        );
+        let mut agg = StallBreakdown::default();
+        agg.accumulate(&stall);
+        agg.accumulate(&stall);
+        assert!((agg.total() - 2.0 * lat.total()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sim_perf_compares_equal_and_guards_zero_wall_time() {
+        let fast = SimPerf {
+            wall_secs: 0.5,
+            events: 1_000,
+        };
+        let slow = SimPerf {
+            wall_secs: 2.0,
+            events: 1_000,
+        };
+        assert!((fast.events_per_sec() - 2_000.0).abs() < 1e-9);
+        assert_eq!(
+            SimPerf::default().events_per_sec(),
+            0.0,
+            "no clock, no speed claim"
+        );
+        // Self-metrics describe the host, not the simulated run: reports
+        // differing only in SimPerf must still compare equal.
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
     fn stage_histograms_split_the_lifecycle() {
         let mut stages = StageHistograms::default();
         stages.record(&RequestLatency {
@@ -933,6 +1135,8 @@ mod tests {
             stages: StageHistograms::default(),
             overlap_secs: 0.0,
             requests: Vec::new(),
+            stall: StallBreakdown::default(),
+            sim: SimPerf::default(),
             trace_digest: 0,
         };
         assert_eq!(report.pipeline_overlap_ratio(), 0.0, "serial: no DMA clock");
@@ -955,6 +1159,8 @@ mod tests {
             stages: StageHistograms::default(),
             overlap_secs: 0.0,
             requests: Vec::new(),
+            stall: StallBreakdown::default(),
+            sim: SimPerf::default(),
             trace_digest: 0,
         };
         assert_eq!(report.migrations(), 0);

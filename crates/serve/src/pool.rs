@@ -524,6 +524,12 @@ impl BoardPool {
         self.boards[index].resident[tenant].bytes
     }
 
+    /// Total graph bytes resident in board `index`'s DRAM across all
+    /// tenants — the trace residency counter samples this at dispatch.
+    pub fn resident_total_bytes(&self, index: usize) -> u64 {
+        self.boards[index].resident_total
+    }
+
     /// Boards whose DRAM still holds a copy of `tenant`'s graph, in board
     /// order. Exact: a tenant evicted from (or shrunk to nothing on) its
     /// only resident board appears nowhere.

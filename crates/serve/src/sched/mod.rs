@@ -41,6 +41,17 @@
 //! one-to-one onto the old queue ops — which is why the PR 1–4 golden
 //! digests (and the CI perf baselines) survive this refactor unchanged.
 //!
+//! # Tracing the scheduler's share of latency
+//!
+//! The queue-wait interval this module controls — [`SchedPolicy::admit`]
+//! to [`SchedPolicy::take`] — is exactly the queue span the event loop
+//! emits into a [`crate::trace::TraceSink`]
+//! ([`crate::trace::SpanKind::Queue`] on [`crate::trace::Track::Queue`],
+//! emitted by `sim.rs` at dispatch), and the `queue_secs` component of
+//! the report's stall attribution ([`crate::metrics::StallBreakdown`]).
+//! Comparing that component across [`SchedKind`]s is how "the scheduler
+//! is (not) the bottleneck" is read off a report.
+//!
 //! # Scan/take contract
 //!
 //! [`SchedPolicy::scan`] returns the queued requests in the policy's

@@ -111,6 +111,32 @@
 //! across the whole trajectory, which is what the CI `bench-smoke` gate
 //! relies on.
 //!
+//! # Tracing
+//!
+//! [`TrafficSim::run_traced`] narrates the run into a
+//! [`crate::trace::TraceSink`] as complete spans — the simulator is
+//! analytic, so a stage's begin and end are both known when it is
+//! scheduled. The span model (one track per board resource, a queue
+//! track, counters for queue depth and residency) lives in
+//! [`crate::trace`]; the emission sites here are:
+//!
+//! - **dispatch** — the request's queue span (arrival → dispatch), a
+//!   fresh per-run request id, and in serial mode the whole back-to-back
+//!   reconfig/ingest/preprocess/hand-off timeline at once;
+//! - **fabric acquisition** (pipelined) — the ICAP stall and
+//!   preprocessing spans;
+//! - **hand-off start** (pipelined) — the DMA hand-off span;
+//! - **migration dispatch** — the source board's outbound DMA leg;
+//! - **admission/dispatch queue transitions** — queue-depth counter
+//!   samples; dispatch also samples the board's resident DRAM bytes.
+//!
+//! Sinks are write-only, so tracing cannot perturb the schedule: a run
+//! with any sink produces bit-for-bit the [`crate::trace::NullSink`]
+//! report and the pinned golden digests (the digest-equivalence
+//! invariant, proptested in `tests/serve_traffic.rs`). [`TrafficSim::run`]
+//! itself measures the event loop — wall-clock seconds and events
+//! processed land in [`TrafficReport::sim`] for the CI sim-speed gate.
+//!
 //! Every per-request price — upload delta, preprocessing, hand-off,
 //! reconfiguration stall, inference tail — comes from the same models
 //! `AutoGnn::serve` uses, via the analytic staged path
@@ -119,18 +145,22 @@
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
+use std::time::Instant;
 
 use agnn_cost::{CostModel, ReconfigPolicy, Workload};
 use agnn_gnn::timing::GpuInferenceModel;
 use agnn_hw::HwConfig;
 
 use crate::metrics::{
-    CompletedRequest, DepthTimeline, LatencyHistogram, RequestLatency, StageHistograms,
-    TenantStats, TrafficReport,
+    CompletedRequest, DepthTimeline, LatencyHistogram, RequestLatency, SimPerf, StageHistograms,
+    StallBreakdown, TenantStats, TrafficReport,
 };
 use crate::pool::{BoardPool, MigratePolicy, PlacementPolicy};
 use crate::sched::{Request, SchedKind, SchedPolicy};
 use crate::tenant::TenantSpec;
+use crate::trace::{
+    BoardResource, CounterKind, CounterSample, NullSink, Span, SpanKind, TraceSink, Track,
+};
 
 /// How the scheduler picks the next request and pays reconfigurations.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -286,6 +316,8 @@ impl Default for ServeConfig {
 #[derive(Debug, Clone, Copy)]
 struct Pipelined {
     tenant: usize,
+    /// Per-run monotone request id linking this request's trace spans.
+    trace_id: u64,
     arrival_secs: f64,
     dispatch_secs: f64,
     workload: Workload,
@@ -389,6 +421,9 @@ struct RunStats {
     slo: Vec<Option<f64>>,
     stages: StageHistograms,
     requests: Vec<CompletedRequest>,
+    /// Aggregate stall attribution over completed requests (each
+    /// request's five components sum to its end-to-end latency).
+    stall: StallBreakdown,
     reconfigs: u64,
     reconfig_secs: f64,
     overlap_secs: f64,
@@ -416,6 +451,7 @@ impl RunStats {
         }
         t.board_secs += latency.board_secs();
         self.stages.record(&latency);
+        self.stall.accumulate(&StallBreakdown::of(&latency));
         if log {
             self.requests.push(CompletedRequest {
                 tenant,
@@ -496,6 +532,15 @@ impl TrafficSim {
     /// residency, busy slots); the pool is reset first, so repeated runs
     /// of the same simulator are identical.
     pub fn run(&mut self) -> TrafficReport {
+        self.run_traced(&mut NullSink)
+    }
+
+    /// [`run`](TrafficSim::run) with the event loop narrating spans and
+    /// counters into `sink` (see the [module docs](self) for the emission
+    /// sites). Sinks are write-only, so the report — digest included — is
+    /// bit-for-bit the untraced run's.
+    pub fn run_traced(&mut self, sink: &mut dyn TraceSink) -> TrafficReport {
+        let wall_start = Instant::now();
         let cfg = self.config;
         let TrafficSim { tenants, pool, .. } = self;
         pool.reset();
@@ -550,6 +595,7 @@ impl TrafficSim {
             slo: tenants.iter().map(|t| t.slo_secs).collect(),
             stages: StageHistograms::default(),
             requests: Vec::new(),
+            stall: StallBreakdown::default(),
             reconfigs: 0,
             reconfig_secs: 0.0,
             overlap_secs: 0.0,
@@ -558,8 +604,14 @@ impl TrafficSim {
         let mut depth = DepthTimeline::with_stride(cfg.depth_stride);
         let mut digest = TraceDigest::new();
         let mut pipe = Pipeline::new(pool.size());
+        // Self-metrics (events popped, wall clock) and the monotone
+        // request id spans carry — none of it feeds back into the
+        // schedule.
+        let mut events = 0u64;
+        let mut next_trace_id = 0u64;
 
         while let Some(event) = heap.pop() {
+            events += 1;
             let now = event.time;
             match event.kind {
                 EventKind::Arrival { tenant } => {
@@ -584,6 +636,13 @@ impl TrafficSim {
                         continue;
                     }
                     depth.record(now, sched.len());
+                    if sink.enabled() {
+                        sink.counter(CounterSample {
+                            kind: CounterKind::QueueDepth,
+                            time_secs: now,
+                            value: sched.len() as f64,
+                        });
+                    }
                 }
                 EventKind::IngestDone { board } => {
                     let mut rq = pipe.ingesting[board]
@@ -605,6 +664,7 @@ impl TrafficSim {
                             &*sched,
                             &mut digest,
                             &cfg,
+                            sink,
                             &mut push,
                             &mut heap,
                         );
@@ -622,6 +682,7 @@ impl TrafficSim {
                         &pcie,
                         &inference_model,
                         tenants,
+                        sink,
                         &mut push,
                         &mut heap,
                     );
@@ -646,6 +707,7 @@ impl TrafficSim {
                         &pcie,
                         &inference_model,
                         tenants,
+                        sink,
                         &mut push,
                         &mut heap,
                     );
@@ -663,6 +725,7 @@ impl TrafficSim {
                             &*sched,
                             &mut digest,
                             &cfg,
+                            sink,
                             &mut push,
                             &mut heap,
                         );
@@ -684,6 +747,7 @@ impl TrafficSim {
                             &pcie,
                             &inference_model,
                             tenants,
+                            sink,
                             &mut push,
                             &mut heap,
                         );
@@ -725,6 +789,7 @@ impl TrafficSim {
                             &pcie,
                             &inference_model,
                             tenants,
+                            sink,
                             &mut push,
                             &mut heap,
                         );
@@ -757,6 +822,26 @@ impl TrafficSim {
                 };
                 let request = sched.take(position);
                 depth.record(now, sched.len());
+                // The request id its spans share; the queue span closes
+                // here (arrival → dispatch — the admission scheduler's
+                // share of the latency, cf. the sched module docs).
+                let trace_id = next_trace_id;
+                next_trace_id += 1;
+                if sink.enabled() {
+                    sink.counter(CounterSample {
+                        kind: CounterKind::QueueDepth,
+                        time_secs: now,
+                        value: sched.len() as f64,
+                    });
+                    sink.span(Span {
+                        track: Track::Queue,
+                        kind: SpanKind::Queue,
+                        tenant: request.tenant,
+                        request: trace_id,
+                        begin_secs: request.arrival_secs,
+                        end_secs: now,
+                    });
+                }
                 let tenant = &tenants[request.tenant];
                 let workload = tenant.workload_at(now, cfg.drift_step_secs);
                 let best = cached_best(
@@ -796,6 +881,19 @@ impl TrafficSim {
                         digest.push(request.tenant as u64);
                         digest.push(board as u64);
                         digest.push(source as u64);
+                        if sink.enabled() {
+                            sink.span(Span {
+                                track: Track::Board {
+                                    board: source,
+                                    resource: BoardResource::Dma,
+                                },
+                                kind: SpanKind::MigrateOut,
+                                tenant: request.tenant,
+                                request: trace_id,
+                                begin_secs: now,
+                                end_secs: now + switch_secs,
+                            });
+                        }
                         push(
                             &mut heap,
                             now + switch_secs,
@@ -805,6 +903,15 @@ impl TrafficSim {
                     }
                     None => (pool.upload_delta(board, request.tenant, coo_bytes), 0, 0.0),
                 };
+                if sink.enabled() {
+                    // Residency moved (upload delta or migrated prefix):
+                    // sample the board's DRAM occupancy.
+                    sink.counter(CounterSample {
+                        kind: CounterKind::ResidentBytes { board },
+                        time_secs: now,
+                        value: pool.resident_total_bytes(board) as f64,
+                    });
+                }
 
                 if cfg.overlap {
                     // Pipelined: occupy only the DMA engine; the fabric
@@ -819,8 +926,22 @@ impl TrafficSim {
                     digest.push(0x1D);
                     digest.push(request.tenant as u64);
                     digest.push(board as u64);
+                    if sink.enabled() {
+                        sink.span(Span {
+                            track: Track::Board {
+                                board,
+                                resource: BoardResource::Dma,
+                            },
+                            kind: SpanKind::Ingest,
+                            tenant: request.tenant,
+                            request: trace_id,
+                            begin_secs: now,
+                            end_secs: done,
+                        });
+                    }
                     pipe.ingesting[board] = Some(Pipelined {
                         tenant: request.tenant,
+                        trace_id,
                         arrival_secs: request.arrival_secs,
                         dispatch_secs: now,
                         workload,
@@ -873,6 +994,47 @@ impl TrafficSim {
 
                 let done = now + stall + upload_secs + preprocess_secs + download_secs;
                 pool.occupy(board, now, done);
+                if sink.enabled() {
+                    // Serial mode runs the stages back to back under both
+                    // slots, so the whole timeline is known at dispatch:
+                    // ICAP stall, then the DMA ingest, the fabric pass,
+                    // and the hand-off closing at `done`.
+                    let span = |resource, kind, begin_secs, end_secs| Span {
+                        track: Track::Board { board, resource },
+                        kind,
+                        tenant: request.tenant,
+                        request: trace_id,
+                        begin_secs,
+                        end_secs,
+                    };
+                    if stall > 0.0 {
+                        sink.span(span(
+                            BoardResource::Icap,
+                            SpanKind::Reconfig,
+                            now,
+                            now + stall,
+                        ));
+                    }
+                    let ingest_start = now + stall;
+                    sink.span(span(
+                        BoardResource::Dma,
+                        SpanKind::Ingest,
+                        ingest_start,
+                        ingest_start + upload_secs,
+                    ));
+                    sink.span(span(
+                        BoardResource::Fabric,
+                        SpanKind::Preprocess,
+                        ingest_start + upload_secs,
+                        ingest_start + upload_secs + preprocess_secs,
+                    ));
+                    sink.span(span(
+                        BoardResource::Dma,
+                        SpanKind::Handoff,
+                        done - download_secs,
+                        done,
+                    ));
+                }
                 push(
                     &mut heap,
                     done,
@@ -906,6 +1068,11 @@ impl TrafficSim {
             stages: stats.stages,
             overlap_secs: stats.overlap_secs,
             requests: stats.requests,
+            stall: stats.stall,
+            sim: SimPerf {
+                wall_secs: wall_start.elapsed().as_secs_f64(),
+                events,
+            },
             trace_digest: digest.0,
         }
     }
@@ -926,6 +1093,7 @@ fn start_fabric(
     sched: &dyn SchedPolicy,
     digest: &mut TraceDigest,
     cfg: &ServeConfig,
+    sink: &mut dyn TraceSink,
     push: &mut impl FnMut(&mut BinaryHeap<Event>, f64, EventKind),
     heap: &mut BinaryHeap<Event>,
 ) {
@@ -943,6 +1111,32 @@ fn start_fabric(
     let preprocess_secs = pool.stage_secs(board, &rq.workload) / cfg.compute_speedup;
     let done = now + stall + preprocess_secs;
     pool.occupy_fabric(board, now, done);
+    if sink.enabled() {
+        if stall > 0.0 {
+            sink.span(Span {
+                track: Track::Board {
+                    board,
+                    resource: BoardResource::Icap,
+                },
+                kind: SpanKind::Reconfig,
+                tenant: rq.tenant,
+                request: rq.trace_id,
+                begin_secs: now,
+                end_secs: now + stall,
+            });
+        }
+        sink.span(Span {
+            track: Track::Board {
+                board,
+                resource: BoardResource::Fabric,
+            },
+            kind: SpanKind::Preprocess,
+            tenant: rq.tenant,
+            request: rq.trace_id,
+            begin_secs: now + stall,
+            end_secs: done,
+        });
+    }
     // The fabric starting under an in-flight DMA transfer is pipeline
     // overlap (the symmetric case — DMA starting under the fabric — is
     // accounted at the transfer's start).
@@ -968,6 +1162,7 @@ fn start_handoff(
     pcie: &agnn_hw::shell::PcieModel,
     inference_model: &GpuInferenceModel,
     tenants: &[TenantSpec],
+    sink: &mut dyn TraceSink,
     push: &mut impl FnMut(&mut BinaryHeap<Event>, f64, EventKind),
     heap: &mut BinaryHeap<Event>,
 ) {
@@ -981,6 +1176,19 @@ fn start_handoff(
     let download_secs = pcie.transfer_secs(rq.workload.subgraph_bytes());
     let done = now + download_secs;
     pool.occupy_dma(board, now, done);
+    if sink.enabled() {
+        sink.span(Span {
+            track: Track::Board {
+                board,
+                resource: BoardResource::Dma,
+            },
+            kind: SpanKind::Handoff,
+            tenant: rq.tenant,
+            request: rq.trace_id,
+            begin_secs: now,
+            end_secs: done,
+        });
+    }
     if !pool.fabric_free(board) {
         stats.overlap_secs += (done.min(pool.fabric_until(board)) - now).max(0.0);
     }

@@ -1,0 +1,279 @@
+//! Perfetto / `chrome://tracing` trace-event JSON export.
+//!
+//! The writer renders the span stream as the Trace Event Format both
+//! viewers load: one *process* per board (plus one for the admission
+//! queue), one *thread* per board resource (DMA / fabric / ICAP), `"X"`
+//! complete events for spans, `"C"` counter events for queue depth and
+//! DRAM residency, and `"s"`/`"t"`/`"f"` flow arrows stitching each
+//! request's queue → ingest → preprocess → hand-off chain across tracks.
+//!
+//! All strings and floats go through the shared
+//! [`crate::metrics::json_str`] / [`crate::metrics::json_f64`] encoders —
+//! the same ones the report writer uses — so tenant names with quotes or
+//! control characters cannot corrupt the document.
+
+use std::collections::BTreeSet;
+
+use crate::metrics::{json_f64, json_str};
+
+use super::{BoardResource, CounterKind, CounterSample, Span, SpanKind, TraceSink, Track};
+
+/// The admission queue's process id; boards are `board + BOARD_PID_BASE`.
+const QUEUE_PID: u64 = 1;
+const BOARD_PID_BASE: u64 = 2;
+
+/// Streams [`Span`]s and [`CounterSample`]s into chrome trace-event JSON.
+///
+/// Metadata (process/thread names) is emitted lazily the first time a
+/// track appears, so the document only names tracks that carry events.
+/// [`ChromeTraceWriter::finish`] wraps everything into the final
+/// `{"traceEvents":[...]}` object.
+#[derive(Debug, Clone, Default)]
+pub struct ChromeTraceWriter {
+    events: Vec<String>,
+    tenant_names: Vec<String>,
+    named_pids: BTreeSet<u64>,
+    named_tids: BTreeSet<(u64, u64)>,
+}
+
+impl ChromeTraceWriter {
+    /// An empty writer; tenants render as `tenant-<index>`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty writer labelling tenants with their display names
+    /// (indices beyond `names` fall back to `tenant-<index>`).
+    pub fn with_tenant_names(names: Vec<String>) -> Self {
+        ChromeTraceWriter {
+            tenant_names: names,
+            ..Self::default()
+        }
+    }
+
+    /// Number of events buffered so far (spans expand to several).
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The finished trace-event JSON document.
+    pub fn finish(self) -> String {
+        let mut out =
+            String::with_capacity(64 + self.events.iter().map(String::len).sum::<usize>());
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        out.push_str(&self.events.join(","));
+        out.push_str("]}");
+        out
+    }
+
+    fn tenant_label(&self, tenant: usize) -> String {
+        self.tenant_names
+            .get(tenant)
+            .cloned()
+            .unwrap_or_else(|| format!("tenant-{tenant}"))
+    }
+
+    fn place(track: Track) -> (u64, u64) {
+        match track {
+            Track::Queue => (QUEUE_PID, 1),
+            Track::Board { board, resource } => {
+                let tid = match resource {
+                    BoardResource::Dma => 1,
+                    BoardResource::Fabric => 2,
+                    BoardResource::Icap => 3,
+                };
+                (board as u64 + BOARD_PID_BASE, tid)
+            }
+        }
+    }
+
+    fn ensure_named(&mut self, track: Track) {
+        let (pid, tid) = Self::place(track);
+        if self.named_pids.insert(pid) {
+            let pname = match track {
+                Track::Queue => "admission".to_string(),
+                Track::Board { board, .. } => format!("board {board}"),
+            };
+            self.events.push(format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"args\":{{\"name\":{}}}}}",
+                json_str(&pname)
+            ));
+        }
+        if self.named_tids.insert((pid, tid)) {
+            let tname = match track {
+                Track::Queue => "queue",
+                Track::Board { resource, .. } => resource.name(),
+            };
+            self.events.push(format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+                 \"args\":{{\"name\":{}}}}}",
+                json_str(tname)
+            ));
+        }
+    }
+
+    /// The request-lifecycle flow arrow leg a span contributes, if any:
+    /// the queue span starts the flow, ingest/migrate/preprocess step it,
+    /// the hand-off ends it.
+    fn flow_phase(kind: SpanKind) -> Option<&'static str> {
+        match kind {
+            SpanKind::Queue => Some("s"),
+            SpanKind::Ingest | SpanKind::MigrateOut | SpanKind::Preprocess => Some("t"),
+            SpanKind::Handoff => Some("f"),
+            SpanKind::Reconfig => None,
+        }
+    }
+}
+
+impl TraceSink for ChromeTraceWriter {
+    fn span(&mut self, span: Span) {
+        self.ensure_named(span.track);
+        let (pid, tid) = Self::place(span.track);
+        let ts = json_f64(span.begin_secs * 1e6);
+        let dur = json_f64(span.duration_secs() * 1e6);
+        let tenant = json_str(&self.tenant_label(span.tenant));
+        self.events.push(format!(
+            "{{\"name\":{},\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts},\"dur\":{dur},\
+             \"args\":{{\"tenant\":{tenant},\"request\":{}}}}}",
+            json_str(span.kind.name()),
+            span.request
+        ));
+        if let Some(ph) = Self::flow_phase(span.kind) {
+            // `bp:"e"` binds the terminating arrow to the enclosing slice.
+            let bp = if ph == "f" { ",\"bp\":\"e\"" } else { "" };
+            self.events.push(format!(
+                "{{\"name\":\"request\",\"cat\":\"request\",\"ph\":\"{ph}\",\"id\":{},\
+                 \"pid\":{pid},\"tid\":{tid},\"ts\":{ts}{bp}}}",
+                span.request
+            ));
+        }
+    }
+
+    fn counter(&mut self, sample: CounterSample) {
+        let (track, name, field) = match sample.kind {
+            CounterKind::QueueDepth => (Track::Queue, "queue_depth", "depth"),
+            CounterKind::ResidentBytes { board } => (
+                Track::Board {
+                    board,
+                    resource: BoardResource::Dma,
+                },
+                "resident_bytes",
+                "bytes",
+            ),
+        };
+        self.ensure_named(track);
+        let (pid, _) = Self::place(track);
+        self.events.push(format!(
+            "{{\"name\":\"{name}\",\"ph\":\"C\",\"pid\":{pid},\"ts\":{},\
+             \"args\":{{\"{field}\":{}}}}}",
+            json_f64(sample.time_secs * 1e6),
+            json_f64(sample.value)
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(kind: SpanKind, track: Track) -> Span {
+        Span {
+            track,
+            kind,
+            tenant: 0,
+            request: 42,
+            begin_secs: 1.0,
+            end_secs: 2.5,
+        }
+    }
+
+    #[test]
+    fn spans_render_as_complete_events_with_flow_arrows() {
+        let mut w = ChromeTraceWriter::with_tenant_names(vec!["feed \"a\"".to_string()]);
+        w.span(span(SpanKind::Queue, Track::Queue));
+        w.span(span(
+            SpanKind::Ingest,
+            Track::Board {
+                board: 0,
+                resource: BoardResource::Dma,
+            },
+        ));
+        w.span(span(
+            SpanKind::Handoff,
+            Track::Board {
+                board: 0,
+                resource: BoardResource::Dma,
+            },
+        ));
+        let doc = w.finish();
+        assert!(doc.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(doc.ends_with("]}"));
+        assert!(doc.contains("\"ph\":\"X\""));
+        assert!(doc.contains("\"name\":\"queue\""));
+        assert!(doc.contains("\"name\":\"ingest\""));
+        assert!(doc.contains("\"ts\":1000000"), "seconds become µs: {doc}");
+        assert!(doc.contains("\"dur\":1500000"), "{doc}");
+        // Flow chain: start on the queue span, step on ingest, finish on
+        // the hand-off (bound to the enclosing slice).
+        assert!(doc.contains("\"ph\":\"s\",\"id\":42"));
+        assert!(doc.contains("\"ph\":\"t\",\"id\":42"));
+        assert!(doc.contains("\"ph\":\"f\",\"id\":42"));
+        assert!(doc.contains("\"bp\":\"e\""));
+        // Tenant names run through the shared escaper.
+        assert!(doc.contains("feed \\\"a\\\""));
+        assert!(!doc.contains(",}"), "no trailing commas: {doc}");
+    }
+
+    #[test]
+    fn metadata_names_each_track_once() {
+        let mut w = ChromeTraceWriter::new();
+        let dma = Track::Board {
+            board: 1,
+            resource: BoardResource::Dma,
+        };
+        let icap = Track::Board {
+            board: 1,
+            resource: BoardResource::Icap,
+        };
+        w.span(span(SpanKind::Ingest, dma));
+        w.span(span(SpanKind::Ingest, dma));
+        w.span(span(SpanKind::Reconfig, icap));
+        let doc = w.finish();
+        assert_eq!(doc.matches("\"name\":\"process_name\"").count(), 1);
+        assert_eq!(doc.matches("\"name\":\"thread_name\"").count(), 2);
+        assert!(doc.contains("\"name\":\"board 1\""));
+        assert!(doc.contains("\"name\":\"dma\""));
+        assert!(doc.contains("\"name\":\"icap\""));
+        // Reconfig spans carry no flow arrow.
+        assert!(!doc.contains("\"ph\":\"s\""));
+        assert!(!doc.contains("\"ph\":\"f\""));
+        // Unnamed tenants fall back to an index label.
+        assert!(doc.contains("\"tenant\":\"tenant-0\""));
+    }
+
+    #[test]
+    fn counters_render_on_their_process() {
+        let mut w = ChromeTraceWriter::new();
+        w.counter(CounterSample {
+            kind: CounterKind::QueueDepth,
+            time_secs: 0.5,
+            value: 3.0,
+        });
+        w.counter(CounterSample {
+            kind: CounterKind::ResidentBytes { board: 2 },
+            time_secs: 1.0,
+            value: 1e9,
+        });
+        let doc = w.finish();
+        assert!(doc.contains("\"name\":\"queue_depth\",\"ph\":\"C\",\"pid\":1"));
+        assert!(doc.contains("\"name\":\"resident_bytes\",\"ph\":\"C\",\"pid\":4"));
+        assert!(doc.contains("\"depth\":3"));
+        assert!(doc.contains("\"bytes\":1000000000"));
+    }
+
+    #[test]
+    fn empty_writer_finishes_to_a_valid_document() {
+        let doc = ChromeTraceWriter::new().finish();
+        assert_eq!(doc, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
+    }
+}

@@ -42,14 +42,25 @@
 //! cargo run --release --example multi_tenant_serve
 //! # just the scheduler fairness act, one policy:
 //! cargo run --release --example multi_tenant_serve -- --scheduler wfq
+//! # same, plus a Perfetto / chrome://tracing dump of the run
+//! # (load the file at https://ui.perfetto.dev):
+//! cargo run --release --example multi_tenant_serve -- \
+//!     --scheduler wfq --trace-out wfq_trace.json
 //! ```
+//!
+//! `--trace-out` without `--scheduler` traces the weighted-fair run.
+//! Every focused run also prints the report's **stall attribution** —
+//! the end-to-end latency of all completed requests partitioned into
+//! queue-wait / reconfig / DMA / fabric / hand-off — next to the
+//! fairness table, so "which stage eats the latency under this
+//! scheduler" is readable without opening the trace.
 
 use agnn_graph::datasets::Dataset;
 use agnn_serve::pool::{MigratePolicy, PlacementPolicy};
 use agnn_serve::sched::SchedKind;
-use agnn_serve::sim::{simulate, DispatchPolicy, ServeConfig};
+use agnn_serve::sim::{simulate, DispatchPolicy, ServeConfig, TrafficSim};
 use agnn_serve::tenant::{ArrivalProcess, TenantSpec};
-use agnn_serve::TrafficReport;
+use agnn_serve::{ChromeTraceWriter, TrafficReport};
 
 /// One simulated "day" of the demo, compressed to keep the replay short.
 const PERIOD_SECS: f64 = 900.0;
@@ -80,34 +91,47 @@ fn p50(r: &TrafficReport) -> f64 {
     r.overall_latency().quantile(0.50)
 }
 
-/// Parses `--scheduler fifo|wfq|slo`: `Some(kind)` restricts the run to
-/// the scheduler fairness act under that policy; `None` plays the full
-/// demo.
-fn scheduler_flag() -> Option<SchedKind> {
+const USAGE: &str = "usage: multi_tenant_serve [--scheduler fifo|wfq|slo] [--trace-out <file>]";
+
+/// Parsed command line: an optional scheduler restricting the run to the
+/// fairness act, and an optional Perfetto trace destination.
+struct Flags {
+    scheduler: Option<SchedKind>,
+    trace_out: Option<String>,
+}
+
+/// Parses `--scheduler fifo|wfq|slo` and `--trace-out <file>`. Either
+/// flag selects the focused fairness act (`--trace-out` alone defaults
+/// the scheduler to weighted-fair); no flags play the full demo.
+fn parse_flags() -> Flags {
+    let mut flags = Flags {
+        scheduler: None,
+        trace_out: None,
+    };
     let mut args = std::env::args().skip(1);
-    match args.next().as_deref() {
-        None => None,
-        Some("--scheduler") => {
-            let value = args.next();
-            match value.as_deref() {
-                Some("fifo") => Some(SchedKind::Fifo),
-                Some("wfq") => Some(SchedKind::weighted_fair()),
-                Some("slo") => Some(SchedKind::slo_aware()),
-                other => {
-                    eprintln!(
-                        "--scheduler must be fifo|wfq|slo, got {:?}\n\
-                         usage: multi_tenant_serve [--scheduler fifo|wfq|slo]",
-                        other.unwrap_or("<missing>")
-                    );
-                    std::process::exit(2);
-                }
-            }
-        }
-        Some(other) => {
-            eprintln!("unknown flag {other}\nusage: multi_tenant_serve [--scheduler fifo|wfq|slo]");
-            std::process::exit(2);
+    let fail = |message: String| -> ! {
+        eprintln!("{message}\n{USAGE}");
+        std::process::exit(2);
+    };
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--scheduler" => match args.next().as_deref() {
+                Some("fifo") => flags.scheduler = Some(SchedKind::Fifo),
+                Some("wfq") => flags.scheduler = Some(SchedKind::weighted_fair()),
+                Some("slo") => flags.scheduler = Some(SchedKind::slo_aware()),
+                other => fail(format!(
+                    "--scheduler must be fifo|wfq|slo, got {:?}",
+                    other.unwrap_or("<missing>")
+                )),
+            },
+            "--trace-out" => match args.next() {
+                Some(path) => flags.trace_out = Some(path),
+                None => fail("--trace-out requires a file path".to_string()),
+            },
+            other => fail(format!("unknown flag {other}")),
         }
     }
+    flags
 }
 
 /// Prints the per-tenant fairness table of one bursty-aggressor run.
@@ -137,9 +161,47 @@ fn fairness_table(label: &str, r: &TrafficReport) {
     );
 }
 
+/// Prints the aggregate stall attribution of one run: the end-to-end
+/// latency of every completed request, partitioned *exactly* into the
+/// five lifecycle components ([`agnn_serve::StallBreakdown`] — the five
+/// always sum to the total, which is what makes the percentages
+/// trustworthy).
+fn stall_table(r: &TrafficReport) {
+    let s = &r.stall;
+    let total = s.total();
+    if total <= 0.0 {
+        return;
+    }
+    println!(
+        "stall attribution ({total:.1} request-seconds across {} completed):",
+        r.completed()
+    );
+    for (name, secs) in [
+        ("queue-wait", s.queue_secs),
+        ("reconfig", s.reconfig_secs),
+        ("dma", s.dma_secs),
+        ("fabric", s.fabric_secs),
+        ("hand-off", s.handoff_secs),
+    ] {
+        println!(
+            "  {name:<10} {secs:>10.1} s  {:>5.1}%",
+            secs / total * 100.0
+        );
+    }
+}
+
 /// The scheduler fairness act: the bursty-aggressor trace under the
-/// requested scheduler(s), with the victims' isolated run as the yardstick.
-fn scheduler_act(seed: u64, requests: u64, period_secs: f64, only: Option<SchedKind>) {
+/// requested scheduler(s), with the victims' isolated run as the
+/// yardstick. With `trace_out` set (focused mode only), the run is
+/// replayed through a [`ChromeTraceWriter`] and the Perfetto JSON lands
+/// at that path.
+fn scheduler_act(
+    seed: u64,
+    requests: u64,
+    period_secs: f64,
+    only: Option<SchedKind>,
+    trace_out: Option<&str>,
+) {
     let burst = || TenantSpec::bursty_aggressor(2.0, 40.0, period_secs);
     let config = |scheduler| ServeConfig {
         seed,
@@ -170,8 +232,28 @@ fn scheduler_act(seed: u64, requests: u64, period_secs: f64, only: Option<SchedK
     };
     let mut runs = Vec::new();
     for kind in &kinds {
-        let r = simulate(burst(), config(*kind));
+        let mix = burst();
+        let r = if let Some(path) = trace_out {
+            // The traced replay is the identical simulation — sinks are
+            // write-only, so the fairness numbers below are unchanged.
+            let names = mix.iter().map(|t| t.name.clone()).collect();
+            let mut writer = ChromeTraceWriter::with_tenant_names(names);
+            let r = TrafficSim::new(mix, config(*kind)).run_traced(&mut writer);
+            let events = writer.event_count();
+            if let Err(e) = std::fs::write(path, writer.finish()) {
+                eprintln!("writing {path}: {e}");
+                std::process::exit(1);
+            }
+            println!(
+                "wrote Perfetto trace to {path} ({events} events — load at \
+                 https://ui.perfetto.dev or chrome://tracing)"
+            );
+            r
+        } else {
+            simulate(mix, config(*kind))
+        };
         fairness_table(kind.name(), &r);
+        stall_table(&r);
         runs.push((*kind, r));
     }
 
@@ -210,13 +292,22 @@ fn scheduler_act(seed: u64, requests: u64, period_secs: f64, only: Option<SchedK
 fn main() {
     const SEED: u64 = 2_026;
     const REQUESTS: u64 = 120_000;
-    if let Some(kind) = scheduler_flag() {
-        // Focused mode: just the fairness act under one scheduler.
+    let flags = parse_flags();
+    if flags.scheduler.is_some() || flags.trace_out.is_some() {
+        // Focused mode: just the fairness act under one scheduler
+        // (`--trace-out` alone traces the weighted-fair run).
+        let kind = flags.scheduler.unwrap_or_else(SchedKind::weighted_fair);
         println!(
             "replaying {REQUESTS} bursty-aggressor requests (seed {SEED}, scheduler {})",
             kind.name()
         );
-        scheduler_act(SEED, REQUESTS, PERIOD_SECS, Some(kind));
+        scheduler_act(
+            SEED,
+            REQUESTS,
+            PERIOD_SECS,
+            Some(kind),
+            flags.trace_out.as_deref(),
+        );
         return;
     }
     let config = |policy| ServeConfig {
@@ -511,5 +602,5 @@ fn main() {
 
     // ----- Scheduler fairness: FIFO vs WFQ vs SLO-aware ----------------
 
-    scheduler_act(SEED, REQUESTS, PERIOD_SECS, None);
+    scheduler_act(SEED, REQUESTS, PERIOD_SECS, None, None);
 }

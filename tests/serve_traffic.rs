@@ -8,8 +8,10 @@
 use agnn_graph::datasets::Dataset;
 use agnn_serve::pool::{MigratePolicy, PlacementPolicy};
 use agnn_serve::sched::SchedKind;
-use agnn_serve::sim::{simulate, DispatchPolicy, ServeConfig};
+use agnn_serve::sim::{simulate, DispatchPolicy, ServeConfig, TrafficSim};
 use agnn_serve::tenant::{ArrivalProcess, TenantSpec};
+use agnn_serve::trace::{SpanKind, Track};
+use agnn_serve::{FlightRecorder, StallBreakdown};
 use proptest::prelude::*;
 
 /// Tenants with offset diurnal peaks: the dominant tenant — and with it
@@ -169,6 +171,68 @@ fn single_board_pool_reproduces_pr1_metrics_bit_for_bit() {
         assert_eq!(report.boards.len(), 1);
         assert_eq!(report.boards[0].completed, g.completed, "{label}");
     }
+}
+
+/// The NullSink digest-equivalence invariant at its sharpest: running the
+/// PR 1 golden configuration with a [`FlightRecorder`] attached must
+/// still reproduce the pinned digest bit-for-bit — tracing observes the
+/// schedule, it never becomes part of it — while the recorder holds a
+/// queryable per-request timeline of the very same run.
+#[test]
+fn flight_recorder_reproduces_the_golden_digest_while_recording() {
+    let cfg = ServeConfig {
+        seed: 99,
+        total_requests: 5_000,
+        policy: DispatchPolicy::Fifo,
+        placement: PlacementPolicy::LeastLoaded,
+        log_requests: true,
+        ..ServeConfig::default()
+    };
+    let mut recorder = FlightRecorder::default();
+    let report = TrafficSim::new(drift_heavy_tenants(), cfg).run_traced(&mut recorder);
+    assert_eq!(
+        report.trace_digest, 0x0A50_3A29_FBBB_3279,
+        "the golden digest must survive tracing bit-for-bit"
+    );
+    assert_eq!(report.completed(), 1_280);
+    assert_eq!(report.dropped(), 3_720);
+    assert_eq!(report.reconfigs, 756);
+
+    // The recorder saw the whole run: every dispatched (== completed)
+    // request got a queue span, and the serial lifecycle put its ingest,
+    // preprocess and hand-off on the single board's resource tracks.
+    assert_eq!(recorder.dropped_spans(), 0, "default ring holds a 5k run");
+    let queue_spans = recorder
+        .spans()
+        .filter(|s| s.kind == SpanKind::Queue)
+        .count() as u64;
+    assert_eq!(
+        queue_spans,
+        report.completed(),
+        "one queue span per dispatch"
+    );
+    let first = recorder.spans_for_request(0);
+    assert!(
+        first.len() >= 4,
+        "request 0 must carry queue + ingest + preprocess + hand-off, got {first:?}"
+    );
+    // Stall attribution and the trace agree on what the run did: the
+    // aggregate reconfig stall is exactly the report's counter.
+    assert!(
+        report.stall.reconfig_secs > 0.0,
+        "756 reconfigs stall somewhere"
+    );
+    assert!(
+        (report.stall.total()
+            - report
+                .requests
+                .iter()
+                .map(|r| r.latency.total())
+                .sum::<f64>())
+        .abs()
+            < 1e-6,
+        "attribution covers every completed request end to end"
+    );
 }
 
 #[test]
@@ -535,6 +599,161 @@ proptest! {
         let wfq = mk(SchedKind::WeightedFair { per_tenant_quota: queue_capacity });
         prop_assert_eq!(fifo.trace_digest, wfq.trace_digest);
         prop_assert_eq!(fifo, wfq);
+    }
+
+    /// Stall attribution is an exact partition, not an estimate: for any
+    /// seed, pool size, placement, scheduler, migration flavor and
+    /// lifecycle mode, every completed request's five stall components
+    /// (queue-wait / reconfig / DMA / fabric / hand-off) sum to its
+    /// end-to-end latency, and the report's aggregate breakdown is the
+    /// sum of the per-request ones.
+    #[test]
+    fn stall_attribution_partitions_every_latency_exactly(
+        seed in proptest::any::<u64>(),
+        boards in 1usize..5,
+        placement_pick in 0u32..3,
+        scheduler_pick in 0u32..3,
+        migrate_pick in 0u32..3,
+        overlap in proptest::any::<bool>(),
+    ) {
+        let placement = match placement_pick {
+            0 => PlacementPolicy::TenantAffine,
+            1 => PlacementPolicy::LeastLoaded,
+            _ => PlacementPolicy::BitstreamAffine,
+        };
+        let scheduler = match scheduler_pick {
+            0 => SchedKind::Fifo,
+            1 => SchedKind::WeightedFair { per_tenant_quota: 8 },
+            _ => SchedKind::slo_aware(),
+        };
+        let migrate = match migrate_pick {
+            0 => MigratePolicy::Off,
+            1 => MigratePolicy::PeerRehydrate,
+            _ => MigratePolicy::split_hot(),
+        };
+        // Migration only fires under memory pressure and the staged
+        // lifecycle; the drift trace covers the reconfig-stall side.
+        let (tenants, overlap) = if migrate_pick == 0 {
+            (drift_heavy_tenants(), overlap)
+        } else {
+            (TenantSpec::taobao_regions(4.0, 900.0), true)
+        };
+        let report = simulate(
+            tenants,
+            ServeConfig {
+                seed,
+                total_requests: 400,
+                queue_capacity: 64,
+                boards,
+                placement,
+                scheduler,
+                migrate,
+                overlap,
+                log_requests: true,
+                ..ServeConfig::reconfig_aware()
+            },
+        );
+        let mut sum = StallBreakdown::default();
+        for r in &report.requests {
+            let b = StallBreakdown::of(&r.latency);
+            prop_assert!(
+                (b.total() - r.latency.total()).abs() <= 1e-9,
+                "five components must sum to the end-to-end latency: \
+                 {} vs {} (tenant {}, arrival {}, seed {seed})",
+                b.total(),
+                r.latency.total(),
+                r.tenant,
+                r.arrival_secs
+            );
+            sum.accumulate(&b);
+        }
+        for (label, got, want) in [
+            ("queue", report.stall.queue_secs, sum.queue_secs),
+            ("reconfig", report.stall.reconfig_secs, sum.reconfig_secs),
+            ("dma", report.stall.dma_secs, sum.dma_secs),
+            ("fabric", report.stall.fabric_secs, sum.fabric_secs),
+            ("handoff", report.stall.handoff_secs, sum.handoff_secs),
+        ] {
+            prop_assert!(
+                (got - want).abs() <= 1e-6 * (1.0 + want.abs()),
+                "aggregate {label} must equal the per-request sum: {got} vs {want}"
+            );
+        }
+    }
+
+    /// Tracing is observation, not participation: for any seed, pool
+    /// size, migration flavor and lifecycle mode, running with a
+    /// [`FlightRecorder`] attached yields the identical report — trace
+    /// digest included — as the untraced run; and on every
+    /// board-resource track (DMA, fabric, ICAP) the recorded spans never
+    /// overlap, because each track is one physical resource serving one
+    /// request at a time. (The queue track aggregates all waiting
+    /// requests, so its spans overlap by design and are excluded.)
+    #[test]
+    fn tracing_observes_without_perturbing_and_tracks_never_overlap(
+        seed in proptest::any::<u64>(),
+        boards in 1usize..5,
+        migrate_pick in 0u32..3,
+        overlap in proptest::any::<bool>(),
+    ) {
+        let migrate = match migrate_pick {
+            0 => MigratePolicy::Off,
+            1 => MigratePolicy::PeerRehydrate,
+            _ => MigratePolicy::split_hot(),
+        };
+        let tenants = || if migrate_pick == 0 {
+            drift_heavy_tenants()
+        } else {
+            TenantSpec::taobao_regions(4.0, 900.0)
+        };
+        let overlap = overlap || migrate_pick != 0;
+        let cfg = ServeConfig {
+            seed,
+            total_requests: 400,
+            queue_capacity: 256,
+            boards,
+            migrate,
+            overlap,
+            ..ServeConfig::reconfig_aware()
+        };
+        let untraced = simulate(tenants(), cfg);
+        let mut recorder = FlightRecorder::default();
+        let traced = TrafficSim::new(tenants(), cfg).run_traced(&mut recorder);
+        prop_assert_eq!(
+            untraced.trace_digest,
+            traced.trace_digest,
+            "digest-equivalence: the sink must not perturb the schedule"
+        );
+        prop_assert_eq!(&untraced, &traced, "sinks are write-only");
+        prop_assert_eq!(recorder.dropped_spans(), 0, "ring sized for the run");
+
+        let mut by_track: std::collections::BTreeMap<Track, Vec<(f64, f64)>> =
+            std::collections::BTreeMap::new();
+        for span in recorder.spans() {
+            prop_assert!(
+                span.end_secs >= span.begin_secs,
+                "spans run forward: {span:?}"
+            );
+            if let Track::Board { .. } = span.track {
+                by_track
+                    .entry(span.track)
+                    .or_default()
+                    .push((span.begin_secs, span.end_secs));
+            }
+        }
+        prop_assert!(!by_track.is_empty(), "a 400-request run must emit spans");
+        for (track, mut spans) in by_track {
+            spans.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+            for pair in spans.windows(2) {
+                prop_assert!(
+                    pair[1].0 >= pair[0].1 - 1e-9,
+                    "{track:?}: span starting at {} overlaps one ending at {} \
+                     (seed {seed}, boards {boards})",
+                    pair[1].0,
+                    pair[0].1
+                );
+            }
+        }
     }
 }
 
