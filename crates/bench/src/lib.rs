@@ -11,6 +11,7 @@
 //! or a single experiment, e.g. `cargo run -p agnn-bench --bin fig18`.
 //! Criterion micro-benchmarks of the underlying components live in
 //! `benches/`.
+#![warn(missing_docs)]
 
 pub mod headline;
 pub mod motivation;

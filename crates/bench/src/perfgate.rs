@@ -45,6 +45,12 @@
 //!   documents grow metrics (per-stage breakdowns, overlap ratios,
 //!   eviction counts) faster than baselines are refreshed, and an old
 //!   baseline must keep gating a new artifact.
+//!
+//! The three documents involved — the per-run report
+//! (`agnn-serve-report/v5`), the sweep artifact (`agnn-bench-serving/v5`)
+//! and the checked-in baseline (`agnn-bench-serving-baseline/v4`) — are
+//! specified field-by-field, with the versioning and refresh rules the
+//! stale-baseline CI guard enforces, in `docs/SCHEMAS.md`.
 
 use std::collections::BTreeMap;
 

@@ -1,0 +1,174 @@
+//! A slab arena with `u32` handles — the allocation-free home for
+//! in-flight request state.
+//!
+//! The hot event loop used to carry ~120-byte pipeline payloads and
+//! ~100-byte completion payloads *inside* queue nodes, copying them at
+//! every push, pop and staging transition. The slab moves each payload
+//! to a stable slot the moment it is created and threads a 4-byte
+//! [`Handle`] through the queues instead; slots are recycled through an
+//! intrusive free list, so after warm-up the steady state performs no
+//! heap allocation at all (see `docs/ARCHITECTURE.md`, "the slab/handle
+//! lifecycle").
+
+/// Index of a live slab slot. Plain data — copying a handle does not
+/// copy the payload, and the slab does not check stale handles beyond
+/// the occupied/vacant state (this is an engine-internal arena, not a
+/// generational map).
+pub type Handle = u32;
+
+#[derive(Debug)]
+enum Slot<T> {
+    /// A live payload.
+    Occupied(T),
+    /// A recycled slot; `next` chains the free list (`u32::MAX` ends it).
+    Vacant { next: u32 },
+}
+
+/// End-of-free-list sentinel.
+const NIL: u32 = u32::MAX;
+
+/// A `Vec`-backed arena: `O(1)` insert/remove, stable [`Handle`]s,
+/// recycled slots, no per-item allocation.
+#[derive(Debug, Default)]
+pub struct Slab<T> {
+    slots: Vec<Slot<T>>,
+    free_head: u32,
+    len: usize,
+}
+
+impl<T> Slab<T> {
+    /// An empty slab.
+    pub fn new() -> Self {
+        Slab {
+            slots: Vec::new(),
+            free_head: NIL,
+            len: 0,
+        }
+    }
+
+    /// An empty slab with room for `capacity` payloads before growing.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Slab {
+            slots: Vec::with_capacity(capacity),
+            free_head: NIL,
+            len: 0,
+        }
+    }
+
+    /// Live payloads currently stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no payload is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Stores `value`, returning its handle — a recycled slot when one
+    /// is free, a fresh one otherwise.
+    pub fn insert(&mut self, value: T) -> Handle {
+        self.len += 1;
+        if self.free_head != NIL {
+            let idx = self.free_head;
+            match self.slots[idx as usize] {
+                Slot::Vacant { next } => self.free_head = next,
+                Slot::Occupied(_) => unreachable!("free list points at a live slot"),
+            }
+            self.slots[idx as usize] = Slot::Occupied(value);
+            idx
+        } else {
+            let idx = u32::try_from(self.slots.len()).expect("slab outgrew u32 handles");
+            self.slots.push(Slot::Occupied(value));
+            idx
+        }
+    }
+
+    /// Removes and returns the payload at `handle`, recycling the slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `handle` does not name a live payload.
+    pub fn remove(&mut self, handle: Handle) -> T {
+        let slot = std::mem::replace(
+            &mut self.slots[handle as usize],
+            Slot::Vacant {
+                next: self.free_head,
+            },
+        );
+        match slot {
+            Slot::Occupied(value) => {
+                self.free_head = handle;
+                self.len -= 1;
+                value
+            }
+            Slot::Vacant { .. } => panic!("slab handle {handle} is vacant"),
+        }
+    }
+
+    /// The payload at `handle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `handle` does not name a live payload.
+    pub fn get(&self, handle: Handle) -> &T {
+        match &self.slots[handle as usize] {
+            Slot::Occupied(value) => value,
+            Slot::Vacant { .. } => panic!("slab handle {handle} is vacant"),
+        }
+    }
+
+    /// Mutable access to the payload at `handle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `handle` does not name a live payload.
+    pub fn get_mut(&mut self, handle: Handle) -> &mut T {
+        match &mut self.slots[handle as usize] {
+            Slot::Occupied(value) => value,
+            Slot::Vacant { .. } => panic!("slab handle {handle} is vacant"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_eq!(slab.len(), 2);
+        assert_eq!(*slab.get(a), "a");
+        *slab.get_mut(b) = "B";
+        assert_eq!(slab.remove(b), "B");
+        assert_eq!(slab.remove(a), "a");
+        assert!(slab.is_empty());
+    }
+
+    #[test]
+    fn slots_are_recycled_lifo_without_growth() {
+        let mut slab = Slab::with_capacity(4);
+        let handles: Vec<_> = (0..4).map(|i| slab.insert(i)).collect();
+        assert_eq!(handles, vec![0, 1, 2, 3]);
+        slab.remove(1);
+        slab.remove(3);
+        // LIFO recycling: the most recently freed slot is reused first.
+        assert_eq!(slab.insert(30), 3);
+        assert_eq!(slab.insert(10), 1);
+        // Slab is full again; the next insert grows.
+        assert_eq!(slab.insert(40), 4);
+        assert_eq!(slab.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "vacant")]
+    fn stale_handle_panics() {
+        let mut slab = Slab::new();
+        let h = slab.insert(1);
+        slab.remove(h);
+        slab.get(h);
+    }
+}

@@ -32,7 +32,14 @@
 //!   the other tenants) and [`sched::SloAware`] (a per-tenant latency
 //!   EWMA gates bitstream reconfiguration on predicted p99 vs the
 //!   tenant's SLO budget — stalls nobody's tail needs stop being paid);
-//! - [`sim`] — a binary-heap discrete-event scheduler with drop
+//! - [`engine`] — the simulation mechanics: a calendar-queue
+//!   [`engine::EventQueue`] (O(1) push/pop at serving densities,
+//!   bit-for-bit the binary-heap `(time, push-order)` contract it
+//!   replaced), a [`engine::Slab`] arena holding in-flight request state
+//!   behind 4-byte handles, batched pre-generated arrival streams
+//!   ([`engine::ArrivalSource`]) and the [`engine::Component`]
+//!   `next_tick`/`tick` clock abstraction — see `docs/ARCHITECTURE.md`;
+//! - [`sim`] — the discrete-event scheduler itself, with drop
 //!   accounting and pluggable [`sim::DispatchPolicy`] — strict FIFO
 //!   versus a *reconfig-aware* policy that serves same-bitstream requests
 //!   together to amortize `ReconfigEvent` stalls (§V-B's cost-model
@@ -113,7 +120,9 @@
 //! assert_eq!(report.completed() + report.dropped(), 500);
 //! assert!(report.throughput_rps() > 0.0);
 //! ```
+#![warn(missing_docs)]
 
+pub mod engine;
 pub mod metrics;
 pub mod pool;
 pub mod sched;
@@ -121,12 +130,13 @@ pub mod sim;
 pub mod tenant;
 pub mod trace;
 
+pub use engine::{ArrivalSource, Component, EventQueue, Slab};
 pub use metrics::{
     BoardStats, CompletedRequest, LatencyHistogram, RequestLatency, SimPerf, StageHistograms,
     StallBreakdown, TenantStats, TrafficReport,
 };
 pub use pool::{BoardPool, MigratePolicy, MigrationTransfer, PlacementPolicy};
-pub use sched::{SchedKind, SchedPolicy};
+pub use sched::{SchedKind, SchedPolicy, Scheduler};
 pub use sim::{simulate, DispatchPolicy, ServeConfig, TrafficSim};
 pub use tenant::{ArrivalProcess, Drift, TenantSpec};
 pub use trace::{ChromeTraceWriter, FlightRecorder, NullSink, TraceSink};

@@ -187,6 +187,28 @@ pub struct StallBreakdown {
 
 impl StallBreakdown {
     /// One request's latency partitioned into the five components.
+    ///
+    /// ```
+    /// use agnn_serve::{RequestLatency, StallBreakdown};
+    ///
+    /// let latency = RequestLatency {
+    ///     queue_secs: 1.0,
+    ///     stage_wait_secs: 0.5,
+    ///     reconfig_secs: 0.25,
+    ///     upload_secs: 2.0,
+    ///     preprocess_secs: 4.0,
+    ///     download_secs: 0.5,
+    ///     inference_secs: 1.5,
+    /// };
+    /// let stalls = StallBreakdown::of(&latency);
+    /// // Admission queueing and in-pipeline waits both count as "queue":
+    /// // the time nobody was working on the request.
+    /// assert_eq!(stalls.queue_secs, 1.5);
+    /// // Hand-off = subgraph download + the GPU inference tail.
+    /// assert_eq!(stalls.handoff_secs, 2.0);
+    /// // The five components are a partition of the end-to-end latency.
+    /// assert_eq!(stalls.total(), latency.total());
+    /// ```
     pub fn of(latency: &RequestLatency) -> Self {
         StallBreakdown {
             queue_secs: latency.queue_secs + latency.stage_wait_secs,

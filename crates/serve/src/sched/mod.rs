@@ -150,6 +150,91 @@ pub enum SchedKind {
     },
 }
 
+/// The instantiated scheduler as a closed enum — the event loop's
+/// devirtualized form of [`SchedPolicy`].
+///
+/// The hot dispatch loop calls `admit`/`scan`/`take`/`len` on every
+/// event; routing those through a `Box<dyn SchedPolicy>` pays an
+/// indirect call each time. This enum makes the dispatch a jump table
+/// the compiler can inline through ([`SchedKind::instantiate`] builds
+/// it; [`SchedKind::build`] still hands out the boxed trait object for
+/// callers that want dynamic composition). Behavior is identical —
+/// every method forwards to the same policy implementation.
+#[derive(Debug)]
+pub enum Scheduler {
+    /// The bounded arrival-order queue ([`queue::Fifo`]).
+    Fifo(Fifo),
+    /// Deficit-round-robin fair queueing ([`wfq::WeightedFair`]).
+    WeightedFair(WeightedFair),
+    /// SLO-gated FIFO ([`slo::SloAware`]).
+    SloAware(SloAware),
+}
+
+impl SchedPolicy for Scheduler {
+    #[inline]
+    fn name(&self) -> &'static str {
+        match self {
+            Scheduler::Fifo(s) => s.name(),
+            Scheduler::WeightedFair(s) => s.name(),
+            Scheduler::SloAware(s) => s.name(),
+        }
+    }
+
+    #[inline]
+    fn admit(&mut self, request: Request) -> bool {
+        match self {
+            Scheduler::Fifo(s) => s.admit(request),
+            Scheduler::WeightedFair(s) => s.admit(request),
+            Scheduler::SloAware(s) => s.admit(request),
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        match self {
+            Scheduler::Fifo(s) => s.len(),
+            Scheduler::WeightedFair(s) => s.len(),
+            Scheduler::SloAware(s) => s.len(),
+        }
+    }
+
+    #[inline]
+    fn scan(&mut self) -> &[Request] {
+        match self {
+            Scheduler::Fifo(s) => s.scan(),
+            Scheduler::WeightedFair(s) => s.scan(),
+            Scheduler::SloAware(s) => s.scan(),
+        }
+    }
+
+    #[inline]
+    fn take(&mut self, position: usize) -> Request {
+        match self {
+            Scheduler::Fifo(s) => s.take(position),
+            Scheduler::WeightedFair(s) => s.take(position),
+            Scheduler::SloAware(s) => s.take(position),
+        }
+    }
+
+    #[inline]
+    fn allow_reconfig(&self, tenant: usize, now: f64) -> bool {
+        match self {
+            Scheduler::Fifo(s) => s.allow_reconfig(tenant, now),
+            Scheduler::WeightedFair(s) => s.allow_reconfig(tenant, now),
+            Scheduler::SloAware(s) => s.allow_reconfig(tenant, now),
+        }
+    }
+
+    #[inline]
+    fn on_complete(&mut self, tenant: usize, latency: &RequestLatency, now: f64) {
+        match self {
+            Scheduler::Fifo(s) => s.on_complete(tenant, latency, now),
+            Scheduler::WeightedFair(s) => s.on_complete(tenant, latency, now),
+            Scheduler::SloAware(s) => s.on_complete(tenant, latency, now),
+        }
+    }
+}
+
 impl SchedKind {
     /// The weighted-fair preset: a 64-request per-tenant quota — deep
     /// enough to absorb a diurnal swell, shallow enough that one tenant
@@ -185,15 +270,27 @@ impl SchedKind {
     /// Panics if `capacity` is zero, a weighted-fair quota is zero, or a
     /// tenant weight / SLO budget is not positive and finite.
     pub fn build(&self, tenants: &[TenantSpec], capacity: usize) -> Box<dyn SchedPolicy> {
+        Box::new(self.instantiate(tenants, capacity))
+    }
+
+    /// [`build`](SchedKind::build) without the box: the [`Scheduler`]
+    /// enum the event loop dispatches on statically.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`build`](SchedKind::build).
+    pub fn instantiate(&self, tenants: &[TenantSpec], capacity: usize) -> Scheduler {
         assert!(capacity > 0, "queue capacity must be positive");
         match *self {
-            SchedKind::Fifo => Box::new(Fifo::new(capacity)),
-            SchedKind::WeightedFair { per_tenant_quota } => Box::new(WeightedFair::new(
-                tenants.iter().map(|t| t.weight).collect(),
-                capacity,
-                per_tenant_quota,
-            )),
-            SchedKind::SloAware { default_slo_secs } => Box::new(SloAware::new(
+            SchedKind::Fifo => Scheduler::Fifo(Fifo::new(capacity)),
+            SchedKind::WeightedFair { per_tenant_quota } => {
+                Scheduler::WeightedFair(WeightedFair::new(
+                    tenants.iter().map(|t| t.weight).collect(),
+                    capacity,
+                    per_tenant_quota,
+                ))
+            }
+            SchedKind::SloAware { default_slo_secs } => Scheduler::SloAware(SloAware::new(
                 tenants
                     .iter()
                     .map(|t| t.slo_secs.unwrap_or(default_slo_secs))

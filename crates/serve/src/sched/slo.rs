@@ -15,7 +15,7 @@ const Z_P99: f64 = 2.326;
 /// gate: a dispatch may only pay an ICAP stall when the tenant's
 /// **predicted p99** — an exponentially weighted mean of its end-to-end
 /// latency (queueing included, so a building backlog raises the
-/// prediction) plus [`Z_P99`] weighted deviations — exceeds its SLO
+/// prediction) plus `Z_P99` weighted deviations — exceeds its SLO
 /// budget.
 ///
 /// The cost model's per-request gain threshold keeps firing on every

@@ -39,7 +39,7 @@ const MAX_PRESPEND_ROUNDS: f64 = 4.0;
 /// charged — idle rounds would have granted it the quantum anyway).
 /// Taking a later position (a dispatch policy overriding fairness)
 /// pre-spends the tenant's future grant, clamped at
-/// [`MAX_PRESPEND_ROUNDS`] so replays stay O(1).
+/// `MAX_PRESPEND_ROUNDS` so replays stay O(1).
 #[derive(Debug)]
 pub struct WeightedFair {
     /// Per-tenant FIFO queues.

@@ -56,8 +56,11 @@ impl ArrivalProcess {
         }
     }
 
-    /// The peak rate, used as the thinning envelope.
-    fn peak_rate(&self) -> f64 {
+    /// The peak instantaneous rate — the thinning envelope of
+    /// [`next_after`](ArrivalProcess::next_after), and the simulator's
+    /// estimate of a tenant's worst-case event rate when sizing its
+    /// calendar-queue buckets.
+    pub fn peak_rate(&self) -> f64 {
         match *self {
             ArrivalProcess::Poisson { rate_rps } => rate_rps,
             ArrivalProcess::Diurnal {
