@@ -56,6 +56,12 @@ fn main() {
     println!("reconfigurations     {}", report.reconfigs);
     println!("migrations           {}", report.migrations());
     println!(
+        "cache hit-rate       {:>12.1} % ({}, {} coalesced)",
+        report.cache.hit_rate() * 100.0,
+        config.cache.name(),
+        report.cache.coalesced,
+    );
+    println!(
         "host / switch bytes  {:.2} GiB / {:.2} GiB",
         report.host_upload_bytes() as f64 / (1u64 << 30) as f64,
         report.switch_bytes() as f64 / (1u64 << 30) as f64,

@@ -30,6 +30,14 @@
 //!   per-tenant drop counts), each tenant present on both sides is gated
 //!   with the same tolerance — a baseline of zero victim drops means
 //!   *any* victim drop fails, which is the fairness isolation contract;
+//! - when both documents record a scenario's `hit_rate` or
+//!   `recompute_secs_saved` (the result-cache scenario's effectiveness),
+//!   the gate is **inverted** — it fails when the run's value drops below
+//!   `baseline * (1 - tolerance)`. Both are simulated, deterministic
+//!   numbers, so they use the caller's tolerance (not the generous
+//!   wall-clock one): a cache that silently stops hitting keeps a fine
+//!   tail on the light replay trace, so the p99 gate alone would hide
+//!   the regression;
 //! - when both documents record a scenario's `sim_events_per_sec` (the
 //!   simulator's own event-processing throughput), the gate is
 //!   **inverted** — it fails when the run is *slower* than the baseline
@@ -47,8 +55,8 @@
 //!   baseline must keep gating a new artifact.
 //!
 //! The three documents involved — the per-run report
-//! (`agnn-serve-report/v5`), the sweep artifact (`agnn-bench-serving/v5`)
-//! and the checked-in baseline (`agnn-bench-serving-baseline/v4`) — are
+//! (`agnn-serve-report/v6`), the sweep artifact (`agnn-bench-serving/v6`)
+//! and the checked-in baseline (`agnn-bench-serving-baseline/v5`) — are
 //! specified field-by-field, with the versioning and refresh rules the
 //! stale-baseline CI guard enforces, in `docs/SCHEMAS.md`.
 
@@ -326,6 +334,13 @@ struct ScenarioMetrics {
     /// Per-tenant drop counts; each tenant present on both sides is
     /// gated.
     tenant_drops: Option<BTreeMap<String, f64>>,
+    /// The result-cache hit-rate of a cache-enabled scenario; gated
+    /// *inverted* — lower is a regression — at the caller's tolerance
+    /// when both sides carry it.
+    hit_rate: Option<f64>,
+    /// Recompute seconds the cache avoided; gated *inverted* at the
+    /// caller's tolerance when both sides carry it.
+    recompute_secs_saved: Option<f64>,
     /// The simulator's own event throughput (host wall clock); gated
     /// *inverted* — lower is a regression — at [`SIM_SPEED_TOLERANCE`]
     /// when both sides carry it.
@@ -333,7 +348,8 @@ struct ScenarioMetrics {
 }
 
 /// Extracts `scenarios[].{name, p99_secs, reconfigs?, host_upload_bytes?,
-/// victim_p99_secs?, tenant_drops?}` from a smoke/baseline document.
+/// victim_p99_secs?, tenant_drops?, hit_rate?, recompute_secs_saved?}`
+/// from a smoke/baseline document.
 fn scenario_metrics(doc: &Json) -> Result<Vec<(String, ScenarioMetrics)>, String> {
     let scenarios = doc
         .get("scenarios")
@@ -359,6 +375,8 @@ fn scenario_metrics(doc: &Json) -> Result<Vec<(String, ScenarioMetrics)>, String
                     .filter_map(|(tenant, v)| v.as_f64().map(|d| (tenant.clone(), d)))
                     .collect()
             });
+            let hit_rate = s.get("hit_rate").and_then(Json::as_f64);
+            let recompute_secs_saved = s.get("recompute_secs_saved").and_then(Json::as_f64);
             let sim_events_per_sec = s.get("sim_events_per_sec").and_then(Json::as_f64);
             Ok((
                 name,
@@ -368,6 +386,8 @@ fn scenario_metrics(doc: &Json) -> Result<Vec<(String, ScenarioMetrics)>, String
                     host_upload_bytes,
                     victim_p99_secs,
                     tenant_drops,
+                    hit_rate,
+                    recompute_secs_saved,
                     sim_events_per_sec,
                 },
             ))
@@ -454,6 +474,34 @@ pub fn gate_p99(baseline: &Json, current: &Json, tolerance: f64) -> Result<GateO
                         base_d * (1.0 + tolerance)
                     ));
                 }
+            }
+        }
+        if let (Some(base_hr), Some(cur_hr)) = (base_m.hit_rate, cur_m.hit_rate) {
+            // Inverted gate, caller's tolerance: the hit-rate is a
+            // deterministic simulated number, and the regression
+            // direction is *down* — a cache that stops hitting keeps a
+            // fine tail on the light replay trace.
+            let floor = base_hr * (1.0 - tolerance);
+            if cur_hr < floor {
+                outcome.failures.push(format!(
+                    "'{name}' cache hit-rate regressed: {cur_hr:.4} vs baseline {base_hr:.4} \
+                     (floor {floor:.4}) — the result cache stopped hitting",
+                ));
+            }
+        }
+        if let (Some(base_rs), Some(cur_rs)) =
+            (base_m.recompute_secs_saved, cur_m.recompute_secs_saved)
+        {
+            // Inverted like the hit-rate: the saving is the scenario's
+            // whole point, and a cache serving cheaper hits (partial
+            // instead of full) can hold its hit-rate while quietly
+            // recomputing more.
+            let floor = base_rs * (1.0 - tolerance);
+            if cur_rs < floor {
+                outcome.failures.push(format!(
+                    "'{name}' recompute seconds saved regressed: {cur_rs:.1} s vs baseline \
+                     {base_rs:.1} s (floor {floor:.1} s) — the cache is avoiding less work",
+                ));
             }
         }
         if let (Some(base_ev), Some(cur_ev)) = (base_m.sim_events_per_sec, cur_m.sim_events_per_sec)
@@ -544,15 +592,16 @@ pub fn render_summary_table(baseline: &Json, current: &Json) -> Result<String, S
     out.push_str(
         "| scenario | p99 ms (base → run) | Δ p99 | reconfigs (base → run) \
          | host GB (base → run) | Δ host | victim p99 ms (base → run) | Δ victim \
-         | tenant drops (base → run) | sim kev/s (base → run) |\n",
+         | tenant drops (base → run) | hit rate (base → run) \
+         | recompute s saved (base → run) | sim kev/s (base → run) |\n",
     );
-    out.push_str("|---|---|---|---|---|---|---|---|---|---|\n");
+    out.push_str("|---|---|---|---|---|---|---|---|---|---|---|---|\n");
     for (name, b) in &base {
         match cur_map.get(name) {
             Some(c) => {
                 out.push_str(&format!(
                     "| `{name}` | {:.1} → {:.1} | {} | {} → {} | {} → {} | {} \
-                     | {} → {} | {} | {} | {} → {} |\n",
+                     | {} → {} | {} | {} | {} → {} | {} → {} | {} → {} |\n",
                     b.p99_secs * 1e3,
                     c.p99_secs * 1e3,
                     pct(b.p99_secs, c.p99_secs),
@@ -565,13 +614,17 @@ pub fn render_summary_table(baseline: &Json, current: &Json) -> Result<String, S
                     opt(c.victim_p99_secs, 1e3, 1),
                     opt_pct(b.victim_p99_secs, c.victim_p99_secs),
                     drops_cell(b.tenant_drops.as_ref(), c.tenant_drops.as_ref()),
+                    opt(b.hit_rate, 100.0, 1),
+                    opt(c.hit_rate, 100.0, 1),
+                    opt(b.recompute_secs_saved, 1.0, 1),
+                    opt(c.recompute_secs_saved, 1.0, 1),
                     opt(b.sim_events_per_sec, 1e-3, 0),
                     opt(c.sim_events_per_sec, 1e-3, 0),
                 ));
             }
             None => {
                 out.push_str(&format!(
-                    "| `{name}` | {:.1} → **missing from run** | — | — | — | — | — | — | — | — |\n",
+                    "| `{name}` | {:.1} → **missing from run** | — | — | — | — | — | — | — | — | — | — |\n",
                     b.p99_secs * 1e3,
                 ));
             }
@@ -583,11 +636,13 @@ pub fn render_summary_table(baseline: &Json, current: &Json) -> Result<String, S
         if !base_names.contains(name.as_str()) {
             out.push_str(&format!(
                 "| `{name}` | **not in baseline** → {:.1} | — | — → {} | — → {} | — \
-                 | — → {} | — | — | — → {} |\n",
+                 | — → {} | — | — | — → {} | — → {} | — → {} |\n",
                 c.p99_secs * 1e3,
                 opt(c.reconfigs, 1.0, 0),
                 opt(c.host_upload_bytes, 1e-9, 2),
                 opt(c.victim_p99_secs, 1e3, 1),
+                opt(c.hit_rate, 100.0, 1),
+                opt(c.recompute_secs_saved, 1.0, 1),
                 opt(c.sim_events_per_sec, 1e-3, 0),
             ));
         }
@@ -835,6 +890,41 @@ mod tests {
     }
 
     #[test]
+    fn cache_gates_are_inverted_floors() {
+        let row = |hr: f64, saved: f64| {
+            parse(&format!(
+                r#"{{"scenarios": [{{"name": "c", "p99_secs": 0.01,
+                    "hit_rate": {hr}, "recompute_secs_saved": {saved}}}]}}"#
+            ))
+            .unwrap()
+        };
+        let baseline = row(0.95, 5000.0);
+        // Small wobble within the tolerance passes; *rising* never fails
+        // (the inversion).
+        let ok = gate_p99(&baseline, &row(0.90, 4500.0), 0.20).unwrap();
+        assert!(ok.passed(), "{:?}", ok.failures);
+        let better = gate_p99(&baseline, &row(1.0, 9000.0), 0.20).unwrap();
+        assert!(better.passed(), "{:?}", better.failures);
+        // A collapsed hit-rate fails even though the p99 is identical —
+        // the tail alone would hide a cache that stopped hitting.
+        let cold = gate_p99(&baseline, &row(0.05, 5000.0), 0.20).unwrap();
+        assert!(!cold.passed());
+        assert!(cold.failures[0].contains("hit-rate"), "{:?}", cold.failures);
+        // A held hit-rate with a collapsed saving fails on its own: the
+        // cache can keep hitting while serving only cheap partial hits.
+        let shallow = gate_p99(&baseline, &row(0.95, 100.0), 0.20).unwrap();
+        assert!(!shallow.passed());
+        assert!(
+            shallow.failures[0].contains("recompute seconds saved"),
+            "{:?}",
+            shallow.failures
+        );
+        // A baseline without the members (pre-v5 schema) gates p99 only.
+        let legacy = gate_p99(&doc(&[("c", 0.01)]), &row(0.0, 0.0), 0.2).unwrap();
+        assert!(legacy.passed(), "{:?}", legacy.failures);
+    }
+
+    #[test]
     fn summary_table_shows_deltas_and_holes() {
         let baseline = parse(
             r#"{"scenarios": [
@@ -842,6 +932,8 @@ mod tests {
                  "sim_events_per_sec": 450000},
                 {"name": "b", "p99_secs": 10.0, "victim_p99_secs": 0.8,
                  "tenant_drops": {"victim": 0, "aggressor": 4000}},
+                {"name": "c", "p99_secs": 0.01, "hit_rate": 0.98,
+                 "recompute_secs_saved": 5000},
                 {"name": "gone", "p99_secs": 0.5}]}"#,
         )
         .unwrap();
@@ -851,6 +943,8 @@ mod tests {
                  "sim_events_per_sec": 520000},
                 {"name": "b", "p99_secs": 10.0, "victim_p99_secs": 1.6,
                  "tenant_drops": {"victim": 5, "aggressor": 4000}},
+                {"name": "c", "p99_secs": 0.01, "hit_rate": 0.97,
+                 "recompute_secs_saved": 5100},
                 {"name": "new", "p99_secs": 0.2, "reconfigs": 3}]}"#,
         )
         .unwrap();
@@ -859,7 +953,7 @@ mod tests {
         assert!(
             table.contains(
                 "| `a` | 1000.0 → 1100.0 | +10.0% | 10 → 12 | 50.00 → 25.00 | -50.0% \
-                 | — → — | — | — | 450 → 520 |"
+                 | — → — | — | — | — → — | — → — | 450 → 520 |"
             ),
             "{table}"
         );
@@ -867,8 +961,18 @@ mod tests {
         // or per-tenant-drop regression must be visible in the summary,
         // not only in the gate's stderr.
         assert!(
-            table
-                .contains("| 800.0 → 1600.0 | +100.0% | aggressor 4000→4000, victim 0→5 | — → — |"),
+            table.contains(
+                "| 800.0 → 1600.0 | +100.0% | aggressor 4000→4000, victim 0→5 \
+                 | — → — | — → — | — → — |"
+            ),
+            "{table}"
+        );
+        // And so must the cache metrics (hit-rate rendered in percent).
+        assert!(
+            table.contains(
+                "| `c` | 10.0 → 10.0 | +0.0% | — → — | — → — | — | — → — | — | — \
+                 | 98.0 → 97.0 | 5000.0 → 5100.0 | — → — |"
+            ),
             "{table}"
         );
         assert!(table.contains("**missing from run**"), "{table}");

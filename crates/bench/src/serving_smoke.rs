@@ -1,6 +1,6 @@
 //! The seeded serving scenario sweep behind CI's `bench-smoke` job.
 //!
-//! Eight scenarios, ~6 000 requests each (a few seconds of wall clock).
+//! Nine scenarios, ~6 000 requests each (a few seconds of wall clock).
 //! The first three replay the same drift-heavy, offset-diurnal trace:
 //!
 //! 1. `single_board_reconfig_aware` — the PR 1 baseline: one VPK180,
@@ -42,6 +42,16 @@
 //!    its SLO budget. The gate protects its reconfig count (the cut is
 //!    the point) and its p99 (the cut must not cost the tail).
 //!
+//! The last scenario guards the result cache (`crates/serve/src/cache/`):
+//!
+//! 9. `cache_replay` — the duplicate-heavy dashboard trace
+//!    ([`TenantSpec::replay_heavy`]) with the delta-invalidation cache
+//!    ([`CacheKind::delta`]) on two boards. The gate protects its p99 and
+//!    — inverted, like `sim_events_per_sec` but at the simulated-metric
+//!    tolerance — its **`hit_rate`** and **`recompute_secs_saved`**: a
+//!    cache that silently stops hitting keeps a fine tail on this light
+//!    trace, so the tail alone would hide the regression.
+//!
 //! [`render_json`] emits the `BENCH_serving.json` document (scenario
 //! rows also carry the per-stage report, the pipeline-overlap ratio,
 //! eviction/migration counts, the switch/host byte split and the
@@ -49,9 +59,11 @@
 //! non-deterministic members, being host wall clock);
 //! [`crate::perfgate`] compares its `scenarios[].p99_secs`,
 //! `scenarios[].reconfigs`, `scenarios[].host_upload_bytes`,
-//! `scenarios[].victim_p99_secs`, `scenarios[].tenant_drops` and
-//! (inverted, at a generous tolerance) `scenarios[].sim_events_per_sec`
-//! against the checked-in baseline and ignores keys it does not know.
+//! `scenarios[].victim_p99_secs`, `scenarios[].tenant_drops`,
+//! (inverted, at the caller's tolerance) `scenarios[].hit_rate` and
+//! `scenarios[].recompute_secs_saved`, and (inverted, at a generous
+//! tolerance) `scenarios[].sim_events_per_sec` against the checked-in
+//! baseline and ignores keys it does not know.
 //! [`perfetto_trace`] replays one named case with a
 //! [`ChromeTraceWriter`] attached for the `--trace-out` flag.
 
@@ -61,7 +73,7 @@ use agnn_serve::pool::{MigratePolicy, PlacementPolicy};
 use agnn_serve::sched::SchedKind;
 use agnn_serve::sim::{simulate, ServeConfig, TrafficSim};
 use agnn_serve::tenant::{ArrivalProcess, TenantSpec};
-use agnn_serve::{ChromeTraceWriter, TrafficReport};
+use agnn_serve::{CacheKind, ChromeTraceWriter, TrafficReport};
 
 /// Deployment seed of the sweep (fixed: the artifact must be reproducible).
 pub const SMOKE_SEED: u64 = 4_242;
@@ -148,6 +160,14 @@ fn pressured_tenants() -> Vec<TenantSpec> {
 /// capacity.
 fn burst_tenants() -> Vec<TenantSpec> {
     TenantSpec::bursty_aggressor(2.0, 40.0, 900.0)
+}
+
+/// The duplicate-heavy trace behind `cache_replay`
+/// ([`TenantSpec::replay_heavy`]): three dashboard tenants re-offering
+/// the identical query against static graphs, so almost every request
+/// after each tenant's first is cache-servable.
+fn replay_tenants() -> Vec<TenantSpec> {
+    TenantSpec::replay_heavy(3.0)
 }
 
 /// One sweep case before simulation: stable name, tenant mix, full
@@ -249,6 +269,16 @@ fn sweep_cases() -> Vec<SweepCase> {
             },
             &[],
         ),
+        (
+            "cache_replay",
+            replay_tenants(),
+            ServeConfig {
+                boards: 2,
+                cache: CacheKind::delta(),
+                ..base
+            },
+            &[],
+        ),
     ]
 }
 
@@ -299,15 +329,25 @@ pub fn render_json(scenarios: &[Scenario]) -> String {
                 ),
                 None => String::new(),
             };
+            let cache = if s.config.cache.enabled() {
+                format!(
+                    "\"hit_rate\":{},\"recompute_secs_saved\":{},",
+                    json_f64(s.report.cache.hit_rate()),
+                    json_f64(s.report.cache.recompute_secs_saved),
+                )
+            } else {
+                String::new()
+            };
             format!(
                 concat!(
                     "{{\"name\":{name},\"boards\":{boards},",
                     "\"placement\":{placement},\"migrate\":{migrate},",
-                    "\"scheduler\":{scheduler},",
+                    "\"scheduler\":{scheduler},\"cache\":{cache_kind},",
                     "\"p50_secs\":{p50},",
                     "\"p99_secs\":{p99},\"reconfigs\":{reconfigs},",
                     "\"completed\":{completed},\"dropped\":{dropped},",
                     "{fairness}",
+                    "{cache}",
                     "\"pipeline_overlap_ratio\":{overlap_ratio},",
                     "\"evictions\":{evictions},",
                     "\"migrations\":{migrations},",
@@ -322,12 +362,14 @@ pub fn render_json(scenarios: &[Scenario]) -> String {
                 placement = json_str(s.config.placement.name()),
                 migrate = json_str(s.config.migrate.name()),
                 scheduler = json_str(s.config.scheduler.name()),
+                cache_kind = json_str(s.config.cache.name()),
                 p50 = json_f64(overall.quantile(0.50)),
                 p99 = json_f64(overall.quantile(0.99)),
                 reconfigs = s.report.reconfigs,
                 completed = s.report.completed(),
                 dropped = s.report.dropped(),
                 fairness = fairness,
+                cache = cache,
                 overlap_ratio = json_f64(s.report.pipeline_overlap_ratio()),
                 evictions = s.report.evictions(),
                 migrations = s.report.migrations(),
@@ -341,7 +383,7 @@ pub fn render_json(scenarios: &[Scenario]) -> String {
         .collect();
     format!(
         concat!(
-            "{{\"schema\":\"agnn-bench-serving/v5\",\"seed\":{seed},",
+            "{{\"schema\":\"agnn-bench-serving/v6\",\"seed\":{seed},",
             "\"total_requests\":{requests},\"scenarios\":[{rows}]}}"
         ),
         seed = SMOKE_SEED,
@@ -352,8 +394,9 @@ pub fn render_json(scenarios: &[Scenario]) -> String {
 
 /// Renders only the gate schema (`scenarios[].name` / `p99_secs` /
 /// `reconfigs` / `host_upload_bytes` / `sim_events_per_sec`, plus
-/// `victim_p99_secs` and `tenant_drops` on scenarios with victims) — the
-/// compact form checked in as the baseline.
+/// `victim_p99_secs` and `tenant_drops` on scenarios with victims, plus
+/// `hit_rate` and `recompute_secs_saved` on scenarios with the result
+/// cache enabled) — the compact form checked in as the baseline.
 ///
 /// `sim_events_per_sec` is the one member measured in *host* wall clock:
 /// the checked-in value captures the writer's machine, the gate compares
@@ -372,19 +415,29 @@ pub fn render_baseline_json(scenarios: &[Scenario]) -> String {
                 ),
                 None => String::new(),
             };
+            let cache = if s.config.cache.enabled() {
+                format!(
+                    ",\"hit_rate\":{},\"recompute_secs_saved\":{}",
+                    json_f64(s.report.cache.hit_rate()),
+                    json_f64(s.report.cache.recompute_secs_saved),
+                )
+            } else {
+                String::new()
+            };
             format!(
-                "\n  {{\"name\":{},\"p99_secs\":{},\"reconfigs\":{},\"host_upload_bytes\":{}{},\"sim_events_per_sec\":{}}}",
+                "\n  {{\"name\":{},\"p99_secs\":{},\"reconfigs\":{},\"host_upload_bytes\":{}{}{},\"sim_events_per_sec\":{}}}",
                 json_str(s.name),
                 json_f64(s.report.overall_latency().quantile(0.99)),
                 s.report.reconfigs,
                 s.report.host_upload_bytes(),
                 fairness,
+                cache,
                 json_f64(s.report.sim.events_per_sec()),
             )
         })
         .collect();
     format!(
-        "{{\"schema\":\"agnn-bench-serving-baseline/v4\",\"seed\":{},\"scenarios\":[{}\n]}}\n",
+        "{{\"schema\":\"agnn-bench-serving-baseline/v5\",\"seed\":{},\"scenarios\":[{}\n]}}\n",
         SMOKE_SEED,
         rows.join(",")
     )
@@ -418,7 +471,7 @@ mod tests {
             doc.get("scenarios")
                 .and_then(perfgate::Json::as_arr)
                 .map(<[perfgate::Json]>::len),
-            Some(8)
+            Some(9)
         );
         let baseline = perfgate::parse(&render_baseline_json(&a)).expect("baseline parses");
         // A run always passes the gate against its own baseline.
@@ -484,6 +537,7 @@ mod tests {
                     | "pool4_least_loaded"
                     | "pool4_bitstream_affine"
                     | "slo_drift"
+                    | "cache_replay"
             )
         }) {
             assert_eq!(s.report.pipeline_overlap_ratio(), 0.0, "{}", s.name);
@@ -626,5 +680,55 @@ mod tests {
                 s.name
             );
         }
+    }
+
+    /// The ISSUE's acceptance criterion for the result cache: on the
+    /// duplicate-heavy replay trace the gated `cache_replay` scenario
+    /// must cut p99 by >= 30 % against its cache-off twin, at an honest
+    /// hit-rate the gate can floor.
+    #[test]
+    fn cache_replay_cuts_the_tail_against_its_off_twin() {
+        let sweep = run_sweep();
+        let cached = sweep
+            .iter()
+            .find(|s| s.name == "cache_replay")
+            .expect("cache_replay scenario");
+        // The off twin: the identical deployment with the cache disabled
+        // (every other knob byte-identical, so the contrast isolates the
+        // cache).
+        let off = simulate(
+            replay_tenants(),
+            ServeConfig {
+                cache: CacheKind::Off,
+                ..cached.config
+            },
+        );
+        let (cached_p99, off_p99) = (
+            cached.report.overall_latency().quantile(0.99),
+            off.overall_latency().quantile(0.99),
+        );
+        assert!(
+            cached_p99 < off_p99 * 0.7,
+            "the cache must cut replay p99 by >= 30 %: {cached_p99} vs {off_p99}"
+        );
+        // The gated hit-rate is honest: most requests classified at the
+        // cache actually hit, and the saving the gate floors is real.
+        assert!(
+            cached.report.cache.hit_rate() > 0.5,
+            "hit-rate {}",
+            cached.report.cache.hit_rate()
+        );
+        assert!(cached.report.cache.recompute_secs_saved > 0.0);
+        // Classification conservation: every completion is exactly one of
+        // hit / partial / miss / coalesced.
+        let s = cached.report.cache;
+        assert_eq!(
+            s.hits + s.partial_hits + s.misses + s.coalesced,
+            cached.report.completed(),
+        );
+        // The off twin never consults the cache — the Off artifact rows
+        // must not grow cache members (`render_json` keys off the config).
+        assert_eq!(off.cache.lookups(), 0);
+        assert_eq!(off.cache.coalesced, 0);
     }
 }

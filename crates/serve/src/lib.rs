@@ -49,6 +49,13 @@
 //!   (double-buffered, [`agnn_hw::shell::DELTA_BUFFERS`]) and streams
 //!   finished subgraphs out while its fabric preprocesses — upload time
 //!   leaves the dispatch critical path;
+//! - [`cache`] — the subgraph result cache: entries keyed on request
+//!   identity `(tenant, drift bucket, seed)`, invalidated by accumulated
+//!   graph-delta bytes ([`cache::CacheKind::Delta`]) and degraded to
+//!   partial hits when the source graph is no longer board-resident;
+//!   duplicate in-flight requests coalesce onto one primary and complete
+//!   off its `ServiceDone` (hit-under-miss). [`cache::CacheKind::Off`]
+//!   is the default and replays the uncached schedule bit-for-bit;
 //! - [`metrics`] — deterministic latency histograms (p50/p95/p99/max),
 //!   per-lifecycle-stage breakdowns ([`metrics::StageHistograms`]),
 //!   per-tenant queue-wait distributions, drop and SLO-violation
@@ -122,6 +129,7 @@
 //! ```
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod engine;
 pub mod metrics;
 pub mod pool;
@@ -130,6 +138,7 @@ pub mod sim;
 pub mod tenant;
 pub mod trace;
 
+pub use cache::{CacheKind, CacheStats, ResultCache};
 pub use engine::{ArrivalSource, Component, EventQueue, Slab};
 pub use metrics::{
     BoardStats, CompletedRequest, LatencyHistogram, RequestLatency, SimPerf, StageHistograms,

@@ -4,6 +4,7 @@
 //! Percentiles come from a fixed geometric bucket ladder, so two runs with
 //! the same seed report byte-identical numbers — no sampling, no clocks.
 
+use crate::cache::CacheStats;
 use std::fmt;
 
 /// Smallest representable latency bucket (1 µs).
@@ -137,6 +138,11 @@ pub struct RequestLatency {
     pub download_secs: f64,
     /// GPU inference tail (off the accelerator's critical path).
     pub inference_secs: f64,
+    /// Result-cache service time: the lookup cost of a full hit, or — for
+    /// a coalesced request — the wait parked on its primary. 0 for every
+    /// request that reached a board ([`crate::cache::CacheKind::Off`]
+    /// runs never set it).
+    pub cache_secs: f64,
 }
 
 impl RequestLatency {
@@ -149,6 +155,7 @@ impl RequestLatency {
             + self.preprocess_secs
             + self.download_secs
             + self.inference_secs
+            + self.cache_secs
     }
 
     /// Seconds the request occupies board resources (excludes queueing,
@@ -159,8 +166,8 @@ impl RequestLatency {
 }
 
 /// Aggregate stall attribution: every completed request's end-to-end
-/// latency, partitioned **exactly** into five components (the partition
-/// is a regrouping of [`RequestLatency`]'s fields, so the five sum to
+/// latency, partitioned **exactly** into six components (the partition
+/// is a regrouping of [`RequestLatency`]'s fields, so the six sum to
 /// [`RequestLatency::total`] by construction — the conservation the
 /// property tests pin). "Where did the p99 go" becomes a report field:
 ///
@@ -170,7 +177,10 @@ impl RequestLatency {
 /// - **dma** — the host/switch→board graph upload leg;
 /// - **fabric** — accelerator preprocessing;
 /// - **handoff** — the board→GPU subgraph download plus the GPU
-///   inference tail.
+///   inference tail;
+/// - **cache** — result-cache service (full-hit lookups and coalesced
+///   waits; see [`RequestLatency::cache_secs`]). Always 0 with the
+///   cache off, so pre-cache attributions are unchanged.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct StallBreakdown {
     /// Seconds waiting for service (queue + pipeline stage waits).
@@ -183,10 +193,12 @@ pub struct StallBreakdown {
     pub fabric_secs: f64,
     /// Seconds handing the subgraph off (download + inference tail).
     pub handoff_secs: f64,
+    /// Seconds served by the result cache (lookups + coalesced waits).
+    pub cache_secs: f64,
 }
 
 impl StallBreakdown {
-    /// One request's latency partitioned into the five components.
+    /// One request's latency partitioned into the six components.
     ///
     /// ```
     /// use agnn_serve::{RequestLatency, StallBreakdown};
@@ -199,6 +211,7 @@ impl StallBreakdown {
     ///     preprocess_secs: 4.0,
     ///     download_secs: 0.5,
     ///     inference_secs: 1.5,
+    ///     cache_secs: 0.0,
     /// };
     /// let stalls = StallBreakdown::of(&latency);
     /// // Admission queueing and in-pipeline waits both count as "queue":
@@ -206,7 +219,7 @@ impl StallBreakdown {
     /// assert_eq!(stalls.queue_secs, 1.5);
     /// // Hand-off = subgraph download + the GPU inference tail.
     /// assert_eq!(stalls.handoff_secs, 2.0);
-    /// // The five components are a partition of the end-to-end latency.
+    /// // The six components are a partition of the end-to-end latency.
     /// assert_eq!(stalls.total(), latency.total());
     /// ```
     pub fn of(latency: &RequestLatency) -> Self {
@@ -216,13 +229,19 @@ impl StallBreakdown {
             dma_secs: latency.upload_secs,
             fabric_secs: latency.preprocess_secs,
             handoff_secs: latency.download_secs + latency.inference_secs,
+            cache_secs: latency.cache_secs,
         }
     }
 
-    /// Sum of the five components — equals [`RequestLatency::total`] for
+    /// Sum of the six components — equals [`RequestLatency::total`] for
     /// a breakdown built by [`StallBreakdown::of`].
     pub fn total(&self) -> f64 {
-        self.queue_secs + self.reconfig_secs + self.dma_secs + self.fabric_secs + self.handoff_secs
+        self.queue_secs
+            + self.reconfig_secs
+            + self.dma_secs
+            + self.fabric_secs
+            + self.handoff_secs
+            + self.cache_secs
     }
 
     /// Adds another breakdown (aggregation across requests).
@@ -232,6 +251,7 @@ impl StallBreakdown {
         self.dma_secs += other.dma_secs;
         self.fabric_secs += other.fabric_secs;
         self.handoff_secs += other.handoff_secs;
+        self.cache_secs += other.cache_secs;
     }
 }
 
@@ -347,6 +367,16 @@ pub struct TenantStats {
     pub board_secs: f64,
     /// Reconfigurations performed to serve this tenant's requests.
     pub reconfigs: u64,
+    /// Requests served entirely from the result cache at admission.
+    pub cache_hits: u64,
+    /// Dispatched requests that skipped preprocessing against a fresh
+    /// cache entry (partial hits).
+    pub cache_partial_hits: u64,
+    /// Dispatched requests that recomputed in full (cache misses; 0 with
+    /// the cache off — uncached requests are unclassified, not misses).
+    pub cache_misses: u64,
+    /// Duplicate in-flight requests coalesced onto a primary.
+    pub cache_coalesced: u64,
 }
 
 impl TenantStats {
@@ -484,7 +514,13 @@ pub struct TrafficReport {
     pub reconfigs: u64,
     /// Total seconds the accelerator spent reprogramming.
     pub reconfig_secs: f64,
-    /// Queue-depth timeline (the admission queue is shared pool-wide).
+    /// Queue-depth timeline. The depth recorded at each transition is the
+    /// **aggregate** number of queued requests across the scheduler's
+    /// admission queues ([`crate::sched::SchedPolicy::len`]): one shared
+    /// pool-wide queue under [`crate::sched::Fifo`], the sum over the
+    /// per-tenant queues under [`crate::sched::WeightedFair`] — there is
+    /// no single shared queue there, so only the aggregate is meaningful
+    /// on one timeline.
     pub queue_depth: DepthTimeline,
     /// Per-board breakdown, in board order. Always at least one entry;
     /// single-board runs report the one board's totals.
@@ -499,8 +535,12 @@ pub struct TrafficReport {
     /// [`crate::sim::ServeConfig::log_requests`] was set).
     pub requests: Vec<CompletedRequest>,
     /// Aggregate stall attribution summed over every completed request
-    /// (each request's five components sum to its end-to-end latency).
+    /// (each request's six components sum to its end-to-end latency).
     pub stall: StallBreakdown,
+    /// Result-cache counters for the run — all zero (and absent from the
+    /// rendered report's effect on behavior) when
+    /// [`crate::sim::ServeConfig::cache`] is [`crate::cache::CacheKind::Off`].
+    pub cache: CacheStats,
     /// The simulator's own speed (wall clock + events). The **only**
     /// non-deterministic report field: excluded from `PartialEq` (see
     /// [`SimPerf`]) and from [`fmt::Display`], included in
@@ -614,7 +654,7 @@ impl TrafficReport {
         let overall = self.overall_latency();
         let mut out = String::with_capacity(1024);
         out.push('{');
-        push_field(&mut out, "schema", &json_str("agnn-serve-report/v5"));
+        push_field(&mut out, "schema", &json_str("agnn-serve-report/v6"));
         push_field(&mut out, "pool_size", &self.pool_size().to_string());
         push_field(&mut out, "completed", &self.completed().to_string());
         push_field(&mut out, "dropped", &self.dropped().to_string());
@@ -665,6 +705,7 @@ impl TrafficReport {
             "handoff_secs",
             &json_f64(self.stall.handoff_secs),
         );
+        push_field(&mut stall, "cache_secs", &json_f64(self.stall.cache_secs));
         close_obj(&mut stall);
         push_field(&mut out, "stall_attribution", &stall);
         push_field(&mut out, "sim_wall_secs", &json_f64(self.sim.wall_secs));
@@ -693,6 +734,34 @@ impl TrafficReport {
             "host_bytes_saved",
             &self.host_bytes_saved().to_string(),
         );
+        let mut cache = String::new();
+        cache.push('{');
+        push_field(&mut cache, "hits", &self.cache.hits.to_string());
+        push_field(
+            &mut cache,
+            "partial_hits",
+            &self.cache.partial_hits.to_string(),
+        );
+        push_field(&mut cache, "misses", &self.cache.misses.to_string());
+        push_field(
+            &mut cache,
+            "invalidations",
+            &self.cache.invalidations.to_string(),
+        );
+        push_field(&mut cache, "coalesced", &self.cache.coalesced.to_string());
+        push_field(&mut cache, "hit_rate", &json_f64(self.cache.hit_rate()));
+        push_field(
+            &mut cache,
+            "recompute_secs_saved",
+            &json_f64(self.cache.recompute_secs_saved),
+        );
+        push_field(
+            &mut cache,
+            "max_served_delta_frac",
+            &json_f64(self.cache.max_served_delta_frac),
+        );
+        close_obj(&mut cache);
+        push_field(&mut out, "cache", &cache);
         push_field(
             &mut out,
             "trace_digest",
@@ -722,6 +791,14 @@ impl TrafficReport {
                     &json_f64(t.queue_wait.quantile(0.99)),
                 );
                 push_field(&mut obj, "slo_violations", &t.slo_violations.to_string());
+                push_field(&mut obj, "cache_hits", &t.cache_hits.to_string());
+                push_field(
+                    &mut obj,
+                    "cache_partial_hits",
+                    &t.cache_partial_hits.to_string(),
+                );
+                push_field(&mut obj, "cache_misses", &t.cache_misses.to_string());
+                push_field(&mut obj, "cache_coalesced", &t.cache_coalesced.to_string());
                 close_obj(&mut obj);
                 obj
             })
@@ -865,13 +942,28 @@ impl fmt::Display for TrafficReport {
             writeln!(
                 f,
                 "stall attribution: queue {:.1}% | reconfig {:.1}% | dma {:.1}% | \
-                 fabric {:.1}% | handoff {:.1}% of {:.1} request-s",
+                 fabric {:.1}% | handoff {:.1}% | cache {:.1}% of {:.1} request-s",
                 self.stall.queue_secs / total * 100.0,
                 self.stall.reconfig_secs / total * 100.0,
                 self.stall.dma_secs / total * 100.0,
                 self.stall.fabric_secs / total * 100.0,
                 self.stall.handoff_secs / total * 100.0,
+                self.stall.cache_secs / total * 100.0,
                 total,
+            )?;
+        }
+        if self.cache.lookups() + self.cache.coalesced > 0 {
+            writeln!(
+                f,
+                "cache: hit-rate {:.1}% ({} full, {} partial, {} miss) | {} coalesced | \
+                 {} invalidations | {:.1} s recompute saved",
+                self.cache.hit_rate() * 100.0,
+                self.cache.hits,
+                self.cache.partial_hits,
+                self.cache.misses,
+                self.cache.coalesced,
+                self.cache.invalidations,
+                self.cache.recompute_secs_saved,
             )?;
         }
         if self.dma_secs() > 0.0 {
@@ -1015,6 +1107,7 @@ mod tests {
             overlap_secs: 0.0,
             requests: Vec::new(),
             stall: StallBreakdown::default(),
+            cache: CacheStats::default(),
             sim: SimPerf::default(),
             trace_digest: 0xDEAD_BEEF,
         };
@@ -1031,9 +1124,18 @@ mod tests {
         assert!(a.contains("\"switch_bytes\":0"));
         assert!(a.contains("\"host_upload_bytes\":0"));
         assert!(a.contains("\"host_bytes_saved\":0"));
-        assert!(a.contains("\"schema\":\"agnn-serve-report/v5\""));
+        assert!(a.contains("\"schema\":\"agnn-serve-report/v6\""));
         assert!(a.contains("\"stall_attribution\":{\"queue_secs\":"));
         assert!(a.contains("\"handoff_secs\":"));
+        assert!(a.contains("\"cache_secs\":"));
+        assert!(a.contains("\"cache\":{\"hits\":0"));
+        assert!(a.contains("\"hit_rate\":0"));
+        assert!(a.contains("\"recompute_secs_saved\":0"));
+        assert!(a.contains("\"max_served_delta_frac\":0"));
+        assert!(a.contains("\"cache_hits\":0"));
+        assert!(a.contains("\"cache_partial_hits\":0"));
+        assert!(a.contains("\"cache_misses\":0"));
+        assert!(a.contains("\"cache_coalesced\":0"));
         assert!(a.contains("\"sim_wall_secs\":"));
         assert!(a.contains("\"sim_events\":0"));
         assert!(a.contains("\"sim_events_per_sec\":"));
@@ -1065,6 +1167,7 @@ mod tests {
             preprocess_secs: 0.5,
             download_secs: 0.05,
             inference_secs: 0.2,
+            cache_secs: 0.0,
         };
         assert!((lat.total() - 2.08).abs() < 1e-12);
         assert!((lat.board_secs() - 0.88).abs() < 1e-12);
@@ -1076,6 +1179,14 @@ mod tests {
         };
         assert!((waited.total() - 2.38).abs() < 1e-12);
         assert!((waited.board_secs() - lat.board_secs()).abs() < 1e-15);
+        // Cache service counts toward the end-to-end total but never
+        // toward board occupancy — a full hit occupies no board slot.
+        let cached = RequestLatency {
+            cache_secs: 0.01,
+            ..lat
+        };
+        assert!((cached.total() - 2.09).abs() < 1e-12);
+        assert!((cached.board_secs() - lat.board_secs()).abs() < 1e-15);
     }
 
     #[test]
@@ -1088,6 +1199,7 @@ mod tests {
             preprocess_secs: 0.5,
             download_secs: 0.05,
             inference_secs: 0.2,
+            cache_secs: 0.02,
         };
         let stall = StallBreakdown::of(&lat);
         assert!((stall.queue_secs - 1.3).abs() < 1e-12, "queue + stage wait");
@@ -1098,9 +1210,10 @@ mod tests {
             (stall.handoff_secs - 0.25).abs() < 1e-12,
             "download + inference"
         );
+        assert!((stall.cache_secs - 0.02).abs() < 1e-12);
         assert!(
             (stall.total() - lat.total()).abs() < 1e-12,
-            "the five components partition the end-to-end latency"
+            "the six components partition the end-to-end latency"
         );
         let mut agg = StallBreakdown::default();
         agg.accumulate(&stall);
@@ -1158,6 +1271,7 @@ mod tests {
             overlap_secs: 0.0,
             requests: Vec::new(),
             stall: StallBreakdown::default(),
+            cache: CacheStats::default(),
             sim: SimPerf::default(),
             trace_digest: 0,
         };
@@ -1182,6 +1296,7 @@ mod tests {
             overlap_secs: 0.0,
             requests: Vec::new(),
             stall: StallBreakdown::default(),
+            cache: CacheStats::default(),
             sim: SimPerf::default(),
             trace_digest: 0,
         };

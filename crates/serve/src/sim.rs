@@ -156,6 +156,7 @@ use agnn_cost::{CostModel, ReconfigPolicy, Workload};
 use agnn_gnn::timing::GpuInferenceModel;
 use agnn_hw::HwConfig;
 
+use crate::cache::{CacheKind, ResultCache, CACHE_LOOKUP_SECS};
 use crate::engine::{ArrivalSource, EventQueue, Handle, Slab};
 use crate::metrics::{
     CompletedRequest, DepthTimeline, LatencyHistogram, RequestLatency, SimPerf, StageHistograms,
@@ -242,6 +243,11 @@ pub struct ServeConfig {
     /// Keep a per-request completion log in the report (off by default —
     /// costs memory proportional to the trace).
     pub log_requests: bool,
+    /// Result-cache policy ([`crate::cache`]): cached subgraph results
+    /// are served at lookup cost while fresh (delta-driven invalidation)
+    /// and duplicate in-flight requests coalesce. [`CacheKind::Off`]
+    /// (the default) reproduces the uncached schedules bit-for-bit.
+    pub cache: CacheKind,
 }
 
 impl ServeConfig {
@@ -278,6 +284,7 @@ impl ServeConfig {
             min_gain: 0.10,
             depth_stride: 64,
             log_requests: false,
+            cache: CacheKind::Off,
         }
     }
 
@@ -392,6 +399,16 @@ struct Pipelined {
     preprocess_secs: f64,
     host_bytes: u64,
     switch_bytes: u64,
+    /// Cache bookkeeping, all inert when the run's cache is `Off`:
+    /// drift bucket / graph size / delta-counter snapshot at dispatch
+    /// (the entry this completion will fill), the preprocessing cost the
+    /// entry records, and whether this board visit is a partial hit
+    /// (fabric pass skipped against a fresh entry).
+    bucket: u64,
+    graph_bytes: u64,
+    cum_delta: u64,
+    entry_preprocess_secs: f64,
+    partial: bool,
 }
 
 /// Queued event payloads. Kept pointer-small on purpose: the completion
@@ -423,6 +440,18 @@ struct Completion {
     latency: RequestLatency,
     host_bytes: u64,
     switch_bytes: u64,
+    /// Cache bookkeeping (inert when the run's cache is `Off`): the
+    /// drift bucket / graph size / delta-counter snapshot taken at
+    /// dispatch — the entry this completion fills — plus the
+    /// preprocessing cost the entry records.
+    bucket: u64,
+    graph_bytes: u64,
+    cum_delta: u64,
+    entry_preprocess_secs: f64,
+    /// Served from the cache at admission (full hit or coalesced): the
+    /// request held no board slot, so completion frees nothing and fills
+    /// nothing.
+    cached: bool,
 }
 
 /// FNV-1a accumulator for the order-sensitive event-trace digest.
@@ -461,7 +490,7 @@ struct RunStats {
     stages: StageHistograms,
     requests: Vec<CompletedRequest>,
     /// Aggregate stall attribution over completed requests (each
-    /// request's five components sum to its end-to-end latency).
+    /// request's six components sum to its end-to-end latency).
     stall: StallBreakdown,
     reconfigs: u64,
     reconfig_secs: f64,
@@ -684,13 +713,16 @@ impl TrafficSim {
         // queue bit-for-bit. The enum form keeps the per-event
         // admit/scan/take calls statically dispatched.
         let mut sched = cfg.scheduler.instantiate(tenants, cfg.queue_capacity);
-        // (drift bucket, best config) per tenant — shared across boards:
-        // every board searches the identical bitstream library.
-        let mut best_cache: Vec<Option<(u64, HwConfig)>> = vec![None; tenants.len()];
-        // Pure cost-model results (workloads, expansion sums, fabric
-        // reports, reconfig verdicts), memoized per tenant drift bucket —
-        // speed only, never the schedule (see [`CostMemo`]).
+        // Pure cost-model results (workloads, library-optimal configs,
+        // expansion sums, fabric reports, reconfig verdicts), memoized
+        // per tenant drift bucket — speed only, never the schedule (see
+        // [`CostMemo`]).
         let mut memo = CostMemo::new(tenants.len(), cfg.drift_step_secs);
+        // The subgraph result cache ([`crate::cache`]). With `Off` every
+        // touch below is skipped, so the uncached schedule — and every
+        // golden digest — replays bit-for-bit.
+        let mut cache = ResultCache::new(cfg.cache, tenants.len());
+        let cache_on = cache.enabled();
 
         let mut stats = RunStats {
             tenants: tenants
@@ -732,6 +764,59 @@ impl TrafficSim {
                         engine.queue.push(at, EventKind::Arrival { tenant });
                         offered += 1;
                     }
+                    // The cache consult, before the request ever queues:
+                    // a fresh entry whose graph is still board-resident
+                    // completes at lookup cost without a board slot; a
+                    // duplicate of an in-flight request parks on that
+                    // primary (hit-under-miss).
+                    if cache_on {
+                        let spec = &tenants[tenant];
+                        let bucket = spec.drift_bucket(now, cfg.drift_step_secs);
+                        let costs = memo.bucket_costs(tenant, spec, now, &inference_model);
+                        cache.observe(tenant, bucket, costs.coo_bytes);
+                        let resident = pool.resident_boards(tenant).next().is_some();
+                        if cache.full_hit(tenant, bucket, resident).is_some() {
+                            stats.tenants[tenant].cache_hits += 1;
+                            digest.push(0xCA);
+                            digest.push(tenant as u64);
+                            if sink.enabled() {
+                                let s = cache.stats();
+                                sink.counter(CounterSample {
+                                    kind: CounterKind::CacheHits,
+                                    time_secs: now,
+                                    value: (s.hits + s.partial_hits) as f64,
+                                });
+                            }
+                            let latency = RequestLatency {
+                                cache_secs: CACHE_LOOKUP_SECS,
+                                ..RequestLatency::default()
+                            };
+                            let completion = engine.completions.insert(Completion {
+                                tenant,
+                                board: 0,
+                                arrival_secs: now,
+                                latency,
+                                host_bytes: 0,
+                                switch_bytes: 0,
+                                bucket,
+                                graph_bytes: 0,
+                                cum_delta: 0,
+                                entry_preprocess_secs: 0.0,
+                                cached: true,
+                            });
+                            engine.queue.push(
+                                now + CACHE_LOOKUP_SECS,
+                                EventKind::ServiceDone { completion },
+                            );
+                            continue;
+                        }
+                        if cache.park(tenant, bucket, now) {
+                            stats.tenants[tenant].cache_coalesced += 1;
+                            digest.push(0xC0);
+                            digest.push(tenant as u64);
+                            continue;
+                        }
+                    }
                     // Bounded admission: the scheduler's refusal (shared
                     // queue full, or a per-tenant quota exhausted) is the
                     // drop path — counted, never silently lost.
@@ -742,6 +827,14 @@ impl TrafficSim {
                         stats.tenants[tenant].dropped += 1;
                         digest.push(0xD0);
                         continue;
+                    }
+                    if cache_on {
+                        // Admitted: duplicate arrivals of the same bucket
+                        // may now coalesce onto this primary until its
+                        // completion fills the cache. (Dropped arrivals
+                        // never register, so waiters cannot be orphaned.)
+                        let bucket = tenants[tenant].drift_bucket(now, cfg.drift_step_secs);
+                        cache.register(tenant, bucket, now);
                     }
                     depth.record(now, sched.len());
                     if sink.enabled() {
@@ -864,6 +957,11 @@ impl TrafficSim {
                         latency,
                         host_bytes,
                         switch_bytes,
+                        bucket,
+                        graph_bytes,
+                        cum_delta,
+                        entry_preprocess_secs,
+                        cached,
                     } = engine.completions.remove(completion);
                     stats.complete(
                         tenant,
@@ -878,6 +976,12 @@ impl TrafficSim {
                     digest.push(0x5D);
                     digest.push(tenant as u64);
                     digest.push(latency.total().to_bits());
+                    if cached {
+                        // A cache-served completion never held a board:
+                        // nothing to release, no entry to refill.
+                        stats.last_board_free = now;
+                        continue;
+                    }
                     if tag_boards {
                         digest.push(board as u64);
                     }
@@ -898,6 +1002,37 @@ impl TrafficSim {
                         pool.release(board);
                     }
                     stats.last_board_free = now;
+                    if cache_on {
+                        // Refill the tenant's cache entry from this
+                        // board-served completion and drain any arrivals
+                        // that coalesced onto it while it was in flight.
+                        // The entry's service cost substitutes the *paid*
+                        // preprocess share with the entry's own (a partial
+                        // hit paid 0 but reuses an entry worth `saved`).
+                        let service_secs = latency.board_secs() - latency.preprocess_secs
+                            + entry_preprocess_secs
+                            + latency.inference_secs;
+                        let waiters = cache.fill(
+                            tenant,
+                            bucket,
+                            graph_bytes,
+                            cum_delta,
+                            entry_preprocess_secs,
+                            service_secs,
+                            arrival_secs,
+                        );
+                        for waited_since in waiters {
+                            let wl = RequestLatency {
+                                cache_secs: now - waited_since,
+                                ..RequestLatency::default()
+                            };
+                            stats.complete(tenant, waited_since, wl, 0, 0, cfg.log_requests);
+                            sched.on_complete(tenant, &wl, now);
+                            digest.push(0xCE);
+                            digest.push(tenant as u64);
+                            digest.push(wl.total().to_bits());
+                        }
+                    }
                 }
             }
 
@@ -906,7 +1041,7 @@ impl TrafficSim {
             // and the dispatch policy pick the (request, board) pair.
             while pool.any_free() && !sched.is_empty() {
                 let Some(placement) =
-                    select_dispatch(tenants, &cfg, sched.scan(), &mut best_cache, pool, now)
+                    select_dispatch(tenants, &cfg, sched.scan(), &mut memo, pool, now)
                 else {
                     break;
                 };
@@ -946,15 +1081,42 @@ impl TrafficSim {
                 let tenant = &tenants[request.tenant];
                 let costs = memo.bucket_costs(request.tenant, tenant, now, &inference_model);
                 let workload = costs.workload;
-                let best = cached_best(
-                    &mut best_cache,
-                    request.tenant,
-                    tenant,
-                    now,
-                    cfg.drift_step_secs,
-                    pool,
-                );
+                let best = memo.best_config(request.tenant, tenant, now, pool);
                 let coo_bytes = costs.coo_bytes;
+
+                // Classify the dispatch against the result cache: a fresh
+                // entry lets this request skip preprocessing (partial hit
+                // — residency lapsed between arrival and dispatch or the
+                // entry landed while this request queued); otherwise it is
+                // the miss that will refill the entry at completion.
+                let bucket = tenant.drift_bucket(now, cfg.drift_step_secs);
+                let (cache_hit_preprocess, cache_cum_delta) = if cache_on {
+                    cache.observe(request.tenant, bucket, coo_bytes);
+                    let hit = cache.serve_partial(request.tenant, bucket);
+                    match hit {
+                        Some(saved) => {
+                            stats.tenants[request.tenant].cache_partial_hits += 1;
+                            digest.push(0xCF);
+                            digest.push(request.tenant as u64);
+                            digest.push(board as u64);
+                            if sink.enabled() {
+                                let s = cache.stats();
+                                sink.counter(CounterSample {
+                                    kind: CounterKind::CacheHits,
+                                    time_secs: now,
+                                    value: (s.hits + s.partial_hits) as f64,
+                                });
+                            }
+                            (Some(saved), cache.cum_delta(request.tenant))
+                        }
+                        None => {
+                            stats.tenants[request.tenant].cache_misses += 1;
+                            (None, cache.cum_delta(request.tenant))
+                        }
+                    }
+                } else {
+                    (None, 0)
+                };
 
                 // The ingest source: a cold tenant pulls its graph from a
                 // peer board's DRAM over the PCIe switch when the policy
@@ -1057,6 +1219,11 @@ impl TrafficSim {
                         preprocess_secs: 0.0,
                         host_bytes,
                         switch_bytes,
+                        bucket,
+                        graph_bytes: coo_bytes,
+                        cum_delta: cache_cum_delta,
+                        entry_preprocess_secs: cache_hit_preprocess.unwrap_or(0.0),
+                        partial: cache_hit_preprocess.is_some(),
                     });
                     pipe.ingesting[board] = Some(handle);
                     engine.queue.push(done, EventKind::IngestDone { board });
@@ -1069,7 +1236,7 @@ impl TrafficSim {
                 // policies keep a within-budget tenant on the current
                 // bitstream); `Fifo` never does.
                 let mut stall = 0.0;
-                if sched.allow_reconfig(request.tenant, now) {
+                if cache_hit_preprocess.is_none() && sched.allow_reconfig(request.tenant, now) {
                     if let Some(secs) =
                         memo.maybe_reconfigure(request.tenant, &workload, best, pool, board)
                     {
@@ -1092,8 +1259,15 @@ impl TrafficSim {
                 // for term — the PCIe legs are divisions, the fabric
                 // report comes from the memo.
                 let upload_secs = switch_secs + pcie.transfer_secs(host_bytes);
-                let preprocess_secs =
-                    memo.stage_total(request.tenant, &workload, pool, board) / cfg.compute_speedup;
+                // A partial hit reuses the cached fabric output: the board
+                // still ingests the delta and hands the subgraph off, but
+                // the preprocessing pass (and any reconfiguration, gated
+                // above) is skipped.
+                let preprocess_secs = if cache_hit_preprocess.is_some() {
+                    0.0
+                } else {
+                    memo.stage_total(request.tenant, &workload, pool, board) / cfg.compute_speedup
+                };
                 let download_secs = pcie.transfer_secs(costs.subgraph_bytes);
                 let inference_secs = costs.inference_secs;
 
@@ -1152,9 +1326,15 @@ impl TrafficSim {
                         preprocess_secs,
                         download_secs,
                         inference_secs,
+                        cache_secs: 0.0,
                     },
                     host_bytes,
                     switch_bytes,
+                    bucket,
+                    graph_bytes: coo_bytes,
+                    cum_delta: cache_cum_delta,
+                    entry_preprocess_secs: cache_hit_preprocess.unwrap_or(preprocess_secs),
+                    cached: false,
                 });
                 engine
                     .queue
@@ -1164,6 +1344,7 @@ impl TrafficSim {
 
         TrafficReport {
             tenants: stats.tenants,
+            cache: cache.stats(),
             duration_secs: stats.last_board_free,
             reconfigs: stats.reconfigs,
             reconfig_secs: stats.reconfig_secs,
@@ -1201,12 +1382,12 @@ fn start_fabric<S: TraceSink + ?Sized>(
     engine: &mut Engine,
     memo: &mut CostMemo,
 ) {
-    let (tenant, trace_id, workload, best) = {
+    let (tenant, trace_id, workload, best, partial) = {
         let rq = engine.inflight.get(handle);
-        (rq.tenant, rq.trace_id, rq.workload, rq.best)
+        (rq.tenant, rq.trace_id, rq.workload, rq.best, rq.partial)
     };
     let mut stall = 0.0;
-    if sched.allow_reconfig(tenant, now) {
+    if !partial && sched.allow_reconfig(tenant, now) {
         if let Some(secs) = memo.maybe_reconfigure(tenant, &workload, best, pool, board) {
             stall = secs;
             stats.reconfigs += 1;
@@ -1216,7 +1397,13 @@ fn start_fabric<S: TraceSink + ?Sized>(
             digest.push(board as u64);
         }
     }
-    let preprocess_secs = memo.stage_total(tenant, &workload, pool, board) / cfg.compute_speedup;
+    // A partial cache hit reuses the cached fabric output: the stage (and
+    // the reconfiguration decision above) is skipped outright.
+    let preprocess_secs = if partial {
+        0.0
+    } else {
+        memo.stage_total(tenant, &workload, pool, board) / cfg.compute_speedup
+    };
     let done = now + stall + preprocess_secs;
     pool.occupy_fabric(board, now, done);
     if sink.enabled() {
@@ -1255,6 +1442,12 @@ fn start_fabric<S: TraceSink + ?Sized>(
     rq.fabric_start_secs = now;
     rq.reconfig_secs = stall;
     rq.preprocess_secs = preprocess_secs;
+    if !partial {
+        // The cache entry this completion refills saves future hits this
+        // (actually paid) fabric pass; a partial hit keeps the saved cost
+        // it copied out of the entry it reused.
+        rq.entry_preprocess_secs = preprocess_secs;
+    }
     pipe.in_fabric[board] = Some(handle);
     engine.queue.push(done, EventKind::FabricDone { board });
 }
@@ -1312,6 +1505,7 @@ fn start_handoff<S: TraceSink + ?Sized>(
         preprocess_secs: rq.preprocess_secs,
         download_secs,
         inference_secs,
+        cache_secs: 0.0,
     };
     let completion = engine.completions.insert(Completion {
         tenant: rq.tenant,
@@ -1320,6 +1514,11 @@ fn start_handoff<S: TraceSink + ?Sized>(
         latency,
         host_bytes: rq.host_bytes,
         switch_bytes: rq.switch_bytes,
+        bucket: rq.bucket,
+        graph_bytes: rq.graph_bytes,
+        cum_delta: rq.cum_delta,
+        entry_preprocess_secs: rq.entry_preprocess_secs,
+        cached: false,
     });
     engine
         .queue
@@ -1361,7 +1560,7 @@ fn select_dispatch(
     tenants: &[TenantSpec],
     cfg: &ServeConfig,
     queue: &[Request],
-    best_cache: &mut [Option<(u64, HwConfig)>],
+    memo: &mut CostMemo,
     pool: &BoardPool,
     now: f64,
 ) -> Option<Placement> {
@@ -1380,16 +1579,14 @@ fn select_dispatch(
                 return split_overflow(cfg, queue, pool);
             };
             let homed = |r: &Request| tenants[r.tenant].home_board(r.tenant, pool.size()) == board;
-            let position =
-                pick_for_board(tenants, cfg, queue, best_cache, pool, board, now, homed)?;
+            let position = pick_for_board(tenants, cfg, queue, memo, pool, board, now, homed)?;
             Some(Placement::Serve { position, board })
         }
         // The least-loaded free board serves; its dispatch policy picks
         // the request — with one board this is exactly the PR 1 scheduler.
         PlacementPolicy::LeastLoaded => {
             let board = pool.least_loaded_free()?;
-            let position =
-                pick_for_board(tenants, cfg, queue, best_cache, pool, board, now, |_| true)?;
+            let position = pick_for_board(tenants, cfg, queue, memo, pool, board, now, |_| true)?;
             Some(Placement::Serve { position, board })
         }
         // Route a request to a board already holding its bitstream. A
@@ -1410,14 +1607,7 @@ fn select_dispatch(
             };
             let front = &queue[0];
             if now - front.arrival_secs >= max_queue_delay_secs {
-                let front_best = cached_best(
-                    best_cache,
-                    front.tenant,
-                    &tenants[front.tenant],
-                    now,
-                    cfg.drift_step_secs,
-                    pool,
-                );
+                let front_best = memo.best_config(front.tenant, &tenants[front.tenant], now, pool);
                 let board = pool
                     .free_with_config(front_best)
                     .or_else(|| pool.least_loaded_free())?;
@@ -1427,14 +1617,7 @@ fn select_dispatch(
             // already programmed on a free board (with one board this is
             // exactly the PR 1 reconfig-aware queue scan).
             for (position, r) in queue.iter().enumerate() {
-                let best = cached_best(
-                    best_cache,
-                    r.tenant,
-                    &tenants[r.tenant],
-                    now,
-                    cfg.drift_step_secs,
-                    pool,
-                );
+                let best = memo.best_config(r.tenant, &tenants[r.tenant], now, pool);
                 if let Some(board) = pool.free_with_config(best) {
                     return Some(Placement::Serve { position, board });
                 }
@@ -1442,14 +1625,7 @@ fn select_dispatch(
             // Pass 2: the earliest request whose bitstream no board holds
             // claims the least-loaded free board.
             for (position, r) in queue.iter().enumerate() {
-                let best = cached_best(
-                    best_cache,
-                    r.tenant,
-                    &tenants[r.tenant],
-                    now,
-                    cfg.drift_step_secs,
-                    pool,
-                );
+                let best = memo.best_config(r.tenant, &tenants[r.tenant], now, pool);
                 if !pool.any_with_config(best) {
                     let board = pool.least_loaded_free()?;
                     return Some(Placement::Serve { position, board });
@@ -1473,7 +1649,7 @@ fn pick_for_board(
     tenants: &[TenantSpec],
     cfg: &ServeConfig,
     queue: &[Request],
-    best_cache: &mut [Option<(u64, HwConfig)>],
+    memo: &mut CostMemo,
     pool: &BoardPool,
     board: usize,
     now: f64,
@@ -1494,45 +1670,11 @@ fn pick_for_board(
                 .iter()
                 .enumerate()
                 .filter(|(_, r)| eligible(r))
-                .find(|(_, r)| {
-                    cached_best(
-                        best_cache,
-                        r.tenant,
-                        &tenants[r.tenant],
-                        now,
-                        cfg.drift_step_secs,
-                        pool,
-                    ) == current
-                })
+                .find(|(_, r)| memo.best_config(r.tenant, &tenants[r.tenant], now, pool) == current)
                 .map(|(position, _)| position)
                 .or(Some(front_pos))
         }
     }
-}
-
-/// The library-optimal configuration for a tenant's current drift bucket,
-/// memoized per tenant. The workload (and its `powf` drift factors) is only
-/// built on a bucket miss — the dispatch scan hits the cache for every
-/// queued request inside a drift step. The cache is sound pool-wide: all
-/// boards search the same bitstream library.
-fn cached_best(
-    cache: &mut [Option<(u64, HwConfig)>],
-    index: usize,
-    tenant: &TenantSpec,
-    now: f64,
-    step_secs: f64,
-    pool: &BoardPool,
-) -> HwConfig {
-    let bucket = tenant.drift_bucket(now, step_secs);
-    if let Some((cached_bucket, config)) = cache[index] {
-        if cached_bucket == bucket {
-            return config;
-        }
-    }
-    let workload = tenant.workload_at(now, step_secs);
-    let best = CostModel.choose_config(&workload, pool.library());
-    cache[index] = Some((bucket, best));
-    best
 }
 
 /// Entries kept per tenant in the [`CostMemo`] keyed caches. In-flight
@@ -1566,6 +1708,10 @@ struct TenantMemo {
     /// Drift bucket `costs` belongs to (`None` until first touched).
     bucket: Option<u64>,
     costs: BucketCosts,
+    /// `bucket → library-optimal configuration` (the
+    /// [`CostModel::choose_config`] pick the dispatch scan re-reads for
+    /// every queued request inside a drift step).
+    best: Option<(u64, HwConfig)>,
     /// `(workload, config) → fabric preprocessing seconds` (the
     /// [`BoardPool::stage_secs`] total).
     stages: Vec<(Workload, HwConfig, f64)>,
@@ -1601,6 +1747,7 @@ impl CostMemo {
                 .map(|_| TenantMemo {
                     bucket: None,
                     costs: empty,
+                    best: None,
                     stages: Vec::with_capacity(COST_MEMO_CAP),
                     verdicts: Vec::with_capacity(COST_MEMO_CAP),
                 })
@@ -1635,6 +1782,31 @@ impl CostMemo {
             };
         }
         row.costs
+    }
+
+    /// The library-optimal configuration for `tenant`'s current drift
+    /// bucket, memoized per tenant. The workload (and its `powf` drift
+    /// factors) is only built on a bucket miss — the dispatch scan hits
+    /// the memo for every queued request inside a drift step. The memo is
+    /// sound pool-wide: all boards search the same bitstream library.
+    fn best_config(
+        &mut self,
+        index: usize,
+        tenant: &TenantSpec,
+        now: f64,
+        pool: &BoardPool,
+    ) -> HwConfig {
+        let bucket = tenant.drift_bucket(now, self.step_secs);
+        let row = &mut self.rows[index];
+        if let Some((cached_bucket, config)) = row.best {
+            if cached_bucket == bucket {
+                return config;
+            }
+        }
+        let workload = tenant.workload_at(now, self.step_secs);
+        let best = CostModel.choose_config(&workload, pool.library());
+        row.best = Some((bucket, best));
+        best
     }
 
     /// [`BoardPool::stage_secs`] under board `board`'s current

@@ -282,6 +282,26 @@ impl TenantSpec {
         ]
     }
 
+    /// The duplicate-heavy serving mix shared by the CI `cache_replay`
+    /// scenario, the result-cache integration tests and the example
+    /// cache table: three dashboard-style tenants re-issuing the *same*
+    /// query against citation graphs the paper records no drift for
+    /// ([`Drift::Static`] per Table II — Physics, Collab and Arxiv).
+    /// Every request of a tenant is workload-identical, so once one
+    /// completion fills the tenant's [`crate::cache::ResultCache`] entry
+    /// it stays fresh forever; the offered rate is several times one
+    /// board's service rate, so without the cache the queue (and p99)
+    /// grows — exactly the recomputation the cache exists to delete.
+    /// With [`crate::cache::CacheKind::Off`] the mix is an ordinary
+    /// over-subscribed static-graph trace.
+    pub fn replay_heavy(rate_rps: f64) -> Vec<TenantSpec> {
+        vec![
+            TenantSpec::new("dash-physics", Dataset::Physics, rate_rps),
+            TenantSpec::new("dash-collab", Dataset::Collab, rate_rps),
+            TenantSpec::new("dash-arxiv", Dataset::Arxiv, rate_rps),
+        ]
+    }
+
     /// The board `TenantAffine` placement routes this tenant to in a pool
     /// of `pool_size` boards: the pinned board when set, otherwise the
     /// tenant index hashed over the pool.

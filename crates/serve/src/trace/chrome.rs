@@ -3,8 +3,8 @@
 //! The writer renders the span stream as the Trace Event Format both
 //! viewers load: one *process* per board (plus one for the admission
 //! queue), one *thread* per board resource (DMA / fabric / ICAP), `"X"`
-//! complete events for spans, `"C"` counter events for queue depth and
-//! DRAM residency, and `"s"`/`"t"`/`"f"` flow arrows stitching each
+//! complete events for spans, `"C"` counter events for queue depth, DRAM
+//! residency and result-cache hits, and `"s"`/`"t"`/`"f"` flow arrows stitching each
 //! request's queue → ingest → preprocess → hand-off chain across tracks.
 //!
 //! All strings and floats go through the shared
@@ -160,6 +160,7 @@ impl TraceSink for ChromeTraceWriter {
                 "resident_bytes",
                 "bytes",
             ),
+            CounterKind::CacheHits => (Track::Queue, "cache_hits", "hits"),
         };
         self.ensure_named(track);
         let (pid, _) = Self::place(track);
@@ -264,11 +265,19 @@ mod tests {
             time_secs: 1.0,
             value: 1e9,
         });
+        w.counter(CounterSample {
+            kind: CounterKind::CacheHits,
+            time_secs: 1.5,
+            value: 7.0,
+        });
         let doc = w.finish();
         assert!(doc.contains("\"name\":\"queue_depth\",\"ph\":\"C\",\"pid\":1"));
         assert!(doc.contains("\"name\":\"resident_bytes\",\"ph\":\"C\",\"pid\":4"));
         assert!(doc.contains("\"depth\":3"));
         assert!(doc.contains("\"bytes\":1000000000"));
+        // The cache counter rides the admission process's track.
+        assert!(doc.contains("\"name\":\"cache_hits\",\"ph\":\"C\",\"pid\":1"));
+        assert!(doc.contains("\"hits\":7"));
     }
 
     #[test]

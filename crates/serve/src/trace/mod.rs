@@ -19,9 +19,10 @@
 //!   admits at most one request at a time, so **spans on one board
 //!   resource track never overlap** — the non-overlap invariant the
 //!   property tests pin.
-//! - **Counter samples** ([`CounterSample`]): admission-queue depth at
-//!   every transition, and per-board resident DRAM bytes at every
-//!   dispatch.
+//! - **Counter samples** ([`CounterSample`]): aggregate admission-queue
+//!   depth at every transition, per-board resident DRAM bytes at every
+//!   dispatch, and — with the result cache on — cumulative cache hits at
+//!   every cache-served request.
 //!
 //! Spans carry the tenant index and a per-run monotone request id, so a
 //! request's arrival → queue → ingest → preprocess → hand-off chain can
@@ -145,13 +146,19 @@ impl Span {
 /// Which counter a sample belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum CounterKind {
-    /// Admission-queue depth (shared pool-wide).
+    /// Aggregate admission-queue depth across the scheduler's queues
+    /// (one shared queue under FIFO, the per-tenant sum under weighted
+    /// fair queueing).
     QueueDepth,
     /// Total graph bytes resident in one board's DRAM.
     ResidentBytes {
         /// Board index.
         board: usize,
     },
+    /// Cumulative result-cache hits (full + partial), sampled after every
+    /// cache-served request. Only emitted when
+    /// [`crate::cache::CacheKind`] is not `Off`.
+    CacheHits,
 }
 
 /// One counter observation.

@@ -31,6 +31,14 @@
 //! threshold proactively splits onto an idle board instead of waiting
 //! (slashing the tail).
 //!
+//! The fifth act turns on the **result cache**: on a duplicate-heavy
+//! dashboard trace (three tenants replaying the identical query against
+//! static citation graphs) a fresh, board-resident entry serves repeats
+//! at lookup cost, duplicates of an in-flight request coalesce onto it,
+//! and delta-driven invalidation keeps drifting graphs honest — the
+//! cache-stats table prints hit-rate, coalesced count and the
+//! recompute-seconds the pool never had to spend.
+//!
 //! The finale swaps the **scheduler**: on a bursty-aggressor trace (two
 //! steady interactive victims plus one tenant whose bursts offer several
 //! times the pool's capacity) the shared FIFO queue lets the aggressor
@@ -42,6 +50,8 @@
 //! cargo run --release --example multi_tenant_serve
 //! # just the scheduler fairness act, one policy:
 //! cargo run --release --example multi_tenant_serve -- --scheduler wfq
+//! # just the result-cache act, one cache mode vs off:
+//! cargo run --release --example multi_tenant_serve -- --cache delta
 //! # same, plus a Perfetto / chrome://tracing dump of the run
 //! # (load the file at https://ui.perfetto.dev):
 //! cargo run --release --example multi_tenant_serve -- \
@@ -51,7 +61,7 @@
 //! `--trace-out` without `--scheduler` traces the weighted-fair run.
 //! Every focused run also prints the report's **stall attribution** —
 //! the end-to-end latency of all completed requests partitioned into
-//! queue-wait / reconfig / DMA / fabric / hand-off — next to the
+//! queue-wait / reconfig / DMA / fabric / hand-off / cache — next to the
 //! fairness table, so "which stage eats the latency under this
 //! scheduler" is readable without opening the trace.
 
@@ -60,7 +70,7 @@ use agnn_serve::pool::{MigratePolicy, PlacementPolicy};
 use agnn_serve::sched::SchedKind;
 use agnn_serve::sim::{simulate, DispatchPolicy, ServeConfig, TrafficSim};
 use agnn_serve::tenant::{ArrivalProcess, TenantSpec};
-use agnn_serve::{ChromeTraceWriter, TrafficReport};
+use agnn_serve::{CacheKind, ChromeTraceWriter, TrafficReport};
 
 /// One simulated "day" of the demo, compressed to keep the replay short.
 const PERIOD_SECS: f64 = 900.0;
@@ -91,21 +101,27 @@ fn p50(r: &TrafficReport) -> f64 {
     r.overall_latency().quantile(0.50)
 }
 
-const USAGE: &str = "usage: multi_tenant_serve [--scheduler fifo|wfq|slo] [--trace-out <file>]";
+const USAGE: &str = "usage: multi_tenant_serve [--scheduler fifo|wfq|slo] \
+                     [--cache off|exact|delta] [--trace-out <file>]";
 
 /// Parsed command line: an optional scheduler restricting the run to the
-/// fairness act, and an optional Perfetto trace destination.
+/// fairness act, an optional cache mode restricting it to the cache act,
+/// and an optional Perfetto trace destination.
 struct Flags {
     scheduler: Option<SchedKind>,
+    cache: Option<CacheKind>,
     trace_out: Option<String>,
 }
 
-/// Parses `--scheduler fifo|wfq|slo` and `--trace-out <file>`. Either
-/// flag selects the focused fairness act (`--trace-out` alone defaults
-/// the scheduler to weighted-fair); no flags play the full demo.
+/// Parses `--scheduler fifo|wfq|slo`, `--cache off|exact|delta` and
+/// `--trace-out <file>`. A scheduler (or `--trace-out` alone, which
+/// defaults it to weighted-fair) selects the focused fairness act;
+/// `--cache` selects the focused result-cache act; no flags play the
+/// full demo.
 fn parse_flags() -> Flags {
     let mut flags = Flags {
         scheduler: None,
+        cache: None,
         trace_out: None,
     };
     let mut args = std::env::args().skip(1);
@@ -121,6 +137,15 @@ fn parse_flags() -> Flags {
                 Some("slo") => flags.scheduler = Some(SchedKind::slo_aware()),
                 other => fail(format!(
                     "--scheduler must be fifo|wfq|slo, got {:?}",
+                    other.unwrap_or("<missing>")
+                )),
+            },
+            "--cache" => match args.next().as_deref() {
+                Some("off") => flags.cache = Some(CacheKind::Off),
+                Some("exact") => flags.cache = Some(CacheKind::Exact),
+                Some("delta") => flags.cache = Some(CacheKind::delta()),
+                other => fail(format!(
+                    "--cache must be off|exact|delta, got {:?}",
                     other.unwrap_or("<missing>")
                 )),
             },
@@ -163,7 +188,7 @@ fn fairness_table(label: &str, r: &TrafficReport) {
 
 /// Prints the aggregate stall attribution of one run: the end-to-end
 /// latency of every completed request, partitioned *exactly* into the
-/// five lifecycle components ([`agnn_serve::StallBreakdown`] — the five
+/// six lifecycle components ([`agnn_serve::StallBreakdown`] — the six
 /// always sum to the total, which is what makes the percentages
 /// trustworthy).
 fn stall_table(r: &TrafficReport) {
@@ -182,10 +207,96 @@ fn stall_table(r: &TrafficReport) {
         ("dma", s.dma_secs),
         ("fabric", s.fabric_secs),
         ("hand-off", s.handoff_secs),
+        ("cache", s.cache_secs),
     ] {
         println!(
             "  {name:<10} {secs:>10.1} s  {:>5.1}%",
             secs / total * 100.0
+        );
+    }
+}
+
+/// Prints the cache-stats table of one run: classification counters,
+/// hit-rate, coalesced duplicates and the recompute-seconds the boards
+/// never had to spend.
+fn cache_table(label: &str, r: &TrafficReport) {
+    let c = &r.cache;
+    println!("\n--- replay-heavy dashboards, cache = {label} ---");
+    println!(
+        "{:<14} {:>9} {:>8} {:>9} {:>8} {:>8} {:>9}",
+        "tenant", "completed", "hits", "partial", "misses", "coalesc", "p99(ms)"
+    );
+    for t in &r.tenants {
+        println!(
+            "{:<14} {:>9} {:>8} {:>9} {:>8} {:>8} {:>9.1}",
+            t.name,
+            t.completed,
+            t.cache_hits,
+            t.cache_partial_hits,
+            t.cache_misses,
+            t.cache_coalesced,
+            t.latency.quantile(0.99) * 1e3,
+        );
+    }
+    println!(
+        "hit-rate {:.1}% | {} coalesced | {} invalidations | {:.1} s recompute saved | \
+         overall p99 {:.1} ms",
+        c.hit_rate() * 100.0,
+        c.coalesced,
+        c.invalidations,
+        c.recompute_secs_saved,
+        p99(r) * 1e3,
+    );
+}
+
+/// The result-cache act: the duplicate-heavy dashboard trace
+/// ([`TenantSpec::replay_heavy`] — static citation graphs, every request
+/// of a tenant workload-identical) replayed with the cache off and in
+/// the requested mode(s), with the cache-stats and stall tables for
+/// each. The off run is the yardstick the hit-rate and p99 deltas are
+/// quoted against.
+fn cache_act(seed: u64, requests: u64, only: Option<CacheKind>) {
+    let run = |cache| {
+        simulate(
+            TenantSpec::replay_heavy(3.0),
+            ServeConfig {
+                seed,
+                total_requests: requests,
+                queue_capacity: 512,
+                cache,
+                ..ServeConfig::reconfig_aware()
+            },
+        )
+    };
+    let off = run(CacheKind::Off);
+    cache_table(CacheKind::Off.name(), &off);
+    stall_table(&off);
+    let kinds = match only {
+        Some(CacheKind::Off) => vec![],
+        Some(kind) => vec![kind],
+        None => vec![CacheKind::Exact, CacheKind::delta()],
+    };
+    for kind in kinds {
+        let r = run(kind);
+        cache_table(kind.name(), &r);
+        stall_table(&r);
+        assert!(
+            r.cache.hit_rate() > 0.5,
+            "static replays must mostly hit: rate {}",
+            r.cache.hit_rate()
+        );
+        assert!(
+            p99(&r) < p99(&off),
+            "the cache must cut p99 on the replay trace: {} vs {}",
+            p99(&r),
+            p99(&off)
+        );
+        println!(
+            "\n{} cache cut p99 by {:.0}% at a {:.1}% hit-rate and saved {:.1} s of recompute",
+            kind.name(),
+            (1.0 - p99(&r) / p99(&off)) * 100.0,
+            r.cache.hit_rate() * 100.0,
+            r.cache.recompute_secs_saved,
         );
     }
 }
@@ -293,6 +404,15 @@ fn main() {
     const SEED: u64 = 2_026;
     const REQUESTS: u64 = 120_000;
     let flags = parse_flags();
+    if let Some(kind) = flags.cache {
+        // Focused mode: just the result-cache act, one mode vs off.
+        println!(
+            "replaying {REQUESTS} duplicate-heavy dashboard requests (seed {SEED}, cache {})",
+            kind.name()
+        );
+        cache_act(SEED, REQUESTS, Some(kind));
+        return;
+    }
     if flags.scheduler.is_some() || flags.trace_out.is_some() {
         // Focused mode: just the fairness act under one scheduler
         // (`--trace-out` alone traces the weighted-fair run).
@@ -599,6 +719,10 @@ fn main() {
         (1.0 - p99(&split) / p99(&waiting)) * 100.0,
         waiting.dropped() - split.dropped(),
     );
+
+    // ----- Result cache: replay-heavy dashboards, off vs exact vs delta
+
+    cache_act(SEED, REQUESTS, None);
 
     // ----- Scheduler fairness: FIFO vs WFQ vs SLO-aware ----------------
 

@@ -11,7 +11,7 @@ use agnn_serve::sched::SchedKind;
 use agnn_serve::sim::{simulate, DispatchPolicy, ServeConfig, TrafficSim};
 use agnn_serve::tenant::{ArrivalProcess, TenantSpec};
 use agnn_serve::trace::{SpanKind, Track};
-use agnn_serve::{FlightRecorder, StallBreakdown};
+use agnn_serve::{CacheKind, FlightRecorder, StallBreakdown};
 use proptest::prelude::*;
 
 /// Tenants with offset diurnal peaks: the dominant tenant — and with it
@@ -602,11 +602,11 @@ proptest! {
     }
 
     /// Stall attribution is an exact partition, not an estimate: for any
-    /// seed, pool size, placement, scheduler, migration flavor and
-    /// lifecycle mode, every completed request's five stall components
-    /// (queue-wait / reconfig / DMA / fabric / hand-off) sum to its
-    /// end-to-end latency, and the report's aggregate breakdown is the
-    /// sum of the per-request ones.
+    /// seed, pool size, placement, scheduler, migration flavor, result
+    /// cache and lifecycle mode, every completed request's six stall
+    /// components (queue-wait / reconfig / DMA / fabric / hand-off /
+    /// cache) sum to its end-to-end latency, and the report's aggregate
+    /// breakdown is the sum of the per-request ones.
     #[test]
     fn stall_attribution_partitions_every_latency_exactly(
         seed in proptest::any::<u64>(),
@@ -614,6 +614,7 @@ proptest! {
         placement_pick in 0u32..3,
         scheduler_pick in 0u32..3,
         migrate_pick in 0u32..3,
+        cache_pick in 0u32..3,
         overlap in proptest::any::<bool>(),
     ) {
         let placement = match placement_pick {
@@ -630,6 +631,11 @@ proptest! {
             0 => MigratePolicy::Off,
             1 => MigratePolicy::PeerRehydrate,
             _ => MigratePolicy::split_hot(),
+        };
+        let cache = match cache_pick {
+            0 => CacheKind::Off,
+            1 => CacheKind::Exact,
+            _ => CacheKind::delta(),
         };
         // Migration only fires under memory pressure and the staged
         // lifecycle; the drift trace covers the reconfig-stall side.
@@ -648,6 +654,7 @@ proptest! {
                 placement,
                 scheduler,
                 migrate,
+                cache,
                 overlap,
                 log_requests: true,
                 ..ServeConfig::reconfig_aware()
@@ -658,7 +665,7 @@ proptest! {
             let b = StallBreakdown::of(&r.latency);
             prop_assert!(
                 (b.total() - r.latency.total()).abs() <= 1e-9,
-                "five components must sum to the end-to-end latency: \
+                "six components must sum to the end-to-end latency: \
                  {} vs {} (tenant {}, arrival {}, seed {seed})",
                 b.total(),
                 r.latency.total(),
@@ -673,6 +680,7 @@ proptest! {
             ("dma", report.stall.dma_secs, sum.dma_secs),
             ("fabric", report.stall.fabric_secs, sum.fabric_secs),
             ("handoff", report.stall.handoff_secs, sum.handoff_secs),
+            ("cache", report.stall.cache_secs, sum.cache_secs),
         ] {
             prop_assert!(
                 (got - want).abs() <= 1e-6 * (1.0 + want.abs()),
@@ -753,6 +761,143 @@ proptest! {
                     pair[0].1
                 );
             }
+        }
+    }
+
+    /// The result cache's off switch is total: for any seed, pool size,
+    /// placement, scheduler and migration combo, a run with
+    /// [`CacheKind::Off`] spelled out is **byte-identical** — same trace
+    /// digest, same report struct, same rendered JSON — to the default
+    /// configuration's run, and its cache counters never move. This is
+    /// the same gating contract `SchedKind`/`MigratePolicy` honor: the
+    /// golden-digest pins above stay comparable across the perf
+    /// trajectory because `Off` adds no schedule perturbation at all.
+    #[test]
+    fn cache_off_serves_a_byte_identical_report_for_any_combo(
+        seed in proptest::any::<u64>(),
+        boards in 1usize..5,
+        placement_pick in 0u32..3,
+        scheduler_pick in 0u32..3,
+        migrate_pick in 0u32..3,
+        overlap in proptest::any::<bool>(),
+    ) {
+        let placement = match placement_pick {
+            0 => PlacementPolicy::TenantAffine,
+            1 => PlacementPolicy::LeastLoaded,
+            _ => PlacementPolicy::BitstreamAffine,
+        };
+        let scheduler = match scheduler_pick {
+            0 => SchedKind::Fifo,
+            1 => SchedKind::WeightedFair { per_tenant_quota: 8 },
+            _ => SchedKind::slo_aware(),
+        };
+        let migrate = match migrate_pick {
+            0 => MigratePolicy::Off,
+            1 => MigratePolicy::PeerRehydrate,
+            _ => MigratePolicy::split_hot(),
+        };
+        let tenants = || if migrate_pick == 0 {
+            drift_heavy_tenants()
+        } else {
+            TenantSpec::taobao_regions(4.0, 900.0)
+        };
+        let overlap = overlap || migrate_pick != 0;
+        let cfg = ServeConfig {
+            seed,
+            total_requests: 400,
+            queue_capacity: 64,
+            boards,
+            placement,
+            scheduler,
+            migrate,
+            overlap,
+            ..ServeConfig::reconfig_aware()
+        };
+        let default_cache = simulate(tenants(), cfg);
+        let explicit_off = simulate(tenants(), ServeConfig {
+            cache: CacheKind::Off,
+            ..cfg
+        });
+        prop_assert_eq!(default_cache.trace_digest, explicit_off.trace_digest);
+        prop_assert_eq!(&default_cache, &explicit_off);
+        // Byte-identical rendered reports, modulo the two fields that
+        // measure the host machine rather than the simulation
+        // (`sim_wall_secs` is real elapsed wall clock and
+        // `sim_events_per_sec` is derived from it).
+        let scrub = |json: String| {
+            let mut out = json;
+            for field in ["\"sim_wall_secs\":", "\"sim_events_per_sec\":"] {
+                let (head, tail) = out.split_once(field).expect("field present");
+                let (_, rest) = tail.split_once(',').expect("not the last field");
+                out = format!("{head}{field}<wall>,{rest}");
+            }
+            out
+        };
+        prop_assert_eq!(scrub(default_cache.to_json()), scrub(explicit_off.to_json()));
+        prop_assert_eq!(explicit_off.cache.lookups(), 0, "Off never consults the cache");
+        prop_assert_eq!(explicit_off.cache.coalesced, 0);
+        prop_assert_eq!(explicit_off.cache.invalidations, 0);
+        for t in &explicit_off.tenants {
+            prop_assert_eq!(
+                t.cache_hits + t.cache_partial_hits + t.cache_misses + t.cache_coalesced,
+                0,
+                "Off never classifies a request"
+            );
+        }
+    }
+
+    /// No stale serve: with delta-driven invalidation on, every cache hit
+    /// was served from an entry whose accumulated source-graph delta was
+    /// within the configured `max_delta_frac` of the graph's size at
+    /// build time — for any seed, pool size, scheduler and budget. The
+    /// report records the *worst* delta fraction any hit was served at,
+    /// so the bound is checked at its tightest point. Request accounting
+    /// also stays conservative: classified requests equal completions.
+    #[test]
+    fn delta_invalidation_never_serves_beyond_its_budget(
+        seed in proptest::any::<u64>(),
+        boards in 1usize..4,
+        scheduler_pick in 0u32..3,
+        frac_mil in 1u64..200,
+    ) {
+        let scheduler = match scheduler_pick {
+            0 => SchedKind::Fifo,
+            1 => SchedKind::WeightedFair { per_tenant_quota: 8 },
+            _ => SchedKind::slo_aware(),
+        };
+        let max_delta_frac = frac_mil as f64 / 1000.0;
+        let report = simulate(
+            drift_heavy_tenants(),
+            ServeConfig {
+                seed,
+                total_requests: 600,
+                queue_capacity: 64,
+                boards,
+                scheduler,
+                cache: CacheKind::Delta { max_delta_frac },
+                ..ServeConfig::reconfig_aware()
+            },
+        );
+        prop_assert!(
+            report.cache.max_served_delta_frac <= max_delta_frac + 1e-12,
+            "a hit was served at delta fraction {} against a budget of {} (seed {seed})",
+            report.cache.max_served_delta_frac,
+            max_delta_frac
+        );
+        // Every completion was classified exactly once: full hits and
+        // drained waiters at arrival, partial hits and misses at
+        // dispatch; drops are never classified.
+        let classified = report.cache.hits
+            + report.cache.partial_hits
+            + report.cache.misses
+            + report.cache.coalesced;
+        prop_assert_eq!(classified, report.completed(), "classification partitions completions");
+        for t in &report.tenants {
+            prop_assert_eq!(
+                t.cache_hits + t.cache_partial_hits + t.cache_misses + t.cache_coalesced,
+                t.completed,
+                "per-tenant classification partitions completions"
+            );
         }
     }
 }
@@ -1126,5 +1271,150 @@ fn serving_prices_match_the_runtime_models() {
     assert!(
         p50 < mean_service * 10.0,
         "p50 {p50} should be near service time {mean_service}"
+    );
+}
+
+/// The cache headline at test scale: on the duplicate-heavy
+/// [`TenantSpec::replay_heavy`] trace (static citation graphs, every
+/// request of a tenant workload-identical) the result cache serves the
+/// replays out of its entries — high hit-rate, a large cut in p99 and in
+/// board recompute-seconds — while `CacheKind::Off` pays full price for
+/// every duplicate. The cache never invents or loses work: completions
+/// plus drops still equal the offered load, and every completion is
+/// classified exactly once.
+#[test]
+fn result_cache_cuts_p99_and_recompute_on_the_replay_heavy_trace() {
+    let total = 6_000;
+    let mk = |cache| {
+        simulate(
+            TenantSpec::replay_heavy(3.0),
+            ServeConfig {
+                seed: 21,
+                total_requests: total,
+                queue_capacity: 256,
+                cache,
+                ..ServeConfig::reconfig_aware()
+            },
+        )
+    };
+    let off = mk(CacheKind::Off);
+    let cached = mk(CacheKind::delta());
+    assert_eq!(off.completed() + off.dropped(), total);
+    assert_eq!(cached.completed() + cached.dropped(), total);
+    assert_eq!(
+        cached.cache.hits
+            + cached.cache.partial_hits
+            + cached.cache.misses
+            + cached.cache.coalesced,
+        cached.completed(),
+        "every completion is classified exactly once"
+    );
+    assert!(
+        cached.cache.hit_rate() > 0.5,
+        "static replays must mostly hit: rate {}",
+        cached.cache.hit_rate()
+    );
+    assert!(
+        cached.cache.recompute_secs_saved > 0.0,
+        "hits must bank the recompute they skipped"
+    );
+    let off_p99 = off.overall_latency().quantile(0.99);
+    let cached_p99 = cached.overall_latency().quantile(0.99);
+    assert!(
+        cached_p99 < off_p99 * 0.7,
+        "the cache must cut p99 by at least 30 % here: {cached_p99} vs {off_p99}"
+    );
+    // Determinism through the cache event plumbing.
+    let again = mk(CacheKind::delta());
+    assert_eq!(again.trace_digest, cached.trace_digest);
+    assert_eq!(again, cached);
+}
+
+/// Invalidation does its job on the drift-heavy migration shape: the
+/// Taobao regions all grow at the Table II daily rate, so with
+/// per-request-scale drift buckets and a tight delta budget every bucket
+/// transition burns the accumulated delta past the entry's allowance —
+/// the hit-rate collapses toward zero and the invalidation counter
+/// records the churn. No stale entry survives to be served (the
+/// no-stale proptest bounds the fraction; this pins the direction the
+/// headline claims).
+#[test]
+fn drift_drives_the_hit_rate_toward_zero() {
+    let report = simulate(
+        TenantSpec::taobao_regions(4.0, 900.0),
+        ServeConfig {
+            seed: 21,
+            total_requests: 4_000,
+            queue_capacity: 256,
+            // Buckets advance faster than any tenant re-offers a request,
+            // and the budget is below one bucket's delta bytes, so nearly
+            // every lookup sees a graph drifted past its entry's budget.
+            drift_step_secs: 0.25,
+            cache: CacheKind::Delta {
+                max_delta_frac: 1e-9,
+            },
+            overlap: true,
+            ..ServeConfig::reconfig_aware()
+        },
+    );
+    assert!(
+        report.cache.hit_rate() < 0.05,
+        "a tight budget under drift must kill nearly every entry: rate {}",
+        report.cache.hit_rate()
+    );
+    assert!(
+        report.cache.invalidations > 0,
+        "the churn must be visible as invalidations"
+    );
+}
+
+/// Hit-under-miss coalescing preserves the served-request multiset even
+/// when the admission queue is drop-tight: a parked duplicate completes
+/// off its primary's `ServiceDone` without ever occupying a queue slot,
+/// so coalesced + completed + dropped still accounts for every arrival,
+/// per tenant, and the coalesced waiters' latencies land in the same
+/// histograms as everyone else's.
+#[test]
+fn coalescing_preserves_the_served_multiset_under_drops() {
+    let total = 3_000;
+    let report = simulate(
+        TenantSpec::taobao_regions(4.0, 900.0),
+        ServeConfig {
+            seed: 33,
+            total_requests: total,
+            // Tight queue + per-request-scale drift buckets: every bucket
+            // spawns a fresh primary (Exact entries die on the next
+            // bucket) so the 4-deep queue overflows, while same-bucket
+            // duplicates keep parking on their in-flight primary.
+            queue_capacity: 4,
+            drift_step_secs: 0.5,
+            cache: CacheKind::Exact,
+            ..ServeConfig::default()
+        },
+    );
+    assert_eq!(
+        report.completed() + report.dropped(),
+        total,
+        "arrivals partition into completions and drops"
+    );
+    for t in &report.tenants {
+        assert_eq!(
+            t.completed + t.dropped,
+            t.cache_hits + t.cache_partial_hits + t.cache_misses + t.cache_coalesced + t.dropped,
+            "per-tenant: every non-dropped arrival is classified once"
+        );
+        assert_eq!(
+            t.latency.count(),
+            t.completed,
+            "every completion (waiters included) lands in the histogram"
+        );
+    }
+    assert!(
+        report.cache.coalesced > 0,
+        "the replay trace must actually coalesce duplicates"
+    );
+    assert!(
+        report.dropped() > 0,
+        "the 4-deep queue must drop under this load"
     );
 }
