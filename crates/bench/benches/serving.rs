@@ -32,12 +32,12 @@ fn bench_dispatch_policies(c: &mut Criterion) {
                 b.iter(|| {
                     simulate(
                         mixed_tenants(),
-                        ServeConfig {
-                            seed: 3,
-                            total_requests: 10_000,
-                            policy,
-                            ..ServeConfig::default()
-                        },
+                        ServeConfig::builder()
+                            .seed(3)
+                            .total_requests(10_000)
+                            .policy(policy)
+                            .build()
+                            .expect("bench config is valid"),
                     )
                 })
             },
@@ -67,14 +67,14 @@ fn bench_board_pool_sweep(c: &mut Criterion) {
                     b.iter(|| {
                         simulate(
                             mixed_tenants(),
-                            ServeConfig {
-                                seed: 3,
-                                total_requests: 10_000,
-                                boards,
-                                placement,
-                                policy: DispatchPolicy::reconfig_aware(),
-                                ..ServeConfig::default()
-                            },
+                            ServeConfig::builder()
+                                .seed(3)
+                                .total_requests(10_000)
+                                .boards(boards)
+                                .placement(placement)
+                                .policy(DispatchPolicy::reconfig_aware())
+                                .build()
+                                .expect("bench config is valid"),
                         )
                     })
                 },

@@ -4,7 +4,9 @@
 //!
 //! ```text
 //! # what CI runs (fails with exit code 1 on a >20 % regression of any
-//! # gated metric — p99, reconfigs, host_upload_bytes):
+//! # gated metric — p99, reconfigs, host_upload_bytes, victim_p99_secs,
+//! # victim_goodput_p99_secs, wasted_work_bytes, wasted_secs,
+//! # tenant_drops, hit_rate, recompute_secs_saved, sim_events_per_sec):
 //! cargo run --release -p agnn-bench --bin bench_smoke -- \
 //!     --baseline ci/bench_serving_baseline.json --out BENCH_serving.json \
 //!     --trace-out BENCH_trace.json --summary "$GITHUB_STEP_SUMMARY"
@@ -90,9 +92,12 @@ fn run() -> Result<(), String> {
         let victim = s
             .victim_p99_secs()
             .map_or(String::new(), |p| format!(" victim_p99={p:>9.4} s"));
+        let goodput = s
+            .victim_goodput_p99_secs()
+            .map_or(String::new(), |p| format!(" goodput_p99={p:>7.4} s"));
         println!(
             "{:<28} boards={} placement={:<17} sched={:<4} p99={:>9.4} s reconfigs={:>6} \
-             completed={} migrations={:>4} host_gb={:>8.2}{victim}",
+             completed={} migrations={:>4} host_gb={:>8.2}{victim}{goodput}",
             s.name,
             s.config.boards,
             s.config.placement.name(),

@@ -28,15 +28,16 @@ fn main() {
 
     // The `migration_drift` sweep case, scaled up: same tenants, same
     // policies, three orders of magnitude more offered load.
-    let config = ServeConfig {
-        seed: 4_242,
-        total_requests: requests,
-        queue_capacity: 512,
-        boards: 4,
-        overlap: true,
-        migrate: MigratePolicy::PeerRehydrate,
-        ..ServeConfig::reconfig_aware()
-    };
+    let config = ServeConfig::reconfig_aware()
+        .to_builder()
+        .seed(4_242)
+        .total_requests(requests)
+        .queue_capacity(512)
+        .boards(4)
+        .overlap(true)
+        .migrate(MigratePolicy::PeerRehydrate)
+        .build()
+        .expect("scaled migration_drift config is valid");
     let tenants = TenantSpec::taobao_regions(4.0, 900.0);
 
     let mut sim = TrafficSim::new(tenants, config);

@@ -26,6 +26,18 @@
 //!   gated with the same tolerance — weighted fair queueing exists to
 //!   bound exactly that number, and the *overall* p99 is dominated by the
 //!   aggressor, so victim starvation would otherwise hide;
+//! - when both documents record a scenario's `victim_goodput_p99_secs`
+//!   (the worse victim-tenant tail over *on-time* completions of a
+//!   deadline-enforcing scenario), it is gated with the same tolerance —
+//!   deadline enforcement exists to bound exactly that number, and the
+//!   raw victim p99 shrinks as soon as slow requests expire instead of
+//!   completing, so only the goodput tail is honest;
+//! - when both documents record a scenario's `wasted_work_bytes` or
+//!   `wasted_secs` (the deadline lifecycle's waste ledger: bytes moved
+//!   and board time spent for requests that then expired, were aborted
+//!   or lost their hedge race), each is gated with the same tolerance —
+//!   a zero-byte baseline means enforcement silently starting to move
+//!   dead bytes fails CI;
 //! - when both documents record a scenario's `tenant_drops` (an object of
 //!   per-tenant drop counts), each tenant present on both sides is gated
 //!   with the same tolerance — a baseline of zero victim drops means
@@ -55,8 +67,8 @@
 //!   baseline must keep gating a new artifact.
 //!
 //! The three documents involved — the per-run report
-//! (`agnn-serve-report/v6`), the sweep artifact (`agnn-bench-serving/v6`)
-//! and the checked-in baseline (`agnn-bench-serving-baseline/v5`) — are
+//! (`agnn-serve-report/v7`), the sweep artifact (`agnn-bench-serving/v7`)
+//! and the checked-in baseline (`agnn-bench-serving-baseline/v6`) — are
 //! specified field-by-field, with the versioning and refresh rules the
 //! stale-baseline CI guard enforces, in `docs/SCHEMAS.md`.
 
@@ -331,6 +343,15 @@ struct ScenarioMetrics {
     /// The worse victim-tenant p99 of a bursty-aggressor scenario; gated
     /// only when both sides carry it.
     victim_p99_secs: Option<f64>,
+    /// The worse victim-tenant p99 over *on-time* completions of a
+    /// deadline-enforcing scenario; gated only when both sides carry it.
+    victim_goodput_p99_secs: Option<f64>,
+    /// Bytes moved for requests that then expired, were aborted or lost
+    /// their hedge race; gated only when both sides carry it.
+    wasted_work_bytes: Option<f64>,
+    /// Board time written off by the deadline lifecycle's waste ledger;
+    /// gated only when both sides carry it.
+    wasted_secs: Option<f64>,
     /// Per-tenant drop counts; each tenant present on both sides is
     /// gated.
     tenant_drops: Option<BTreeMap<String, f64>>,
@@ -348,7 +369,8 @@ struct ScenarioMetrics {
 }
 
 /// Extracts `scenarios[].{name, p99_secs, reconfigs?, host_upload_bytes?,
-/// victim_p99_secs?, tenant_drops?, hit_rate?, recompute_secs_saved?}`
+/// victim_p99_secs?, victim_goodput_p99_secs?, wasted_work_bytes?,
+/// wasted_secs?, tenant_drops?, hit_rate?, recompute_secs_saved?}`
 /// from a smoke/baseline document.
 fn scenario_metrics(doc: &Json) -> Result<Vec<(String, ScenarioMetrics)>, String> {
     let scenarios = doc
@@ -370,6 +392,9 @@ fn scenario_metrics(doc: &Json) -> Result<Vec<(String, ScenarioMetrics)>, String
             let reconfigs = s.get("reconfigs").and_then(Json::as_f64);
             let host_upload_bytes = s.get("host_upload_bytes").and_then(Json::as_f64);
             let victim_p99_secs = s.get("victim_p99_secs").and_then(Json::as_f64);
+            let victim_goodput_p99_secs = s.get("victim_goodput_p99_secs").and_then(Json::as_f64);
+            let wasted_work_bytes = s.get("wasted_work_bytes").and_then(Json::as_f64);
+            let wasted_secs = s.get("wasted_secs").and_then(Json::as_f64);
             let tenant_drops = s.get("tenant_drops").and_then(Json::as_obj).map(|obj| {
                 obj.iter()
                     .filter_map(|(tenant, v)| v.as_f64().map(|d| (tenant.clone(), d)))
@@ -385,6 +410,9 @@ fn scenario_metrics(doc: &Json) -> Result<Vec<(String, ScenarioMetrics)>, String
                     reconfigs,
                     host_upload_bytes,
                     victim_p99_secs,
+                    victim_goodput_p99_secs,
+                    wasted_work_bytes,
+                    wasted_secs,
                     tenant_drops,
                     hit_rate,
                     recompute_secs_saved,
@@ -457,6 +485,40 @@ pub fn gate_p99(baseline: &Json, current: &Json, tolerance: f64) -> Result<GateO
                     "'{name}' victim p99 regressed: {cur_vp:.6} s vs baseline {base_vp:.6} s \
                      (limit {:.6} s) — the fair queue is no longer isolating victims",
                     base_vp * (1.0 + tolerance)
+                ));
+            }
+        }
+        if let (Some(base_gp), Some(cur_gp)) = (
+            base_m.victim_goodput_p99_secs,
+            cur_m.victim_goodput_p99_secs,
+        ) {
+            if cur_gp > base_gp * (1.0 + tolerance) {
+                outcome.failures.push(format!(
+                    "'{name}' victim goodput p99 regressed: {cur_gp:.6} s vs baseline \
+                     {base_gp:.6} s (limit {:.6} s) — on-time service is drifting toward \
+                     the deadline",
+                    base_gp * (1.0 + tolerance)
+                ));
+            }
+        }
+        if let (Some(base_wb), Some(cur_wb)) = (base_m.wasted_work_bytes, cur_m.wasted_work_bytes) {
+            // A zero-byte baseline tolerates zero: the deadline lifecycle
+            // moving *any* dead bytes on a trace that never did is a
+            // regression, not noise.
+            if cur_wb > base_wb * (1.0 + tolerance) {
+                outcome.failures.push(format!(
+                    "'{name}' wasted work regressed: {cur_wb:.0} bytes moved for dead \
+                     requests vs baseline {base_wb:.0} (limit {:.0})",
+                    base_wb * (1.0 + tolerance)
+                ));
+            }
+        }
+        if let (Some(base_ws), Some(cur_ws)) = (base_m.wasted_secs, cur_m.wasted_secs) {
+            if cur_ws > base_ws * (1.0 + tolerance) {
+                outcome.failures.push(format!(
+                    "'{name}' wasted board time regressed: {cur_ws:.3} s written off vs \
+                     baseline {base_ws:.3} s (limit {:.3} s)",
+                    base_ws * (1.0 + tolerance)
                 ));
             }
         }
@@ -592,16 +654,18 @@ pub fn render_summary_table(baseline: &Json, current: &Json) -> Result<String, S
     out.push_str(
         "| scenario | p99 ms (base → run) | Δ p99 | reconfigs (base → run) \
          | host GB (base → run) | Δ host | victim p99 ms (base → run) | Δ victim \
+         | goodput p99 ms (base → run) | wasted s (base → run) | wasted MB (base → run) \
          | tenant drops (base → run) | hit rate (base → run) \
          | recompute s saved (base → run) | sim kev/s (base → run) |\n",
     );
-    out.push_str("|---|---|---|---|---|---|---|---|---|---|---|---|\n");
+    out.push_str("|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|\n");
     for (name, b) in &base {
         match cur_map.get(name) {
             Some(c) => {
                 out.push_str(&format!(
                     "| `{name}` | {:.1} → {:.1} | {} | {} → {} | {} → {} | {} \
-                     | {} → {} | {} | {} | {} → {} | {} → {} | {} → {} |\n",
+                     | {} → {} | {} | {} → {} | {} → {} | {} → {} | {} | {} → {} \
+                     | {} → {} | {} → {} |\n",
                     b.p99_secs * 1e3,
                     c.p99_secs * 1e3,
                     pct(b.p99_secs, c.p99_secs),
@@ -613,6 +677,12 @@ pub fn render_summary_table(baseline: &Json, current: &Json) -> Result<String, S
                     opt(b.victim_p99_secs, 1e3, 1),
                     opt(c.victim_p99_secs, 1e3, 1),
                     opt_pct(b.victim_p99_secs, c.victim_p99_secs),
+                    opt(b.victim_goodput_p99_secs, 1e3, 1),
+                    opt(c.victim_goodput_p99_secs, 1e3, 1),
+                    opt(b.wasted_secs, 1.0, 2),
+                    opt(c.wasted_secs, 1.0, 2),
+                    opt(b.wasted_work_bytes, 1e-6, 2),
+                    opt(c.wasted_work_bytes, 1e-6, 2),
                     drops_cell(b.tenant_drops.as_ref(), c.tenant_drops.as_ref()),
                     opt(b.hit_rate, 100.0, 1),
                     opt(c.hit_rate, 100.0, 1),
@@ -624,7 +694,7 @@ pub fn render_summary_table(baseline: &Json, current: &Json) -> Result<String, S
             }
             None => {
                 out.push_str(&format!(
-                    "| `{name}` | {:.1} → **missing from run** | — | — | — | — | — | — | — | — | — | — |\n",
+                    "| `{name}` | {:.1} → **missing from run** | — | — | — | — | — | — | — | — | — | — | — | — | — |\n",
                     b.p99_secs * 1e3,
                 ));
             }
@@ -636,11 +706,14 @@ pub fn render_summary_table(baseline: &Json, current: &Json) -> Result<String, S
         if !base_names.contains(name.as_str()) {
             out.push_str(&format!(
                 "| `{name}` | **not in baseline** → {:.1} | — | — → {} | — → {} | — \
-                 | — → {} | — | — | — → {} | — → {} | — → {} |\n",
+                 | — → {} | — | — → {} | — → {} | — → {} | — | — → {} | — → {} | — → {} |\n",
                 c.p99_secs * 1e3,
                 opt(c.reconfigs, 1.0, 0),
                 opt(c.host_upload_bytes, 1e-9, 2),
                 opt(c.victim_p99_secs, 1e3, 1),
+                opt(c.victim_goodput_p99_secs, 1e3, 1),
+                opt(c.wasted_secs, 1.0, 2),
+                opt(c.wasted_work_bytes, 1e-6, 2),
                 opt(c.hit_rate, 100.0, 1),
                 opt(c.recompute_secs_saved, 1.0, 1),
                 opt(c.sim_events_per_sec, 1e-3, 0),
@@ -678,12 +751,12 @@ mod tests {
         use agnn_serve::tenant::TenantSpec;
         let report = simulate(
             vec![TenantSpec::new("feed", Dataset::Movie, 5.0)],
-            ServeConfig {
-                seed: 1,
-                total_requests: 100,
-                boards: 2,
-                ..ServeConfig::default()
-            },
+            ServeConfig::builder()
+                .seed(1)
+                .total_requests(100)
+                .boards(2)
+                .build()
+                .expect("test config is valid"),
         );
         let doc = parse(&report.to_json()).expect("report JSON parses");
         assert_eq!(
@@ -934,6 +1007,8 @@ mod tests {
                  "tenant_drops": {"victim": 0, "aggressor": 4000}},
                 {"name": "c", "p99_secs": 0.01, "hit_rate": 0.98,
                  "recompute_secs_saved": 5000},
+                {"name": "d", "p99_secs": 1.0, "victim_goodput_p99_secs": 1.9,
+                 "wasted_secs": 2.5, "wasted_work_bytes": 0},
                 {"name": "gone", "p99_secs": 0.5}]}"#,
         )
         .unwrap();
@@ -945,6 +1020,8 @@ mod tests {
                  "tenant_drops": {"victim": 5, "aggressor": 4000}},
                 {"name": "c", "p99_secs": 0.01, "hit_rate": 0.97,
                  "recompute_secs_saved": 5100},
+                {"name": "d", "p99_secs": 1.0, "victim_goodput_p99_secs": 1.95,
+                 "wasted_secs": 2.6, "wasted_work_bytes": 1000000},
                 {"name": "new", "p99_secs": 0.2, "reconfigs": 3}]}"#,
         )
         .unwrap();
@@ -953,7 +1030,7 @@ mod tests {
         assert!(
             table.contains(
                 "| `a` | 1000.0 → 1100.0 | +10.0% | 10 → 12 | 50.00 → 25.00 | -50.0% \
-                 | — → — | — | — | — → — | — → — | 450 → 520 |"
+                 | — → — | — | — → — | — → — | — → — | — | — → — | — → — | 450 → 520 |"
             ),
             "{table}"
         );
@@ -962,22 +1039,90 @@ mod tests {
         // not only in the gate's stderr.
         assert!(
             table.contains(
-                "| 800.0 → 1600.0 | +100.0% | aggressor 4000→4000, victim 0→5 \
-                 | — → — | — → — | — → — |"
+                "| 800.0 → 1600.0 | +100.0% | — → — | — → — | — → — \
+                 | aggressor 4000→4000, victim 0→5 | — → — | — → — | — → — |"
             ),
             "{table}"
         );
         // And so must the cache metrics (hit-rate rendered in percent).
         assert!(
             table.contains(
-                "| `c` | 10.0 → 10.0 | +0.0% | — → — | — → — | — | — → — | — | — \
-                 | 98.0 → 97.0 | 5000.0 → 5100.0 | — → — |"
+                "| `c` | 10.0 → 10.0 | +0.0% | — → — | — → — | — | — → — | — \
+                 | — → — | — → — | — → — | — | 98.0 → 97.0 | 5000.0 → 5100.0 | — → — |"
+            ),
+            "{table}"
+        );
+        // And the deadline-lifecycle metrics (goodput tail in ms, waste
+        // in seconds and megabytes).
+        assert!(
+            table.contains(
+                "| `d` | 1000.0 → 1000.0 | +0.0% | — → — | — → — | — | — → — | — \
+                 | 1900.0 → 1950.0 | 2.50 → 2.60 | 0.00 → 1.00 | — | — → — | — → — | — → — |"
             ),
             "{table}"
         );
         assert!(table.contains("**missing from run**"), "{table}");
         assert!(table.contains("**not in baseline** → 200.0"), "{table}");
         assert!(render_summary_table(&Json::Null, &run).is_err());
+    }
+
+    #[test]
+    fn gate_fails_when_the_goodput_tail_regresses() {
+        let row = |gp: f64| {
+            parse(&format!(
+                r#"{{"scenarios": [{{"name": "d", "p99_secs": 10.0,
+                    "victim_goodput_p99_secs": {gp}}}]}}"#
+            ))
+            .unwrap()
+        };
+        let baseline = row(1.6);
+        let ok = gate_p99(&baseline, &row(1.8), 0.20).unwrap();
+        assert!(ok.passed(), "{:?}", ok.failures);
+        // The overall (aggressor-dominated) p99 is identical, yet on-time
+        // victim service drifting toward the deadline must fail alone.
+        let bad = gate_p99(&baseline, &row(1.99), 0.20).unwrap();
+        assert!(!bad.passed());
+        assert!(
+            bad.failures[0].contains("victim goodput p99"),
+            "{:?}",
+            bad.failures
+        );
+        // A baseline without the member gates the overall p99 only.
+        let legacy = gate_p99(&doc(&[("d", 10.0)]), &row(9.0), 0.2).unwrap();
+        assert!(legacy.passed(), "{:?}", legacy.failures);
+    }
+
+    #[test]
+    fn gate_fails_when_the_waste_ledger_regresses() {
+        let row = |bytes: f64, secs: f64| {
+            parse(&format!(
+                r#"{{"scenarios": [{{"name": "d", "p99_secs": 1.0,
+                    "wasted_work_bytes": {bytes}, "wasted_secs": {secs}}}]}}"#
+            ))
+            .unwrap()
+        };
+        // A zero-byte baseline tolerates zero bytes: enforcement quietly
+        // starting to move dead bytes fails even at an identical tail.
+        let baseline = row(0.0, 2.5);
+        let ok = gate_p99(&baseline, &row(0.0, 2.9), 0.20).unwrap();
+        assert!(ok.passed(), "{:?}", ok.failures);
+        let leaking = gate_p99(&baseline, &row(1e6, 2.5), 0.20).unwrap();
+        assert!(!leaking.passed());
+        assert!(
+            leaking.failures[0].contains("wasted work"),
+            "{:?}",
+            leaking.failures
+        );
+        let burning = gate_p99(&baseline, &row(0.0, 4.0), 0.20).unwrap();
+        assert!(!burning.passed());
+        assert!(
+            burning.failures[0].contains("wasted board time"),
+            "{:?}",
+            burning.failures
+        );
+        // A baseline without the members gates the overall p99 only.
+        let legacy = gate_p99(&doc(&[("d", 1.0)]), &row(9e9, 900.0), 0.2).unwrap();
+        assert!(legacy.passed(), "{:?}", legacy.failures);
     }
 
     #[test]

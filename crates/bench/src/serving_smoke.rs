@@ -1,6 +1,6 @@
 //! The seeded serving scenario sweep behind CI's `bench-smoke` job.
 //!
-//! Nine scenarios, ~6 000 requests each (a few seconds of wall clock).
+//! Ten scenarios, ~6 000 requests each (a few seconds of wall clock).
 //! The first three replay the same drift-heavy, offset-diurnal trace:
 //!
 //! 1. `single_board_reconfig_aware` — the PR 1 baseline: one VPK180,
@@ -42,7 +42,7 @@
 //!    its SLO budget. The gate protects its reconfig count (the cut is
 //!    the point) and its p99 (the cut must not cost the tail).
 //!
-//! The last scenario guards the result cache (`crates/serve/src/cache/`):
+//! The ninth guards the result cache (`crates/serve/src/cache/`):
 //!
 //! 9. `cache_replay` — the duplicate-heavy dashboard trace
 //!    ([`TenantSpec::replay_heavy`]) with the delta-invalidation cache
@@ -52,6 +52,23 @@
 //!    cache that silently stops hitting keeps a fine tail on this light
 //!    trace, so the tail alone would hide the regression.
 //!
+//! The last scenario guards the deadline-aware request lifecycle
+//! (`ServeConfig::default_deadline_secs` / `TenantSpec::deadline_secs`):
+//!
+//! 10. `deadline_burst` — a gentler bursty-aggressor trace (mean 8 rps,
+//!     so the two-board pool oscillates between overload and drain)
+//!     with a 2 s deadline on both victim tenants and hedged dispatch
+//!     armed. The gate protects **`victim_goodput_p99_secs`** (the
+//!     worse victims' p99 over *on-time* completions only — the whole
+//!     point of enforcement is that this number sits inside the
+//!     deadline while the oblivious tail blows out to tens of seconds),
+//!     **`wasted_work_bytes`** (bytes moved for requests that then
+//!     expired, were aborted or lost their hedge race — pinned at zero
+//!     on this DRAM-resident trace, so enforcement silently starting to
+//!     move dead bytes fails CI) and **`wasted_secs`** (board time the
+//!     ledger writes off, dominated by completions that crossed their
+//!     deadline in service).
+//!
 //! [`render_json`] emits the `BENCH_serving.json` document (scenario
 //! rows also carry the per-stage report, the pipeline-overlap ratio,
 //! eviction/migration counts, the switch/host byte split and the
@@ -59,7 +76,9 @@
 //! non-deterministic members, being host wall clock);
 //! [`crate::perfgate`] compares its `scenarios[].p99_secs`,
 //! `scenarios[].reconfigs`, `scenarios[].host_upload_bytes`,
-//! `scenarios[].victim_p99_secs`, `scenarios[].tenant_drops`,
+//! `scenarios[].victim_p99_secs`, `scenarios[].victim_goodput_p99_secs`,
+//! `scenarios[].wasted_work_bytes`, `scenarios[].wasted_secs`,
+//! `scenarios[].tenant_drops`,
 //! (inverted, at the caller's tolerance) `scenarios[].hit_rate` and
 //! `scenarios[].recompute_secs_saved`, and (inverted, at a generous
 //! tolerance) `scenarios[].sim_events_per_sec` against the checked-in
@@ -71,7 +90,7 @@ use agnn_graph::datasets::Dataset;
 use agnn_serve::metrics::{json_f64, json_str};
 use agnn_serve::pool::{MigratePolicy, PlacementPolicy};
 use agnn_serve::sched::SchedKind;
-use agnn_serve::sim::{simulate, ServeConfig, TrafficSim};
+use agnn_serve::sim::{simulate, HedgeKind, ServeConfig, TrafficSim};
 use agnn_serve::tenant::{ArrivalProcess, TenantSpec};
 use agnn_serve::{CacheKind, ChromeTraceWriter, TrafficReport};
 
@@ -83,6 +102,9 @@ pub const SMOKE_REQUESTS: u64 = 6_000;
 /// Victim tenants of the bursty-aggressor scenarios (the fairness gate
 /// tracks their tail and drops by name).
 pub const BURST_VICTIMS: &[&str] = &["victim-feed", "victim-fraud"];
+
+/// Per-request latency budget of the `deadline_burst` victims.
+pub const DEADLINE_SECS: f64 = 2.0;
 
 /// One scenario of the sweep.
 #[derive(Debug)]
@@ -96,6 +118,11 @@ pub struct Scenario {
     /// Tenant names whose tail the fairness gate protects (empty for
     /// scenarios without an adversarial mix).
     pub victims: &'static [&'static str],
+    /// The per-request latency budget the scenario's victims enforce
+    /// (`None` for deadline-oblivious scenarios) — set on the victim
+    /// [`TenantSpec`]s and echoed here so the renderers know which rows
+    /// carry the deadline-lifecycle members.
+    pub deadline_secs: Option<f64>,
     /// The simulation report.
     pub report: TrafficReport,
 }
@@ -108,6 +135,21 @@ impl Scenario {
             .iter()
             .filter(|t| self.victims.contains(&t.name.as_str()))
             .map(|t| t.latency.quantile(0.99))
+            .fold(None, |acc: Option<f64>, p| {
+                Some(acc.map_or(p, |a| a.max(p)))
+            })
+    }
+
+    /// The worse *goodput* p99 across the scenario's victim tenants —
+    /// the tail over on-time completions only, the number deadline
+    /// enforcement exists to bound. `None` without victims or deadlines.
+    pub fn victim_goodput_p99_secs(&self) -> Option<f64> {
+        self.deadline_secs?;
+        self.report
+            .tenants
+            .iter()
+            .filter(|t| self.victims.contains(&t.name.as_str()))
+            .map(|t| t.goodput_latency.quantile(0.99))
             .fold(None, |acc: Option<f64>, p| {
                 Some(acc.map_or(p, |a| a.max(p)))
             })
@@ -162,6 +204,19 @@ fn burst_tenants() -> Vec<TenantSpec> {
     TenantSpec::bursty_aggressor(2.0, 40.0, 900.0)
 }
 
+/// The trace behind `deadline_burst`: the bursty-aggressor shape at a
+/// gentler mean (8 rps), so the two-board pool oscillates — bursts blow
+/// victim queue waits past the deadline, troughs drain and serve on
+/// time — and both sides of the 2 s boundary stay populated. The victims
+/// carry the [`DEADLINE_SECS`] budget; the aggressor stays best-effort.
+fn deadline_tenants() -> Vec<TenantSpec> {
+    let mut tenants = TenantSpec::bursty_aggressor(2.0, 8.0, 900.0);
+    for victim in &mut tenants[..2] {
+        victim.deadline_secs = Some(DEADLINE_SECS);
+    }
+    tenants
+}
+
 /// The duplicate-heavy trace behind `cache_replay`
 /// ([`TenantSpec::replay_heavy`]): three dashboard tenants re-offering
 /// the identical query against static graphs, so almost every request
@@ -171,113 +226,123 @@ fn replay_tenants() -> Vec<TenantSpec> {
 }
 
 /// One sweep case before simulation: stable name, tenant mix, full
-/// configuration and the victim tenants the fairness gate tracks.
+/// configuration, the victim tenants the fairness gate tracks and the
+/// victim deadline (when the case enforces one).
 type SweepCase = (
     &'static str,
     Vec<TenantSpec>,
     ServeConfig,
     &'static [&'static str],
+    Option<f64>,
 );
 
 /// The sweep's case list — the single source of truth shared by
 /// [`run_sweep`] (which simulates every case) and [`perfetto_trace`]
 /// (which replays one named case with a trace sink attached).
 fn sweep_cases() -> Vec<SweepCase> {
-    let base = ServeConfig {
-        seed: SMOKE_SEED,
-        total_requests: SMOKE_REQUESTS,
-        queue_capacity: 512,
-        ..ServeConfig::reconfig_aware()
+    let base = || {
+        ServeConfig::reconfig_aware()
+            .to_builder()
+            .seed(SMOKE_SEED)
+            .total_requests(SMOKE_REQUESTS)
+            .queue_capacity(512)
     };
     // The burst scenarios dispatch in strict scan order on two boards:
     // the fair schedule *is* the scan order (see
     // `ServeConfig::weighted_fair`), and the FIFO comparator runs the
     // identical configuration so the contrast isolates the scheduler.
-    let burst = ServeConfig {
-        seed: SMOKE_SEED,
-        total_requests: SMOKE_REQUESTS,
-        queue_capacity: 512,
-        boards: 2,
-        ..ServeConfig::weighted_fair()
+    let burst = || {
+        ServeConfig::weighted_fair()
+            .to_builder()
+            .seed(SMOKE_SEED)
+            .total_requests(SMOKE_REQUESTS)
+            .queue_capacity(512)
+            .boards(2)
     };
+    let built = |b: agnn_serve::ServeConfigBuilder| b.build().expect("sweep case config is valid");
     vec![
         (
             "single_board_reconfig_aware",
             smoke_tenants(),
-            ServeConfig { boards: 1, ..base },
-            &[],
+            built(base().boards(1)),
+            &[][..],
+            None,
         ),
         (
             "pool4_least_loaded",
             smoke_tenants(),
-            ServeConfig { boards: 4, ..base },
+            built(base().boards(4)),
             &[],
+            None,
         ),
         (
             "pool4_bitstream_affine",
             smoke_tenants(),
-            ServeConfig {
-                boards: 4,
-                placement: PlacementPolicy::BitstreamAffine,
-                ..base
-            },
+            built(base().boards(4).placement(PlacementPolicy::BitstreamAffine)),
             &[],
+            None,
         ),
         (
             "pipelined_drift",
             pressured_tenants(),
-            ServeConfig {
-                boards: 4,
-                overlap: true,
-                ..base
-            },
+            built(base().boards(4).overlap(true)),
             &[],
+            None,
         ),
         (
             "migration_drift",
             pressured_tenants(),
-            ServeConfig {
-                boards: 4,
-                overlap: true,
-                // PeerRehydrate, deliberately: under LeastLoaded placement
-                // there is no wait-for-affine-board state, so the SplitHot
-                // overflow path can never fire — labeling the row split_hot
-                // would advertise coverage the gate does not have. The split
-                // path is pinned by `tests/serve_traffic.rs` instead.
-                migrate: MigratePolicy::PeerRehydrate,
-                ..base
-            },
+            // PeerRehydrate, deliberately: under LeastLoaded placement
+            // there is no wait-for-affine-board state, so the SplitHot
+            // overflow path can never fire — labeling the row split_hot
+            // would advertise coverage the gate does not have. The split
+            // path is pinned by `tests/serve_traffic.rs` instead.
+            built(
+                base()
+                    .boards(4)
+                    .overlap(true)
+                    .migrate(MigratePolicy::PeerRehydrate),
+            ),
             &[],
+            None,
         ),
         (
             "fifo_burst",
             burst_tenants(),
-            ServeConfig {
-                scheduler: SchedKind::Fifo,
-                ..burst
-            },
+            built(burst().scheduler(SchedKind::Fifo)),
             BURST_VICTIMS,
+            None,
         ),
-        ("wfq_burst", burst_tenants(), burst, BURST_VICTIMS),
+        (
+            "wfq_burst",
+            burst_tenants(),
+            built(burst()),
+            BURST_VICTIMS,
+            None,
+        ),
         (
             "slo_drift",
             smoke_tenants(),
-            ServeConfig {
-                boards: 1,
-                scheduler: SchedKind::slo_aware(),
-                ..base
-            },
+            built(base().boards(1).scheduler(SchedKind::slo_aware())),
             &[],
+            None,
         ),
         (
             "cache_replay",
             replay_tenants(),
-            ServeConfig {
-                boards: 2,
-                cache: CacheKind::delta(),
-                ..base
-            },
+            built(base().boards(2).cache(CacheKind::delta())),
             &[],
+            None,
+        ),
+        (
+            "deadline_burst",
+            deadline_tenants(),
+            // Serial two-board pool, hedged dispatch armed: the same
+            // configuration `tests/serve_traffic.rs` validates against
+            // its deadline-oblivious twin.
+            built(base().boards(2).hedge(HedgeKind::latency())),
+            BURST_VICTIMS,
+            Some(DEADLINE_SECS),
         ),
     ]
 }
@@ -286,10 +351,11 @@ fn sweep_cases() -> Vec<SweepCase> {
 pub fn run_sweep() -> Vec<Scenario> {
     sweep_cases()
         .into_iter()
-        .map(|(name, tenants, config, victims)| Scenario {
+        .map(|(name, tenants, config, victims, deadline_secs)| Scenario {
             name,
             config,
             victims,
+            deadline_secs,
             report: simulate(tenants, config),
         })
         .collect()
@@ -304,7 +370,7 @@ pub fn run_sweep() -> Vec<Scenario> {
 /// numbers in `BENCH_serving.json` (sinks are write-only; see
 /// [`TrafficSim::run_traced`]).
 pub fn perfetto_trace(scenario_name: &str) -> Option<String> {
-    let (_, tenants, config, _) = sweep_cases()
+    let (_, tenants, config, ..) = sweep_cases()
         .into_iter()
         .find(|(name, ..)| *name == scenario_name)?;
     let names = tenants.iter().map(|t| t.name.clone()).collect();
@@ -338,6 +404,22 @@ pub fn render_json(scenarios: &[Scenario]) -> String {
             } else {
                 String::new()
             };
+            let deadline = match s.victim_goodput_p99_secs() {
+                Some(goodput_p99) => format!(
+                    concat!(
+                        "\"victim_goodput_p99_secs\":{},\"expired_in_queue\":{},",
+                        "\"aborted\":{},\"hedges\":{},",
+                        "\"wasted_work_bytes\":{},\"wasted_secs\":{},"
+                    ),
+                    json_f64(goodput_p99),
+                    s.report.expired_in_queue(),
+                    s.report.aborted(),
+                    s.report.hedges(),
+                    s.report.wasted_work_bytes,
+                    json_f64(s.report.wasted_secs),
+                ),
+                None => String::new(),
+            };
             format!(
                 concat!(
                     "{{\"name\":{name},\"boards\":{boards},",
@@ -347,6 +429,7 @@ pub fn render_json(scenarios: &[Scenario]) -> String {
                     "\"p99_secs\":{p99},\"reconfigs\":{reconfigs},",
                     "\"completed\":{completed},\"dropped\":{dropped},",
                     "{fairness}",
+                    "{deadline}",
                     "{cache}",
                     "\"pipeline_overlap_ratio\":{overlap_ratio},",
                     "\"evictions\":{evictions},",
@@ -369,6 +452,7 @@ pub fn render_json(scenarios: &[Scenario]) -> String {
                 completed = s.report.completed(),
                 dropped = s.report.dropped(),
                 fairness = fairness,
+                deadline = deadline,
                 cache = cache,
                 overlap_ratio = json_f64(s.report.pipeline_overlap_ratio()),
                 evictions = s.report.evictions(),
@@ -383,7 +467,7 @@ pub fn render_json(scenarios: &[Scenario]) -> String {
         .collect();
     format!(
         concat!(
-            "{{\"schema\":\"agnn-bench-serving/v6\",\"seed\":{seed},",
+            "{{\"schema\":\"agnn-bench-serving/v7\",\"seed\":{seed},",
             "\"total_requests\":{requests},\"scenarios\":[{rows}]}}"
         ),
         seed = SMOKE_SEED,
@@ -395,8 +479,10 @@ pub fn render_json(scenarios: &[Scenario]) -> String {
 /// Renders only the gate schema (`scenarios[].name` / `p99_secs` /
 /// `reconfigs` / `host_upload_bytes` / `sim_events_per_sec`, plus
 /// `victim_p99_secs` and `tenant_drops` on scenarios with victims, plus
-/// `hit_rate` and `recompute_secs_saved` on scenarios with the result
-/// cache enabled) — the compact form checked in as the baseline.
+/// `victim_goodput_p99_secs`, `wasted_work_bytes` and `wasted_secs` on
+/// scenarios enforcing a deadline, plus `hit_rate` and
+/// `recompute_secs_saved` on scenarios with the result cache enabled) —
+/// the compact form checked in as the baseline.
 ///
 /// `sim_events_per_sec` is the one member measured in *host* wall clock:
 /// the checked-in value captures the writer's machine, the gate compares
@@ -415,6 +501,15 @@ pub fn render_baseline_json(scenarios: &[Scenario]) -> String {
                 ),
                 None => String::new(),
             };
+            let deadline = match s.victim_goodput_p99_secs() {
+                Some(goodput_p99) => format!(
+                    ",\"victim_goodput_p99_secs\":{},\"wasted_work_bytes\":{},\"wasted_secs\":{}",
+                    json_f64(goodput_p99),
+                    s.report.wasted_work_bytes,
+                    json_f64(s.report.wasted_secs),
+                ),
+                None => String::new(),
+            };
             let cache = if s.config.cache.enabled() {
                 format!(
                     ",\"hit_rate\":{},\"recompute_secs_saved\":{}",
@@ -425,19 +520,20 @@ pub fn render_baseline_json(scenarios: &[Scenario]) -> String {
                 String::new()
             };
             format!(
-                "\n  {{\"name\":{},\"p99_secs\":{},\"reconfigs\":{},\"host_upload_bytes\":{}{}{},\"sim_events_per_sec\":{}}}",
+                "\n  {{\"name\":{},\"p99_secs\":{},\"reconfigs\":{},\"host_upload_bytes\":{}{}{}{},\"sim_events_per_sec\":{}}}",
                 json_str(s.name),
                 json_f64(s.report.overall_latency().quantile(0.99)),
                 s.report.reconfigs,
                 s.report.host_upload_bytes(),
                 fairness,
+                deadline,
                 cache,
                 json_f64(s.report.sim.events_per_sec()),
             )
         })
         .collect();
     format!(
-        "{{\"schema\":\"agnn-bench-serving-baseline/v5\",\"seed\":{},\"scenarios\":[{}\n]}}\n",
+        "{{\"schema\":\"agnn-bench-serving-baseline/v6\",\"seed\":{},\"scenarios\":[{}\n]}}\n",
         SMOKE_SEED,
         rows.join(",")
     )
@@ -471,7 +567,7 @@ mod tests {
             doc.get("scenarios")
                 .and_then(perfgate::Json::as_arr)
                 .map(<[perfgate::Json]>::len),
-            Some(9)
+            Some(10)
         );
         let baseline = perfgate::parse(&render_baseline_json(&a)).expect("baseline parses");
         // A run always passes the gate against its own baseline.
@@ -538,6 +634,7 @@ mod tests {
                     | "pool4_bitstream_affine"
                     | "slo_drift"
                     | "cache_replay"
+                    | "deadline_burst"
             )
         }) {
             assert_eq!(s.report.pipeline_overlap_ratio(), 0.0, "{}", s.name);
@@ -671,10 +768,13 @@ mod tests {
             affine.report.overall_latency().quantile(0.99)
                 < single.report.overall_latency().quantile(0.99)
         );
-        // Every scenario faces the same offered load.
+        // Every scenario faces the same offered load: each arrival lands
+        // in exactly one terminal outcome (served, served late, expired,
+        // aborted or dropped at admission — the last three only exist on
+        // the deadline scenario).
         for s in &sweep {
             assert_eq!(
-                s.report.completed() + s.report.dropped(),
+                s.report.outcomes().arrival_terminal(),
                 SMOKE_REQUESTS,
                 "{}",
                 s.name
@@ -698,10 +798,12 @@ mod tests {
         // cache).
         let off = simulate(
             replay_tenants(),
-            ServeConfig {
-                cache: CacheKind::Off,
-                ..cached.config
-            },
+            cached
+                .config
+                .to_builder()
+                .cache(CacheKind::Off)
+                .build()
+                .expect("off twin config is valid"),
         );
         let (cached_p99, off_p99) = (
             cached.report.overall_latency().quantile(0.99),
@@ -730,5 +832,66 @@ mod tests {
         // must not grow cache members (`render_json` keys off the config).
         assert_eq!(off.cache.lookups(), 0);
         assert_eq!(off.cache.coalesced, 0);
+    }
+
+    /// The ISSUE's acceptance criterion for the deadline lifecycle: the
+    /// gated `deadline_burst` scenario must beat its deadline-oblivious
+    /// twin — same seed, same configuration, same trace shape, deadlines
+    /// stripped — on the victims' goodput tail, and its waste ledger
+    /// must record real written-off board time without moving a single
+    /// dead byte on this DRAM-resident trace.
+    #[test]
+    fn deadline_burst_beats_its_oblivious_twin() {
+        let sweep = run_sweep();
+        let enforced = sweep
+            .iter()
+            .find(|s| s.name == "deadline_burst")
+            .expect("deadline_burst scenario");
+        // The twin: deadlines live on the TenantSpecs, so the identical
+        // ServeConfig replays the identical trace without enforcement.
+        let twin = simulate(
+            TenantSpec::bursty_aggressor(2.0, 8.0, 900.0),
+            enforced.config,
+        );
+        assert_eq!(twin.completed() + twin.dropped(), SMOKE_REQUESTS);
+        assert_eq!(twin.expired_in_queue(), 0, "no deadlines, no expiry");
+        assert_eq!(twin.wasted_secs, 0.0, "no deadlines, no waste ledger");
+
+        // Enforcement re-partitions the same arrivals: a populated
+        // expiry count and a goodput tail inside the budget.
+        assert!(
+            enforced.report.expired_in_queue() > 100,
+            "bursts must push victim waits past the deadline, expired {}",
+            enforced.report.expired_in_queue()
+        );
+        let goodput_p99 = enforced
+            .victim_goodput_p99_secs()
+            .expect("deadline scenario tracks victim goodput");
+        let twin_victim_p99 = twin
+            .tenants
+            .iter()
+            .filter(|t| BURST_VICTIMS.contains(&t.name.as_str()))
+            .map(|t| t.latency.quantile(0.99))
+            .fold(0.0_f64, f64::max);
+        assert!(
+            goodput_p99 <= DEADLINE_SECS,
+            "on-time completions sit inside the budget: {goodput_p99}"
+        );
+        assert!(
+            twin_victim_p99 > DEADLINE_SECS * 2.0,
+            "the oblivious twin must blow the victim tail the gate \
+             quotes enforcement against: {twin_victim_p99}"
+        );
+        assert!(goodput_p99 < twin_victim_p99);
+
+        // The waste ledger: board time written off (completions that
+        // crossed their deadline in service) but zero dead bytes — the
+        // victims' graphs are DRAM-resident, so the gated
+        // `wasted_work_bytes` of this scenario is a stays-zero floor.
+        assert!(
+            enforced.report.wasted_secs > 0.0,
+            "late serves must land in the ledger"
+        );
+        assert_eq!(enforced.report.wasted_work_bytes, 0);
     }
 }

@@ -397,6 +397,27 @@ impl ResultCache {
         self.stats.recompute_secs_saved += service_secs * waiters.len() as f64;
         waiters
     }
+
+    /// Cancellation-time drain: removes the in-flight primary registered
+    /// at `arrival_secs` — its request expired in queue or was aborted,
+    /// so no completion will ever [`fill`](Self::fill) from it — and
+    /// returns the arrival times of every waiter parked on it. The
+    /// simulator expires those waiters alongside their primary (they
+    /// were admitted as coalesced duplicates of a request that died, and
+    /// nothing else will complete them). No-op `Vec::new()` when the
+    /// primary is unknown.
+    pub fn cancel(&mut self, tenant: usize, arrival_secs: f64) -> Vec<f64> {
+        let row = &mut self.rows[tenant];
+        let arrival_bits = arrival_secs.to_bits();
+        match row
+            .pending
+            .iter()
+            .position(|p| p.arrival_bits == arrival_bits)
+        {
+            Some(i) => row.pending.remove(i).waiters,
+            None => Vec::new(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -486,6 +507,24 @@ mod tests {
             cache.fill(0, 3, 1_000, 0, 2.0, 5.0, 0.5).is_empty(),
             "a drained primary is gone"
         );
+    }
+
+    #[test]
+    fn cancel_drains_the_primary_and_its_waiters() {
+        let mut cache = ResultCache::new(CacheKind::Exact, 1);
+        cache.register(0, 3, 0.5);
+        assert!(cache.park(0, 3, 1.0));
+        assert!(cache.park(0, 3, 1.5));
+        assert_eq!(cache.cancel(0, 0.5), vec![1.0, 1.5]);
+        assert!(
+            !cache.park(0, 3, 2.0),
+            "a cancelled primary no longer coalesces"
+        );
+        assert!(
+            cache.fill(0, 3, 1_000, 0, 2.0, 5.0, 0.5).is_empty(),
+            "a cancelled primary cannot be drained again"
+        );
+        assert!(cache.cancel(0, 9.0).is_empty(), "unknown primary: no-op");
     }
 
     #[test]

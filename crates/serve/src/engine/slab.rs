@@ -118,6 +118,18 @@ impl<T> Slab<T> {
         }
     }
 
+    /// The payload at `handle`, or `None` when the slot is vacant or the
+    /// handle was never issued. Deferred events that may outlive their
+    /// payload (the simulator's tag-guarded deadline aborts) use this
+    /// instead of [`get`](Self::get): slots recycle, so by the time such
+    /// an event pops its handle may be dead or name a different payload.
+    pub fn try_get(&self, handle: Handle) -> Option<&T> {
+        match self.slots.get(handle as usize) {
+            Some(Slot::Occupied(value)) => Some(value),
+            _ => None,
+        }
+    }
+
     /// Mutable access to the payload at `handle`.
     ///
     /// # Panics
@@ -161,6 +173,16 @@ mod tests {
         // Slab is full again; the next insert grows.
         assert_eq!(slab.insert(40), 4);
         assert_eq!(slab.len(), 5);
+    }
+
+    #[test]
+    fn try_get_tolerates_dead_and_unissued_handles() {
+        let mut slab = Slab::new();
+        let h = slab.insert(7);
+        assert_eq!(slab.try_get(h), Some(&7));
+        assert_eq!(slab.try_get(99), None, "never issued");
+        slab.remove(h);
+        assert_eq!(slab.try_get(h), None, "recycled slot");
     }
 
     #[test]

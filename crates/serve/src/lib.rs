@@ -48,7 +48,14 @@
 //!   **pipelined**: a board ingests the next request's graph delta
 //!   (double-buffered, [`agnn_hw::shell::DELTA_BUFFERS`]) and streams
 //!   finished subgraphs out while its fabric preprocesses — upload time
-//!   leaves the dispatch critical path;
+//!   leaves the dispatch critical path. Requests can carry **deadlines**
+//!   ([`tenant::TenantSpec::deadline_secs`],
+//!   [`sim::ServeConfig::default_deadline_secs`]): dead requests expire
+//!   at the queue scan, a dispatched-but-not-started stage aborts and
+//!   releases its board slot, and [`sim::HedgeKind::Latency`] re-offers
+//!   a stalled queue-front request to a second board and cancels the
+//!   loser — all assembled through the validating
+//!   [`sim::ServeConfig::builder`];
 //! - [`cache`] — the subgraph result cache: entries keyed on request
 //!   identity `(tenant, drift bucket, seed)`, invalidated by accumulated
 //!   graph-delta bytes ([`cache::CacheKind::Delta`]) and degraded to
@@ -115,15 +122,13 @@
 //!     TenantSpec::new("feed", Dataset::Movie, 40.0),
 //!     TenantSpec::new("ads", Dataset::StackOverflow, 40.0),
 //! ];
-//! let report = simulate(
-//!     tenants,
-//!     ServeConfig {
-//!         seed: 7,
-//!         total_requests: 500,
-//!         policy: DispatchPolicy::reconfig_aware(),
-//!         ..ServeConfig::default()
-//!     },
-//! );
+//! let config = ServeConfig::builder()
+//!     .seed(7)
+//!     .total_requests(500)
+//!     .policy(DispatchPolicy::reconfig_aware())
+//!     .build()
+//!     .expect("a valid serving config");
+//! let report = simulate(tenants, config);
 //! assert_eq!(report.completed() + report.dropped(), 500);
 //! assert!(report.throughput_rps() > 0.0);
 //! ```
@@ -141,12 +146,14 @@ pub mod trace;
 pub use cache::{CacheKind, CacheStats, ResultCache};
 pub use engine::{ArrivalSource, Component, EventQueue, Slab};
 pub use metrics::{
-    BoardStats, CompletedRequest, LatencyHistogram, RequestLatency, SimPerf, StageHistograms,
-    StallBreakdown, TenantStats, TrafficReport,
+    BoardStats, CompletedRequest, LatencyHistogram, OutcomeCounts, RequestLatency, RequestOutcome,
+    SimPerf, StageHistograms, StallBreakdown, TenantStats, TrafficReport,
 };
 pub use pool::{BoardPool, MigratePolicy, MigrationTransfer, PlacementPolicy};
-pub use sched::{SchedKind, SchedPolicy, Scheduler};
-pub use sim::{simulate, DispatchPolicy, ServeConfig, TrafficSim};
+pub use sched::{LatencyPredictor, SchedKind, SchedPolicy, Scheduler};
+pub use sim::{
+    simulate, ConfigError, DispatchPolicy, HedgeKind, ServeConfig, ServeConfigBuilder, TrafficSim,
+};
 pub use tenant::{ArrivalProcess, Drift, TenantSpec};
 pub use trace::{ChromeTraceWriter, FlightRecorder, NullSink, TraceSink};
 
@@ -165,11 +172,11 @@ mod tests {
 
     #[test]
     fn same_seed_produces_identical_reports() {
-        let cfg = ServeConfig {
-            seed: 42,
-            total_requests: 2_000,
-            ..ServeConfig::default()
-        };
+        let cfg = ServeConfig::builder()
+            .seed(42)
+            .total_requests(2_000)
+            .build()
+            .unwrap();
         let a = simulate(mixed_tenants(25.0), cfg);
         let b = simulate(mixed_tenants(25.0), cfg);
         assert_eq!(a.trace_digest, b.trace_digest, "identical event traces");
@@ -179,43 +186,56 @@ mod tests {
     #[test]
     fn different_seeds_produce_different_traces() {
         let mk = |seed| {
-            simulate(
-                mixed_tenants(25.0),
-                ServeConfig {
-                    seed,
-                    total_requests: 1_000,
-                    ..ServeConfig::default()
-                },
-            )
+            let cfg = ServeConfig::builder()
+                .seed(seed)
+                .total_requests(1_000)
+                .build()
+                .unwrap();
+            simulate(mixed_tenants(25.0), cfg)
         };
         assert_ne!(mk(1).trace_digest, mk(2).trace_digest);
     }
 
     #[test]
     fn every_offered_request_is_completed_or_dropped() {
-        let cfg = ServeConfig {
-            seed: 3,
-            total_requests: 3_000,
-            queue_capacity: 4, // tiny queue under heavy load: forces drops
-            ..ServeConfig::default()
-        };
+        let cfg = ServeConfig::builder()
+            .seed(3)
+            .total_requests(3_000)
+            .queue_capacity(4) // tiny queue under heavy load: forces drops
+            .build()
+            .unwrap();
         let report = simulate(mixed_tenants(200.0), cfg);
         assert_eq!(
             report.completed() + report.dropped(),
             3_000,
             "no request silently lost"
         );
+        let outcomes = report.outcomes();
+        assert_eq!(
+            outcomes.arrival_terminal(),
+            3_000,
+            "every arrival reaches exactly one terminal outcome"
+        );
+        assert_eq!(
+            outcomes.served,
+            report.completed(),
+            "no deadline: all on time"
+        );
+        assert_eq!(outcomes.served_late, 0);
+        assert_eq!(outcomes.expired_in_queue, 0);
+        assert_eq!(outcomes.aborted, 0);
+        assert_eq!(outcomes.hedge_loser, 0, "hedging is off by default");
         assert!(report.dropped() > 0, "overload must surface as drops");
         assert!(report.queue_depth.max_depth() <= 4, "queue bound respected");
     }
 
     #[test]
     fn light_load_drops_nothing() {
-        let cfg = ServeConfig {
-            seed: 4,
-            total_requests: 300,
-            ..ServeConfig::default()
-        };
+        let cfg = ServeConfig::builder()
+            .seed(4)
+            .total_requests(300)
+            .build()
+            .unwrap();
         let report = simulate(mixed_tenants(0.5), cfg);
         assert_eq!(report.dropped(), 0);
         assert_eq!(report.completed(), 300);
@@ -230,15 +250,13 @@ mod tests {
         // Interaction (MV) vs social (SO) tenants prefer different
         // bitstreams; interleaved arrivals make FIFO thrash the ICAP.
         let mk = |policy| {
-            simulate(
-                mixed_tenants(30.0),
-                ServeConfig {
-                    seed: 11,
-                    total_requests: 2_000,
-                    policy,
-                    ..ServeConfig::default()
-                },
-            )
+            let cfg = ServeConfig::builder()
+                .seed(11)
+                .total_requests(2_000)
+                .policy(policy)
+                .build()
+                .unwrap();
+            simulate(mixed_tenants(30.0), cfg)
         };
         let fifo = mk(DispatchPolicy::Fifo);
         let aware = mk(DispatchPolicy::reconfig_aware());
@@ -265,11 +283,11 @@ mod tests {
         let tenants = vec![TenantSpec::new("only", Dataset::Movie, 10.0)];
         let report = simulate(
             tenants,
-            ServeConfig {
-                seed: 5,
-                total_requests: 500,
-                ..ServeConfig::default()
-            },
+            ServeConfig::builder()
+                .seed(5)
+                .total_requests(500)
+                .build()
+                .unwrap(),
         );
         assert!(
             report.reconfigs <= 1,
@@ -283,11 +301,11 @@ mod tests {
     fn report_printing_is_well_formed() {
         let report = simulate(
             mixed_tenants(5.0),
-            ServeConfig {
-                seed: 6,
-                total_requests: 200,
-                ..ServeConfig::default()
-            },
+            ServeConfig::builder()
+                .seed(6)
+                .total_requests(200)
+                .build()
+                .unwrap(),
         );
         let text = report.to_string();
         assert!(text.contains("TOTAL"));
@@ -301,12 +319,12 @@ mod tests {
     fn pool_report_prints_per_board_lines() {
         let report = simulate(
             mixed_tenants(30.0),
-            ServeConfig {
-                seed: 6,
-                total_requests: 400,
-                boards: 3,
-                ..ServeConfig::default()
-            },
+            ServeConfig::builder()
+                .seed(6)
+                .total_requests(400)
+                .boards(3)
+                .build()
+                .unwrap(),
         );
         let text = report.to_string();
         assert!(text.contains("board 0:"));
@@ -323,14 +341,14 @@ mod tests {
         ] {
             let report = simulate(
                 mixed_tenants(60.0),
-                ServeConfig {
-                    seed: 12,
-                    total_requests: 1_500,
-                    boards: 4,
-                    placement,
-                    policy: DispatchPolicy::reconfig_aware(),
-                    ..ServeConfig::default()
-                },
+                ServeConfig::builder()
+                    .seed(12)
+                    .total_requests(1_500)
+                    .boards(4)
+                    .placement(placement)
+                    .policy(DispatchPolicy::reconfig_aware())
+                    .build()
+                    .unwrap(),
             );
             let per_board: u64 = report.boards.iter().map(|b| b.completed).sum();
             assert_eq!(
@@ -349,18 +367,16 @@ mod tests {
         // Heavy load over a small queue: extra boards drain faster, so
         // completions are monotone in pool size on the same arrival trace.
         let mk = |boards| {
-            simulate(
-                mixed_tenants(120.0),
-                ServeConfig {
-                    seed: 9,
-                    total_requests: 2_000,
-                    queue_capacity: 16,
-                    boards,
-                    policy: DispatchPolicy::reconfig_aware(),
-                    placement: PlacementPolicy::BitstreamAffine,
-                    ..ServeConfig::default()
-                },
-            )
+            let cfg = ServeConfig::builder()
+                .seed(9)
+                .total_requests(2_000)
+                .queue_capacity(16)
+                .boards(boards)
+                .policy(DispatchPolicy::reconfig_aware())
+                .placement(PlacementPolicy::BitstreamAffine)
+                .build()
+                .unwrap();
+            simulate(mixed_tenants(120.0), cfg)
         };
         let one = mk(1);
         let four = mk(4);
@@ -380,13 +396,13 @@ mod tests {
         // bitstream, so after the initial switch no board reconfigures.
         let report = simulate(
             mixed_tenants(20.0),
-            ServeConfig {
-                seed: 21,
-                total_requests: 1_200,
-                boards: 3,
-                placement: PlacementPolicy::TenantAffine,
-                ..ServeConfig::default()
-            },
+            ServeConfig::builder()
+                .seed(21)
+                .total_requests(1_200)
+                .boards(3)
+                .placement(PlacementPolicy::TenantAffine)
+                .build()
+                .unwrap(),
         );
         assert_eq!(report.completed() + report.dropped(), 1_200);
         for (i, board) in report.boards.iter().enumerate() {
@@ -428,21 +444,76 @@ mod tests {
             "pipelined differs from reconfig_aware only in overlap"
         );
         assert!(!ServeConfig::base().overlap, "serial is the default");
+        assert_eq!(
+            ServeConfig::builder().build().unwrap(),
+            ServeConfig::default(),
+            "an untouched builder produces the base config"
+        );
+        assert_eq!(
+            pipelined.to_builder().build().unwrap(),
+            pipelined,
+            "to_builder round-trips a preset"
+        );
+    }
+
+    #[test]
+    fn builder_rejects_documented_incompatible_combos() {
+        // Hedging re-offers work to a *second* board: a pool of one has
+        // nowhere to hedge.
+        assert_eq!(
+            ServeConfig::builder().hedge(HedgeKind::latency()).build(),
+            Err(ConfigError::HedgeNeedsPool { boards: 1 }),
+        );
+        // Hedging prices both legs at dispatch, which only the serial
+        // lifecycle exposes.
+        assert_eq!(
+            ServeConfig::builder()
+                .boards(2)
+                .overlap(true)
+                .hedge(HedgeKind::latency())
+                .build(),
+            Err(ConfigError::HedgeNeedsSerial),
+        );
+        assert_eq!(
+            ServeConfig::builder().default_deadline_secs(0.0).build(),
+            Err(ConfigError::NonPositiveDeadline { secs: 0.0 }),
+        );
+        assert_eq!(
+            ServeConfig::builder()
+                .boards(2)
+                .hedge(HedgeKind::Latency { factor: -1.0 })
+                .build(),
+            Err(ConfigError::NonPositiveHedgeFactor { factor: -1.0 }),
+        );
+        // Each error renders a human-readable explanation.
+        let err = ServeConfig::builder()
+            .hedge(HedgeKind::latency())
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("2 boards"), "{err}");
+        // The valid combo builds.
+        let cfg = ServeConfig::builder()
+            .boards(2)
+            .hedge(HedgeKind::latency())
+            .default_deadline_secs(2.0)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.hedge, HedgeKind::Latency { factor: 1.0 });
+        assert_eq!(cfg.default_deadline_secs, Some(2.0));
     }
 
     #[test]
     fn pipelined_mode_conserves_requests_and_overlaps() {
         let mk = |overlap| {
-            simulate(
-                mixed_tenants(60.0),
-                ServeConfig {
-                    seed: 14,
-                    total_requests: 2_000,
-                    boards: 2,
-                    overlap,
-                    ..ServeConfig::reconfig_aware()
-                },
-            )
+            let cfg = ServeConfig::reconfig_aware()
+                .to_builder()
+                .seed(14)
+                .total_requests(2_000)
+                .boards(2)
+                .overlap(overlap)
+                .build()
+                .unwrap();
+            simulate(mixed_tenants(60.0), cfg)
         };
         let serial = mk(false);
         let pipelined = mk(true);
@@ -470,19 +541,16 @@ mod tests {
 
     #[test]
     fn request_log_is_off_by_default_and_complete_when_on() {
-        let cfg = ServeConfig {
-            seed: 8,
-            total_requests: 400,
-            ..ServeConfig::default()
-        };
+        let cfg = ServeConfig::builder()
+            .seed(8)
+            .total_requests(400)
+            .build()
+            .unwrap();
         let silent = simulate(mixed_tenants(10.0), cfg);
         assert!(silent.requests.is_empty(), "logging is opt-in");
         let logged = simulate(
             mixed_tenants(10.0),
-            ServeConfig {
-                log_requests: true,
-                ..cfg
-            },
+            cfg.to_builder().log_requests(true).build().unwrap(),
         );
         assert_eq!(logged.requests.len() as u64, logged.completed());
         for r in &logged.requests {
@@ -492,14 +560,14 @@ mod tests {
 
     #[test]
     fn rerunning_one_simulator_is_deterministic() {
-        let cfg = ServeConfig {
-            seed: 33,
-            total_requests: 800,
-            boards: 2,
-            placement: PlacementPolicy::BitstreamAffine,
-            policy: DispatchPolicy::reconfig_aware(),
-            ..ServeConfig::default()
-        };
+        let cfg = ServeConfig::builder()
+            .seed(33)
+            .total_requests(800)
+            .boards(2)
+            .placement(PlacementPolicy::BitstreamAffine)
+            .policy(DispatchPolicy::reconfig_aware())
+            .build()
+            .unwrap();
         let mut sim = TrafficSim::new(mixed_tenants(40.0), cfg);
         let a = sim.run();
         let b = sim.run();

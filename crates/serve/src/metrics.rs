@@ -319,6 +319,107 @@ impl StageHistograms {
     }
 }
 
+/// How one request's lifecycle ended — the typed replacement for the
+/// informal completed/dropped split.
+///
+/// Every **arrival** ends in exactly one of the five *arrival-terminal*
+/// outcomes (`Served`, `ServedLate`, `ExpiredInQueue`, `Aborted`,
+/// `DroppedAtAdmission`): that partition is the conservation law the
+/// proptests pin (Σ arrival-terminal outcomes == arrivals).
+/// [`RequestOutcome::HedgeLoser`] is different in kind — it counts the
+/// *cancelled second leg* of a hedged dispatch, which always pairs with
+/// the same request's served winner leg, so hedge losers sit outside the
+/// arrival partition and instead equal the number of hedges launched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RequestOutcome {
+    /// Completed within the request's deadline (or with no deadline set —
+    /// every completion of a deadline-free run is `Served`).
+    Served,
+    /// Completed, but past the deadline: the client had already given up,
+    /// so the board work counts as wasted, not goodput.
+    ServedLate,
+    /// Expired in the admission queue before dispatch — removed at scan
+    /// time, no board work spent.
+    ExpiredInQueue,
+    /// Dispatched, then cancelled before its remaining pipeline stage
+    /// started (the deadline passed mid-flight); partial board work is
+    /// written off.
+    Aborted,
+    /// The losing second leg of a hedged dispatch, cancelled when the
+    /// winner finished (pairs with a `Served`/`ServedLate` winner of the
+    /// same request — not an arrival-terminal outcome).
+    HedgeLoser,
+    /// Refused at admission (queue or per-tenant quota full).
+    DroppedAtAdmission,
+}
+
+impl RequestOutcome {
+    /// Stable lowercase identifier used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RequestOutcome::Served => "served",
+            RequestOutcome::ServedLate => "served_late",
+            RequestOutcome::ExpiredInQueue => "expired_in_queue",
+            RequestOutcome::Aborted => "aborted",
+            RequestOutcome::HedgeLoser => "hedge_loser",
+            RequestOutcome::DroppedAtAdmission => "dropped_at_admission",
+        }
+    }
+}
+
+/// Per-outcome request counts (one [`RequestOutcome`] bucket each).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OutcomeCounts {
+    /// Completions within deadline (all completions when no deadline).
+    pub served: u64,
+    /// Completions past the deadline.
+    pub served_late: u64,
+    /// In-queue expiries.
+    pub expired_in_queue: u64,
+    /// Post-dispatch stage aborts.
+    pub aborted: u64,
+    /// Cancelled hedge legs (pairs with served winners; not
+    /// arrival-terminal).
+    pub hedge_loser: u64,
+    /// Admission refusals.
+    pub dropped_at_admission: u64,
+}
+
+impl OutcomeCounts {
+    /// Increments the bucket for `outcome`.
+    pub fn record(&mut self, outcome: RequestOutcome) {
+        match outcome {
+            RequestOutcome::Served => self.served += 1,
+            RequestOutcome::ServedLate => self.served_late += 1,
+            RequestOutcome::ExpiredInQueue => self.expired_in_queue += 1,
+            RequestOutcome::Aborted => self.aborted += 1,
+            RequestOutcome::HedgeLoser => self.hedge_loser += 1,
+            RequestOutcome::DroppedAtAdmission => self.dropped_at_admission += 1,
+        }
+    }
+
+    /// Sum of the five arrival-terminal outcomes — equals the number of
+    /// arrivals (the conservation law; excludes `hedge_loser`, which
+    /// double-books a served request's cancelled second leg).
+    pub fn arrival_terminal(&self) -> u64 {
+        self.served
+            + self.served_late
+            + self.expired_in_queue
+            + self.aborted
+            + self.dropped_at_admission
+    }
+
+    /// Adds another set of counts (aggregation across tenants).
+    pub fn accumulate(&mut self, other: &OutcomeCounts) {
+        self.served += other.served;
+        self.served_late += other.served_late;
+        self.expired_in_queue += other.expired_in_queue;
+        self.aborted += other.aborted;
+        self.hedge_loser += other.hedge_loser;
+        self.dropped_at_admission += other.dropped_at_admission;
+    }
+}
+
 /// One completed request, kept only when
 /// [`crate::sim::ServeConfig::log_requests`] is set — the per-request
 /// ground truth equivalence tests compare across scheduling modes.
@@ -338,6 +439,10 @@ pub struct CompletedRequest {
     /// ingest: every byte arrived from exactly one source (both 0 for a
     /// warm graph).
     pub switch_bytes: u64,
+    /// How the lifecycle ended — [`RequestOutcome::Served`] or
+    /// [`RequestOutcome::ServedLate`] here (the log holds completions;
+    /// expiries and aborts never produce a record).
+    pub outcome: RequestOutcome,
 }
 
 /// Per-tenant serving statistics.
@@ -377,6 +482,15 @@ pub struct TenantStats {
     pub cache_misses: u64,
     /// Duplicate in-flight requests coalesced onto a primary.
     pub cache_coalesced: u64,
+    /// Typed outcome counters ([`RequestOutcome`] buckets). Invariants:
+    /// `outcomes.served + outcomes.served_late == completed` and
+    /// `outcomes.dropped_at_admission == dropped`; with deadlines off
+    /// every non-`served` bucket except `dropped_at_admission` is 0.
+    pub outcomes: OutcomeCounts,
+    /// Latency distribution of **on-time** completions only (the goodput
+    /// split of `latency`). Identical to `latency` when the tenant has no
+    /// deadline — everything served counts as goodput then.
+    pub goodput_latency: LatencyHistogram,
 }
 
 impl TenantStats {
@@ -388,6 +502,12 @@ impl TenantStats {
         } else {
             self.dropped as f64 / offered as f64
         }
+    }
+
+    /// Requests this tenant arrived with that reached a terminal outcome
+    /// — completed, dropped, expired or aborted (the conservation total).
+    pub fn arrivals(&self) -> u64 {
+        self.completed + self.dropped + self.outcomes.expired_in_queue + self.outcomes.aborted
     }
 }
 
@@ -537,6 +657,14 @@ pub struct TrafficReport {
     /// Aggregate stall attribution summed over every completed request
     /// (each request's six components sum to its end-to-end latency).
     pub stall: StallBreakdown,
+    /// Graph bytes moved for work that never became goodput: aborted
+    /// stages' transfers, hedge-loser legs, and the full transfer of
+    /// every past-deadline completion. 0 whenever deadlines and hedging
+    /// are off.
+    pub wasted_work_bytes: u64,
+    /// Board-seconds written off for the same non-goodput work (the time
+    /// half of the wasted ledger).
+    pub wasted_secs: f64,
     /// Result-cache counters for the run — all zero (and absent from the
     /// rendered report's effect on behavior) when
     /// [`crate::sim::ServeConfig::cache`] is [`crate::cache::CacheKind::Off`].
@@ -560,6 +688,50 @@ impl TrafficReport {
     /// Total dropped requests across tenants.
     pub fn dropped(&self) -> u64 {
         self.tenants.iter().map(|t| t.dropped).sum()
+    }
+
+    /// Typed outcome counters summed across tenants.
+    pub fn outcomes(&self) -> OutcomeCounts {
+        let mut total = OutcomeCounts::default();
+        for t in &self.tenants {
+            total.accumulate(&t.outcomes);
+        }
+        total
+    }
+
+    /// Total on-time completions — the goodput half of
+    /// [`TrafficReport::completed`]. Equal to it when no tenant carries
+    /// a deadline.
+    pub fn goodput(&self) -> u64 {
+        self.tenants.iter().map(|t| t.outcomes.served).sum()
+    }
+
+    /// The merged latency distribution of on-time completions only.
+    pub fn goodput_latency(&self) -> LatencyHistogram {
+        let mut merged = LatencyHistogram::default();
+        for t in &self.tenants {
+            merged.merge(&t.goodput_latency);
+        }
+        merged
+    }
+
+    /// Requests expired in the admission queue across tenants.
+    pub fn expired_in_queue(&self) -> u64 {
+        self.tenants
+            .iter()
+            .map(|t| t.outcomes.expired_in_queue)
+            .sum()
+    }
+
+    /// Dispatched requests aborted before their next stage started.
+    pub fn aborted(&self) -> u64 {
+        self.tenants.iter().map(|t| t.outcomes.aborted).sum()
+    }
+
+    /// Hedged dispatches launched. Every hedge cancels exactly one
+    /// losing leg, so this equals the summed `hedge_loser` counters.
+    pub fn hedges(&self) -> u64 {
+        self.tenants.iter().map(|t| t.outcomes.hedge_loser).sum()
     }
 
     /// Completed requests per simulated second.
@@ -652,12 +824,32 @@ impl TrafficReport {
     /// tests zero [`TrafficReport::sim`] before rendering).
     pub fn to_json(&self) -> String {
         let overall = self.overall_latency();
+        let goodput = self.goodput_latency();
         let mut out = String::with_capacity(1024);
         out.push('{');
-        push_field(&mut out, "schema", &json_str("agnn-serve-report/v6"));
+        push_field(&mut out, "schema", &json_str("agnn-serve-report/v7"));
         push_field(&mut out, "pool_size", &self.pool_size().to_string());
         push_field(&mut out, "completed", &self.completed().to_string());
         push_field(&mut out, "dropped", &self.dropped().to_string());
+        push_field(&mut out, "goodput", &self.goodput().to_string());
+        push_field(
+            &mut out,
+            "goodput_p99_secs",
+            &json_f64(goodput.quantile(0.99)),
+        );
+        push_field(
+            &mut out,
+            "expired_in_queue",
+            &self.expired_in_queue().to_string(),
+        );
+        push_field(&mut out, "aborted", &self.aborted().to_string());
+        push_field(&mut out, "hedges", &self.hedges().to_string());
+        push_field(
+            &mut out,
+            "wasted_work_bytes",
+            &self.wasted_work_bytes.to_string(),
+        );
+        push_field(&mut out, "wasted_secs", &json_f64(self.wasted_secs));
         push_field(&mut out, "reconfigs", &self.reconfigs.to_string());
         push_field(&mut out, "reconfig_secs", &json_f64(self.reconfig_secs));
         push_field(&mut out, "duration_secs", &json_f64(self.duration_secs));
@@ -799,6 +991,20 @@ impl TrafficReport {
                 );
                 push_field(&mut obj, "cache_misses", &t.cache_misses.to_string());
                 push_field(&mut obj, "cache_coalesced", &t.cache_coalesced.to_string());
+                push_field(&mut obj, "served", &t.outcomes.served.to_string());
+                push_field(&mut obj, "served_late", &t.outcomes.served_late.to_string());
+                push_field(
+                    &mut obj,
+                    "expired_in_queue",
+                    &t.outcomes.expired_in_queue.to_string(),
+                );
+                push_field(&mut obj, "aborted", &t.outcomes.aborted.to_string());
+                push_field(&mut obj, "hedge_loser", &t.outcomes.hedge_loser.to_string());
+                push_field(
+                    &mut obj,
+                    "goodput_p99_secs",
+                    &json_f64(t.goodput_latency.quantile(0.99)),
+                );
                 close_obj(&mut obj);
                 obj
             })
@@ -966,6 +1172,23 @@ impl fmt::Display for TrafficReport {
                 self.cache.recompute_secs_saved,
             )?;
         }
+        let lifecycle_cuts =
+            self.expired_in_queue() + self.aborted() + self.hedges() + self.outcomes().served_late;
+        if lifecycle_cuts > 0 || self.wasted_work_bytes > 0 {
+            writeln!(
+                f,
+                "deadline: goodput {}/{} on-time | {} expired | {} aborted | {} late | \
+                 {} hedges | wasted {:.2} GB / {:.1} board-s",
+                self.goodput(),
+                self.completed(),
+                self.expired_in_queue(),
+                self.aborted(),
+                self.outcomes().served_late,
+                self.hedges(),
+                self.wasted_work_bytes as f64 / 1e9,
+                self.wasted_secs,
+            )?;
+        }
         if self.dma_secs() > 0.0 {
             writeln!(
                 f,
@@ -1107,6 +1330,8 @@ mod tests {
             overlap_secs: 0.0,
             requests: Vec::new(),
             stall: StallBreakdown::default(),
+            wasted_work_bytes: 0,
+            wasted_secs: 0.0,
             cache: CacheStats::default(),
             sim: SimPerf::default(),
             trace_digest: 0xDEAD_BEEF,
@@ -1124,7 +1349,17 @@ mod tests {
         assert!(a.contains("\"switch_bytes\":0"));
         assert!(a.contains("\"host_upload_bytes\":0"));
         assert!(a.contains("\"host_bytes_saved\":0"));
-        assert!(a.contains("\"schema\":\"agnn-serve-report/v6\""));
+        assert!(a.contains("\"schema\":\"agnn-serve-report/v7\""));
+        assert!(a.contains("\"goodput\":0"));
+        assert!(a.contains("\"goodput_p99_secs\":"));
+        assert!(a.contains("\"expired_in_queue\":0"));
+        assert!(a.contains("\"aborted\":0"));
+        assert!(a.contains("\"hedges\":0"));
+        assert!(a.contains("\"wasted_work_bytes\":0"));
+        assert!(a.contains("\"wasted_secs\":0"));
+        assert!(a.contains("\"served\":0"));
+        assert!(a.contains("\"served_late\":0"));
+        assert!(a.contains("\"hedge_loser\":0"));
         assert!(a.contains("\"stall_attribution\":{\"queue_secs\":"));
         assert!(a.contains("\"handoff_secs\":"));
         assert!(a.contains("\"cache_secs\":"));
@@ -1271,6 +1506,8 @@ mod tests {
             overlap_secs: 0.0,
             requests: Vec::new(),
             stall: StallBreakdown::default(),
+            wasted_work_bytes: 0,
+            wasted_secs: 0.0,
             cache: CacheStats::default(),
             sim: SimPerf::default(),
             trace_digest: 0,
@@ -1296,6 +1533,8 @@ mod tests {
             overlap_secs: 0.0,
             requests: Vec::new(),
             stall: StallBreakdown::default(),
+            wasted_work_bytes: 0,
+            wasted_secs: 0.0,
             cache: CacheStats::default(),
             sim: SimPerf::default(),
             trace_digest: 0,
@@ -1315,5 +1554,68 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("migration: 3 peer pulls"), "{text}");
         assert!(text.contains("4.00 GB over the switch"), "{text}");
+    }
+
+    #[test]
+    fn outcome_counts_partition_arrivals() {
+        let mut c = OutcomeCounts::default();
+        for outcome in [
+            RequestOutcome::Served,
+            RequestOutcome::Served,
+            RequestOutcome::ServedLate,
+            RequestOutcome::ExpiredInQueue,
+            RequestOutcome::Aborted,
+            RequestOutcome::DroppedAtAdmission,
+            RequestOutcome::HedgeLoser,
+        ] {
+            c.record(outcome);
+        }
+        assert_eq!(c.served, 2);
+        assert_eq!(c.served_late, 1);
+        // Hedge losers sit outside the arrival partition.
+        assert_eq!(c.arrival_terminal(), 6);
+        assert_eq!(c.hedge_loser, 1);
+        let mut agg = OutcomeCounts::default();
+        agg.accumulate(&c);
+        agg.accumulate(&c);
+        assert_eq!(agg.arrival_terminal(), 12);
+    }
+
+    #[test]
+    fn outcome_names_are_stable() {
+        assert_eq!(RequestOutcome::Served.name(), "served");
+        assert_eq!(RequestOutcome::ServedLate.name(), "served_late");
+        assert_eq!(RequestOutcome::ExpiredInQueue.name(), "expired_in_queue");
+        assert_eq!(RequestOutcome::Aborted.name(), "aborted");
+        assert_eq!(RequestOutcome::HedgeLoser.name(), "hedge_loser");
+        assert_eq!(
+            RequestOutcome::DroppedAtAdmission.name(),
+            "dropped_at_admission"
+        );
+    }
+
+    #[test]
+    fn deadline_line_is_silent_without_lifecycle_cuts() {
+        let report = TrafficReport {
+            tenants: Vec::new(),
+            duration_secs: 1.0,
+            reconfigs: 0,
+            reconfig_secs: 0.0,
+            queue_depth: DepthTimeline::default(),
+            boards: vec![BoardStats::default()],
+            stages: StageHistograms::default(),
+            overlap_secs: 0.0,
+            requests: Vec::new(),
+            stall: StallBreakdown::default(),
+            wasted_work_bytes: 0,
+            wasted_secs: 0.0,
+            cache: CacheStats::default(),
+            sim: SimPerf::default(),
+            trace_digest: 0,
+        };
+        assert!(!report.to_string().contains("deadline:"), "quiet when off");
+        let mut noisy = report.clone();
+        noisy.wasted_work_bytes = 1_000;
+        assert!(noisy.to_string().contains("deadline:"));
     }
 }

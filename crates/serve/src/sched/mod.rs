@@ -62,6 +62,7 @@
 //! position (reconfig-aware batching) is overriding the scheduler, and
 //! the policy accounts for it (WFQ charges the tenant's deficit).
 
+pub mod predictor;
 pub mod queue;
 pub mod slo;
 pub mod wfq;
@@ -69,6 +70,7 @@ pub mod wfq;
 use crate::metrics::RequestLatency;
 use crate::tenant::TenantSpec;
 
+pub use predictor::LatencyPredictor;
 pub use queue::Fifo;
 pub use slo::SloAware;
 pub use wfq::WeightedFair;
@@ -108,6 +110,23 @@ pub trait SchedPolicy {
     /// Removes and returns the request at `position` of the **most
     /// recent** [`scan`](SchedPolicy::scan) order.
     fn take(&mut self, position: usize) -> Request;
+
+    /// Removes every queued request whose deadline has passed —
+    /// `now - arrival_secs > deadlines[tenant]`, where `deadlines` is
+    /// indexed by tenant and `None` entries never expire — appending
+    /// them to `expired` (reused across calls so the hot loop never
+    /// allocates). Policy bookkeeping must match a hypothetical take of
+    /// each dead request **without charging service** for it: an
+    /// expired request consumed nothing, so a WFQ tenant's deficit is
+    /// untouched unless the expiry drains its queue (which resets it,
+    /// like any drain). The event loop only calls this when some tenant
+    /// actually carries a deadline, so deadline-free runs never touch
+    /// the path — the deadline Off-equivalence invariant. The default
+    /// removes nothing (correct only for a policy holding no queue);
+    /// every bundled policy overrides it.
+    fn expire(&mut self, now: f64, deadlines: &[Option<f64>], expired: &mut Vec<Request>) {
+        let _ = (now, deadlines, expired);
+    }
 
     /// Whether a dispatch for `tenant` may pay a bitstream
     /// reconfiguration right now. The default never gates — exactly the
@@ -213,6 +232,15 @@ impl SchedPolicy for Scheduler {
             Scheduler::Fifo(s) => s.take(position),
             Scheduler::WeightedFair(s) => s.take(position),
             Scheduler::SloAware(s) => s.take(position),
+        }
+    }
+
+    #[inline]
+    fn expire(&mut self, now: f64, deadlines: &[Option<f64>], expired: &mut Vec<Request>) {
+        match self {
+            Scheduler::Fifo(s) => s.expire(now, deadlines, expired),
+            Scheduler::WeightedFair(s) => s.expire(now, deadlines, expired),
+            Scheduler::SloAware(s) => s.expire(now, deadlines, expired),
         }
     }
 

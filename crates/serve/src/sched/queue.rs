@@ -55,6 +55,21 @@ impl SchedPolicy for Fifo {
             .remove(position)
             .expect("take position within the queue")
     }
+
+    fn expire(&mut self, now: f64, deadlines: &[Option<f64>], expired: &mut Vec<Request>) {
+        // Deadlines differ per tenant, so dead requests are interleaved
+        // with live ones — a full pass, preserving relative order.
+        let mut i = 0;
+        while i < self.queue.len() {
+            let rq = self.queue[i];
+            match deadlines[rq.tenant] {
+                Some(d) if now - rq.arrival_secs > d => {
+                    expired.push(self.queue.remove(i).expect("index in bounds"));
+                }
+                _ => i += 1,
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -98,5 +113,33 @@ mod tests {
         let q = Fifo::new(1);
         assert!(q.allow_reconfig(0, 0.0));
         assert!(q.allow_reconfig(7, 1e9));
+    }
+
+    #[test]
+    fn expire_removes_interleaved_dead_requests_preserving_order() {
+        let mut q = Fifo::new(8);
+        // Tenant 0 has a 1 s deadline, tenant 1 none.
+        q.admit(rq(0, 0.0)); // dead at t=2
+        q.admit(rq(1, 0.5)); // immortal
+        q.admit(rq(0, 1.5)); // still live at t=2 (0.5 s old)
+        let deadlines = vec![Some(1.0), None];
+        let mut expired = Vec::new();
+        q.expire(2.5, &deadlines, &mut expired);
+        assert_eq!(expired, vec![rq(0, 0.0)]);
+        let order: Vec<f64> = q.scan().iter().map(|r| r.arrival_secs).collect();
+        assert_eq!(order, vec![0.5, 1.5], "survivors keep arrival order");
+    }
+
+    #[test]
+    fn expire_is_exclusive_at_the_deadline_instant() {
+        let mut q = Fifo::new(4);
+        q.admit(rq(0, 0.0));
+        let mut expired = Vec::new();
+        // Exactly at the deadline the request is still servable.
+        q.expire(1.0, &[Some(1.0)], &mut expired);
+        assert!(expired.is_empty());
+        q.expire(1.0 + 1e-9, &[Some(1.0)], &mut expired);
+        assert_eq!(expired.len(), 1);
+        assert!(q.is_empty());
     }
 }

@@ -2,21 +2,17 @@
 
 use crate::metrics::RequestLatency;
 
+use super::predictor::LatencyPredictor;
 use super::{queue::Fifo, Request, SchedPolicy};
-
-/// EWMA smoothing factor for the per-tenant latency tracker (~the last
-/// dozen requests dominate the estimate).
-const EWMA_ALPHA: f64 = 0.15;
-/// Standard-normal z-score of the 99th percentile: the predicted p99 is
-/// `mean + Z_P99 · stddev` of the EWMA-tracked latency distribution.
-const Z_P99: f64 = 2.326;
 
 /// FIFO admission and offer order, plus an SLO-driven reconfiguration
 /// gate: a dispatch may only pay an ICAP stall when the tenant's
 /// **predicted p99** — an exponentially weighted mean of its end-to-end
 /// latency (queueing included, so a building backlog raises the
-/// prediction) plus `Z_P99` weighted deviations — exceeds its SLO
-/// budget.
+/// prediction) plus [`super::predictor::Z_P99`] weighted deviations —
+/// exceeds its SLO budget. The EWMA itself is the shared
+/// [`LatencyPredictor`], the same estimator the simulator's hedged
+/// dispatch consults.
 ///
 /// The cost model's per-request gain threshold keeps firing on every
 /// drift step even when tenants are comfortably inside their SLOs; this
@@ -34,12 +30,8 @@ pub struct SloAware {
     inner: Fifo,
     /// Effective per-tenant p99 budget in seconds.
     budgets: Vec<f64>,
-    /// Per-tenant EWMA of end-to-end latency.
-    mean: Vec<f64>,
-    /// Per-tenant EWMA of squared deviation from the mean.
-    var: Vec<f64>,
-    /// Completed-request count per tenant (0 = cold, gate open).
-    samples: Vec<u64>,
+    /// The shared per-tenant latency EWMA (0 samples = cold, gate open).
+    predictor: LatencyPredictor,
 }
 
 impl SloAware {
@@ -60,19 +52,13 @@ impl SloAware {
         SloAware {
             inner: Fifo::new(capacity),
             budgets,
-            mean: vec![0.0; n],
-            var: vec![0.0; n],
-            samples: vec![0; n],
+            predictor: LatencyPredictor::new(n),
         }
     }
 
     /// The tenant's current predicted p99 in seconds (0 while cold).
     pub fn predicted_p99(&self, tenant: usize) -> f64 {
-        if self.samples[tenant] == 0 {
-            0.0
-        } else {
-            self.mean[tenant] + Z_P99 * self.var[tenant].max(0.0).sqrt()
-        }
+        self.predictor.predicted_p99(tenant)
     }
 }
 
@@ -97,21 +83,16 @@ impl SchedPolicy for SloAware {
         self.inner.take(position)
     }
 
+    fn expire(&mut self, now: f64, deadlines: &[Option<f64>], expired: &mut Vec<Request>) {
+        self.inner.expire(now, deadlines, expired);
+    }
+
     fn allow_reconfig(&self, tenant: usize, _now: f64) -> bool {
-        self.samples[tenant] == 0 || self.predicted_p99(tenant) > self.budgets[tenant]
+        !self.predictor.is_warm(tenant) || self.predicted_p99(tenant) > self.budgets[tenant]
     }
 
     fn on_complete(&mut self, tenant: usize, latency: &RequestLatency, _now: f64) {
-        let x = latency.total();
-        if self.samples[tenant] == 0 {
-            self.mean[tenant] = x;
-            self.var[tenant] = 0.0;
-        } else {
-            let dev = x - self.mean[tenant];
-            self.mean[tenant] += EWMA_ALPHA * dev;
-            self.var[tenant] = (1.0 - EWMA_ALPHA) * (self.var[tenant] + EWMA_ALPHA * dev * dev);
-        }
-        self.samples[tenant] += 1;
+        self.predictor.observe(tenant, latency.total());
     }
 }
 

@@ -10,7 +10,7 @@
 //! [`crate::engine::Slab`] arena and events carry 4-byte handles;
 //! arrivals are pre-generated in per-tenant batches
 //! ([`crate::engine::ArrivalSource`]) — the inner loop performs no heap
-//! allocation in steady state. Five event kinds drive the simulation:
+//! allocation in steady state. Seven event kinds drive the simulation:
 //!
 //! - **`Arrival`** — a tenant's request arrives. It is offered to the
 //!   configured [`crate::sched::SchedPolicy`] (refusals — shared queue
@@ -34,6 +34,50 @@
 //!   reconfig + upload + preprocess + hand-off interval; in pipelined
 //!   mode: the hand-off transfer). Latency is recorded and the board slot
 //!   frees.
+//! - **`DeadlineExpired`** (deadline-carrying tenants, pipelined mode) —
+//!   a dispatched request's deadline passed while a pipeline stage it
+//!   needs had not started: its staging-buffer or hand-off slot is
+//!   abandoned and the board capacity frees immediately.
+//! - **`HedgeWon`** ([`HedgeKind::Latency`] only) — the faster leg of a
+//!   hedged dispatch completed; the losing board's engines free without
+//!   counting a completion.
+//!
+//! # The request deadline lifecycle
+//!
+//! [`crate::tenant::TenantSpec::deadline_secs`] (per tenant, with
+//! [`ServeConfig::default_deadline_secs`] as the pool-wide fallback)
+//! models client abandonment. With any deadline configured the lifecycle
+//! gains three cut points, each strictly *after* the deadline instant
+//! (completing or dispatching exactly at the deadline still counts):
+//!
+//! 1. **In-queue expiry** — at every event the scheduler drops queued
+//!    requests whose deadline has passed
+//!    ([`crate::sched::SchedPolicy::expire`]); they count as
+//!    [`RequestOutcome::ExpiredInQueue`] and cost no board work.
+//! 2. **Stage abort** (pipelined mode) — a dispatched request still
+//!    waiting in a staging buffer or hand-off queue past its deadline is
+//!    abandoned ([`RequestOutcome::Aborted`]), releasing the slot; a
+//!    *started* stage — an in-flight ingest, a running fabric pass, a
+//!    paid reconfiguration — always runs to completion.
+//! 3. **Served late** — a completion strictly past its deadline counts
+//!    as [`RequestOutcome::ServedLate`]: throughput, but not goodput,
+//!    and its whole board visit lands in the wasted-work ledger.
+//!
+//! **Hedged dispatch** ([`ServeConfig::hedge`], serial mode) reuses the
+//! shared [`crate::sched::LatencyPredictor`]: once a dispatched request's
+//! queue wait exceeds `factor ×` its tenant's predicted p99, the request
+//! is priced on a second free board as well — host ingest onto that
+//! board's *current* bitstream, no reconfiguration — and the faster leg
+//! wins (ties keep the placement pick). The loser's board stays occupied
+//! until the winner completes (a started reconfiguration still drains)
+//! and then frees via `HedgeWon`; the cancelled leg counts as
+//! [`RequestOutcome::HedgeLoser`] and its work is wasted. Only the
+//! winner's completion fills the result cache.
+//!
+//! With no deadline anywhere and hedging off, **none** of these code
+//! paths run: the schedule, every golden trace digest and every CI
+//! baseline row reproduce bit-for-bit (the deadline Off-equivalence
+//! invariant, proptested in `tests/serve_traffic.rs`).
 //!
 //! # Cross-board migration
 //!
@@ -159,11 +203,11 @@ use agnn_hw::HwConfig;
 use crate::cache::{CacheKind, ResultCache, CACHE_LOOKUP_SECS};
 use crate::engine::{ArrivalSource, EventQueue, Handle, Slab};
 use crate::metrics::{
-    CompletedRequest, DepthTimeline, LatencyHistogram, RequestLatency, SimPerf, StageHistograms,
-    StallBreakdown, TenantStats, TrafficReport,
+    CompletedRequest, DepthTimeline, LatencyHistogram, RequestLatency, RequestOutcome, SimPerf,
+    StageHistograms, StallBreakdown, TenantStats, TrafficReport,
 };
 use crate::pool::{BoardPool, MigratePolicy, PlacementPolicy};
-use crate::sched::{Request, SchedKind, SchedPolicy, Scheduler};
+use crate::sched::{LatencyPredictor, Request, SchedKind, SchedPolicy, Scheduler};
 use crate::tenant::TenantSpec;
 use crate::trace::{
     BoardResource, CounterKind, CounterSample, NullSink, Span, SpanKind, TraceSink, Track,
@@ -195,6 +239,102 @@ impl DispatchPolicy {
         }
     }
 }
+
+/// When (if ever) a long-waiting request is hedged onto a second board.
+/// Gated exactly like [`CacheKind`] / [`MigratePolicy`]:
+/// [`HedgeKind::Off`] is the default and reproduces the unhedged
+/// schedules bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum HedgeKind {
+    /// Never hedge. The golden-digest default.
+    #[default]
+    Off,
+    /// Once a dispatched request's queue wait exceeds `factor ×` its
+    /// tenant's predicted p99 latency (the shared
+    /// [`LatencyPredictor`] EWMA; a cold tenant never triggers), price
+    /// the request on a second free board too and keep the faster leg.
+    /// Requires a ≥2-board pool and serial mode — [`ServeConfigBuilder`]
+    /// rejects anything else.
+    Latency {
+        /// Hedge-trigger multiple of the predicted p99 (must be positive
+        /// and finite).
+        factor: f64,
+    },
+}
+
+impl HedgeKind {
+    /// The latency-hedging preset: a second leg once the wait exceeds
+    /// 1× the predicted p99.
+    pub fn latency() -> Self {
+        HedgeKind::Latency { factor: 1.0 }
+    }
+
+    /// `true` unless hedging is [`HedgeKind::Off`].
+    pub fn enabled(&self) -> bool {
+        *self != HedgeKind::Off
+    }
+
+    /// Stable lowercase identifier (CLI flags, report rows).
+    pub fn name(&self) -> &'static str {
+        match self {
+            HedgeKind::Off => "off",
+            HedgeKind::Latency { .. } => "latency",
+        }
+    }
+}
+
+/// Why a [`ServeConfigBuilder::build`] call rejected its configuration.
+/// Every variant names an incompatibility the simulator cannot run (the
+/// documented combos below), so the builder surfaces it at construction
+/// instead of a mid-run panic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// Hedged dispatch re-offers a request to a *second* board; a pool
+    /// of fewer than two boards has nowhere to hedge to.
+    HedgeNeedsPool {
+        /// The configured board count.
+        boards: usize,
+    },
+    /// Hedged dispatch prices whole serial board visits and cancels the
+    /// slower one; the pipelined lifecycle splits a visit across
+    /// independently scheduled stage events, where a leg cannot be
+    /// atomically cancelled. Hedging therefore requires `overlap: false`.
+    HedgeNeedsSerial,
+    /// A deadline must be a positive, finite number of seconds.
+    NonPositiveDeadline {
+        /// The rejected value.
+        secs: f64,
+    },
+    /// A hedge trigger factor must be a positive, finite multiple.
+    NonPositiveHedgeFactor {
+        /// The rejected value.
+        factor: f64,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::HedgeNeedsPool { boards } => write!(
+                f,
+                "hedged dispatch needs at least 2 boards to re-offer to (got {boards})"
+            ),
+            ConfigError::HedgeNeedsSerial => write!(
+                f,
+                "hedged dispatch requires serial mode (overlap: false): a pipelined \
+                 leg cannot be cancelled atomically"
+            ),
+            ConfigError::NonPositiveDeadline { secs } => {
+                write!(f, "deadline must be positive and finite, got {secs}")
+            }
+            ConfigError::NonPositiveHedgeFactor { factor } => {
+                write!(f, "hedge factor must be positive and finite, got {factor}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Simulation parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -248,6 +388,17 @@ pub struct ServeConfig {
     /// and duplicate in-flight requests coalesce. [`CacheKind::Off`]
     /// (the default) reproduces the uncached schedules bit-for-bit.
     pub cache: CacheKind,
+    /// Pool-wide fallback client-abandonment deadline, in seconds from
+    /// arrival, for tenants whose
+    /// [`crate::tenant::TenantSpec::deadline_secs`] is `None`. With this
+    /// `None` too (the default) and no per-tenant deadline, every
+    /// deadline code path is disabled and the pre-deadline schedules
+    /// replay bit-for-bit.
+    pub default_deadline_secs: Option<f64>,
+    /// Hedged-dispatch policy (see the [module docs](self)).
+    /// [`HedgeKind::Off`] (the default) reproduces the unhedged
+    /// schedules bit-for-bit.
+    pub hedge: HedgeKind,
 }
 
 impl ServeConfig {
@@ -285,7 +436,79 @@ impl ServeConfig {
             depth_stride: 64,
             log_requests: false,
             cache: CacheKind::Off,
+            default_deadline_secs: None,
+            hedge: HedgeKind::Off,
         }
+    }
+
+    /// A [`ServeConfigBuilder`] seeded with [`base`](Self::base) — the
+    /// preferred way to assemble a configuration: typed setters plus a
+    /// validating [`build`](ServeConfigBuilder::build) that rejects
+    /// incompatible knob combinations with a [`ConfigError`] instead of
+    /// a mid-run panic.
+    ///
+    /// ```
+    /// use agnn_serve::{HedgeKind, SchedKind, ServeConfig};
+    ///
+    /// let cfg = ServeConfig::builder()
+    ///     .boards(2)
+    ///     .scheduler(SchedKind::weighted_fair())
+    ///     .default_deadline_secs(2.0)
+    ///     .hedge(HedgeKind::latency())
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(cfg.boards, 2);
+    /// assert_eq!(cfg.default_deadline_secs, Some(2.0));
+    ///
+    /// // Incompatible combos come back as typed errors: hedging needs
+    /// // a second board to re-offer to.
+    /// let err = ServeConfig::builder().hedge(HedgeKind::latency()).build();
+    /// assert!(err.is_err());
+    /// ```
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder { cfg: Self::base() }
+    }
+
+    /// A [`ServeConfigBuilder`] seeded with this configuration — the
+    /// migration path for call sites that used struct-update syntax on a
+    /// preset (`ServeConfig { seed: 7, ..ServeConfig::pipelined() }`
+    /// becomes `ServeConfig::pipelined().to_builder().seed(7).build()`).
+    ///
+    /// ```
+    /// use agnn_serve::ServeConfig;
+    ///
+    /// let cfg = ServeConfig::pipelined().to_builder().seed(7).build().unwrap();
+    /// assert_eq!(cfg.seed, 7);
+    /// assert_eq!(ServeConfig { seed: 0, ..cfg }, ServeConfig::pipelined());
+    /// ```
+    pub fn to_builder(self) -> ServeConfigBuilder {
+        ServeConfigBuilder { cfg: self }
+    }
+
+    /// Checks the documented incompatible knob combinations (the same
+    /// rules [`ServeConfigBuilder::build`] enforces);
+    /// [`TrafficSim::new`] re-checks so a hand-assembled struct literal
+    /// cannot smuggle an invalid combo past the builder.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if let Some(secs) = self.default_deadline_secs {
+            if !(secs > 0.0 && secs.is_finite()) {
+                return Err(ConfigError::NonPositiveDeadline { secs });
+            }
+        }
+        if let HedgeKind::Latency { factor } = self.hedge {
+            if !(factor > 0.0 && factor.is_finite()) {
+                return Err(ConfigError::NonPositiveHedgeFactor { factor });
+            }
+            if self.overlap {
+                return Err(ConfigError::HedgeNeedsSerial);
+            }
+            if self.boards < 2 {
+                return Err(ConfigError::HedgeNeedsPool {
+                    boards: self.boards,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// The reconfig-aware deployment preset (30-second starvation guard).
@@ -302,10 +525,10 @@ impl ServeConfig {
     /// );
     /// ```
     pub fn reconfig_aware() -> Self {
-        ServeConfig {
-            policy: DispatchPolicy::reconfig_aware(),
-            ..Self::base()
-        }
+        Self::builder()
+            .policy(DispatchPolicy::reconfig_aware())
+            .build()
+            .expect("preset is valid")
     }
 
     /// The pipelined preset: reconfig-aware dispatch with DMA/fabric
@@ -319,10 +542,11 @@ impl ServeConfig {
     /// assert_eq!(ServeConfig { overlap: false, ..cfg }, ServeConfig::reconfig_aware());
     /// ```
     pub fn pipelined() -> Self {
-        ServeConfig {
-            overlap: true,
-            ..Self::reconfig_aware()
-        }
+        Self::reconfig_aware()
+            .to_builder()
+            .overlap(true)
+            .build()
+            .expect("preset is valid")
     }
 
     /// The weighted-fair preset: deficit-round-robin per-tenant queues
@@ -343,11 +567,12 @@ impl ServeConfig {
     /// assert!(cfg.overlap); // rides on the pipelined lifecycle
     /// ```
     pub fn weighted_fair() -> Self {
-        ServeConfig {
-            scheduler: SchedKind::weighted_fair(),
-            policy: DispatchPolicy::Fifo,
-            ..Self::pipelined()
-        }
+        Self::pipelined()
+            .to_builder()
+            .scheduler(SchedKind::weighted_fair())
+            .policy(DispatchPolicy::Fifo)
+            .build()
+            .expect("preset is valid")
     }
 
     /// The SLO-aware preset: FIFO-order queueing whose reconfigurations
@@ -362,16 +587,136 @@ impl ServeConfig {
     /// assert_eq!(ServeConfig { scheduler: SchedKind::Fifo, ..cfg }, ServeConfig::pipelined());
     /// ```
     pub fn slo_aware() -> Self {
-        ServeConfig {
-            scheduler: SchedKind::slo_aware(),
-            ..Self::pipelined()
-        }
+        Self::pipelined()
+            .to_builder()
+            .scheduler(SchedKind::slo_aware())
+            .build()
+            .expect("preset is valid")
     }
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
         Self::base()
+    }
+}
+
+/// Fluent, validating constructor for [`ServeConfig`] — obtained from
+/// [`ServeConfig::builder`] (seeded with the deployment defaults) or
+/// [`ServeConfig::to_builder`] (seeded with an existing configuration,
+/// typically a preset). Every setter is typed after its field;
+/// [`build`](Self::build) runs [`ServeConfig::validate`] and returns a
+/// [`ConfigError`] for the documented incompatible combinations, so a
+/// bad configuration fails at construction rather than mid-run.
+///
+/// Struct-literal construction (`ServeConfig { .. }`) remains available
+/// for backward compatibility — the fields are public and every golden
+/// digest was pinned through it — but new call sites should prefer the
+/// builder (see `docs/ARCHITECTURE.md`, "the ServeConfig builder").
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfigBuilder {
+    cfg: ServeConfig,
+}
+
+macro_rules! builder_setter {
+    ($(#[$doc:meta])* $name:ident: $ty:ty) => {
+        $(#[$doc])*
+        pub fn $name(mut self, $name: $ty) -> Self {
+            self.cfg.$name = $name;
+            self
+        }
+    };
+}
+
+impl ServeConfigBuilder {
+    builder_setter!(
+        /// Deployment seed ([`ServeConfig::seed`]).
+        seed: u64
+    );
+    builder_setter!(
+        /// Admission-queue capacity ([`ServeConfig::queue_capacity`]).
+        queue_capacity: usize
+    );
+    builder_setter!(
+        /// Dispatch policy ([`ServeConfig::policy`]).
+        policy: DispatchPolicy
+    );
+    builder_setter!(
+        /// Admission/dispatch scheduler ([`ServeConfig::scheduler`]).
+        scheduler: SchedKind
+    );
+    builder_setter!(
+        /// Board-pool size ([`ServeConfig::boards`]).
+        boards: usize
+    );
+    builder_setter!(
+        /// Placement policy ([`ServeConfig::placement`]).
+        placement: PlacementPolicy
+    );
+    builder_setter!(
+        /// Cross-board migration policy ([`ServeConfig::migrate`]).
+        migrate: MigratePolicy
+    );
+    builder_setter!(
+        /// DMA/fabric pipelining ([`ServeConfig::overlap`]).
+        overlap: bool
+    );
+    builder_setter!(
+        /// Per-board compute multiplier ([`ServeConfig::compute_speedup`]).
+        compute_speedup: f64
+    );
+    builder_setter!(
+        /// Offered load ([`ServeConfig::total_requests`]).
+        total_requests: u64
+    );
+    builder_setter!(
+        /// Drift quantization step ([`ServeConfig::drift_step_secs`]).
+        drift_step_secs: f64
+    );
+    builder_setter!(
+        /// Reconfiguration gain threshold ([`ServeConfig::min_gain`]).
+        min_gain: f64
+    );
+    builder_setter!(
+        /// Queue-depth decimation stride ([`ServeConfig::depth_stride`]).
+        depth_stride: u64
+    );
+    builder_setter!(
+        /// Per-request completion log ([`ServeConfig::log_requests`]).
+        log_requests: bool
+    );
+    builder_setter!(
+        /// Result-cache policy ([`ServeConfig::cache`]).
+        cache: CacheKind
+    );
+    builder_setter!(
+        /// Hedged-dispatch policy ([`ServeConfig::hedge`]).
+        hedge: HedgeKind
+    );
+
+    /// Pool-wide fallback deadline in seconds
+    /// ([`ServeConfig::default_deadline_secs`]). The builder default is
+    /// no deadline; call this to opt in.
+    pub fn default_deadline_secs(mut self, secs: f64) -> Self {
+        self.cfg.default_deadline_secs = Some(secs);
+        self
+    }
+
+    /// [`Self::default_deadline_secs`] taking the `Option` directly —
+    /// `None` clears the fallback. For parameterized sweeps that toggle
+    /// deadlines per run.
+    pub fn maybe_deadline(mut self, secs: Option<f64>) -> Self {
+        self.cfg.default_deadline_secs = secs;
+        self
+    }
+
+    /// Validates and returns the configuration. Errors on the documented
+    /// incompatible combinations ([`ConfigError`]): hedging on fewer
+    /// than two boards or under pipelining, and non-positive deadlines
+    /// or hedge factors.
+    pub fn build(self) -> Result<ServeConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -428,6 +773,22 @@ enum EventKind {
     MigrationDone { board: usize },
     /// A request completed; the [`Completion`] record is in the slab.
     ServiceDone { completion: Handle },
+    /// A dispatched request's deadline passed (pipelined mode): abort it
+    /// if a stage it needs has not started — it still waits in board
+    /// `board`'s staging buffer or hand-off queue. `tag` is the
+    /// request's trace id: slab slots recycle (the arena is not
+    /// generational), so an event whose handle is vacant or holds a
+    /// different request by pop time must not fire.
+    DeadlineExpired {
+        board: usize,
+        handle: Handle,
+        tag: u64,
+    },
+    /// The faster leg of `tenant`'s hedged dispatch completed (and any
+    /// reconfiguration the losing leg started has drained): board
+    /// `board`'s engines — held by the cancelled leg — free without
+    /// counting a completion.
+    HedgeWon { board: usize, tenant: usize },
 }
 
 /// The deferred payload of a `ServiceDone` event, slab-resident between
@@ -487,6 +848,15 @@ struct RunStats {
     /// Per-tenant SLO budgets ([`TenantSpec::slo_secs`]); violations are
     /// counted here, independent of the scheduler in force.
     slo: Vec<Option<f64>>,
+    /// Per-tenant effective deadlines ([`TenantSpec::deadline_secs`]
+    /// with [`ServeConfig::default_deadline_secs`] as the fallback);
+    /// completions strictly past them count as served-late, not goodput.
+    deadlines: Vec<Option<f64>>,
+    /// The wasted-work ledger: bytes moved and board seconds spent on
+    /// work no client waited for (aborted stages, hedge-loser legs,
+    /// past-deadline completions).
+    wasted_work_bytes: u64,
+    wasted_secs: f64,
     stages: StageHistograms,
     requests: Vec<CompletedRequest>,
     /// Aggregate stall attribution over completed requests (each
@@ -508,16 +878,35 @@ impl RunStats {
         host_bytes: u64,
         switch_bytes: u64,
         log: bool,
-    ) {
+    ) -> RequestOutcome {
         let budget = self.slo[tenant];
+        // Strictly past the deadline only: completing at the exact
+        // instant is still goodput (the same boundary in-queue expiry
+        // uses).
+        let late = self.deadlines[tenant].is_some_and(|d| latency.total() > d);
+        let outcome = if late {
+            RequestOutcome::ServedLate
+        } else {
+            RequestOutcome::Served
+        };
         let t = &mut self.tenants[tenant];
         t.completed += 1;
+        t.outcomes.record(outcome);
         t.latency.record(latency.total());
+        if !late {
+            t.goodput_latency.record(latency.total());
+        }
         t.queue_wait.record(latency.queue_secs);
         if budget.is_some_and(|budget| latency.total() > budget) {
             t.slo_violations += 1;
         }
         t.board_secs += latency.board_secs();
+        if late {
+            // A completion the client abandoned is pure wasted work:
+            // the whole board visit and every byte it moved.
+            self.wasted_secs += latency.board_secs();
+            self.wasted_work_bytes += host_bytes + switch_bytes;
+        }
         self.stages.record(&latency);
         self.stall.accumulate(&StallBreakdown::of(&latency));
         if log {
@@ -527,8 +916,10 @@ impl RunStats {
                 latency,
                 host_bytes,
                 switch_bytes,
+                outcome,
             });
         }
+        outcome
     }
 }
 
@@ -581,7 +972,10 @@ impl TrafficSim {
     /// # Panics
     ///
     /// Panics if `tenants` is empty, the queue capacity or board count is
-    /// zero, or the compute speedup is not a positive finite number.
+    /// zero, the compute speedup or any tenant deadline is not a positive
+    /// finite number, or the config fails [`ServeConfig::validate`]
+    /// (assembling via [`ServeConfig::builder`] surfaces the same rules
+    /// as a typed [`ConfigError`] instead).
     pub fn new(tenants: Vec<TenantSpec>, config: ServeConfig) -> Self {
         assert!(!tenants.is_empty(), "need at least one tenant");
         assert!(config.queue_capacity > 0, "queue capacity must be positive");
@@ -589,6 +983,17 @@ impl TrafficSim {
             config.compute_speedup > 0.0 && config.compute_speedup.is_finite(),
             "compute speedup must be positive and finite"
         );
+        if let Err(err) = config.validate() {
+            panic!("invalid ServeConfig: {err}");
+        }
+        for tenant in &tenants {
+            if let Some(secs) = tenant.deadline_secs {
+                assert!(
+                    secs > 0.0 && secs.is_finite(),
+                    "tenant deadline must be positive and finite, got {secs}"
+                );
+            }
+        }
         let pool = BoardPool::new(
             config.boards,
             tenants[0].params,
@@ -713,6 +1118,21 @@ impl TrafficSim {
         // queue bit-for-bit. The enum form keeps the per-event
         // admit/scan/take calls statically dispatched.
         let mut sched = cfg.scheduler.instantiate(tenants, cfg.queue_capacity);
+        // Effective per-tenant deadlines: the tenant's own, falling back
+        // to the pool-wide default. With every entry `None` the expiry
+        // pass, the abort events and the served-late split are all
+        // skipped — the deadline Off-equivalence invariant.
+        let deadlines: Vec<Option<f64>> = tenants
+            .iter()
+            .map(|t| t.deadline_secs.or(cfg.default_deadline_secs))
+            .collect();
+        let deadlines_on = deadlines.iter().any(Option::is_some);
+        let hedge_on = cfg.hedge.enabled();
+        // The shared latency EWMA driving the hedge trigger (SLO-aware
+        // scheduling owns its own instance inside the policy).
+        let mut predictor = LatencyPredictor::new(tenants.len());
+        // Scratch for the expiry pass, reused across events.
+        let mut expired: Vec<Request> = Vec::new();
         // Pure cost-model results (workloads, library-optimal configs,
         // expansion sums, fabric reports, reconfig verdicts), memoized
         // per tenant drift bucket — speed only, never the schedule (see
@@ -734,6 +1154,9 @@ impl TrafficSim {
                 })
                 .collect(),
             slo: tenants.iter().map(|t| t.slo_secs).collect(),
+            deadlines: deadlines.clone(),
+            wasted_work_bytes: 0,
+            wasted_secs: 0.0,
             stages: StageHistograms::default(),
             requests: Vec::new(),
             stall: StallBreakdown::default(),
@@ -753,6 +1176,53 @@ impl TrafficSim {
 
         while let Some((now, kind)) = engine.queue.pop() {
             events += 1;
+            if deadlines_on {
+                // In-queue expiry: before handling the event, drop every
+                // queued request whose deadline has (strictly) passed —
+                // it can no longer dispatch, so no board work is wasted
+                // on it. Coalesced duplicates parked on an expired
+                // primary expire with it: nothing else would ever
+                // complete them.
+                sched.expire(now, &deadlines, &mut expired);
+                if !expired.is_empty() {
+                    for rq in expired.drain(..) {
+                        stats.tenants[rq.tenant]
+                            .outcomes
+                            .record(RequestOutcome::ExpiredInQueue);
+                        digest.push(0xE1);
+                        digest.push(rq.tenant as u64);
+                        let trace_id = next_trace_id;
+                        next_trace_id += 1;
+                        if sink.enabled() {
+                            sink.span(Span {
+                                track: Track::Queue,
+                                kind: SpanKind::Cancelled,
+                                tenant: rq.tenant,
+                                request: trace_id,
+                                begin_secs: rq.arrival_secs,
+                                end_secs: now,
+                            });
+                        }
+                        if cache_on {
+                            for _waiter in cache.cancel(rq.tenant, rq.arrival_secs) {
+                                stats.tenants[rq.tenant]
+                                    .outcomes
+                                    .record(RequestOutcome::ExpiredInQueue);
+                                digest.push(0xE1);
+                                digest.push(rq.tenant as u64);
+                            }
+                        }
+                    }
+                    depth.record(now, sched.len());
+                    if sink.enabled() {
+                        sink.counter(CounterSample {
+                            kind: CounterKind::QueueDepth,
+                            time_secs: now,
+                            value: sched.len() as f64,
+                        });
+                    }
+                }
+            }
             match kind {
                 EventKind::Arrival { tenant } => {
                     digest.push(0xA1);
@@ -825,6 +1295,9 @@ impl TrafficSim {
                         arrival_secs: now,
                     }) {
                         stats.tenants[tenant].dropped += 1;
+                        stats.tenants[tenant]
+                            .outcomes
+                            .record(RequestOutcome::DroppedAtAdmission);
                         digest.push(0xD0);
                         continue;
                     }
@@ -963,7 +1436,7 @@ impl TrafficSim {
                         entry_preprocess_secs,
                         cached,
                     } = engine.completions.remove(completion);
-                    stats.complete(
+                    let outcome = stats.complete(
                         tenant,
                         arrival_secs,
                         latency,
@@ -971,8 +1444,19 @@ impl TrafficSim {
                         switch_bytes,
                         cfg.log_requests,
                     );
-                    // Latency feedback for SLO-aware scheduling.
+                    // Latency feedback for SLO-aware scheduling, and for
+                    // the hedge trigger's shared predictor.
                     sched.on_complete(tenant, &latency, now);
+                    if hedge_on {
+                        predictor.observe(tenant, latency.total());
+                    }
+                    if outcome == RequestOutcome::ServedLate && sink.enabled() {
+                        sink.counter(CounterSample {
+                            kind: CounterKind::WastedWork,
+                            time_secs: now,
+                            value: stats.wasted_work_bytes as f64,
+                        });
+                    }
                     digest.push(0x5D);
                     digest.push(tenant as u64);
                     digest.push(latency.total().to_bits());
@@ -1028,11 +1512,97 @@ impl TrafficSim {
                             };
                             stats.complete(tenant, waited_since, wl, 0, 0, cfg.log_requests);
                             sched.on_complete(tenant, &wl, now);
+                            if hedge_on {
+                                predictor.observe(tenant, wl.total());
+                            }
                             digest.push(0xCE);
                             digest.push(tenant as u64);
                             digest.push(wl.total().to_bits());
                         }
                     }
+                }
+                EventKind::DeadlineExpired { board, handle, tag } => {
+                    // Tag guard against slab recycling: only a live
+                    // payload whose trace id matches is still this
+                    // request — anything else means it already completed
+                    // (or aborted) and the slot moved on.
+                    let live = engine
+                        .inflight
+                        .try_get(handle)
+                        .is_some_and(|rq| rq.trace_id == tag);
+                    if !live {
+                        continue;
+                    }
+                    // A started stage always runs to completion: only a
+                    // request still *waiting* — in the staging buffer
+                    // for the fabric, or in the hand-off queue for the
+                    // DMA engine — can be abandoned.
+                    let staged_pos = pipe.staged[board].iter().position(|&h| h == handle);
+                    let handoff_pos = pipe.handoffs[board].iter().position(|&h| h == handle);
+                    if staged_pos.is_none() && handoff_pos.is_none() {
+                        continue;
+                    }
+                    if let Some(i) = staged_pos {
+                        pipe.staged[board].remove(i).expect("index in bounds");
+                        pool.unstage(board);
+                    } else if let Some(i) = handoff_pos {
+                        pipe.handoffs[board].remove(i).expect("index in bounds");
+                        pool.add_pending_handoffs(board, -1);
+                    }
+                    let rq = engine.inflight.remove(handle);
+                    stats.tenants[rq.tenant]
+                        .outcomes
+                        .record(RequestOutcome::Aborted);
+                    // The abort writes off everything the board already
+                    // paid: the ingest, plus the reconfiguration and
+                    // fabric pass once the hand-off was queued.
+                    stats.wasted_secs += rq.upload_secs + rq.reconfig_secs + rq.preprocess_secs;
+                    stats.wasted_work_bytes += rq.host_bytes + rq.switch_bytes;
+                    digest.push(0xAB);
+                    digest.push(rq.tenant as u64);
+                    digest.push(board as u64);
+                    if sink.enabled() {
+                        sink.span(Span {
+                            track: Track::Queue,
+                            kind: SpanKind::Cancelled,
+                            tenant: rq.tenant,
+                            request: rq.trace_id,
+                            begin_secs: rq.dispatch_secs,
+                            end_secs: now,
+                        });
+                        sink.counter(CounterSample {
+                            kind: CounterKind::WastedWork,
+                            time_secs: now,
+                            value: stats.wasted_work_bytes as f64,
+                        });
+                    }
+                    if cache_on {
+                        // The abort orphans the in-flight primary: its
+                        // coalesced duplicates expire with it.
+                        for _waiter in cache.cancel(rq.tenant, rq.arrival_secs) {
+                            stats.tenants[rq.tenant]
+                                .outcomes
+                                .record(RequestOutcome::ExpiredInQueue);
+                            digest.push(0xE1);
+                            digest.push(rq.tenant as u64);
+                        }
+                    }
+                    // Fall through to dispatch: the freed staging slot
+                    // may let the board accept a queued request.
+                }
+                EventKind::HedgeWon { board, tenant } => {
+                    // The cancelled leg's board frees. Both engines were
+                    // held as one serial visit, but `release` would also
+                    // count a completion the loser never made.
+                    pool.release_dma(board);
+                    pool.release_fabric(board);
+                    stats.tenants[tenant]
+                        .outcomes
+                        .record(RequestOutcome::HedgeLoser);
+                    digest.push(0x4F);
+                    digest.push(tenant as u64);
+                    digest.push(board as u64);
+                    stats.last_board_free = now;
                 }
             }
 
@@ -1227,6 +1797,20 @@ impl TrafficSim {
                     });
                     pipe.ingesting[board] = Some(handle);
                     engine.queue.push(done, EventKind::IngestDone { board });
+                    if let Some(d) = deadlines[request.tenant] {
+                        // Stage-abort alarm: if the request still waits
+                        // on an unstarted stage when this pops, its slot
+                        // is abandoned. Tagged with the trace id so a
+                        // recycled slab slot cannot be mis-aborted.
+                        engine.queue.push(
+                            request.arrival_secs + d,
+                            EventKind::DeadlineExpired {
+                                board,
+                                handle,
+                                tag: trace_id,
+                            },
+                        );
+                    }
                     continue;
                 }
 
@@ -1272,73 +1856,176 @@ impl TrafficSim {
                 let inference_secs = costs.inference_secs;
 
                 let done = now + stall + upload_secs + preprocess_secs + download_secs;
-                pool.occupy(board, now, done);
+
+                // Hedged dispatch: once this request's queue wait has
+                // outrun the predicted tail, offer it to a second free
+                // board too and keep the faster leg (see the module
+                // docs). `Off` — the default — skips everything.
+                let second = match cfg.hedge {
+                    HedgeKind::Latency { factor } => {
+                        let wait = now - request.arrival_secs;
+                        if predictor.is_warm(request.tenant)
+                            && wait > factor * predictor.predicted_p99(request.tenant)
+                        {
+                            pool.free_indices().find(|&b| b != board)
+                        } else {
+                            None
+                        }
+                    }
+                    HedgeKind::Off => None,
+                };
+
+                // The winning leg, initially the placement pick (leg A).
+                let mut win_board = board;
+                let mut win_done = done;
+                let mut win_latency = RequestLatency {
+                    queue_secs: now - request.arrival_secs,
+                    reconfig_secs: stall,
+                    upload_secs,
+                    stage_wait_secs: 0.0,
+                    preprocess_secs,
+                    download_secs,
+                    inference_secs,
+                    cache_secs: 0.0,
+                };
+                let mut win_host_bytes = host_bytes;
+                let mut win_switch_bytes = switch_bytes;
+                let mut win_entry_preprocess = cache_hit_preprocess.unwrap_or(preprocess_secs);
+
+                if let Some(second) = second {
+                    digest.push(0x4E);
+                    digest.push(request.tenant as u64);
+                    digest.push(second as u64);
+                    // The hedge leg ingests from the host onto the
+                    // second board's *current* bitstream — no
+                    // reconfiguration, no migration: the bet is a cheap
+                    // second chance, not a second ICAP switch.
+                    let host_b = pool.upload_delta(second, request.tenant, coo_bytes);
+                    let upload_b = pcie.transfer_secs(host_b);
+                    let preprocess_b = memo.stage_total(request.tenant, &workload, pool, second)
+                        / cfg.compute_speedup;
+                    let done_b = now + upload_b + preprocess_b + download_secs;
+                    // Ties keep the primary — placement picked it.
+                    let (loser, loser_free_at, loser_bytes) = if done_b < win_done {
+                        // The hedge leg wins. The primary's *started*
+                        // reconfiguration still runs to completion, so
+                        // its board frees only once both the
+                        // cancellation and the ICAP stall have passed.
+                        let freed = (
+                            win_board,
+                            done_b.max(now + stall),
+                            win_host_bytes + win_switch_bytes,
+                        );
+                        win_board = second;
+                        win_done = done_b;
+                        win_latency = RequestLatency {
+                            queue_secs: now - request.arrival_secs,
+                            reconfig_secs: 0.0,
+                            upload_secs: upload_b,
+                            stage_wait_secs: 0.0,
+                            preprocess_secs: preprocess_b,
+                            download_secs,
+                            inference_secs,
+                            cache_secs: 0.0,
+                        };
+                        win_host_bytes = host_b;
+                        win_switch_bytes = 0;
+                        win_entry_preprocess = preprocess_b;
+                        freed
+                    } else {
+                        (second, win_done, host_b)
+                    };
+                    stats.wasted_secs += loser_free_at - now;
+                    stats.wasted_work_bytes += loser_bytes;
+                    pool.occupy(loser, now, loser_free_at);
+                    engine.queue.push(
+                        loser_free_at,
+                        EventKind::HedgeWon {
+                            board: loser,
+                            tenant: request.tenant,
+                        },
+                    );
+                    if sink.enabled() {
+                        sink.span(Span {
+                            track: Track::Queue,
+                            kind: SpanKind::Cancelled,
+                            tenant: request.tenant,
+                            request: trace_id,
+                            begin_secs: now,
+                            end_secs: loser_free_at,
+                        });
+                        sink.counter(CounterSample {
+                            kind: CounterKind::WastedWork,
+                            time_secs: loser_free_at,
+                            value: stats.wasted_work_bytes as f64,
+                        });
+                    }
+                }
+
+                pool.occupy(win_board, now, win_done);
                 if sink.enabled() {
                     // Serial mode runs the stages back to back under both
                     // slots, so the whole timeline is known at dispatch:
                     // ICAP stall, then the DMA ingest, the fabric pass,
-                    // and the hand-off closing at `done`.
+                    // and the hand-off closing at `win_done`. Only the
+                    // winning leg is narrated; a cancelled hedge leg
+                    // appears as one `Cancelled` span above.
                     let span = |resource, kind, begin_secs, end_secs| Span {
-                        track: Track::Board { board, resource },
+                        track: Track::Board {
+                            board: win_board,
+                            resource,
+                        },
                         kind,
                         tenant: request.tenant,
                         request: trace_id,
                         begin_secs,
                         end_secs,
                     };
-                    if stall > 0.0 {
+                    let win_stall = win_latency.reconfig_secs;
+                    if win_stall > 0.0 {
                         sink.span(span(
                             BoardResource::Icap,
                             SpanKind::Reconfig,
                             now,
-                            now + stall,
+                            now + win_stall,
                         ));
                     }
-                    let ingest_start = now + stall;
+                    let ingest_start = now + win_stall;
                     sink.span(span(
                         BoardResource::Dma,
                         SpanKind::Ingest,
                         ingest_start,
-                        ingest_start + upload_secs,
+                        ingest_start + win_latency.upload_secs,
                     ));
                     sink.span(span(
                         BoardResource::Fabric,
                         SpanKind::Preprocess,
-                        ingest_start + upload_secs,
-                        ingest_start + upload_secs + preprocess_secs,
+                        ingest_start + win_latency.upload_secs,
+                        ingest_start + win_latency.upload_secs + win_latency.preprocess_secs,
                     ));
                     sink.span(span(
                         BoardResource::Dma,
                         SpanKind::Handoff,
-                        done - download_secs,
-                        done,
+                        win_done - download_secs,
+                        win_done,
                     ));
                 }
                 let completion = engine.completions.insert(Completion {
                     tenant: request.tenant,
-                    board,
+                    board: win_board,
                     arrival_secs: request.arrival_secs,
-                    latency: RequestLatency {
-                        queue_secs: now - request.arrival_secs,
-                        reconfig_secs: stall,
-                        upload_secs,
-                        stage_wait_secs: 0.0,
-                        preprocess_secs,
-                        download_secs,
-                        inference_secs,
-                        cache_secs: 0.0,
-                    },
-                    host_bytes,
-                    switch_bytes,
+                    latency: win_latency,
+                    host_bytes: win_host_bytes,
+                    switch_bytes: win_switch_bytes,
                     bucket,
                     graph_bytes: coo_bytes,
                     cum_delta: cache_cum_delta,
-                    entry_preprocess_secs: cache_hit_preprocess.unwrap_or(preprocess_secs),
+                    entry_preprocess_secs: win_entry_preprocess,
                     cached: false,
                 });
                 engine
                     .queue
-                    .push(done, EventKind::ServiceDone { completion });
+                    .push(win_done, EventKind::ServiceDone { completion });
             }
         }
 
@@ -1354,6 +2041,8 @@ impl TrafficSim {
             overlap_secs: stats.overlap_secs,
             requests: stats.requests,
             stall: stats.stall,
+            wasted_work_bytes: stats.wasted_work_bytes,
+            wasted_secs: stats.wasted_secs,
             sim: SimPerf {
                 wall_secs: wall_start.elapsed().as_secs_f64(),
                 events,

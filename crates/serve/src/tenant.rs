@@ -178,6 +178,15 @@ pub struct TenantSpec {
     /// [`crate::metrics::TenantStats`] — which is recorded under *every*
     /// scheduler, so SLO attainment is comparable across policies.
     pub slo_secs: Option<f64>,
+    /// Client abandonment deadline in seconds from arrival. When set (or
+    /// when [`crate::sim::ServeConfig::default_deadline_secs`] supplies a
+    /// pool-wide default), the lifecycle honors it: queued requests past
+    /// their deadline are expired at scan time, not-yet-started pipeline
+    /// stages are aborted, and completions slower than the deadline count
+    /// as [`crate::metrics::RequestOutcome::ServedLate`] wasted work
+    /// instead of goodput. `None` (the default) disables every deadline
+    /// code path for this tenant.
+    pub deadline_secs: Option<f64>,
 }
 
 impl TenantSpec {
@@ -196,6 +205,7 @@ impl TenantSpec {
             pinned_board: None,
             weight: 1.0,
             slo_secs: None,
+            deadline_secs: None,
         }
     }
 
@@ -477,6 +487,7 @@ mod tests {
         let tenant = TenantSpec::new("t", Dataset::Movie, 1.0);
         assert_eq!(tenant.weight, 1.0);
         assert_eq!(tenant.slo_secs, None);
+        assert_eq!(tenant.deadline_secs, None, "deadlines are opt-in");
     }
 
     #[test]

@@ -114,12 +114,13 @@ impl ChromeTraceWriter {
 
     /// The request-lifecycle flow arrow leg a span contributes, if any:
     /// the queue span starts the flow, ingest/migrate/preprocess step it,
-    /// the hand-off ends it.
+    /// the hand-off — or a cancellation, which also ends a lifecycle —
+    /// finishes it.
     fn flow_phase(kind: SpanKind) -> Option<&'static str> {
         match kind {
             SpanKind::Queue => Some("s"),
             SpanKind::Ingest | SpanKind::MigrateOut | SpanKind::Preprocess => Some("t"),
-            SpanKind::Handoff => Some("f"),
+            SpanKind::Handoff | SpanKind::Cancelled => Some("f"),
             SpanKind::Reconfig => None,
         }
     }
@@ -161,6 +162,7 @@ impl TraceSink for ChromeTraceWriter {
                 "bytes",
             ),
             CounterKind::CacheHits => (Track::Queue, "cache_hits", "hits"),
+            CounterKind::WastedWork => (Track::Queue, "wasted_work_bytes", "bytes"),
         };
         self.ensure_named(track);
         let (pid, _) = Self::place(track);
@@ -278,6 +280,25 @@ mod tests {
         // The cache counter rides the admission process's track.
         assert!(doc.contains("\"name\":\"cache_hits\",\"ph\":\"C\",\"pid\":1"));
         assert!(doc.contains("\"hits\":7"));
+    }
+
+    #[test]
+    fn cancelled_spans_terminate_the_flow_and_wasted_work_counts() {
+        let mut w = ChromeTraceWriter::new();
+        w.span(span(SpanKind::Cancelled, Track::Queue));
+        w.counter(CounterSample {
+            kind: CounterKind::WastedWork,
+            time_secs: 2.0,
+            value: 4096.0,
+        });
+        let doc = w.finish();
+        assert!(doc.contains("\"name\":\"cancelled\""));
+        assert!(
+            doc.contains("\"ph\":\"f\",\"id\":42"),
+            "abort ends the flow"
+        );
+        assert!(doc.contains("\"name\":\"wasted_work_bytes\",\"ph\":\"C\",\"pid\":1"));
+        assert!(doc.contains("\"bytes\":4096"));
     }
 
     #[test]

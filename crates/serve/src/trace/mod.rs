@@ -102,6 +102,11 @@ pub enum SpanKind {
     /// The outbound switch leg of a migration holding the **source**
     /// board's DMA engine.
     MigrateOut,
+    /// A request cancelled after dispatch — a deadline-expired stage
+    /// abort or the losing leg of a hedged dispatch. The interval runs
+    /// dispatch → cancellation, so its length is the work the
+    /// cancellation wrote off.
+    Cancelled,
 }
 
 impl SpanKind {
@@ -114,6 +119,7 @@ impl SpanKind {
             SpanKind::Preprocess => "preprocess",
             SpanKind::Handoff => "handoff",
             SpanKind::MigrateOut => "migrate_out",
+            SpanKind::Cancelled => "cancelled",
         }
     }
 }
@@ -159,6 +165,10 @@ pub enum CounterKind {
     /// cache-served request. Only emitted when
     /// [`crate::cache::CacheKind`] is not `Off`.
     CacheHits,
+    /// Cumulative wasted-work bytes (aborted stages, hedge-loser legs and
+    /// past-deadline completions), sampled at every write-off. Only
+    /// emitted when some tenant carries a deadline or hedging is on.
+    WastedWork,
 }
 
 /// One counter observation.
@@ -241,6 +251,7 @@ mod tests {
         assert_eq!(SpanKind::Preprocess.name(), "preprocess");
         assert_eq!(SpanKind::Handoff.name(), "handoff");
         assert_eq!(SpanKind::MigrateOut.name(), "migrate_out");
+        assert_eq!(SpanKind::Cancelled.name(), "cancelled");
     }
 
     #[test]

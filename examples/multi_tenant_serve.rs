@@ -259,13 +259,14 @@ fn cache_act(seed: u64, requests: u64, only: Option<CacheKind>) {
     let run = |cache| {
         simulate(
             TenantSpec::replay_heavy(3.0),
-            ServeConfig {
-                seed,
-                total_requests: requests,
-                queue_capacity: 512,
-                cache,
-                ..ServeConfig::reconfig_aware()
-            },
+            ServeConfig::reconfig_aware()
+                .to_builder()
+                .seed(seed)
+                .total_requests(requests)
+                .queue_capacity(512)
+                .cache(cache)
+                .build()
+                .expect("demo config is valid"),
         )
     };
     let off = run(CacheKind::Off);
@@ -314,14 +315,17 @@ fn scheduler_act(
     trace_out: Option<&str>,
 ) {
     let burst = || TenantSpec::bursty_aggressor(2.0, 40.0, period_secs);
-    let config = |scheduler| ServeConfig {
-        seed,
-        total_requests: requests,
-        queue_capacity: 512,
-        boards: 2,
-        scheduler,
-        // Strict scan-order dispatch: the fair schedule *is* the order.
-        ..ServeConfig::weighted_fair()
+    // Strict scan-order dispatch: the fair schedule *is* the order.
+    let config = |scheduler| {
+        ServeConfig::weighted_fair()
+            .to_builder()
+            .seed(seed)
+            .total_requests(requests)
+            .queue_capacity(512)
+            .boards(2)
+            .scheduler(scheduler)
+            .build()
+            .expect("demo config is valid")
     };
     let isolated = simulate(
         burst().into_iter().take(2).collect(),
@@ -430,12 +434,14 @@ fn main() {
         );
         return;
     }
-    let config = |policy| ServeConfig {
-        seed: SEED,
-        total_requests: REQUESTS,
-        queue_capacity: 512,
-        policy,
-        ..ServeConfig::default()
+    let config = |policy| {
+        ServeConfig::builder()
+            .seed(SEED)
+            .total_requests(REQUESTS)
+            .queue_capacity(512)
+            .policy(policy)
+            .build()
+            .expect("demo config is valid")
     };
 
     println!(
@@ -493,10 +499,11 @@ fn main() {
     // tenant mix still forces a stall every time it shifts.
     let fast = simulate(
         tenants(),
-        ServeConfig {
-            compute_speedup: 4.0,
-            ..config(DispatchPolicy::reconfig_aware())
-        },
+        config(DispatchPolicy::reconfig_aware())
+            .to_builder()
+            .compute_speedup(4.0)
+            .build()
+            .expect("demo config is valid"),
     );
     println!("\n--- reconfig-aware dispatch, 1 board with 4x compute ---");
     print!("{fast}");
@@ -507,11 +514,12 @@ fn main() {
     // instead of time-multiplexing one.
     let pool = simulate(
         tenants(),
-        ServeConfig {
-            boards: 4,
-            placement: PlacementPolicy::BitstreamAffine,
-            ..config(DispatchPolicy::reconfig_aware())
-        },
+        config(DispatchPolicy::reconfig_aware())
+            .to_builder()
+            .boards(4)
+            .placement(PlacementPolicy::BitstreamAffine)
+            .build()
+            .expect("demo config is valid"),
     );
     println!("\n--- reconfig-aware dispatch, 4-board pool, BitstreamAffine ---");
     print!("{pool}");
@@ -564,14 +572,15 @@ fn main() {
     let heavy = |overlap| {
         simulate(
             TenantSpec::taobao_regions(4.0, PERIOD_SECS),
-            ServeConfig {
-                seed: SEED,
-                total_requests: REQUESTS,
-                queue_capacity: 512,
-                boards: 4,
-                overlap,
-                ..ServeConfig::reconfig_aware()
-            },
+            ServeConfig::reconfig_aware()
+                .to_builder()
+                .seed(SEED)
+                .total_requests(REQUESTS)
+                .queue_capacity(512)
+                .boards(4)
+                .overlap(overlap)
+                .build()
+                .expect("demo config is valid"),
         )
     };
     let serial = heavy(false);
@@ -625,14 +634,15 @@ fn main() {
     // re-uploading 3.2 GB from the host.
     let rehydrated = simulate(
         TenantSpec::taobao_regions(4.0, PERIOD_SECS),
-        ServeConfig {
-            seed: SEED,
-            total_requests: REQUESTS,
-            queue_capacity: 512,
-            boards: 4,
-            migrate: MigratePolicy::PeerRehydrate,
-            ..ServeConfig::pipelined()
-        },
+        ServeConfig::pipelined()
+            .to_builder()
+            .seed(SEED)
+            .total_requests(REQUESTS)
+            .queue_capacity(512)
+            .boards(4)
+            .migrate(MigratePolicy::PeerRehydrate)
+            .build()
+            .expect("demo config is valid"),
     );
     println!("\n--- memory-pressured pool, pipelined + PeerRehydrate ---");
     print!("{rehydrated}");
@@ -674,15 +684,16 @@ fn main() {
     let affine = |migrate| {
         simulate(
             TenantSpec::taobao_regions(4.0, PERIOD_SECS),
-            ServeConfig {
-                seed: SEED,
-                total_requests: REQUESTS,
-                queue_capacity: 512,
-                boards: 4,
-                placement: PlacementPolicy::TenantAffine,
-                migrate,
-                ..ServeConfig::pipelined()
-            },
+            ServeConfig::pipelined()
+                .to_builder()
+                .seed(SEED)
+                .total_requests(REQUESTS)
+                .queue_capacity(512)
+                .boards(4)
+                .placement(PlacementPolicy::TenantAffine)
+                .migrate(migrate)
+                .build()
+                .expect("demo config is valid"),
         )
     };
     let waiting = affine(MigratePolicy::Off);

@@ -8,7 +8,7 @@
 use agnn_graph::datasets::Dataset;
 use agnn_serve::pool::{MigratePolicy, PlacementPolicy};
 use agnn_serve::sched::SchedKind;
-use agnn_serve::sim::{simulate, DispatchPolicy, ServeConfig, TrafficSim};
+use agnn_serve::sim::{simulate, DispatchPolicy, HedgeKind, ServeConfig, TrafficSim};
 use agnn_serve::tenant::{ArrivalProcess, TenantSpec};
 use agnn_serve::trace::{SpanKind, Track};
 use agnn_serve::{CacheKind, FlightRecorder, StallBreakdown};
@@ -35,12 +35,12 @@ fn drift_heavy_tenants() -> Vec<TenantSpec> {
 
 #[test]
 fn replay_is_deterministic_end_to_end() {
-    let cfg = ServeConfig {
-        seed: 99,
-        total_requests: 20_000,
-        policy: DispatchPolicy::reconfig_aware(),
-        ..ServeConfig::default()
-    };
+    let cfg = ServeConfig::builder()
+        .seed(99)
+        .total_requests(20_000)
+        .policy(DispatchPolicy::reconfig_aware())
+        .build()
+        .unwrap();
     let a = simulate(drift_heavy_tenants(), cfg);
     let b = simulate(drift_heavy_tenants(), cfg);
     assert_eq!(a.trace_digest, b.trace_digest);
@@ -54,12 +54,12 @@ fn replay_is_deterministic_end_to_end() {
 
 #[test]
 fn backpressure_is_fully_accounted() {
-    let cfg = ServeConfig {
-        seed: 17,
-        total_requests: 10_000,
-        queue_capacity: 8,
-        ..ServeConfig::default()
-    };
+    let cfg = ServeConfig::builder()
+        .seed(17)
+        .total_requests(10_000)
+        .queue_capacity(8)
+        .build()
+        .unwrap();
     let report = simulate(drift_heavy_tenants(), cfg);
     assert_eq!(report.completed() + report.dropped(), 10_000);
     assert!(report.dropped() > 0, "tiny queue under load must drop");
@@ -71,16 +71,14 @@ fn backpressure_is_fully_accounted() {
 #[test]
 fn reconfig_aware_beats_fifo_on_p99_under_drift() {
     let mk = |policy| {
-        simulate(
-            drift_heavy_tenants(),
-            ServeConfig {
-                seed: 7,
-                total_requests: 30_000,
-                queue_capacity: 512,
-                policy,
-                ..ServeConfig::default()
-            },
-        )
+        let cfg = ServeConfig::builder()
+            .seed(7)
+            .total_requests(30_000)
+            .queue_capacity(512)
+            .policy(policy)
+            .build()
+            .unwrap();
+        simulate(drift_heavy_tenants(), cfg)
     };
     let fifo = mk(DispatchPolicy::Fifo);
     let aware = mk(DispatchPolicy::reconfig_aware());
@@ -152,13 +150,13 @@ fn single_board_pool_reproduces_pr1_metrics_bit_for_bit() {
     for g in goldens {
         let report = simulate(
             drift_heavy_tenants(),
-            ServeConfig {
-                seed: 99,
-                total_requests: 5_000,
-                policy: g.policy,
-                placement: g.placement,
-                ..ServeConfig::default()
-            },
+            ServeConfig::builder()
+                .seed(99)
+                .total_requests(5_000)
+                .policy(g.policy)
+                .placement(g.placement)
+                .build()
+                .unwrap(),
         );
         let label = format!("{:?}/{}", g.policy, g.placement.name());
         assert_eq!(
@@ -180,14 +178,14 @@ fn single_board_pool_reproduces_pr1_metrics_bit_for_bit() {
 /// queryable per-request timeline of the very same run.
 #[test]
 fn flight_recorder_reproduces_the_golden_digest_while_recording() {
-    let cfg = ServeConfig {
-        seed: 99,
-        total_requests: 5_000,
-        policy: DispatchPolicy::Fifo,
-        placement: PlacementPolicy::LeastLoaded,
-        log_requests: true,
-        ..ServeConfig::default()
-    };
+    let cfg = ServeConfig::builder()
+        .seed(99)
+        .total_requests(5_000)
+        .policy(DispatchPolicy::Fifo)
+        .placement(PlacementPolicy::LeastLoaded)
+        .log_requests(true)
+        .build()
+        .unwrap();
     let mut recorder = FlightRecorder::default();
     let report = TrafficSim::new(drift_heavy_tenants(), cfg).run_traced(&mut recorder);
     assert_eq!(
@@ -237,21 +235,21 @@ fn flight_recorder_reproduces_the_golden_digest_while_recording() {
 
 #[test]
 fn bitstream_affine_pool_beats_single_board_on_the_drift_heavy_trace() {
-    let base = ServeConfig {
-        seed: 7,
-        total_requests: 20_000,
-        queue_capacity: 512,
-        policy: DispatchPolicy::reconfig_aware(),
-        ..ServeConfig::default()
-    };
+    let base = ServeConfig::builder()
+        .seed(7)
+        .total_requests(20_000)
+        .queue_capacity(512)
+        .policy(DispatchPolicy::reconfig_aware())
+        .build()
+        .unwrap();
     let single = simulate(drift_heavy_tenants(), base);
     let pool = simulate(
         drift_heavy_tenants(),
-        ServeConfig {
-            boards: 4,
-            placement: PlacementPolicy::BitstreamAffine,
-            ..base
-        },
+        base.to_builder()
+            .boards(4)
+            .placement(PlacementPolicy::BitstreamAffine)
+            .build()
+            .unwrap(),
     );
     assert!(
         pool.reconfigs < single.reconfigs / 10,
@@ -278,19 +276,19 @@ fn bitstream_affine_pool_beats_single_board_on_the_drift_heavy_trace() {
 /// degenerates to "which board", and there is only one).
 #[test]
 fn bitstream_affine_under_fifo_preserves_arrival_order() {
-    let base = ServeConfig {
-        seed: 99,
-        total_requests: 5_000,
-        policy: DispatchPolicy::Fifo,
-        ..ServeConfig::default()
-    };
+    let base = ServeConfig::builder()
+        .seed(99)
+        .total_requests(5_000)
+        .policy(DispatchPolicy::Fifo)
+        .build()
+        .unwrap();
     let fifo = simulate(drift_heavy_tenants(), base);
     let affine = simulate(
         drift_heavy_tenants(),
-        ServeConfig {
-            placement: PlacementPolicy::BitstreamAffine,
-            ..base
-        },
+        base.to_builder()
+            .placement(PlacementPolicy::BitstreamAffine)
+            .build()
+            .unwrap(),
     );
     assert_eq!(
         affine.trace_digest, fifo.trace_digest,
@@ -304,27 +302,27 @@ fn bitstream_affine_under_fifo_preserves_arrival_order() {
 /// produce a different (cheaper) schedule than FIFO on the same trace.
 #[test]
 fn tenant_affine_respects_the_dispatch_policy_when_tenants_share_a_board() {
-    let base = ServeConfig {
-        seed: 31,
-        total_requests: 8_000,
-        queue_capacity: 512,
-        boards: 2, // 3 tenants: movies and fraud share home board 0
-        placement: PlacementPolicy::TenantAffine,
-        ..ServeConfig::default()
-    };
+    let base = ServeConfig::builder()
+        .seed(31)
+        .total_requests(8_000)
+        .queue_capacity(512)
+        .boards(2) // 3 tenants: movies and fraud share home board 0
+        .placement(PlacementPolicy::TenantAffine)
+        .build()
+        .unwrap();
     let fifo = simulate(
         drift_heavy_tenants(),
-        ServeConfig {
-            policy: DispatchPolicy::Fifo,
-            ..base
-        },
+        base.to_builder()
+            .policy(DispatchPolicy::Fifo)
+            .build()
+            .unwrap(),
     );
     let aware = simulate(
         drift_heavy_tenants(),
-        ServeConfig {
-            policy: DispatchPolicy::reconfig_aware(),
-            ..base
-        },
+        base.to_builder()
+            .policy(DispatchPolicy::reconfig_aware())
+            .build()
+            .unwrap(),
     );
     assert_ne!(
         aware.trace_digest, fifo.trace_digest,
@@ -372,22 +370,20 @@ proptest! {
         };
         let total = 500;
         let mk = |overlap| {
-            simulate(
-                drift_heavy_tenants(),
-                ServeConfig {
-                    seed,
-                    total_requests: total,
-                    // Deep enough that neither mode drops: the served sets
-                    // are then comparable request by request.
-                    queue_capacity: 2_048,
-                    boards,
-                    placement,
-                    policy,
-                    overlap,
-                    log_requests: true,
-                    ..ServeConfig::default()
-                },
-            )
+            let cfg = ServeConfig::builder()
+                .seed(seed)
+                .total_requests(total)
+                // Deep enough that neither mode drops: the served sets
+                // are then comparable request by request.
+                .queue_capacity(2_048)
+                .boards(boards)
+                .placement(placement)
+                .policy(policy)
+                .overlap(overlap)
+                .log_requests(true)
+                .build()
+                .unwrap();
+            simulate(drift_heavy_tenants(), cfg)
         };
         let serial = mk(false);
         let pipelined = mk(true);
@@ -453,21 +449,20 @@ proptest! {
         };
         let total = 400;
         let mk = |migrate| {
-            simulate(
-                TenantSpec::taobao_regions(4.0, 900.0),
-                ServeConfig {
-                    seed,
-                    total_requests: total,
-                    // Deep enough that neither mode drops: the served
-                    // multisets are then directly comparable.
-                    queue_capacity: 4_096,
-                    boards,
-                    placement,
-                    migrate,
-                    log_requests: true,
-                    ..ServeConfig::pipelined()
-                },
-            )
+            let cfg = ServeConfig::pipelined()
+                .to_builder()
+                .seed(seed)
+                .total_requests(total)
+                // Deep enough that neither mode drops: the served
+                // multisets are then directly comparable.
+                .queue_capacity(4_096)
+                .boards(boards)
+                .placement(placement)
+                .migrate(migrate)
+                .log_requests(true)
+                .build()
+                .unwrap();
+            simulate(TenantSpec::taobao_regions(4.0, 900.0), cfg)
         };
         let off = mk(MigratePolicy::Off);
         let on = mk(migrate);
@@ -504,17 +499,23 @@ proptest! {
     }
 
     /// Conservation: for any seed, pool size, placement policy, dispatch
-    /// policy and queue bound, every offered request is either completed
-    /// or dropped — nothing is silently lost — and the per-tenant and
-    /// per-board breakdowns both sum to the totals.
+    /// policy, queue bound, deadline and hedging mode, every offered
+    /// request reaches exactly one arrival-terminal outcome — served,
+    /// served late, expired in queue, aborted or dropped at admission —
+    /// nothing is silently lost, hedge losers pair one-to-one with
+    /// launched hedges, and the per-tenant and per-board breakdowns both
+    /// sum to the totals.
     #[test]
-    fn served_plus_dropped_equals_arrivals_for_any_pool(
+    fn every_arrival_reaches_one_terminal_outcome_for_any_pool(
         seed in proptest::any::<u64>(),
         boards in 1usize..6,
         placement_pick in 0u32..3,
         scheduler_pick in 0u32..3,
         fifo in proptest::any::<bool>(),
         queue_capacity in 2usize..48,
+        // deadline (none / tight / loose) × hedging (off / on) in one pick.
+        lifecycle_pick in 0u32..6,
+        overlap in proptest::any::<bool>(),
     ) {
         let placement = match placement_pick {
             0 => PlacementPolicy::TenantAffine,
@@ -533,36 +534,81 @@ proptest! {
         } else {
             DispatchPolicy::reconfig_aware()
         };
+        // A tight deadline exercises expiry/abort; a loose one the
+        // served-late split; None the legacy path.
+        let deadline = match lifecycle_pick % 3 {
+            0 => None,
+            1 => Some(0.5),
+            _ => Some(5.0),
+        };
+        // Hedging is serial-only and needs a second board to re-offer to.
+        let hedge_on = lifecycle_pick >= 3 && boards >= 2 && !overlap;
         let total = 600;
         let report = simulate(
             drift_heavy_tenants(),
-            ServeConfig {
-                seed,
-                total_requests: total,
-                queue_capacity,
-                boards,
-                placement,
-                policy,
-                scheduler,
-                ..ServeConfig::default()
-            },
+            ServeConfig::builder()
+                .seed(seed)
+                .total_requests(total)
+                .queue_capacity(queue_capacity)
+                .boards(boards)
+                .placement(placement)
+                .policy(policy)
+                .scheduler(scheduler)
+                .overlap(overlap)
+                .maybe_deadline(deadline)
+                .hedge(if hedge_on { HedgeKind::latency() } else { HedgeKind::Off })
+                .build()
+                .unwrap(),
         );
+        let outcomes = report.outcomes();
         prop_assert_eq!(
-            report.completed() + report.dropped(),
+            outcomes.arrival_terminal(),
             total,
-            "conservation violated: boards={} placement={} scheduler={} seed={}",
+            "conservation violated: boards={} placement={} scheduler={} \
+             deadline={:?} hedge={} overlap={} seed={}",
             boards,
             placement.name(),
             scheduler.name(),
+            deadline,
+            hedge_on,
+            overlap,
             seed
         );
+        prop_assert_eq!(outcomes.served + outcomes.served_late, report.completed());
+        prop_assert_eq!(outcomes.dropped_at_admission, report.dropped());
+        prop_assert_eq!(outcomes.served, report.goodput());
+        prop_assert_eq!(outcomes.hedge_loser, report.hedges(), "every hedge cancels one leg");
+        if !hedge_on {
+            prop_assert_eq!(outcomes.hedge_loser, 0);
+        }
+        if deadline.is_none() {
+            prop_assert_eq!(outcomes.served_late, 0);
+            prop_assert_eq!(outcomes.expired_in_queue, 0);
+            prop_assert_eq!(outcomes.aborted, 0);
+            prop_assert_eq!(report.wasted_work_bytes, 0);
+            prop_assert_eq!(report.wasted_secs, 0.0);
+        }
+        if !overlap {
+            // Stage aborts only exist in the pipelined lifecycle — the
+            // serial one holds the board through the whole request.
+            prop_assert_eq!(outcomes.aborted, 0);
+        }
         // The satellite assert: the aggregate drop count is exactly the
         // sum of the per-tenant counts — WFQ's per-tenant quota refusals
         // are attributed to the right tenant, never pooled.
         let tenant_drops: u64 = report.tenants.iter().map(|t| t.dropped).sum();
         prop_assert_eq!(report.dropped(), tenant_drops);
-        let per_tenant: u64 = report.tenants.iter().map(|t| t.completed + t.dropped).sum();
+        let per_tenant: u64 = report.tenants.iter().map(|t| t.arrivals()).sum();
         prop_assert_eq!(per_tenant, total);
+        for t in &report.tenants {
+            prop_assert_eq!(t.outcomes.served + t.outcomes.served_late, t.completed);
+            prop_assert_eq!(t.outcomes.dropped_at_admission, t.dropped);
+            prop_assert_eq!(
+                t.goodput_latency.count(),
+                t.outcomes.served,
+                "goodput histogram holds exactly the on-time completions"
+            );
+        }
         let per_board: u64 = report.boards.iter().map(|b| b.completed).sum();
         prop_assert_eq!(per_board, report.completed());
         prop_assert_eq!(report.boards.len(), boards);
@@ -582,18 +628,16 @@ proptest! {
     ) {
         let tenants = || vec![TenantSpec::new("solo", Dataset::Taobao, 30.0)];
         let mk = |scheduler| {
-            simulate(
-                tenants(),
-                ServeConfig {
-                    seed,
-                    total_requests: 400,
-                    queue_capacity,
-                    boards,
-                    policy: DispatchPolicy::Fifo,
-                    scheduler,
-                    ..ServeConfig::default()
-                },
-            )
+            let cfg = ServeConfig::builder()
+                .seed(seed)
+                .total_requests(400)
+                .queue_capacity(queue_capacity)
+                .boards(boards)
+                .policy(DispatchPolicy::Fifo)
+                .scheduler(scheduler)
+                .build()
+                .unwrap();
+            simulate(tenants(), cfg)
         };
         let fifo = mk(SchedKind::Fifo);
         let wfq = mk(SchedKind::WeightedFair { per_tenant_quota: queue_capacity });
@@ -646,19 +690,20 @@ proptest! {
         };
         let report = simulate(
             tenants,
-            ServeConfig {
-                seed,
-                total_requests: 400,
-                queue_capacity: 64,
-                boards,
-                placement,
-                scheduler,
-                migrate,
-                cache,
-                overlap,
-                log_requests: true,
-                ..ServeConfig::reconfig_aware()
-            },
+            ServeConfig::reconfig_aware()
+                .to_builder()
+                .seed(seed)
+                .total_requests(400)
+                .queue_capacity(64)
+                .boards(boards)
+                .placement(placement)
+                .scheduler(scheduler)
+                .migrate(migrate)
+                .cache(cache)
+                .overlap(overlap)
+                .log_requests(true)
+                .build()
+                .unwrap(),
         );
         let mut sum = StallBreakdown::default();
         for r in &report.requests {
@@ -715,15 +760,16 @@ proptest! {
             TenantSpec::taobao_regions(4.0, 900.0)
         };
         let overlap = overlap || migrate_pick != 0;
-        let cfg = ServeConfig {
-            seed,
-            total_requests: 400,
-            queue_capacity: 256,
-            boards,
-            migrate,
-            overlap,
-            ..ServeConfig::reconfig_aware()
-        };
+        let cfg = ServeConfig::reconfig_aware()
+            .to_builder()
+            .seed(seed)
+            .total_requests(400)
+            .queue_capacity(256)
+            .boards(boards)
+            .migrate(migrate)
+            .overlap(overlap)
+            .build()
+            .unwrap();
         let untraced = simulate(tenants(), cfg);
         let mut recorder = FlightRecorder::default();
         let traced = TrafficSim::new(tenants(), cfg).run_traced(&mut recorder);
@@ -802,22 +848,23 @@ proptest! {
             TenantSpec::taobao_regions(4.0, 900.0)
         };
         let overlap = overlap || migrate_pick != 0;
-        let cfg = ServeConfig {
-            seed,
-            total_requests: 400,
-            queue_capacity: 64,
-            boards,
-            placement,
-            scheduler,
-            migrate,
-            overlap,
-            ..ServeConfig::reconfig_aware()
-        };
+        let cfg = ServeConfig::reconfig_aware()
+            .to_builder()
+            .seed(seed)
+            .total_requests(400)
+            .queue_capacity(64)
+            .boards(boards)
+            .placement(placement)
+            .scheduler(scheduler)
+            .migrate(migrate)
+            .overlap(overlap)
+            .build()
+            .unwrap();
         let default_cache = simulate(tenants(), cfg);
-        let explicit_off = simulate(tenants(), ServeConfig {
-            cache: CacheKind::Off,
-            ..cfg
-        });
+        let explicit_off = simulate(
+            tenants(),
+            cfg.to_builder().cache(CacheKind::Off).build().unwrap(),
+        );
         prop_assert_eq!(default_cache.trace_digest, explicit_off.trace_digest);
         prop_assert_eq!(&default_cache, &explicit_off);
         // Byte-identical rendered reports, modulo the two fields that
@@ -868,15 +915,16 @@ proptest! {
         let max_delta_frac = frac_mil as f64 / 1000.0;
         let report = simulate(
             drift_heavy_tenants(),
-            ServeConfig {
-                seed,
-                total_requests: 600,
-                queue_capacity: 64,
-                boards,
-                scheduler,
-                cache: CacheKind::Delta { max_delta_frac },
-                ..ServeConfig::reconfig_aware()
-            },
+            ServeConfig::reconfig_aware()
+                .to_builder()
+                .seed(seed)
+                .total_requests(600)
+                .queue_capacity(64)
+                .boards(boards)
+                .scheduler(scheduler)
+                .cache(CacheKind::Delta { max_delta_frac })
+                .build()
+                .unwrap(),
         );
         prop_assert!(
             report.cache.max_served_delta_frac <= max_delta_frac + 1e-12,
@@ -900,6 +948,153 @@ proptest! {
             );
         }
     }
+
+    /// The deadline machinery's off switch, from the other side: an
+    /// *unreachable* deadline must change nothing. Setting
+    /// `default_deadline_secs(1e6)` arms every deadline code path — the
+    /// expiry scan runs on each event, every completion takes the
+    /// served/served-late split, pipelined dispatch schedules an abort
+    /// event per request — yet no deadline ever fires, so the run must
+    /// match the deadline-free one: same trace digest, same report
+    /// struct, same rendered JSON. (`sim_events` is scrubbed along with
+    /// the host-clock fields: the armed pipelined run pops its deferred
+    /// no-op abort events, which the event counter sees and the schedule
+    /// does not.)
+    #[test]
+    fn an_unreachable_deadline_reproduces_the_deadline_free_run(
+        seed in proptest::any::<u64>(),
+        boards in 1usize..5,
+        placement_pick in 0u32..3,
+        scheduler_pick in 0u32..3,
+        overlap in proptest::any::<bool>(),
+    ) {
+        let placement = match placement_pick {
+            0 => PlacementPolicy::TenantAffine,
+            1 => PlacementPolicy::LeastLoaded,
+            _ => PlacementPolicy::BitstreamAffine,
+        };
+        let scheduler = match scheduler_pick {
+            0 => SchedKind::Fifo,
+            1 => SchedKind::WeightedFair { per_tenant_quota: 8 },
+            _ => SchedKind::slo_aware(),
+        };
+        let mk = |deadline: Option<f64>| {
+            let cfg = ServeConfig::reconfig_aware()
+                .to_builder()
+                .seed(seed)
+                .total_requests(400)
+                .queue_capacity(64)
+                .boards(boards)
+                .placement(placement)
+                .scheduler(scheduler)
+                .overlap(overlap)
+                .maybe_deadline(deadline)
+                .build()
+                .unwrap();
+            simulate(drift_heavy_tenants(), cfg)
+        };
+        let free = mk(None);
+        let armed = mk(Some(1e6));
+        prop_assert_eq!(
+            free.trace_digest,
+            armed.trace_digest,
+            "an unreachable deadline must not perturb the schedule \
+             (seed {}, boards {}, overlap {})",
+            seed,
+            boards,
+            overlap
+        );
+        prop_assert_eq!(&free, &armed);
+        let scrub = |json: String| {
+            let mut out = json;
+            for field in [
+                "\"sim_wall_secs\":",
+                "\"sim_events\":",
+                "\"sim_events_per_sec\":",
+            ] {
+                let (head, tail) = out.split_once(field).expect("field present");
+                let (_, rest) = tail.split_once(',').expect("not the last field");
+                out = format!("{head}{field}<host>,{rest}");
+            }
+            out
+        };
+        prop_assert_eq!(scrub(free.to_json()), scrub(armed.to_json()));
+        // The armed run classified everything as on time.
+        let outcomes = armed.outcomes();
+        prop_assert_eq!(outcomes.served, armed.completed());
+        prop_assert_eq!(outcomes.served_late, 0);
+        prop_assert_eq!(outcomes.expired_in_queue, 0);
+        prop_assert_eq!(outcomes.aborted, 0);
+        prop_assert_eq!(armed.wasted_work_bytes, 0);
+        prop_assert_eq!(armed.wasted_secs, 0.0);
+    }
+
+    /// Hedging is a dispatch-time race, not a semantic change: on a
+    /// drop-free queue, for any seed, pool size, placement and trigger
+    /// factor, the hedged run serves exactly the same request multiset as
+    /// the unhedged run — no request is lost, none completes twice — and
+    /// every launched hedge pairs with exactly one cancelled loser leg.
+    #[test]
+    fn hedging_preserves_the_served_multiset_and_never_double_serves(
+        seed in proptest::any::<u64>(),
+        boards in 2usize..5,
+        placement_pick in 0u32..3,
+        factor_tenths in 1u64..30,
+    ) {
+        let placement = match placement_pick {
+            0 => PlacementPolicy::TenantAffine,
+            1 => PlacementPolicy::LeastLoaded,
+            _ => PlacementPolicy::BitstreamAffine,
+        };
+        let total = 400;
+        let mk = |hedge| {
+            let cfg = ServeConfig::builder()
+                .seed(seed)
+                .total_requests(total)
+                // Deep enough that neither run drops: the served
+                // multisets are then directly comparable.
+                .queue_capacity(2_048)
+                .boards(boards)
+                .placement(placement)
+                .policy(DispatchPolicy::reconfig_aware())
+                .hedge(hedge)
+                .log_requests(true)
+                .build()
+                .unwrap();
+            simulate(drift_heavy_tenants(), cfg)
+        };
+        let unhedged = mk(HedgeKind::Off);
+        let hedged = mk(HedgeKind::Latency {
+            factor: factor_tenths as f64 / 10.0,
+        });
+        prop_assert_eq!(unhedged.dropped(), 0, "queue sized to avoid drops");
+        prop_assert_eq!(hedged.dropped(), 0);
+        prop_assert_eq!(unhedged.completed(), total);
+        prop_assert_eq!(
+            hedged.completed(),
+            total,
+            "hedging must neither lose a request nor complete one twice \
+             (seed {}, boards {}, factor {})",
+            seed,
+            boards,
+            factor_tenths as f64 / 10.0
+        );
+        prop_assert_eq!(hedged.requests.len() as u64, total, "one log entry per request");
+        // Identical served multiset: arrivals are scheduling-independent.
+        let key = |r: &agnn_serve::CompletedRequest| (r.tenant, r.arrival_secs.to_bits());
+        let mut unhedged_keys: Vec<_> = unhedged.requests.iter().map(key).collect();
+        let mut hedged_keys: Vec<_> = hedged.requests.iter().map(key).collect();
+        unhedged_keys.sort_unstable();
+        hedged_keys.sort_unstable();
+        prop_assert_eq!(unhedged_keys, hedged_keys, "same requests served either way");
+        // Every hedge cancelled exactly one leg; the winner completed.
+        let outcomes = hedged.outcomes();
+        prop_assert_eq!(outcomes.arrival_terminal(), total);
+        prop_assert_eq!(outcomes.hedge_loser, hedged.hedges());
+        prop_assert_eq!(unhedged.hedges(), 0);
+        // No deadline anywhere: hedging alone never writes a late split.
+        prop_assert_eq!(outcomes.served, total);
+    }
 }
 
 /// The tentpole headline at test scale: on the bursty-aggressor trace
@@ -913,13 +1108,16 @@ proptest! {
 fn wfq_bounds_victim_p99_under_a_bursty_aggressor() {
     // `weighted_fair()` pins strict dispatch + overlap; swap only the
     // scheduler so the compared runs differ in nothing else.
-    let config = |scheduler| ServeConfig {
-        seed: 4_242,
-        total_requests: 6_000,
-        queue_capacity: 512,
-        boards: 2,
-        scheduler,
-        ..ServeConfig::weighted_fair()
+    let config = |scheduler| {
+        ServeConfig::weighted_fair()
+            .to_builder()
+            .seed(4_242)
+            .total_requests(6_000)
+            .queue_capacity(512)
+            .boards(2)
+            .scheduler(scheduler)
+            .build()
+            .unwrap()
     };
     let fifo = simulate(
         TenantSpec::bursty_aggressor(2.0, 40.0, 900.0),
@@ -982,6 +1180,184 @@ fn wfq_bounds_victim_p99_under_a_bursty_aggressor() {
     assert_eq!(again, wfq);
 }
 
+/// The deadline tentpole headline at test scale — the CI `deadline_burst`
+/// scenario replays exactly this comparison's enforcement side. On the
+/// bursty-aggressor trace the two interactive victims carry a 2 s
+/// deadline. A deadline-oblivious server works through the backlogged
+/// victim requests long after their clients gave up — board seconds and
+/// upload bytes spent serving corpses. Enforcement (in-queue expiry plus
+/// hedged dispatch on the two-board pool) drops the dead backlog at scan
+/// time instead, so the victims' *on-time* tail collapses to the deadline
+/// budget and the pool writes off far less work than the oblivious run
+/// silently burned.
+#[test]
+fn deadline_enforcement_beats_oblivious_serving_on_the_bursty_trace() {
+    let deadline = 2.0;
+    // Aggressor mean 8 rps on a two-board pool: bursts overload the pool
+    // (victim waits blow past the deadline), troughs drain it (victims
+    // serve on time) — both sides of the 2 s boundary stay populated.
+    let tenants = |with_deadline: bool| {
+        let mut tenants = TenantSpec::bursty_aggressor(2.0, 8.0, 900.0);
+        if with_deadline {
+            for victim in &mut tenants[..2] {
+                victim.deadline_secs = Some(deadline);
+            }
+        }
+        tenants
+    };
+    let config = |hedge| {
+        ServeConfig::builder()
+            .seed(4_242)
+            .total_requests(6_000)
+            .queue_capacity(512)
+            .boards(2)
+            .policy(DispatchPolicy::reconfig_aware())
+            .hedge(hedge)
+            .log_requests(true)
+            .build()
+            .unwrap()
+    };
+    let oblivious = simulate(tenants(false), config(HedgeKind::Off));
+    let enforced = simulate(tenants(true), config(HedgeKind::latency()));
+
+    // Both runs face the same 6 000 arrivals; enforcement re-partitions
+    // them across the typed outcomes instead of losing any.
+    assert_eq!(oblivious.completed() + oblivious.dropped(), 6_000);
+    assert_eq!(enforced.outcomes().arrival_terminal(), 6_000);
+    assert!(
+        enforced.expired_in_queue() > 100,
+        "the aggressor's bursts must push victim queue waits past 2 s, \
+         expired only {}",
+        enforced.expired_in_queue()
+    );
+
+    // Victim goodput-p99: the on-time tail under enforcement beats the
+    // tail the oblivious run made those clients wait for.
+    for v in 0..2 {
+        let name = &enforced.tenants[v].name;
+        let oblivious_p99 = oblivious.tenants[v].latency.quantile(0.99);
+        let goodput_p99 = enforced.tenants[v].goodput_latency.quantile(0.99);
+        assert!(
+            goodput_p99 <= deadline,
+            "{name}: on-time completions sit inside the budget by \
+             construction: {goodput_p99}"
+        );
+        assert!(
+            goodput_p99 < oblivious_p99,
+            "{name}: enforcement must beat the oblivious victim tail: \
+             {goodput_p99} vs {oblivious_p99}"
+        );
+        assert!(
+            enforced.tenants[v].outcomes.served > 50,
+            "{name}: trough-time victim traffic still serves on time, got {}",
+            enforced.tenants[v].outcomes.served
+        );
+    }
+
+    // Wasted work: the oblivious run does not *measure* waste, but it
+    // pays it — every victim completion past the deadline held its board
+    // for a client that had already given up. Enforcement's ledger (late
+    // serves + aborts + hedge losers) must come in under that silent
+    // burn, in board-seconds and in bytes.
+    let dead_victims = |report: &agnn_serve::TrafficReport| {
+        report
+            .requests
+            .iter()
+            .filter(|r| r.tenant < 2 && r.latency.total() > deadline)
+            .map(|r| (r.latency.board_secs(), r.host_bytes + r.switch_bytes))
+            .fold((0.0_f64, 0_u64), |(s, b), (ds, db)| (s + ds, b + db))
+    };
+    let (oblivious_dead_secs, oblivious_dead_bytes) = dead_victims(&oblivious);
+    assert!(
+        oblivious_dead_secs > 10.0,
+        "the oblivious run must burn real board time on dead victim \
+         requests, got {oblivious_dead_secs}"
+    );
+    assert!(
+        enforced.wasted_secs < oblivious_dead_secs,
+        "enforcement must write off less board time than oblivious \
+         serving burned: {} vs {}",
+        enforced.wasted_secs,
+        oblivious_dead_secs
+    );
+    assert!(
+        enforced.wasted_work_bytes <= oblivious_dead_bytes,
+        "enforcement must move no more dead bytes than oblivious serving: \
+         {} vs {}",
+        enforced.wasted_work_bytes,
+        oblivious_dead_bytes
+    );
+
+    // Determinism through the deadline + hedge event plumbing.
+    let again = simulate(tenants(true), config(HedgeKind::latency()));
+    assert_eq!(again.trace_digest, enforced.trace_digest);
+    assert_eq!(again, enforced);
+}
+
+/// The hedged-dispatch headline at test scale: under `TenantAffine`
+/// placement a hot tenant's requests wait for their busy home board —
+/// which a co-homed tenant with a *different* bitstream keeps stalling
+/// with ICAP reconfigurations — while the second board sits nearly idle.
+/// Once a request's wait outruns the tenant's predicted p99, hedged
+/// dispatch races a second leg on that idle board (host ingest onto its
+/// current bitstream, no reconfiguration) and keeps the faster leg: the
+/// hot tenant's tail improves, the loser legs land in the waste ledger,
+/// and not one request is lost or double-served.
+#[test]
+fn hedged_dispatch_cuts_the_tail_of_an_affinity_stalled_tenant() {
+    let tenants = || {
+        vec![
+            TenantSpec::new("hot", Dataset::Movie, 15.0),
+            TenantSpec::new("cold", Dataset::StackOverflow, 0.3),
+            TenantSpec::new("mixer", Dataset::Arxiv, 1.5),
+        ]
+    };
+    let total = 4_000;
+    let mk = |hedge| {
+        let cfg = ServeConfig::builder()
+            .seed(4_242)
+            .total_requests(total)
+            .queue_capacity(256)
+            .boards(2)
+            .placement(PlacementPolicy::TenantAffine)
+            .hedge(hedge)
+            .build()
+            .unwrap();
+        simulate(tenants(), cfg)
+    };
+    let unhedged = mk(HedgeKind::Off);
+    let hedged = mk(HedgeKind::Latency { factor: 0.5 });
+    assert_eq!(unhedged.completed(), total);
+    assert_eq!(hedged.completed(), total, "hedging loses no request");
+    assert_eq!(hedged.outcomes().arrival_terminal(), total);
+    assert!(
+        hedged.hedges() > 100,
+        "affinity stalls must trigger real hedging, got {}",
+        hedged.hedges()
+    );
+    assert_eq!(
+        hedged.outcomes().hedge_loser,
+        hedged.hedges(),
+        "every hedge cancels exactly one loser leg"
+    );
+    let unhedged_p99 = unhedged.tenants[0].latency.quantile(0.99);
+    let hedged_p99 = hedged.tenants[0].latency.quantile(0.99);
+    assert!(
+        hedged_p99 < unhedged_p99,
+        "the hedged hot-tenant tail must improve: {hedged_p99} vs {unhedged_p99}"
+    );
+    assert!(
+        hedged.wasted_secs > 0.0,
+        "loser legs must land in the waste ledger"
+    );
+    assert_eq!(unhedged.hedges(), 0);
+    assert_eq!(unhedged.wasted_secs, 0.0, "no hedging, no waste");
+    // Determinism through the hedge event plumbing.
+    let again = mk(HedgeKind::Latency { factor: 0.5 });
+    assert_eq!(again.trace_digest, hedged.trace_digest);
+    assert_eq!(again, hedged);
+}
+
 /// The SLO-gating headline at test scale: on the drift-heavy trace the
 /// per-request gain threshold keeps reprogramming the fabric as the
 /// dominant tenant rotates, but every tenant is comfortably inside a 1 s
@@ -992,12 +1368,15 @@ fn slo_gate_cuts_reconfigs_at_a_no_worse_tail() {
     // Built on the `slo_aware()` preset (SLO gate over the pipelined
     // reconfig-aware deployment); the ungated comparator swaps only the
     // scheduler, so the preset's composition itself is what is pinned.
-    let config = |scheduler| ServeConfig {
-        seed: 7,
-        total_requests: 10_000,
-        queue_capacity: 512,
-        scheduler,
-        ..ServeConfig::slo_aware()
+    let config = |scheduler| {
+        ServeConfig::slo_aware()
+            .to_builder()
+            .seed(7)
+            .total_requests(10_000)
+            .queue_capacity(512)
+            .scheduler(scheduler)
+            .build()
+            .unwrap()
     };
     let ungated = simulate(drift_heavy_tenants(), config(SchedKind::Fifo));
     let gated = simulate(drift_heavy_tenants(), config(SchedKind::slo_aware()));
@@ -1037,17 +1416,16 @@ fn slo_gate_cuts_reconfigs_at_a_no_worse_tail() {
 #[test]
 fn pipelined_mode_beats_serial_under_memory_pressure() {
     let mk = |overlap| {
-        simulate(
-            TenantSpec::taobao_regions(4.0, 900.0),
-            ServeConfig {
-                seed: 7,
-                total_requests: 6_000,
-                queue_capacity: 512,
-                boards: 4,
-                overlap,
-                ..ServeConfig::reconfig_aware()
-            },
-        )
+        let cfg = ServeConfig::reconfig_aware()
+            .to_builder()
+            .seed(7)
+            .total_requests(6_000)
+            .queue_capacity(512)
+            .boards(4)
+            .overlap(overlap)
+            .build()
+            .unwrap();
+        simulate(TenantSpec::taobao_regions(4.0, 900.0), cfg)
     };
     let serial = mk(false);
     let pipelined = mk(true);
@@ -1088,17 +1466,16 @@ fn rehydration_cuts_host_reuploads_under_memory_pressure() {
     // The CI smoke seed: the gated `migration_drift` scenario replays
     // exactly this comparison's migration side.
     let mk = |migrate| {
-        simulate(
-            TenantSpec::taobao_regions(4.0, 900.0),
-            ServeConfig {
-                seed: 4_242,
-                total_requests: 6_000,
-                queue_capacity: 512,
-                boards: 4,
-                migrate,
-                ..ServeConfig::pipelined()
-            },
-        )
+        let cfg = ServeConfig::pipelined()
+            .to_builder()
+            .seed(4_242)
+            .total_requests(6_000)
+            .queue_capacity(512)
+            .boards(4)
+            .migrate(migrate)
+            .build()
+            .unwrap();
+        simulate(TenantSpec::taobao_regions(4.0, 900.0), cfg)
     };
     let off = mk(MigratePolicy::Off);
     let rehydrated = mk(MigratePolicy::PeerRehydrate);
@@ -1145,18 +1522,17 @@ fn rehydration_cuts_host_reuploads_under_memory_pressure() {
 #[test]
 fn split_hot_beats_waiting_for_a_busy_home_board() {
     let mk = |migrate| {
-        simulate(
-            TenantSpec::taobao_regions(4.0, 900.0),
-            ServeConfig {
-                seed: 7,
-                total_requests: 6_000,
-                queue_capacity: 512,
-                boards: 4,
-                placement: PlacementPolicy::TenantAffine,
-                migrate,
-                ..ServeConfig::pipelined()
-            },
-        )
+        let cfg = ServeConfig::pipelined()
+            .to_builder()
+            .seed(7)
+            .total_requests(6_000)
+            .queue_capacity(512)
+            .boards(4)
+            .placement(PlacementPolicy::TenantAffine)
+            .migrate(migrate)
+            .build()
+            .unwrap();
+        simulate(TenantSpec::taobao_regions(4.0, 900.0), cfg)
     };
     let off = mk(MigratePolicy::Off);
     let split = mk(MigratePolicy::split_hot());
@@ -1186,18 +1562,17 @@ fn split_hot_beats_waiting_for_a_busy_home_board() {
 #[test]
 fn split_hot_beats_bitstream_affine_waiting_under_skewed_load() {
     let mk = |migrate| {
-        simulate(
-            TenantSpec::skewed_hotspot(12.0, 900.0),
-            ServeConfig {
-                seed: 7,
-                total_requests: 10_000,
-                queue_capacity: 512,
-                boards: 4,
-                placement: PlacementPolicy::BitstreamAffine,
-                migrate,
-                ..ServeConfig::pipelined()
-            },
-        )
+        let cfg = ServeConfig::pipelined()
+            .to_builder()
+            .seed(7)
+            .total_requests(10_000)
+            .queue_capacity(512)
+            .boards(4)
+            .placement(PlacementPolicy::BitstreamAffine)
+            .migrate(migrate)
+            .build()
+            .unwrap();
+        simulate(TenantSpec::skewed_hotspot(12.0, 900.0), cfg)
     };
     let wait = mk(MigratePolicy::Off);
     let split = mk(MigratePolicy::split_hot());
@@ -1229,17 +1604,16 @@ fn split_hot_beats_bitstream_affine_waiting_under_skewed_load() {
 #[test]
 fn migration_without_peers_is_the_host_schedule_bit_for_bit() {
     let mk = |migrate| {
-        simulate(
-            TenantSpec::taobao_regions(4.0, 900.0),
-            ServeConfig {
-                seed: 11,
-                total_requests: 3_000,
-                queue_capacity: 512,
-                boards: 1,
-                migrate,
-                ..ServeConfig::pipelined()
-            },
-        )
+        let cfg = ServeConfig::pipelined()
+            .to_builder()
+            .seed(11)
+            .total_requests(3_000)
+            .queue_capacity(512)
+            .boards(1)
+            .migrate(migrate)
+            .build()
+            .unwrap();
+        simulate(TenantSpec::taobao_regions(4.0, 900.0), cfg)
     };
     let off = mk(MigratePolicy::Off);
     let rehydrated = mk(MigratePolicy::PeerRehydrate);
@@ -1255,11 +1629,11 @@ fn serving_prices_match_the_runtime_models() {
     let tenants = vec![TenantSpec::new("solo", Dataset::Physics, 0.2)];
     let report = simulate(
         tenants,
-        ServeConfig {
-            seed: 1,
-            total_requests: 50,
-            ..ServeConfig::default()
-        },
+        ServeConfig::builder()
+            .seed(1)
+            .total_requests(50)
+            .build()
+            .unwrap(),
     );
     assert_eq!(report.completed(), 50);
     let stats = &report.tenants[0];
@@ -1286,16 +1660,15 @@ fn serving_prices_match_the_runtime_models() {
 fn result_cache_cuts_p99_and_recompute_on_the_replay_heavy_trace() {
     let total = 6_000;
     let mk = |cache| {
-        simulate(
-            TenantSpec::replay_heavy(3.0),
-            ServeConfig {
-                seed: 21,
-                total_requests: total,
-                queue_capacity: 256,
-                cache,
-                ..ServeConfig::reconfig_aware()
-            },
-        )
+        let cfg = ServeConfig::reconfig_aware()
+            .to_builder()
+            .seed(21)
+            .total_requests(total)
+            .queue_capacity(256)
+            .cache(cache)
+            .build()
+            .unwrap();
+        simulate(TenantSpec::replay_heavy(3.0), cfg)
     };
     let off = mk(CacheKind::Off);
     let cached = mk(CacheKind::delta());
@@ -1342,20 +1715,21 @@ fn result_cache_cuts_p99_and_recompute_on_the_replay_heavy_trace() {
 fn drift_drives_the_hit_rate_toward_zero() {
     let report = simulate(
         TenantSpec::taobao_regions(4.0, 900.0),
-        ServeConfig {
-            seed: 21,
-            total_requests: 4_000,
-            queue_capacity: 256,
+        ServeConfig::reconfig_aware()
+            .to_builder()
+            .seed(21)
+            .total_requests(4_000)
+            .queue_capacity(256)
             // Buckets advance faster than any tenant re-offers a request,
             // and the budget is below one bucket's delta bytes, so nearly
             // every lookup sees a graph drifted past its entry's budget.
-            drift_step_secs: 0.25,
-            cache: CacheKind::Delta {
+            .drift_step_secs(0.25)
+            .cache(CacheKind::Delta {
                 max_delta_frac: 1e-9,
-            },
-            overlap: true,
-            ..ServeConfig::reconfig_aware()
-        },
+            })
+            .overlap(true)
+            .build()
+            .unwrap(),
     );
     assert!(
         report.cache.hit_rate() < 0.05,
@@ -1379,18 +1753,18 @@ fn coalescing_preserves_the_served_multiset_under_drops() {
     let total = 3_000;
     let report = simulate(
         TenantSpec::taobao_regions(4.0, 900.0),
-        ServeConfig {
-            seed: 33,
-            total_requests: total,
+        ServeConfig::builder()
+            .seed(33)
+            .total_requests(total)
             // Tight queue + per-request-scale drift buckets: every bucket
             // spawns a fresh primary (Exact entries die on the next
             // bucket) so the 4-deep queue overflows, while same-bucket
             // duplicates keep parking on their in-flight primary.
-            queue_capacity: 4,
-            drift_step_secs: 0.5,
-            cache: CacheKind::Exact,
-            ..ServeConfig::default()
-        },
+            .queue_capacity(4)
+            .drift_step_secs(0.5)
+            .cache(CacheKind::Exact)
+            .build()
+            .unwrap(),
     );
     assert_eq!(
         report.completed() + report.dropped(),
