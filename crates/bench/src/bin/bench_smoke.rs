@@ -1,4 +1,5 @@
-//! CI `bench-smoke`: replay the seeded serving sweep, write the
+//! CI `bench-smoke`: replay the seeded serving sweep plus the
+//! `grid_sweep` family as one parallel batch, write the
 //! `BENCH_serving.json` artifact, and gate p99 against the checked-in
 //! baseline.
 //!
@@ -9,12 +10,26 @@
 //! # tenant_drops, hit_rate, recompute_secs_saved, sim_events_per_sec):
 //! cargo run --release -p agnn-bench --bin bench_smoke -- \
 //!     --baseline ci/bench_serving_baseline.json --out BENCH_serving.json \
-//!     --trace-out BENCH_trace.json --summary "$GITHUB_STEP_SUMMARY"
+//!     --trace-out BENCH_trace.json --timing-out BENCH_timing.md \
+//!     --summary "$GITHUB_STEP_SUMMARY"
 //!
 //! # refresh the baseline after an intentional perf change (in-PR):
 //! cargo run --release -p agnn-bench --bin bench_smoke -- \
 //!     --write-baseline ci/bench_serving_baseline.json
 //! ```
+//!
+//! `--jobs N` caps the scenario fan-out (default: every core,
+//! [`agnn_serve::default_jobs`]). The job count is invisible in the
+//! artifacts: scenarios merge in case order
+//! ([`serving_smoke::run_all_jobs`]), so `--jobs 1` and `--jobs 8`
+//! render byte-identical documents apart from the host-wall sim
+//! self-metrics, and a `wall clock` line prints the measured speedup
+//! (serial estimate = the sum of every scenario's in-worker
+//! `sim_wall_secs`, over the batch's actual wall clock).
+//!
+//! `--timing-out <file>` writes the per-scenario timing table
+//! ([`serving_smoke::render_timing_table`]) — CI uploads it next to the
+//! metrics artifact so "which scenario got slow" needs no local rebuild.
 //!
 //! `--summary` appends a baseline-vs-run markdown delta table to the
 //! given file (GitHub renders `$GITHUB_STEP_SUMMARY` on the job page, so
@@ -49,6 +64,8 @@ struct Args {
     write_baseline: Option<String>,
     summary: Option<String>,
     trace_out: Option<String>,
+    timing_out: Option<String>,
+    jobs: usize,
     tolerance: f64,
 }
 
@@ -59,6 +76,8 @@ fn parse_args() -> Result<Args, String> {
         write_baseline: None,
         summary: None,
         trace_out: None,
+        timing_out: None,
+        jobs: agnn_serve::default_jobs(),
         tolerance: 0.20,
     };
     let mut it = std::env::args().skip(1);
@@ -70,6 +89,13 @@ fn parse_args() -> Result<Args, String> {
             "--write-baseline" => args.write_baseline = Some(value("--write-baseline")?),
             "--summary" => args.summary = Some(value("--summary")?),
             "--trace-out" => args.trace_out = Some(value("--trace-out")?),
+            "--timing-out" => args.timing_out = Some(value("--timing-out")?),
+            "--jobs" => {
+                args.jobs = value("--jobs")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--jobs: {e}"))?
+                    .max(1);
+            }
             "--tolerance" => {
                 args.tolerance = value("--tolerance")?
                     .parse::<f64>()
@@ -86,7 +112,9 @@ fn parse_args() -> Result<Args, String> {
 
 fn run() -> Result<(), String> {
     let args = parse_args()?;
-    let sweep = serving_smoke::run_sweep();
+    let started = std::time::Instant::now();
+    let sweep = serving_smoke::run_all_jobs(args.jobs);
+    let wall = started.elapsed().as_secs_f64();
     for s in &sweep {
         let overall = s.report.overall_latency();
         let victim = s
@@ -108,6 +136,28 @@ fn run() -> Result<(), String> {
             s.report.migrations(),
             s.report.host_upload_bytes() as f64 / 1e9,
         );
+    }
+
+    // The speedup line: the serial estimate is the sum of every run's
+    // in-worker wall clock, so it and the measured batch wall share the
+    // same host and the ratio is an honest fan-out figure.
+    let serial_estimate: f64 = sweep.iter().map(|s| s.report.sim.wall_secs).sum();
+    let speedup_line = format!(
+        "wall clock {wall:.2} s vs {serial_estimate:.2} s serial estimate \
+         ({:.2}x at --jobs {})",
+        serial_estimate / wall.max(1e-9),
+        args.jobs,
+    );
+    println!("{speedup_line}");
+    if let Some(path) = &args.summary {
+        append_to(path, &format!("\n{speedup_line}\n"))
+            .map_err(|e| format!("writing summary {path}: {e}"))?;
+    }
+
+    if let Some(path) = &args.timing_out {
+        let table = serving_smoke::render_timing_table(&sweep);
+        std::fs::write(path, &table).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote timing table {path}");
     }
 
     let artifact = serving_smoke::render_json(&sweep);

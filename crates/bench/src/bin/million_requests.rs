@@ -3,48 +3,80 @@
 //!
 //! Replays the gated `migration_drift` deployment shape — six
 //! memory-pressured Taobao regions on four pipelined boards with
-//! peer-to-peer graph rehydration — but for **1,000,000 requests**
-//! instead of the smoke sweep's 6,000, and reports the simulator's own
-//! self-metrics (events processed, host wall clock, events/second)
-//! alongside the serving results. On a laptop-class core this finishes
-//! in around a second; before the engine rewrite it took an order of
-//! magnitude longer.
+//! peer-to-peer graph rehydration (see [`agnn_bench::million`]) — but
+//! for **1,000,000 requests** instead of the smoke sweep's 6,000, and
+//! reports the simulator's own self-metrics (events processed, host wall
+//! clock, events/second) alongside the serving results. On a
+//! laptop-class core a single seed finishes in around a second; before
+//! the engine rewrite it took an order of magnitude longer.
 //!
 //! ```text
-//! cargo run --release -p agnn-bench --bin million_requests [-- REQUESTS]
+//! cargo run --release -p agnn-bench --bin million_requests -- \
+//!     [REQUESTS] [--seeds 4242,4243,...] [--jobs N]
 //! ```
 //!
-//! The run is fully deterministic in the seed (the wall-clock
-//! self-metrics are the only numbers that vary between hosts), so the
-//! printed p99/reconfig/migration figures are reproducible bit-for-bit.
+//! `--seeds` replays the identical deployment once per seed — fanned
+//! across up to `--jobs` worker threads (default: every core) — and
+//! prints a per-seed digest table. The runs are fully deterministic in
+//! their seeds and merge in seed order (the wall-clock self-metrics are
+//! the only numbers that vary between hosts or job counts), so the
+//! printed p99/reconfig/migration figures and every per-seed
+//! `trace_digest` are reproducible bit-for-bit: `--jobs 8` prints the
+//! digest table `--jobs 1` does.
 
-use agnn_serve::{MigratePolicy, ServeConfig, TenantSpec, TrafficSim};
+use std::process::ExitCode;
+use std::time::Instant;
 
-fn main() {
-    let requests: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1_000_000);
+use agnn_bench::million;
+use agnn_serve::TrafficReport;
 
-    // The `migration_drift` sweep case, scaled up: same tenants, same
-    // policies, three orders of magnitude more offered load.
-    let config = ServeConfig::reconfig_aware()
-        .to_builder()
-        .seed(4_242)
-        .total_requests(requests)
-        .queue_capacity(512)
-        .boards(4)
-        .overlap(true)
-        .migrate(MigratePolicy::PeerRehydrate)
-        .build()
-        .expect("scaled migration_drift config is valid");
-    let tenants = TenantSpec::taobao_regions(4.0, 900.0);
+struct Args {
+    requests: u64,
+    seeds: Vec<u64>,
+    jobs: usize,
+}
 
-    let mut sim = TrafficSim::new(tenants, config);
-    let report = sim.run();
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        requests: 1_000_000,
+        seeds: vec![million::DEFAULT_SEED],
+        jobs: agnn_serve::default_jobs(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--seeds" => {
+                args.seeds = value("--seeds")?
+                    .split(',')
+                    .map(|s| s.trim().parse::<u64>().map_err(|e| format!("--seeds: {e}")))
+                    .collect::<Result<_, _>>()?;
+                if args.seeds.is_empty() {
+                    return Err("--seeds needs at least one seed".to_string());
+                }
+            }
+            "--jobs" => {
+                args.jobs = value("--jobs")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--jobs: {e}"))?
+                    .max(1);
+            }
+            other => {
+                args.requests = other
+                    .parse::<u64>()
+                    .map_err(|_| format!("unknown argument '{other}'"))?;
+            }
+        }
+    }
+    Ok(args)
+}
 
+/// The original single-seed report: every serving figure plus the
+/// simulator's self-metrics.
+fn print_report(requests: u64, report: &TrafficReport) {
     let completed: u64 = report.tenants.iter().map(|t| t.completed).sum();
     let dropped: u64 = report.tenants.iter().map(|t| t.dropped).sum();
+    let cache = million::config(million::DEFAULT_SEED, requests).cache;
     println!("requests offered     {requests}");
     println!("completed            {completed}");
     println!("dropped              {dropped}");
@@ -59,7 +91,7 @@ fn main() {
     println!(
         "cache hit-rate       {:>12.1} % ({}, {} coalesced)",
         report.cache.hit_rate() * 100.0,
-        config.cache.name(),
+        cache.name(),
         report.cache.coalesced,
     );
     println!(
@@ -74,4 +106,53 @@ fn main() {
         "sim speed            {:>12.2} M events/s",
         report.sim.events_per_sec() / 1e6
     );
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("million_requests: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let started = Instant::now();
+    let reports = million::seed_reports(args.requests, &args.seeds, args.jobs);
+    let wall = started.elapsed().as_secs_f64();
+
+    if let [report] = reports.as_slice() {
+        print_report(args.requests, report);
+        return ExitCode::SUCCESS;
+    }
+
+    // Multi-seed mode: one digest row per seed, in seed order — the
+    // digests are what the determinism contract pins, so they lead.
+    println!(
+        "{} requests x {} seeds (--jobs {})",
+        args.requests,
+        args.seeds.len(),
+        args.jobs
+    );
+    println!("seed      completed   dropped  p99_secs   reconfigs  trace_digest");
+    for (seed, report) in args.seeds.iter().zip(&reports) {
+        println!(
+            "{:<8} {:>10} {:>9} {:>9.4} {:>11} {:>17}",
+            seed,
+            report.completed(),
+            report.dropped(),
+            report.overall_latency().quantile(0.99),
+            report.reconfigs,
+            format!("{:016x}", report.trace_digest),
+        );
+    }
+    let serial_estimate: f64 = reports.iter().map(|r| r.sim.wall_secs).sum();
+    let events: u64 = reports.iter().map(|r| r.sim.events).sum();
+    println!();
+    println!("sim events           {events}");
+    println!(
+        "wall clock           {wall:>12.3} s ({serial_estimate:.3} s serial estimate, {:.2}x)",
+        serial_estimate / wall.max(1e-9),
+    );
+    ExitCode::SUCCESS
 }

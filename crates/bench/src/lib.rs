@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod headline;
+pub mod million;
 pub mod motivation;
 pub mod perfgate;
 pub mod reconfig;

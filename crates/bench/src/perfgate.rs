@@ -76,10 +76,23 @@ use std::collections::BTreeMap;
 
 /// Regression tolerance for `sim_events_per_sec` — deliberately wider
 /// than the 20 % used for simulated metrics, because this is the one
-/// gated number measured in *host* wall clock: shared CI runners jitter
-/// by tens of percent run to run. 40 % still catches the failures the
-/// gate exists for (a simulator that got severalfold slower, or tracing
-/// overhead leaking into the default `NullSink` path).
+/// gated number measured in *host* wall clock, and two legitimate noise
+/// sources stack on it:
+///
+/// - shared CI runners jitter by tens of percent run to run;
+/// - the sweep fans scenarios across every core
+///   ([`crate::serving_smoke::run_all_jobs`]), so concurrent runs
+///   contend for cores, cache and SMT siblings. Each run's wall clock is
+///   still measured on its own worker around only that run — parallelism
+///   never *bills* one scenario for another — but a run that shares its
+///   core with a neighbor is genuinely slower than the same run alone,
+///   by an amount that varies with the batch's scheduling.
+///
+/// 40 % absorbs both while still catching the failures the gate exists
+/// for (a simulator that got severalfold slower, or tracing overhead
+/// leaking into the default `NullSink` path). The baseline should be
+/// refreshed with the same `--jobs` CI runs (the default on both sides)
+/// so contention is on both sides of the comparison.
 pub const SIM_SPEED_TOLERANCE: f64 = 0.40;
 
 /// A parsed JSON value. Objects keep insertion order irrelevant — lookups

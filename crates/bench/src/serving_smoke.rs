@@ -1,7 +1,15 @@
 //! The seeded serving scenario sweep behind CI's `bench-smoke` job.
 //!
-//! Ten scenarios, ~6 000 requests each (a few seconds of wall clock).
-//! The first three replay the same drift-heavy, offset-diurnal trace:
+//! Ten named scenarios at ~6 000 requests each, plus the twelve-cell
+//! `grid_sweep` family (`grid_cases`: pool size × scheduler × result
+//! cache at [`GRID_REQUESTS`] per cell). All of it runs as **one
+//! parallel batch** ([`run_all_jobs`], fanned out through
+//! [`agnn_serve::par_runs`]) whose rendered artifacts are byte-identical
+//! for every job count — results merge in case order, and `jobs = 1` is
+//! the serial loop bit-for-bit (proptested below).
+//!
+//! The first three sweep scenarios replay the same drift-heavy,
+//! offset-diurnal trace:
 //!
 //! 1. `single_board_reconfig_aware` — the PR 1 baseline: one VPK180,
 //!    reconfig-aware dispatch;
@@ -90,14 +98,27 @@ use agnn_graph::datasets::Dataset;
 use agnn_serve::metrics::{json_f64, json_str};
 use agnn_serve::pool::{MigratePolicy, PlacementPolicy};
 use agnn_serve::sched::SchedKind;
-use agnn_serve::sim::{simulate, HedgeKind, ServeConfig, TrafficSim};
+use agnn_serve::sim::{HedgeKind, ServeConfig, TrafficSim};
 use agnn_serve::tenant::{ArrivalProcess, TenantSpec};
 use agnn_serve::{CacheKind, ChromeTraceWriter, TrafficReport};
 
 /// Deployment seed of the sweep (fixed: the artifact must be reproducible).
 pub const SMOKE_SEED: u64 = 4_242;
-/// Offered load per scenario.
+/// Offered load per sweep scenario.
 pub const SMOKE_REQUESTS: u64 = 6_000;
+/// Offered load per `grid_sweep` cell — deliberately lighter than
+/// [`SMOKE_REQUESTS`]: twelve cells ride the same CI job as the sweep,
+/// and the family's value is breadth (every pool-size × scheduler ×
+/// cache corner gated), not per-cell depth.
+pub const GRID_REQUESTS: u64 = 1_500;
+/// Minimum simulated event count for a baseline row to carry
+/// `sim_events_per_sec`: below this the run finishes in well under a
+/// millisecond of host wall clock, so its events-per-second is timer
+/// noise and gating on it would flake. Sits between the largest
+/// `grid_sweep` cell (~3 000 events) and the smallest sweep scenario
+/// (~10 000) — the event count is seed-deterministic, so the split
+/// never varies between hosts or job counts.
+pub const SPEED_GATE_MIN_EVENTS: u64 = 10_000;
 
 /// Victim tenants of the bursty-aggressor scenarios (the fairness gate
 /// tracks their tail and drops by name).
@@ -236,6 +257,77 @@ type SweepCase = (
     Option<f64>,
 );
 
+/// [`sweep_cases`] plus the [`grid_cases`] family, in artifact order —
+/// what `bench_smoke` simulates as one parallel batch.
+fn all_cases() -> Vec<SweepCase> {
+    let mut cases = sweep_cases();
+    cases.extend(grid_cases());
+    cases
+}
+
+/// Stable cell names of the `grid_sweep` family, boards-major then
+/// scheduler then cache — the construction order in [`grid_cases`], and
+/// therefore the artifact row order.
+const GRID_NAMES: [&str; 12] = [
+    "grid_b1_fifo_off",
+    "grid_b1_fifo_delta",
+    "grid_b1_wfq_off",
+    "grid_b1_wfq_delta",
+    "grid_b1_slo_off",
+    "grid_b1_slo_delta",
+    "grid_b4_fifo_off",
+    "grid_b4_fifo_delta",
+    "grid_b4_wfq_off",
+    "grid_b4_wfq_delta",
+    "grid_b4_slo_off",
+    "grid_b4_slo_delta",
+];
+
+/// The `grid_sweep` family: the full pool-size × scheduler × result-cache
+/// grid — `{1, 4}` boards × `{fifo, wfq, slo}` × `{off, delta}` — over
+/// the drift-heavy trace at [`GRID_REQUESTS`] per cell. The sweep's named
+/// scenarios each probe one subsystem in isolation; the grid gates the
+/// *interactions* (an SLO gate that only regresses on a cached four-board
+/// pool has no dedicated scenario, but it has a cell). Cells became
+/// affordable when the runner went parallel: twelve extra simulations
+/// amortize across the worker pool instead of extending the critical
+/// path.
+fn grid_cases() -> Vec<SweepCase> {
+    let base = || {
+        ServeConfig::reconfig_aware()
+            .to_builder()
+            .seed(SMOKE_SEED)
+            .total_requests(GRID_REQUESTS)
+            .queue_capacity(512)
+    };
+    let mut cases = Vec::with_capacity(GRID_NAMES.len());
+    for (bi, boards) in [1usize, 4].into_iter().enumerate() {
+        let schedulers = [
+            SchedKind::Fifo,
+            SchedKind::weighted_fair(),
+            SchedKind::slo_aware(),
+        ];
+        for (si, scheduler) in schedulers.into_iter().enumerate() {
+            for (ci, cache) in [CacheKind::Off, CacheKind::delta()].into_iter().enumerate() {
+                let config = base()
+                    .boards(boards)
+                    .scheduler(scheduler)
+                    .cache(cache)
+                    .build()
+                    .expect("grid cell config is valid");
+                cases.push((
+                    GRID_NAMES[bi * 6 + si * 2 + ci],
+                    smoke_tenants(),
+                    config,
+                    &[][..],
+                    None,
+                ));
+            }
+        }
+    }
+    cases
+}
+
 /// The sweep's case list — the single source of truth shared by
 /// [`run_sweep`] (which simulates every case) and [`perfetto_trace`]
 /// (which replays one named case with a trace sink attached).
@@ -347,18 +439,64 @@ fn sweep_cases() -> Vec<SweepCase> {
     ]
 }
 
-/// Runs the full sweep (deterministic in [`SMOKE_SEED`]).
-pub fn run_sweep() -> Vec<Scenario> {
-    sweep_cases()
+/// Simulates `cases` across up to `jobs` worker threads
+/// ([`agnn_serve::par_runs`]) and reassembles the scenarios in **case
+/// order** — the fixed-order merge contract. Completion order is
+/// scheduling noise, but every rendered artifact is byte-identical for
+/// every job count (`jobs = 1` is the serial loop bit-for-bit;
+/// proptested below). The only members that vary between job counts are
+/// each report's `sim` self-metrics, which are host wall clock by
+/// definition — and even those are measured per run, on that run's
+/// worker, never across runs.
+fn run_cases(cases: Vec<SweepCase>, jobs: usize) -> Vec<Scenario> {
+    let mut meta = Vec::with_capacity(cases.len());
+    let mut runs = Vec::with_capacity(cases.len());
+    for (name, tenants, config, victims, deadline_secs) in cases {
+        meta.push((name, config, victims, deadline_secs));
+        runs.push((tenants, config));
+    }
+    agnn_serve::par_runs(jobs, runs)
         .into_iter()
-        .map(|(name, tenants, config, victims, deadline_secs)| Scenario {
-            name,
-            config,
-            victims,
-            deadline_secs,
-            report: simulate(tenants, config),
-        })
+        .zip(meta)
+        .map(
+            |(report, (name, config, victims, deadline_secs))| Scenario {
+                name,
+                config,
+                victims,
+                deadline_secs,
+                report,
+            },
+        )
         .collect()
+}
+
+/// Runs the full sweep serially (deterministic in [`SMOKE_SEED`]) — the
+/// `jobs = 1` degenerate case of [`run_sweep_jobs`].
+pub fn run_sweep() -> Vec<Scenario> {
+    run_sweep_jobs(1)
+}
+
+/// Runs the full sweep across up to `jobs` worker threads. Scenario
+/// order and every deterministic artifact byte match [`run_sweep`]
+/// exactly (the fixed-order merge contract — see `run_cases`).
+pub fn run_sweep_jobs(jobs: usize) -> Vec<Scenario> {
+    run_cases(sweep_cases(), jobs)
+}
+
+/// Runs the `grid_sweep` family (see `grid_cases`) across up to `jobs`
+/// worker threads, in stable cell order.
+pub fn run_grid_jobs(jobs: usize) -> Vec<Scenario> {
+    run_cases(grid_cases(), jobs)
+}
+
+/// Runs the sweep **plus** the grid family as one parallel batch —
+/// `bench_smoke`'s workload. One batch rather than two back-to-back
+/// sweeps so the long sweep scenarios and the short grid cells share the
+/// worker pool (the grid fills the tail while the slowest sweep scenario
+/// finishes). Scenario order is sweep rows then grid cells, independent
+/// of `jobs`.
+pub fn run_all_jobs(jobs: usize) -> Vec<Scenario> {
+    run_cases(all_cases(), jobs)
 }
 
 /// Replays the named sweep case with a [`ChromeTraceWriter`] attached and
@@ -370,7 +508,7 @@ pub fn run_sweep() -> Vec<Scenario> {
 /// numbers in `BENCH_serving.json` (sinks are write-only; see
 /// [`TrafficSim::run_traced`]).
 pub fn perfetto_trace(scenario_name: &str) -> Option<String> {
-    let (_, tenants, config, ..) = sweep_cases()
+    let (_, tenants, config, ..) = all_cases()
         .into_iter()
         .find(|(name, ..)| *name == scenario_name)?;
     let names = tenants.iter().map(|t| t.name.clone()).collect();
@@ -379,9 +517,11 @@ pub fn perfetto_trace(scenario_name: &str) -> Option<String> {
     Some(writer.finish())
 }
 
-/// Renders the sweep as the `BENCH_serving.json` document: a scenario
-/// array whose `name`/`p99_secs` members feed the perf gate, each carrying
-/// the full per-tenant/per-board report for trajectory archaeology.
+/// Renders the scenarios as the `BENCH_serving.json` document
+/// (`agnn-bench-serving/v7`): a scenario array whose `name`/`p99_secs`
+/// members feed the perf gate, each carrying its own offered load
+/// (`requests` — sweep rows and grid cells differ) and the full
+/// per-tenant/per-board report for trajectory archaeology.
 pub fn render_json(scenarios: &[Scenario]) -> String {
     let rows: Vec<String> = scenarios
         .iter()
@@ -422,7 +562,7 @@ pub fn render_json(scenarios: &[Scenario]) -> String {
             };
             format!(
                 concat!(
-                    "{{\"name\":{name},\"boards\":{boards},",
+                    "{{\"name\":{name},\"requests\":{requests},\"boards\":{boards},",
                     "\"placement\":{placement},\"migrate\":{migrate},",
                     "\"scheduler\":{scheduler},\"cache\":{cache_kind},",
                     "\"p50_secs\":{p50},",
@@ -441,6 +581,7 @@ pub fn render_json(scenarios: &[Scenario]) -> String {
                     "\"report\":{report}}}"
                 ),
                 name = json_str(s.name),
+                requests = s.config.total_requests,
                 boards = s.config.boards,
                 placement = json_str(s.config.placement.name()),
                 migrate = json_str(s.config.migrate.name()),
@@ -488,7 +629,13 @@ pub fn render_json(scenarios: &[Scenario]) -> String {
 /// the checked-in value captures the writer's machine, the gate compares
 /// at the generous [`crate::perfgate::SIM_SPEED_TOLERANCE`], and the CI
 /// stale-baseline guard filters the member out before diffing (it can
-/// never be byte-reproduced on another host).
+/// never be byte-reproduced on another host). Rows below
+/// [`SPEED_GATE_MIN_EVENTS`] simulated events omit the member entirely
+/// (the gate skips what the baseline doesn't record): a `grid_sweep`
+/// cell finishes in well under a millisecond, so its events-per-second
+/// is timer noise, not a measurement — the speed gate rides the deep
+/// sweep rows only. The event count is seed-deterministic, so which
+/// rows carry the member never varies between hosts or job counts.
 pub fn render_baseline_json(scenarios: &[Scenario]) -> String {
     let rows: Vec<String> = scenarios
         .iter()
@@ -519,8 +666,16 @@ pub fn render_baseline_json(scenarios: &[Scenario]) -> String {
             } else {
                 String::new()
             };
+            let speed = if s.report.sim.events >= SPEED_GATE_MIN_EVENTS {
+                format!(
+                    ",\"sim_events_per_sec\":{}",
+                    json_f64(s.report.sim.events_per_sec())
+                )
+            } else {
+                String::new()
+            };
             format!(
-                "\n  {{\"name\":{},\"p99_secs\":{},\"reconfigs\":{},\"host_upload_bytes\":{}{}{}{},\"sim_events_per_sec\":{}}}",
+                "\n  {{\"name\":{},\"p99_secs\":{},\"reconfigs\":{},\"host_upload_bytes\":{}{}{}{}{}}}",
                 json_str(s.name),
                 json_f64(s.report.overall_latency().quantile(0.99)),
                 s.report.reconfigs,
@@ -528,7 +683,7 @@ pub fn render_baseline_json(scenarios: &[Scenario]) -> String {
                 fairness,
                 deadline,
                 cache,
-                json_f64(s.report.sim.events_per_sec()),
+                speed,
             )
         })
         .collect();
@@ -539,10 +694,37 @@ pub fn render_baseline_json(scenarios: &[Scenario]) -> String {
     )
 }
 
+/// Renders the per-scenario timing table (`BENCH_timing.md`): one
+/// markdown row per scenario with the simulator's self-metrics — offered
+/// load, events processed, host wall clock and throughput. Wall clock is
+/// measured inside each run's worker thread around only that run, so the
+/// table attributes time honestly even when the batch ran wide; the CI
+/// job uploads it as an artifact so "which scenario got slow" needs no
+/// local rebuild.
+pub fn render_timing_table(scenarios: &[Scenario]) -> String {
+    let mut out = String::from(
+        "| scenario | requests | sim events | sim wall (s) | events/s |\n\
+         |---|---:|---:|---:|---:|\n",
+    );
+    for s in scenarios {
+        out.push_str(&format!(
+            "| {} | {} | {} | {:.3} | {:.3e} |\n",
+            s.name,
+            s.config.total_requests,
+            s.report.sim.events,
+            s.report.sim.wall_secs,
+            s.report.sim.events_per_sec(),
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::perfgate;
+    use agnn_serve::sim::simulate;
+    use proptest::prelude::*;
 
     #[test]
     fn sweep_is_deterministic_and_json_parses() {
@@ -893,5 +1075,89 @@ mod tests {
             "late serves must land in the ledger"
         );
         assert_eq!(enforced.report.wasted_work_bytes, 0);
+    }
+
+    /// The `grid_sweep` family: every cell present in stable order,
+    /// deterministic, conserving its offered load, and passing the gate
+    /// against its own baseline.
+    #[test]
+    fn grid_family_is_deterministic_and_gates_against_itself() {
+        let scrub = |scenarios: &mut [Scenario]| {
+            for s in scenarios {
+                s.report.sim = agnn_serve::SimPerf::default();
+            }
+        };
+        let mut grid = run_grid_jobs(1);
+        let mut again = run_grid_jobs(1);
+        scrub(&mut grid);
+        scrub(&mut again);
+        assert_eq!(render_json(&grid), render_json(&again));
+        let names: Vec<&str> = grid.iter().map(|s| s.name).collect();
+        assert_eq!(names, GRID_NAMES);
+        for s in &grid {
+            assert_eq!(s.config.total_requests, GRID_REQUESTS, "{}", s.name);
+            assert_eq!(
+                s.report.outcomes().arrival_terminal(),
+                GRID_REQUESTS,
+                "{}",
+                s.name
+            );
+        }
+        // Cells genuinely differ: the grid gates interactions, not
+        // twelve copies of one configuration.
+        let digests: std::collections::BTreeSet<u64> =
+            grid.iter().map(|s| s.report.trace_digest).collect();
+        assert!(digests.len() > 6, "cells collapsed: {digests:?}");
+        let doc = perfgate::parse(&render_json(&grid)).expect("grid artifact parses");
+        let baseline = perfgate::parse(&render_baseline_json(&grid)).expect("grid baseline parses");
+        let outcome = perfgate::gate_p99(&baseline, &doc, 0.20).unwrap();
+        assert!(outcome.passed(), "{:?}", outcome.failures);
+    }
+
+    /// The timing table carries one row per scenario in batch order.
+    #[test]
+    fn timing_table_has_one_row_per_scenario() {
+        let grid = run_grid_jobs(1);
+        let table = render_timing_table(&grid);
+        assert_eq!(table.lines().count(), 2 + grid.len(), "{table}");
+        for s in &grid {
+            assert!(table.contains(&format!("| {} |", s.name)), "{}", s.name);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+        /// The fixed-order merge contract at the artifact level: for a
+        /// random job count and a random sub-batch of grid cells, every
+        /// rendered byte — metrics artifact and baseline alike — matches
+        /// the serial run once the host-wall self-metrics (the only
+        /// legitimately nondeterministic members) are scrubbed.
+        fn rendered_artifacts_are_jobs_invariant(
+            jobs in 2usize..=8,
+            mask in 1u32..(1 << 12),
+        ) {
+            let pick = || {
+                grid_cases()
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, case)| case)
+                    .collect::<Vec<_>>()
+            };
+            let mut serial = run_cases(pick(), 1);
+            let mut parallel = run_cases(pick(), jobs);
+            for s in serial.iter_mut().chain(parallel.iter_mut()) {
+                s.report.sim = agnn_serve::SimPerf::default();
+            }
+            prop_assert_eq!(render_json(&serial), render_json(&parallel));
+            prop_assert_eq!(
+                render_baseline_json(&serial),
+                render_baseline_json(&parallel)
+            );
+            prop_assert_eq!(
+                render_timing_table(&serial),
+                render_timing_table(&parallel)
+            );
+        }
     }
 }

@@ -6,7 +6,7 @@ use agnn_hw::{HwConfig, ScrConfig, UpeConfig};
 /// metadata (e.g., the number of nodes n and edges e) and GNN
 /// hyperparameters (e.g., the number of layers l, the max sample count k,
 /// and the batch size b)" (§V-B).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Workload {
     /// Number of graph nodes `n`.
     pub nodes: u64,

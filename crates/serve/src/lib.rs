@@ -63,6 +63,12 @@
 //!   duplicate in-flight requests coalesce onto one primary and complete
 //!   off its `ServiceDone` (hit-under-miss). [`cache::CacheKind::Off`]
 //!   is the default and replays the uncached schedule bit-for-bit;
+//! - [`par`] — multi-core fan-out of independent seeded runs
+//!   ([`par::par_runs`] / [`par::par_map`] over the vendored
+//!   `scoped_threadpool` stand-in): jobs are distributed from a shared
+//!   injector but results merge in **input order**, so for any job count
+//!   the batch is byte-identical to the `jobs = 1` serial loop — the
+//!   contract CI's parallel scenario sweep rides on;
 //! - [`metrics`] — deterministic latency histograms (p50/p95/p99/max),
 //!   per-lifecycle-stage breakdowns ([`metrics::StageHistograms`]),
 //!   per-tenant queue-wait distributions, drop and SLO-violation
@@ -137,6 +143,7 @@
 pub mod cache;
 pub mod engine;
 pub mod metrics;
+pub mod par;
 pub mod pool;
 pub mod sched;
 pub mod sim;
@@ -149,6 +156,7 @@ pub use metrics::{
     BoardStats, CompletedRequest, LatencyHistogram, OutcomeCounts, RequestLatency, RequestOutcome,
     SimPerf, StageHistograms, StallBreakdown, TenantStats, TrafficReport,
 };
+pub use par::{default_jobs, par_map, par_runs};
 pub use pool::{BoardPool, MigratePolicy, MigrationTransfer, PlacementPolicy};
 pub use sched::{LatencyPredictor, SchedKind, SchedPolicy, Scheduler};
 pub use sim::{

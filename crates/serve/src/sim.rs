@@ -199,6 +199,7 @@ use std::time::Instant;
 use agnn_cost::{CostModel, ReconfigPolicy, Workload};
 use agnn_gnn::timing::GpuInferenceModel;
 use agnn_hw::HwConfig;
+use fxhash::FxHashMap;
 
 use crate::cache::{CacheKind, ResultCache, CACHE_LOOKUP_SECS};
 use crate::engine::{ArrivalSource, EventQueue, Handle, Slab};
@@ -2402,10 +2403,15 @@ struct TenantMemo {
     /// every queued request inside a drift step).
     best: Option<(u64, HwConfig)>,
     /// `(workload, config) → fabric preprocessing seconds` (the
-    /// [`BoardPool::stage_secs`] total).
-    stages: Vec<(Workload, HwConfig, f64)>,
-    /// `(workload, current, best) → should-reconfigure verdict`.
-    verdicts: Vec<(Workload, HwConfig, HwConfig, bool)>,
+    /// [`BoardPool::stage_secs`] total). An [`FxHashMap`] — the
+    /// multiply-rotate hash is deterministic across processes (no
+    /// `RandomState` seed) and a fraction of SipHash's cost on these
+    /// small `Copy` keys, and the map is only ever probed by key, never
+    /// iterated, so hash order cannot leak into the schedule.
+    stages: FxHashMap<(Workload, HwConfig), f64>,
+    /// `(workload, current, best) → should-reconfigure verdict`. Same
+    /// [`FxHashMap`] rationale as `stages`.
+    verdicts: FxHashMap<(Workload, HwConfig, HwConfig), bool>,
 }
 
 /// Memo of the pure cost-model quantities the event loop re-derives on
@@ -2437,8 +2443,8 @@ impl CostMemo {
                     bucket: None,
                     costs: empty,
                     best: None,
-                    stages: Vec::with_capacity(COST_MEMO_CAP),
-                    verdicts: Vec::with_capacity(COST_MEMO_CAP),
+                    stages: FxHashMap::default(),
+                    verdicts: FxHashMap::default(),
                 })
                 .collect(),
         }
@@ -2510,18 +2516,17 @@ impl CostMemo {
     ) -> f64 {
         let config = pool.config(board);
         let row = &mut self.rows[index];
-        if let Some(&(_, _, secs)) = row
-            .stages
-            .iter()
-            .find(|(w, c, _)| w == workload && *c == config)
-        {
+        if let Some(&secs) = row.stages.get(&(*workload, config)) {
             return secs;
         }
         let secs = pool.stage_secs(board, workload);
         if row.stages.len() >= COST_MEMO_CAP {
-            row.stages.remove(0);
+            // Wholesale clear instead of per-entry LRU: the cap is only
+            // reached when a tenant straddles a drift boundary, and every
+            // evicted value is an exact recompute away.
+            row.stages.clear();
         }
-        row.stages.push((*workload, config, secs));
+        row.stages.insert((*workload, config), secs);
         secs
     }
 
@@ -2541,18 +2546,14 @@ impl CostMemo {
             return None;
         }
         let row = &mut self.rows[index];
-        let verdict = match row
-            .verdicts
-            .iter()
-            .find(|(w, cur, cand, _)| w == workload && *cur == current && *cand == best)
-        {
-            Some(&(_, _, _, verdict)) => verdict,
+        let verdict = match row.verdicts.get(&(*workload, current, best)) {
+            Some(&verdict) => verdict,
             None => {
                 let verdict = pool.policy().should_reconfigure(workload, current, best);
                 if row.verdicts.len() >= COST_MEMO_CAP {
-                    row.verdicts.remove(0);
+                    row.verdicts.clear();
                 }
-                row.verdicts.push((*workload, current, best, verdict));
+                row.verdicts.insert((*workload, current, best), verdict);
                 verdict
             }
         };

@@ -1,0 +1,144 @@
+//! Offline stand-in for the `fxhash` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! provides the subset of the fxhash 0.2 API the workspace uses:
+//! [`FxHasher`], [`FxBuildHasher`] and the [`FxHashMap`] / [`FxHashSet`]
+//! aliases.
+//!
+//! Fx is the multiply-and-rotate hash rustc uses for its interner tables:
+//! for the small fixed-width keys on the simulator's hot path (packed
+//! `(Workload, HwConfig)` tuples — a handful of `u64` words) it hashes in
+//! a few cycles per word where SipHash-1-3 burns dozens, and — unlike
+//! `std`'s `RandomState` — it is **deterministic across processes**: no
+//! per-process seed, so a table built by replaying the same simulation
+//! always hashes (and therefore iterates) identically. Maps on the
+//! simulator hot path must still never let iteration order reach the
+//! schedule; determinism here is defense in depth, not a license.
+//!
+//! Fx is not DoS-resistant (no key material). Every map in this workspace
+//! is keyed by simulator-internal values, never by untrusted input.
+#![warn(missing_docs)]
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A [`HashMap`] using [`FxHasher`] (deterministic, no per-process seed).
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A [`HashSet`] using [`FxHasher`] (deterministic, no per-process seed).
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Builds [`FxHasher`]s; `Default` so maps can be created with
+/// `FxHashMap::default()`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// The Firefox/rustc "Fx" hash: per input word, xor into the state,
+/// rotate, and multiply by a constant with good bit dispersion. Not
+/// cryptographic, not seeded — fast and deterministic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// The dispersion constant: `2^64 / φ`, the 64-bit Fibonacci multiplier.
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(tail));
+            // Fold the length in so "ab" + "c" and "a" + "bc" (which pad
+            // to the same words) cannot collide trivially.
+            self.add_to_hash(rest.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Hashes `v` with [`FxHasher`] (the crate's convenience entry point).
+pub fn hash64<T: std::hash::Hash + ?Sized>(v: &T) -> u64 {
+    let mut h = FxHasher::default();
+    v.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashing_is_deterministic_and_input_sensitive() {
+        assert_eq!(hash64(&(1u64, 2u64)), hash64(&(1u64, 2u64)));
+        assert_ne!(hash64(&(1u64, 2u64)), hash64(&(2u64, 1u64)));
+        assert_ne!(hash64("abc"), hash64("abd"));
+        assert_ne!(hash64(&[1u8, 2, 3][..]), hash64(&[1u8, 2, 3, 0][..]));
+    }
+
+    #[test]
+    fn map_and_set_aliases_work_and_need_no_seed() {
+        let mut m: FxHashMap<(u64, u32), f64> = FxHashMap::default();
+        m.insert((7, 3), 0.5);
+        m.insert((7, 4), 1.5);
+        assert_eq!(m.get(&(7, 3)), Some(&0.5));
+        assert_eq!(m.len(), 2);
+
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(9));
+        assert!(!s.insert(9));
+    }
+
+    #[test]
+    fn spread_is_sane_over_sequential_keys() {
+        // Sequential integers must not pile into a few buckets: check
+        // that the low bits (what HashMap indexes by) take many values.
+        let mut low_bits: FxHashSet<u64> = FxHashSet::default();
+        for i in 0u64..256 {
+            low_bits.insert(hash64(&i) & 0xFF);
+        }
+        assert!(low_bits.len() > 128, "got {} distinct", low_bits.len());
+    }
+}

@@ -1,0 +1,254 @@
+//! Offline stand-in for the `scoped_threadpool` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! provides the subset of the scoped_threadpool 0.1 API the workspace
+//! uses: [`Pool::new`], [`Pool::thread_count`] and [`Pool::scoped`] with
+//! [`Scope::execute`]. A [`Pool`] is a *bounded* pool of `threads` worker
+//! OS threads; jobs submitted through [`Scope::execute`] may borrow stack
+//! data of the enclosing frame (the `'scope` lifetime), and
+//! [`Pool::scoped`] does not return until every submitted job has run —
+//! the same structured-concurrency contract as the real crate.
+//!
+//! Unlike the real crate (which parks persistent workers between `scoped`
+//! calls), this stand-in spawns its workers per `scoped` call via
+//! [`std::thread::scope`] — the 2021-era std primitive makes the unsafe
+//! lifetime juggling the original needed obsolete, and pool users in this
+//! workspace run second-scale simulation batches for which a few
+//! microseconds of thread spawn are noise. Jobs are distributed from one
+//! shared FIFO injector that idle workers pull from (work-sharing: a
+//! long-running job never blocks the queue behind it, the other workers
+//! keep draining), so the *completion order* of jobs is nondeterministic —
+//! callers that need deterministic output must merge results by job
+//! index, as [`agnn_serve`'s `par` module](../agnn_serve/par/index.html)
+//! does.
+//!
+//! # Example
+//!
+//! ```
+//! use scoped_threadpool::Pool;
+//!
+//! let mut results = vec![0u64; 8];
+//! let mut pool = Pool::new(4);
+//! pool.scoped(|scope| {
+//!     for (i, slot) in results.iter_mut().enumerate() {
+//!         scope.execute(move || *slot = (i as u64) * 2);
+//!     }
+//! });
+//! assert_eq!(results, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+//! ```
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// A bounded pool of worker OS threads executing scoped jobs.
+///
+/// The pool itself is just the configured width; threads are spawned
+/// inside each [`Pool::scoped`] call (see the crate docs).
+#[derive(Debug)]
+pub struct Pool {
+    threads: u32,
+}
+
+/// A job: a boxed closure that may borrow `'scope` data.
+type Job<'scope> = Box<dyn FnOnce() + Send + 'scope>;
+
+/// The shared injector queue one `scoped` call's workers drain.
+struct Injector<'scope> {
+    state: Mutex<InjectorState<'scope>>,
+    /// Signals "a job was pushed" and "the queue was closed".
+    work: Condvar,
+}
+
+struct InjectorState<'scope> {
+    jobs: VecDeque<Job<'scope>>,
+    /// Set once the scope closure returned (or unwound): workers drain
+    /// the remaining queue and exit instead of parking forever.
+    closed: bool,
+}
+
+impl<'scope> Injector<'scope> {
+    /// Worker loop: pull jobs until the queue is closed *and* empty.
+    fn drain(&self) {
+        loop {
+            let job = {
+                let mut st = self.state.lock().unwrap();
+                loop {
+                    if let Some(job) = st.jobs.pop_front() {
+                        break Some(job);
+                    }
+                    if st.closed {
+                        break None;
+                    }
+                    st = self.work.wait(st).unwrap();
+                }
+            };
+            match job {
+                Some(job) => job(),
+                None => return,
+            }
+        }
+    }
+
+    /// Closes the queue and wakes every parked worker. Idempotent.
+    fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.work.notify_all();
+    }
+}
+
+/// Handle through which jobs are submitted to the enclosing
+/// [`Pool::scoped`] call.
+pub struct Scope<'pool, 'scope> {
+    injector: &'pool Injector<'scope>,
+}
+
+impl<'pool, 'scope> Scope<'pool, 'scope> {
+    /// Submits `job` to the pool. The job may borrow data living outside
+    /// the `scoped` call (the `'scope` lifetime); it is guaranteed to
+    /// have finished by the time [`Pool::scoped`] returns.
+    pub fn execute<F>(&self, job: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.injector
+            .state
+            .lock()
+            .unwrap()
+            .jobs
+            .push_back(Box::new(job));
+        self.injector.work.notify_one();
+    }
+}
+
+/// Closes the injector even if the scope closure unwinds — otherwise the
+/// workers would park forever and `std::thread::scope`'s implicit join
+/// would deadlock the panic.
+struct CloseOnDrop<'a, 'scope>(&'a Injector<'scope>);
+
+impl Drop for CloseOnDrop<'_, '_> {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}
+
+impl Pool {
+    /// Creates a pool `threads` workers wide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(threads: u32) -> Pool {
+        assert!(threads > 0, "a thread pool needs at least one thread");
+        Pool { threads }
+    }
+
+    /// The configured worker count.
+    pub fn thread_count(&self) -> u32 {
+        self.threads
+    }
+
+    /// Runs `f` with a [`Scope`] for submitting jobs, blocking until both
+    /// `f` and every submitted job have completed. Jobs run on the pool's
+    /// worker threads; panics in a job propagate when the internal
+    /// [`std::thread::scope`] joins.
+    pub fn scoped<'scope, F, R>(&mut self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'_, 'scope>) -> R,
+    {
+        let injector = Injector {
+            state: Mutex::new(InjectorState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            work: Condvar::new(),
+        };
+        std::thread::scope(|ts| {
+            for _ in 0..self.threads {
+                ts.spawn(|| injector.drain());
+            }
+            let _close = CloseOnDrop(&injector);
+            f(&Scope {
+                injector: &injector,
+            })
+            // `_close` drops here: the queue closes, the workers drain
+            // what remains and exit, and `std::thread::scope` joins them
+            // before `scoped` returns.
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn every_job_runs_exactly_once_and_results_land_in_order() {
+        let mut results = vec![0u64; 100];
+        let mut pool = Pool::new(8);
+        pool.scoped(|scope| {
+            for (i, slot) in results.iter_mut().enumerate() {
+                scope.execute(move || *slot = i as u64 + 1);
+            }
+        });
+        for (i, v) in results.iter().enumerate() {
+            assert_eq!(*v, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn jobs_actually_run_on_worker_threads() {
+        let main_id = std::thread::current().id();
+        let off_main = AtomicU64::new(0);
+        let mut pool = Pool::new(2);
+        pool.scoped(|scope| {
+            for _ in 0..16 {
+                let off_main = &off_main;
+                scope.execute(move || {
+                    if std::thread::current().id() != main_id {
+                        off_main.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(off_main.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn a_width_one_pool_serializes() {
+        // One worker: jobs run one at a time, in submission order.
+        let log: Mutex<Vec<u32>> = Mutex::new(Vec::new());
+        let mut pool = Pool::new(1);
+        pool.scoped(|scope| {
+            for i in 0..32 {
+                let log = &log;
+                scope.execute(move || log.lock().unwrap().push(i));
+            }
+        });
+        assert_eq!(log.into_inner().unwrap(), (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scoped_returns_the_closure_value() {
+        let mut pool = Pool::new(3);
+        let n = pool.scoped(|scope| {
+            scope.execute(|| {});
+            41 + 1
+        });
+        assert_eq!(n, 42);
+        assert_eq!(pool.thread_count(), 3);
+    }
+
+    #[test]
+    fn an_empty_scope_terminates() {
+        let mut pool = Pool::new(4);
+        pool.scoped(|_scope| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_width_is_rejected() {
+        let _ = Pool::new(0);
+    }
+}
